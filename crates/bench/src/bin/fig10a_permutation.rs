@@ -1,0 +1,97 @@
+//! Figure 10(a) — per-flow throughput under a permutation workload.
+//!
+//! Each host continuously sends to one host and receives from another,
+//! fully loading the fat-tree (432 nodes at k = 12 with `--full`; k = 8
+//! by default for a quick run). Prints the per-flow throughput in
+//! increasing order (the paper's "flow rank" series) and per-protocol
+//! means.
+
+use stardust_bench::{header, Args};
+use stardust_sim::{DetRng, SimDuration, SimTime};
+use stardust_topo::builders::{kary, KaryParams};
+use stardust_transport::{FlowId, Protocol, TransportConfig, TransportSim};
+use stardust_workload::permutation;
+
+fn run(proto: Protocol, k: u32, ms: u64, seed: u64) -> (Vec<f64>, u64) {
+    let ft = kary(KaryParams { k, ..KaryParams::paper_6_3() });
+    let cfg = TransportConfig { seed, ..TransportConfig::default() };
+    let link = cfg.link_bps as f64;
+    let mut sim = TransportSim::new(ft, cfg);
+    let n = sim.num_hosts();
+    let mut rng = DetRng::from_label(seed, "permutation");
+    let perm = permutation(n, &mut rng);
+    let ids: Vec<FlowId> = (0..n as u32)
+        .map(|src| sim.add_flow(proto, src, perm[src as usize], u64::MAX / 2, SimTime::ZERO))
+        .collect();
+    // Warm-up, then measure over the second half.
+    let half = SimTime::from_millis(ms / 2);
+    sim.run_until(half);
+    let base: Vec<u64> = ids.iter().map(|&i| sim.flow(i).acked).collect();
+    sim.run_until(SimTime::from_millis(ms));
+    let window = SimDuration::from_millis(ms - ms / 2);
+    let mut gbps: Vec<f64> = ids
+        .iter()
+        .zip(&base)
+        .map(|(&i, &b)| (sim.flow(i).acked - b) as f64 * 8.0 / window.as_secs_f64() / 1e9)
+        .collect();
+    gbps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let drops = sim.counters.drops.get();
+    let _ = link;
+    (gbps, drops)
+}
+
+fn main() {
+    let args = Args::parse();
+    let k = if args.has("full") { 12 } else { args.get_u64("k", 8) as u32 };
+    let ms = args.get_u64("ms", 40);
+    let seed = args.get_u64("seed", 42);
+    let protos = [Protocol::Mptcp, Protocol::Dctcp, Protocol::Dcqcn, Protocol::Stardust];
+
+    println!("k = {k} fat-tree ({} hosts), {ms} ms simulated, 10G links, permutation", k * k * k / 4);
+
+    let results: Vec<(Protocol, Vec<f64>, u64)> = protos
+        .iter()
+        .map(|&p| {
+            let (g, d) = run(p, k, ms, seed);
+            (p, g, d)
+        })
+        .collect();
+
+    header(
+        "Figure 10(a): throughput [Gbps] by flow rank (every 5th percentile)",
+        &format!(
+            "{:>6} {}",
+            "pct",
+            results.iter().map(|(p, ..)| format!("{:>10}", p.label())).collect::<String>()
+        ),
+    );
+    for pct in (0..=100).step_by(5) {
+        print!("{:>6}", pct);
+        for (_, g, _) in &results {
+            let idx = ((pct as f64 / 100.0) * (g.len() - 1) as f64).round() as usize;
+            print!(" {:>10.2}", g[idx]);
+        }
+        println!();
+    }
+
+    header(
+        "summary",
+        &format!("{:>10} {:>12} {:>14} {:>12} {:>12}", "protocol", "mean util %", ">=9.44G flows %", "min Gbps", "net drops"),
+    );
+    for (p, g, d) in &results {
+        let mean = g.iter().sum::<f64>() / g.len() as f64;
+        let near_line = g.iter().filter(|&&x| x >= 9.44).count() as f64 / g.len() as f64;
+        println!(
+            "{:>10} {:>12.1} {:>14.1} {:>12.2} {:>12}",
+            p.label(),
+            mean * 10.0,
+            near_line * 100.0,
+            g.first().copied().unwrap_or(0.0),
+            d
+        );
+    }
+    println!(
+        "\npaper (432 nodes): Stardust 9.44G on 96% of flows, mean util 94%; \
+         MPTCP 90%; DCTCP 49%; DCQCN 47%"
+    );
+}

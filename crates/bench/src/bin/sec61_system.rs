@@ -1,0 +1,69 @@
+//! §6.1.2 — the single-tier system measurement (Arista 7500E scale):
+//! line rate for all packet sizes and the latency bands.
+//!
+//! The paper's platform: 24 Fabric Adapters × one tier of 12 Fabric
+//! Elements, 1152×10GE equivalent. `--full` builds that scale; the
+//! default is a quarter-size replica.
+
+use stardust_bench::{header, Args};
+use stardust_fabric::{FabricConfig, FabricEngine};
+use stardust_sim::units::gbps;
+use stardust_sim::{SimDuration, SimTime};
+use stardust_topo::builders::{single_tier, SingleTierParams};
+
+fn run_size(params: SingleTierParams, pkt_bytes: u32, ms: u64) -> (f64, f64, f64, f64, u64) {
+    let st = single_tier(params);
+    let cfg = FabricConfig {
+        host_ports: 4,
+        // 4 ports ~ 90% of fabric capacity so the fabric is the system
+        // under test, not the edge.
+        host_port_bps: (params.fa_uplinks as u64 * gbps(50) * 9 / 10 / 4),
+        ..FabricConfig::default()
+    };
+    let mut e = FabricEngine::new(st.topo, cfg);
+    e.saturate_all_to_all(pkt_bytes, 32 * 1024);
+    e.begin_measurement(SimTime::from_micros(300));
+    e.run_until(SimTime::from_millis(ms));
+    let s = e.stats();
+    let util = e.fabric_utilization(SimDuration::from_millis(ms));
+    (
+        util,
+        s.cell_latency_ns.min() as f64 / 1000.0,
+        s.cell_latency_ns.mean() / 1000.0,
+        s.cell_latency_ns.quantile(0.9999) as f64 / 1000.0,
+        s.cells_dropped.get(),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let ms = args.get_u64("ms", 2);
+    let params = if args.has("full") {
+        SingleTierParams::paper_6_1()
+    } else {
+        SingleTierParams { num_fa: 8, fa_uplinks: 12, fe_count: 4, meters: 2 }
+    };
+    println!(
+        "single-tier system: {} FAs x {} uplinks over {} FEs, {} ms per point",
+        params.num_fa, params.fa_uplinks, params.fe_count, ms
+    );
+    header(
+        "§6.1.2: throughput and latency vs packet size (all-to-all, saturated)",
+        &format!(
+            "{:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "pkt [B]", "util", "min lat us", "mean lat us", "max lat us", "cell loss"
+        ),
+    );
+    for pkt in [64u32, 128, 256, 384, 512, 1024, 1500, 4096, 9000] {
+        let (util, lmin, lmean, lmax, loss) = run_size(params, pkt, ms);
+        println!(
+            "{:>10} {:>12.3} {:>12.2} {:>12.2} {:>12.2} {:>10}",
+            pkt, util, lmin, lmean, lmax, loss
+        );
+    }
+    println!(
+        "\npaper: full line rate for all packet sizes (with packing); no loss in the \
+         fabric; min latency 2.8–3.5us nearly independent of packet size, average \
+         3.3–9.1us; our fabric-only latency excludes the store-and-forward host port."
+    );
+}

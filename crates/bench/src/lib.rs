@@ -1,0 +1,98 @@
+//! # stardust-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), each
+//! printing the rows/series the paper reports, plus Criterion
+//! micro-benchmarks of the core data structures (see `benches/`).
+//!
+//! Every binary accepts `--scale <n>` (topology scale-down divisor where
+//! applicable), `--ms <n>` (simulated milliseconds) and `--full` (run the
+//! paper-size configuration). Defaults are sized to finish in seconds on
+//! a laptop; EXPERIMENTS.md records results from both the default and
+//! the larger settings.
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` argument parser (no dependency).
+#[derive(Debug, Default)]
+pub struct Args {
+    kv: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut kv = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    kv.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { kv, flags }
+    }
+
+    /// A `--key value` as u64, with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.kv
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// A `--key value` as f64, with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.kv
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .unwrap_or(default)
+    }
+
+    /// Presence of a bare `--flag`.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+/// Print a table header with a rule line.
+pub fn header(title: &str, cols: &str) {
+    println!("\n=== {title} ===");
+    println!("{cols}");
+    println!("{}", "-".repeat(cols.len().min(100)));
+}
+
+/// Format a large count with thousands separators.
+pub fn commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commas_formatting() {
+        assert_eq!(commas(1), "1");
+        assert_eq!(commas(1234), "1,234");
+        assert_eq!(commas(1234567), "1,234,567");
+    }
+}

@@ -1,0 +1,208 @@
+//! Fabric configuration knobs (defaults follow the paper's §6 setups).
+
+use stardust_sim::{SimDuration, units};
+
+/// All tunables of a Stardust fabric instance.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Fabric serial-link rate in bits/s (paper: 50 Gb/s, non-bundled).
+    pub fabric_link_bps: u64,
+    /// Maximum cell size on the wire, header included (paper: 256 B).
+    pub cell_bytes: u16,
+    /// Cell header bytes (destination FA + sequence + CRC; small, §3.2).
+    pub cell_header_bytes: u16,
+    /// Credit size in bytes (paper: 4 KB; §4.1 derives a 2 KB minimum for
+    /// a 10 Tb/s adapter).
+    pub credit_bytes: u32,
+    /// Packet packing (§3.4). Disabling reproduces the "non-packed cells"
+    /// strawman of §6.1.1: every packet chopped independently with padded
+    /// tail cells.
+    pub packet_packing: bool,
+    /// Credit-rate speedup above the egress port rate (paper: 2–3%).
+    pub credit_speedup: f64,
+    /// Host-facing ports per Fabric Adapter.
+    pub host_ports: u8,
+    /// Host-facing port rate in bits/s.
+    pub host_port_bps: u64,
+    /// Number of traffic classes (0 = highest priority, strict).
+    pub num_tcs: u8,
+    /// FE output-queue depth (in cells) above which FCI is piggybacked.
+    pub fci_threshold_cells: u32,
+    /// Multiplicative credit-rate decrease on an FCI-marked cell arrival.
+    pub fci_decrease: f64,
+    /// Additive credit-rate recovery per credit tick.
+    pub fci_recover: f64,
+    /// Floor of the FCI throttle factor.
+    pub fci_min: f64,
+    /// Minimum gap between two FCI-triggered decreases on one port.
+    pub fci_hold: SimDuration,
+    /// Egress (reassembled, waiting-to-transmit) bytes per port above
+    /// which the scheduler stops sending credits (§4.1).
+    pub egress_hiwat_bytes: u64,
+    /// ...and resumes below this.
+    pub egress_lowat_bytes: u64,
+    /// Reassembly timeout: a burst not completed within this window is
+    /// discarded (§4.1, link-error handling).
+    pub reassembly_timeout: SimDuration,
+    /// One-way latency of the control plane (credit/request messages).
+    /// Control cells traverse a dedicated crossbar with no data queueing
+    /// (§4.2 "two k×k crossbars, one for data cells and one for control"),
+    /// so we model them with a fixed fabric-transit latency.
+    pub ctrl_latency: SimDuration,
+    /// Spray permutation refresh period, in full round-robin rounds
+    /// (§5.3: "a random permutation order, that is replaced every few
+    /// rounds").
+    pub spray_rounds_per_shuffle: u32,
+    /// Reachability message interval; `None` runs with static tables
+    /// (protocol converged, no failures possible).
+    pub reach_interval: Option<SimDuration>,
+    /// Consecutive missed reachability intervals before a link is
+    /// declared failed (§5.10 / Appendix E's `th`).
+    pub reach_miss_threshold: u32,
+    /// Host flow control (§5.4: "the source Fabric Adapter can avoid
+    /// packet loss by sending flow control messages back to the host, as
+    /// in a standard ToR"): pause a CBR source when its VOQ exceeds the
+    /// high watermark, resume below the low one. `None` disables.
+    pub host_fc: Option<(u64, u64)>,
+    /// Ingress VOQ capacity in bytes (`None` = unbounded). §3.1: "Long-term
+    /// over-subscription from the hosts to the Fabric Adapter is handled as
+    /// in any ToR, i.e., packets will be dropped in the Fabric Adapter."
+    pub voq_max_bytes: Option<u64>,
+    /// Low-latency traffic class (§5.6): packets of this class bypass the
+    /// credit round-trip and transmit immediately. "We assume a limited
+    /// aggregate bandwidth of all low latency VOQs ... else packets may be
+    /// dropped (as in a ToR)."
+    pub low_latency_tc: Option<u8>,
+    /// Scheduling across traffic classes (§4.1: "typically a combination
+    /// of round-robin, strict priority and weighted").
+    pub sched_policy: SchedPolicy,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+/// How the egress scheduler arbitrates across traffic classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict priority: class 0 always drains first.
+    Strict,
+    /// Weighted round robin: `weights[tc]` credits per cycle for class tc.
+    Wrr(Vec<u32>),
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            fabric_link_bps: units::gbps(50),
+            cell_bytes: 256,
+            cell_header_bytes: 8,
+            credit_bytes: units::kib(4) as u32,
+            packet_packing: true,
+            credit_speedup: 0.03,
+            host_ports: 4,
+            host_port_bps: units::gbps(100),
+            num_tcs: 2,
+            // High enough that sub-unity utilizations develop their natural
+            // M/D/1 queue tails (Fig 9 reaches ~80 cells at 95% load); FCI
+            // engages only when the fabric is genuinely oversubscribed.
+            fci_threshold_cells: 64,
+            fci_decrease: 0.95,
+            fci_recover: 0.002,
+            fci_min: 0.55,
+            fci_hold: SimDuration::from_micros(2),
+            egress_hiwat_bytes: 256 * 1024,
+            egress_lowat_bytes: 128 * 1024,
+            reassembly_timeout: SimDuration::from_millis(1),
+            ctrl_latency: SimDuration::from_micros(2),
+            spray_rounds_per_shuffle: 4,
+            reach_interval: None,
+            reach_miss_threshold: 3,
+            host_fc: None,
+            voq_max_bytes: None,
+            low_latency_tc: None,
+            sched_policy: SchedPolicy::Strict,
+            seed: 0xDC_FA_B0_05,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Payload bytes carried per full cell.
+    pub fn cell_payload(&self) -> u32 {
+        (self.cell_bytes - self.cell_header_bytes) as u32
+    }
+
+    /// Fraction of fabric-link bandwidth available to payload after cell
+    /// headers (the "raw data utilization" denominator of §6.2).
+    pub fn payload_fraction(&self) -> f64 {
+        self.cell_payload() as f64 / self.cell_bytes as f64
+    }
+
+    /// Sanity checks; call after hand-editing a config.
+    pub fn validate(&self) {
+        assert!(self.cell_header_bytes < self.cell_bytes);
+        assert!(self.credit_bytes as u32 >= self.cell_payload());
+        assert!(self.credit_speedup >= 0.0 && self.credit_speedup < 0.5);
+        assert!(self.fci_min > 0.0 && self.fci_min <= 1.0);
+        assert!((0.0..=1.0).contains(&self.fci_decrease));
+        assert!(self.egress_lowat_bytes <= self.egress_hiwat_bytes);
+        assert!(self.num_tcs >= 1);
+        assert!(self.host_ports >= 1);
+        if let Some((hi, lo)) = self.host_fc {
+            assert!(lo <= hi, "host FC watermarks inverted");
+        }
+        if let Some(tc) = self.low_latency_tc {
+            assert!(tc < self.num_tcs, "low-latency TC out of range");
+        }
+        if let SchedPolicy::Wrr(w) = &self.sched_policy {
+            assert_eq!(w.len(), self.num_tcs as usize, "one WRR weight per TC");
+            assert!(w.iter().all(|&x| x > 0), "WRR weights must be positive");
+        }
+    }
+
+    /// §4.1's minimum-credit-size rule: output bandwidth divided by the
+    /// scheduler's credit generation rate. "For a 10Tbps Fabric Adapter,
+    /// using 1GHz clock and generating a credit every two clocks, the
+    /// minimum credit size will be 10Tbps/(1GHz/2) = 2000B."
+    pub fn min_credit_bytes(adapter_bps: u64, clock_hz: u64, clocks_per_credit: u64) -> u64 {
+        adapter_bps / (clock_hz / clocks_per_credit) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        FabricConfig::default().validate();
+    }
+
+    #[test]
+    fn cell_payload_fraction() {
+        let c = FabricConfig::default();
+        assert_eq!(c.cell_payload(), 248);
+        assert!((c.payload_fraction() - 248.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_min_credit_example() {
+        // §4.1 quotes "10Tbps/(1GHz/2) = 2000B"; dimensional analysis gives
+        // 10e12 b/s ÷ 0.5e9 credits/s = 20,000 bits = 2,500 B per credit —
+        // the paper's 2000 appears to drop the bit/byte factor ÷8 and use
+        // ÷10 instead. We keep the correct arithmetic (2,500 B) and note
+        // the discrepancy; either value supports the section's conclusion
+        // (minimum credit ≈ a few KB).
+        assert_eq!(
+            FabricConfig::min_credit_bytes(10_000_000_000_000, 1_000_000_000, 2),
+            2_500
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_watermarks_rejected() {
+        let mut c = FabricConfig::default();
+        c.egress_lowat_bytes = c.egress_hiwat_bytes + 1;
+        c.validate();
+    }
+}

@@ -1,0 +1,1604 @@
+//! The Stardust fabric network engine.
+//!
+//! A deterministic discrete-event simulation of a whole Stardust network:
+//! Fabric Adapters at the edge (VOQs, credit schedulers, packing,
+//! spraying, reassembly) and Fabric Elements in the fabric (cell
+//! crossbars with shallow output queues, FCI marking, reachability
+//! tables), connected over a `stardust-topo` topology.
+//!
+//! The engine is the instrument behind the paper's §6.2 two-tier
+//! simulation (latency and queue-size distributions, Figure 9), the §5.4
+//! incast-absorption argument, the §5.2 push-vs-pull comparison and the
+//! §5.9 self-healing experiments.
+
+use crate::cell::{Burst, BurstId, Cell, Packet, PacketId};
+use crate::config::FabricConfig;
+use crate::packing::pack_burst;
+use crate::reach::ReachTable;
+use crate::sched::{PortScheduler, SchedVoq};
+use crate::spray::Sprayer;
+use crate::voq::{Voq, VoqKey};
+use stardust_sim::link::fiber_delay;
+use stardust_sim::units::serialization_time;
+use stardust_sim::{Counter, DetRng, EventQueue, Histogram, SimDuration, SimTime};
+use stardust_topo::{LinkId, NodeId, NodeKind, Topology};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Error rate above which a link self-declares faulty on its
+/// reachability cells (§5.10). Real silicon uses FEC/BER counters; any
+/// injected error process above this is treated as a faulty link.
+const FAULTY_BER_THRESHOLD: f64 = 0.01;
+
+/// Which advertisement a reachability message carries (see `reach`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdKind {
+    /// Downward reach, sent toward the spine.
+    Up,
+    /// Total reach via the sender, sent toward the edge.
+    Down,
+}
+
+/// Engine events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// A cell finished serializing on a link direction.
+    TxDone { dir: u32 },
+    /// A cell arrived at the far end of a link direction.
+    CellArrive { dir: u32, cell: Cell },
+    /// VOQ demand announcement reaching the destination's scheduler.
+    CtrlRequest { dst_fa: u32, port: u8, tc: u8, src_fa: u32, bytes: u64 },
+    /// A credit grant reaching the source FA.
+    CtrlCredit { src_fa: u32, key: VoqKey },
+    /// Per-port credit pacing tick at a destination FA.
+    CreditTick { fa: u32, port: u8 },
+    /// A packet finished transmitting on a host-facing egress port.
+    PortTxDone { fa: u32, port: u8 },
+    /// Workload packet arrival at a source FA.
+    Inject { pkt: Packet },
+    /// Periodic reachability advertisement + expiry at a node.
+    ReachTick { node: NodeId },
+    /// A reachability advertisement arriving at `node` on local `port`.
+    /// `faulty` carries the sender's self-assessment of the link (§5.10).
+    ReachMsg { node: NodeId, port: u16, kind: AdKind, fas: Rc<Vec<u32>>, faulty: bool },
+    /// Reassembly deadline for a burst.
+    BurstTimeout { burst: BurstId },
+    /// Next packet of a constant-bit-rate flow.
+    FlowTick { flow: u32 },
+}
+
+/// A constant-bit-rate open-loop flow (used by the push-vs-pull and
+/// incast experiments).
+#[derive(Debug, Clone)]
+struct CbrFlow {
+    src_fa: u32,
+    dst_fa: u32,
+    dst_port: u8,
+    tc: u8,
+    pkt_bytes: u32,
+    interval: SimDuration,
+    stop: SimTime,
+}
+
+/// One direction of a fabric link: a FIFO of cells plus the serializer.
+#[derive(Debug)]
+struct DirState {
+    up: bool,
+    /// Per-cell corruption probability (§5.10 link-error injection).
+    error_rate: f64,
+    rate_bps: u64,
+    prop: SimDuration,
+    queue: std::collections::VecDeque<Cell>,
+    in_service: Option<Cell>,
+    /// Destination node of this direction.
+    dst_node: NodeId,
+    /// Port index of this link within the destination node's link list.
+    dst_port_index: u16,
+    /// True when the source node is a Fabric Element and the destination
+    /// is a Fabric Adapter — the paper's "last stage of the network
+    /// fabric", whose queue distribution Figure 9 plots.
+    last_stage: bool,
+    /// True when the source node is a Fabric Element (any stage).
+    fe_source: bool,
+}
+
+impl DirState {
+    fn depth(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+}
+
+/// Host-facing egress port state on a Fabric Adapter.
+#[derive(Debug)]
+struct PortState {
+    sched: PortScheduler,
+    egress_bytes: u64,
+    tx_queue: std::collections::VecDeque<Packet>,
+    tx_busy: bool,
+}
+
+/// Saturation-mode configuration (Fig 9 style open-loop backlog).
+#[derive(Debug, Clone)]
+struct SatState {
+    packet_bytes: u32,
+    backlog_bytes: u64,
+    /// (dst_fa, dst_port, tc) targets this FA keeps backlogged.
+    targets: Vec<(u32, u8, u8)>,
+}
+
+/// Fabric Adapter runtime state.
+struct FaState {
+    node: NodeId,
+    /// Uplink links, in port order.
+    uplinks: Vec<LinkId>,
+    /// Outgoing direction index per uplink port.
+    out_dirs: Vec<u32>,
+    voqs: HashMap<VoqKey, Voq>,
+    /// Cached sprayers per destination FA, tagged with the reach table
+    /// generation they were built against.
+    sprayers: HashMap<u32, (u64, Sprayer)>,
+    reach: ReachTable,
+    ports: Vec<PortState>,
+    sat: Option<SatState>,
+}
+
+/// Fabric Element runtime state.
+struct FeState {
+    node: NodeId,
+    links: Vec<LinkId>,
+    out_dirs: Vec<u32>,
+    /// Per-port: does this port face a higher tier?
+    up_facing: Vec<bool>,
+    sprayers: HashMap<u32, (u64, Sprayer)>,
+    reach: ReachTable,
+}
+
+/// Measurements collected by the engine.
+#[derive(Debug)]
+pub struct FabricStats {
+    /// Per-cell fabric traversal latency (uplink enqueue → dst FA), ns bins.
+    pub cell_latency_ns: Histogram,
+    /// Per-packet end-to-end latency (inject → egress wire), ns bins.
+    pub packet_latency_ns: Histogram,
+    /// Last-stage FE output queue depth in cells, sampled at cell arrival.
+    pub last_stage_queue: Histogram,
+    /// All FE output queues, same sampling.
+    pub fe_queue: Histogram,
+    /// FA uplink queues, same sampling.
+    pub fa_uplink_queue: Histogram,
+    pub cells_sent: Counter,
+    pub cells_delivered: Counter,
+    pub cells_dropped: Counter,
+    /// Cells lost to injected link errors (CRC-failed, §5.10).
+    pub cells_corrupted: Counter,
+    /// Packets dropped at the ingress VOQ cap (§3.1 persistent
+    /// oversubscription).
+    pub ingress_drops: Counter,
+    /// CBR source ticks deferred by host flow control (§5.4).
+    pub host_fc_pauses: Counter,
+    pub fci_marks: Counter,
+    pub packets_injected: Counter,
+    pub packets_delivered: Counter,
+    pub packets_discarded: Counter,
+    pub bytes_delivered: Counter,
+    pub credits_sent: Counter,
+    /// Delivered payload bytes per destination FA.
+    pub delivered_per_fa: Vec<u64>,
+    /// Delivered payload bytes per (destination FA, port).
+    pub delivered_per_port: Vec<Vec<u64>>,
+    /// Peak egress-buffer occupancy observed on any port (bytes).
+    pub max_egress_bytes: u64,
+    /// Peak VOQ occupancy observed on any single VOQ (bytes).
+    pub max_voq_bytes: u64,
+}
+
+impl FabricStats {
+    fn new(num_fa: usize, ports: usize) -> Self {
+        FabricStats {
+            cell_latency_ns: Histogram::new(100, 4_000), // 100ns bins to 400µs
+            packet_latency_ns: Histogram::new(100, 10_000),
+            last_stage_queue: Histogram::new(1, 1_024),
+            fe_queue: Histogram::new(1, 1_024),
+            fa_uplink_queue: Histogram::new(1, 4_096),
+            cells_sent: Counter::default(),
+            cells_delivered: Counter::default(),
+            cells_dropped: Counter::default(),
+            cells_corrupted: Counter::default(),
+            ingress_drops: Counter::default(),
+            host_fc_pauses: Counter::default(),
+            fci_marks: Counter::default(),
+            packets_injected: Counter::default(),
+            packets_delivered: Counter::default(),
+            packets_discarded: Counter::default(),
+            bytes_delivered: Counter::default(),
+            credits_sent: Counter::default(),
+            delivered_per_fa: vec![0; num_fa],
+            delivered_per_port: vec![vec![0; ports]; num_fa],
+            max_egress_bytes: 0,
+            max_voq_bytes: 0,
+        }
+    }
+}
+
+/// The Stardust fabric simulator. See the module docs for the data flow.
+pub struct FabricEngine {
+    cfg: FabricConfig,
+    topo: Topology,
+    fas: Vec<FaState>,
+    fes: Vec<FeState>,
+    /// NodeId → FA index (or u32::MAX).
+    fa_of_node: Vec<u32>,
+    /// NodeId → FE index (or u32::MAX).
+    fe_of_node: Vec<u32>,
+    dirs: Vec<DirState>,
+    events: EventQueue<Ev>,
+    bursts: HashMap<u64, Burst>,
+    next_burst: u64,
+    next_packet: u64,
+    stats: FabricStats,
+    measure_from: SimTime,
+    seed: u64,
+    dynamic_reach: bool,
+    flows: Vec<CbrFlow>,
+    /// Link-error draw stream (§5.10 failure injection).
+    err_rng: DetRng,
+}
+
+impl FabricEngine {
+    /// Build an engine over `topo`. Edge nodes become Fabric Adapters (in
+    /// `topo` order), fabric nodes become Fabric Elements. Reachability
+    /// tables are seeded converged; if `cfg.reach_interval` is set the
+    /// protocol runs and maintains them (and failures self-heal).
+    pub fn new(topo: Topology, cfg: FabricConfig) -> Self {
+        cfg.validate();
+        let fa_nodes = topo.nodes_of_kind(NodeKind::Edge);
+        let fe_nodes = topo.nodes_of_kind(NodeKind::Fabric);
+        assert!(!fa_nodes.is_empty(), "no edge nodes in topology");
+        assert!(
+            topo.nodes_of_kind(NodeKind::Host).is_empty(),
+            "fabric engine expects an FA-edge topology without host nodes"
+        );
+
+        let mut fa_of_node = vec![u32::MAX; topo.num_nodes()];
+        let mut fe_of_node = vec![u32::MAX; topo.num_nodes()];
+        for (i, &n) in fa_nodes.iter().enumerate() {
+            fa_of_node[n.0 as usize] = i as u32;
+        }
+        for (i, &n) in fe_nodes.iter().enumerate() {
+            fe_of_node[n.0 as usize] = i as u32;
+        }
+
+        // Directions: index = link*2 + from_end.
+        let mut dirs = Vec::with_capacity(topo.num_links() * 2);
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            for from_end in 0..2u8 {
+                let src = link.end(from_end);
+                let dst = link.dst_of(from_end);
+                let dst_port_index = topo
+                    .node(dst)
+                    .links
+                    .iter()
+                    .position(|&x| x == l)
+                    .unwrap() as u16;
+                let src_is_fe = fe_of_node[src.0 as usize] != u32::MAX;
+                let dst_is_fa = fa_of_node[dst.0 as usize] != u32::MAX;
+                dirs.push(DirState {
+                    up: true,
+                    error_rate: 0.0,
+                    rate_bps: cfg.fabric_link_bps,
+                    prop: fiber_delay(link.meters as u64),
+                    queue: std::collections::VecDeque::new(),
+                    in_service: None,
+                    dst_node: dst,
+                    dst_port_index,
+                    last_stage: src_is_fe && dst_is_fa,
+                    fe_source: src_is_fe,
+                });
+            }
+        }
+
+        let static_reach = topo.downward_edge_reach();
+        // Map NodeId → FA index for seeding table contents.
+        let to_fa_idx = |nodes: &[NodeId]| -> Vec<u32> {
+            let mut v: Vec<u32> = nodes
+                .iter()
+                .map(|n| fa_of_node[n.0 as usize])
+                .filter(|&i| i != u32::MAX)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let all_fas: Vec<u32> = (0..fa_nodes.len() as u32).collect();
+
+        let mut fas = Vec::with_capacity(fa_nodes.len());
+        for &n in &fa_nodes {
+            let uplinks = topo.up_links(n);
+            assert!(!uplinks.is_empty(), "FA {n:?} has no uplinks");
+            let out_dirs: Vec<u32> = uplinks
+                .iter()
+                .map(|&l| l.0 * 2 + topo.link(l).end_of(n) as u32)
+                .collect();
+            let mut reach = ReachTable::new(uplinks.len());
+            // Seeded converged: every uplink reaches every FA (full Clos).
+            for p in 0..uplinks.len() {
+                reach.seed(p, all_fas.clone());
+            }
+            let ports = (0..cfg.host_ports)
+                .map(|_| PortState {
+                    sched: PortScheduler::with_policy(
+                        cfg.host_port_bps,
+                        cfg.credit_bytes as u64,
+                        cfg.credit_speedup,
+                        cfg.num_tcs,
+                        cfg.fci_decrease,
+                        cfg.fci_recover,
+                        cfg.fci_min,
+                        cfg.fci_hold,
+                        cfg.sched_policy.clone(),
+                    ),
+                    egress_bytes: 0,
+                    tx_queue: std::collections::VecDeque::new(),
+                    tx_busy: false,
+                })
+                .collect();
+            fas.push(FaState {
+                node: n,
+                uplinks,
+                out_dirs,
+                voqs: HashMap::new(),
+                sprayers: HashMap::new(),
+                reach,
+                ports,
+                sat: None,
+            });
+        }
+
+        let mut fes = Vec::with_capacity(fe_nodes.len());
+        for &n in &fe_nodes {
+            let links = topo.node(n).links.clone();
+            let out_dirs: Vec<u32> = links
+                .iter()
+                .map(|&l| l.0 * 2 + topo.link(l).end_of(n) as u32)
+                .collect();
+            let level = topo.node(n).level;
+            let up_facing: Vec<bool> = links
+                .iter()
+                .map(|&l| topo.node(topo.peer(n, l)).level > level)
+                .collect();
+            let mut reach = ReachTable::new(links.len());
+            for (p, &l) in links.iter().enumerate() {
+                let peer = topo.peer(n, l);
+                if up_facing[p] {
+                    // Seed converged down-ads: everything is reachable up.
+                    reach.seed(p, all_fas.clone());
+                } else {
+                    // Down-facing: the peer's downward reach.
+                    reach.seed(p, to_fa_idx(&static_reach[peer.0 as usize]));
+                }
+            }
+            fes.push(FeState { node: n, links, out_dirs, up_facing, sprayers: HashMap::new(), reach });
+        }
+
+        let dynamic_reach = cfg.reach_interval.is_some();
+        let num_fa = fas.len();
+        let host_ports = cfg.host_ports as usize;
+        let seed = cfg.seed;
+        let mut engine = FabricEngine {
+            cfg,
+            topo,
+            fas,
+            fes,
+            fa_of_node,
+            fe_of_node,
+            dirs,
+            events: EventQueue::new(),
+            bursts: HashMap::new(),
+            next_burst: 0,
+            next_packet: 0,
+            stats: FabricStats::new(num_fa, host_ports),
+            measure_from: SimTime::ZERO,
+            seed,
+            dynamic_reach,
+            flows: Vec::new(),
+            err_rng: DetRng::from_label(seed, "link-errors"),
+        };
+        if dynamic_reach {
+            let interval = engine.cfg.reach_interval.unwrap();
+            // Stagger ticks across nodes to avoid a synchronized wave.
+            let all_nodes: Vec<NodeId> = engine
+                .fas
+                .iter()
+                .map(|f| f.node)
+                .chain(engine.fes.iter().map(|f| f.node))
+                .collect();
+            let n = all_nodes.len() as u64;
+            for (i, node) in all_nodes.into_iter().enumerate() {
+                let offset = SimDuration::from_ps(interval.as_ps() * i as u64 / n);
+                engine
+                    .events
+                    .schedule(SimTime::ZERO + offset, Ev::ReachTick { node });
+            }
+        }
+        engine
+    }
+
+    // -- public API --------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Immutable view of the collected statistics.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Number of Fabric Adapters.
+    pub fn num_fas(&self) -> usize {
+        self.fas.len()
+    }
+
+    /// Number of Fabric Elements.
+    pub fn num_fes(&self) -> usize {
+        self.fes.len()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// The topology this engine runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Whether the reachability protocol is running (vs static tables).
+    pub fn dynamic_reach(&self) -> bool {
+        self.dynamic_reach
+    }
+
+    /// The saturation targets of an FA, if it is in saturation mode.
+    pub fn saturation_targets(&self, fa: u32) -> Option<&[(u32, u8, u8)]> {
+        self.fas[fa as usize].sat.as_ref().map(|s| s.targets.as_slice())
+    }
+
+    /// Exclude samples before `at` from the distribution statistics
+    /// (warm-up trimming).
+    pub fn begin_measurement(&mut self, at: SimTime) {
+        self.measure_from = at;
+    }
+
+    /// Inject one packet at `at` into `src_fa`'s ingress, destined to
+    /// `(dst_fa, dst_port, tc)`. Returns its id.
+    pub fn inject(
+        &mut self,
+        at: SimTime,
+        src_fa: u32,
+        dst_fa: u32,
+        dst_port: u8,
+        tc: u8,
+        bytes: u32,
+    ) -> PacketId {
+        assert_ne!(src_fa, dst_fa, "self-destined traffic does not enter the fabric");
+        assert!((dst_fa as usize) < self.fas.len());
+        assert!(dst_port < self.cfg.host_ports);
+        assert!(tc < self.cfg.num_tcs);
+        assert!(bytes > 0);
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let pkt = Packet { id, src_fa, dst_fa, dst_port, tc, bytes, injected_at: at };
+        self.events.schedule(at, Ev::Inject { pkt });
+        id
+    }
+
+    /// Add an open-loop constant-bit-rate flow injecting `pkt_bytes`
+    /// packets at `rate_bps` from `start` until `stop`. Used by the
+    /// push-vs-pull (Fig 7 / Fig 12) and incast (§5.4) experiments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_cbr_flow(
+        &mut self,
+        src_fa: u32,
+        dst_fa: u32,
+        dst_port: u8,
+        tc: u8,
+        rate_bps: u64,
+        pkt_bytes: u32,
+        start: SimTime,
+        stop: SimTime,
+    ) {
+        assert!(rate_bps > 0 && pkt_bytes > 0);
+        assert_ne!(src_fa, dst_fa);
+        let interval = serialization_time(pkt_bytes as u64, rate_bps);
+        let id = self.flows.len() as u32;
+        self.flows.push(CbrFlow { src_fa, dst_fa, dst_port, tc, pkt_bytes, interval, stop });
+        self.events.schedule(start, Ev::FlowTick { flow: id });
+    }
+
+    /// Put every FA into saturation mode: each FA keeps `backlog_bytes`
+    /// of `packet_bytes`-sized packets queued toward every other FA
+    /// (destination ports assigned round-robin), refilled as credits
+    /// drain them. This is the open-loop, all-to-all workload of §6.2.
+    pub fn saturate_all_to_all(&mut self, packet_bytes: u32, backlog_bytes: u64) {
+        let n = self.fas.len() as u32;
+        let ports = self.cfg.host_ports;
+        for src in 0..n {
+            let targets: Vec<(u32, u8, u8)> = (0..n)
+                .filter(|&d| d != src)
+                .map(|d| (d, ((src + d) % ports as u32) as u8, 0u8))
+                .collect();
+            self.fas[src as usize].sat =
+                Some(SatState { packet_bytes, backlog_bytes, targets: targets.clone() });
+            for (dst, port, tc) in targets {
+                self.top_up_voq(src, VoqKey { dst_fa: dst, dst_port: port, tc });
+            }
+        }
+    }
+
+    /// Fail a link (both directions): queued and in-flight cells are
+    /// lost; with the reachability protocol running the fabric heals.
+    pub fn fail_link(&mut self, link: LinkId) {
+        for from_end in 0..2u32 {
+            let idx = (link.0 * 2 + from_end) as usize;
+            let d = &mut self.dirs[idx];
+            d.up = false;
+            self.stats.cells_dropped.add(d.queue.len() as u64);
+            d.queue.clear();
+            // The in-service cell is dropped at its TxDone.
+        }
+    }
+
+    /// Restore a previously failed link. With the protocol running the
+    /// link is re-admitted after `reach_miss_threshold` good messages.
+    pub fn restore_link(&mut self, link: LinkId) {
+        for from_end in 0..2u32 {
+            self.dirs[(link.0 * 2 + from_end) as usize].up = true;
+        }
+    }
+
+    /// Inject a bit-error process on a link: every cell (data or
+    /// reachability) traversing it is lost with probability `rate`
+    /// (§5.10). A high rate makes the reachability protocol declare the
+    /// link faulty and exclude it, exactly as the paper's error-threshold
+    /// mechanism would.
+    pub fn set_link_error_rate(&mut self, link: LinkId, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate));
+        for from_end in 0..2u32 {
+            self.dirs[(link.0 * 2 + from_end) as usize].error_rate = rate;
+        }
+    }
+
+    /// Run until the event queue is exhausted or `horizon` is reached.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(ev) = self.events.pop_until(horizon) {
+            self.dispatch(ev.at, ev.payload);
+        }
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let h = self.now() + d;
+        self.run_until(h);
+    }
+
+    /// Total events executed (diagnostics).
+    pub fn events_executed(&self) -> u64 {
+        self.events.events_executed()
+    }
+
+    /// Delivered payload throughput over `window`, as a fraction of the
+    /// aggregate fabric payload capacity (the §6.2 "fabric utilization").
+    pub fn fabric_utilization(&self, window: SimDuration) -> f64 {
+        let capacity_bps = self.fas.len() as f64
+            * self.fas[0].uplinks.len() as f64
+            * self.cfg.fabric_link_bps as f64
+            * self.cfg.payload_fraction();
+        let delivered_bits = self.stats.bytes_delivered.get() as f64 * 8.0;
+        delivered_bits / (capacity_bps * window.as_secs_f64())
+    }
+
+    /// Direct read of a link-direction queue depth (tests/diagnostics).
+    pub fn dir_depth(&self, link: LinkId, from_end: u8) -> usize {
+        self.dirs[(link.0 * 2 + from_end as u32) as usize].depth()
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn measuring(&self, now: SimTime) -> bool {
+        now >= self.measure_from
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::TxDone { dir } => self.on_tx_done(now, dir),
+            Ev::CellArrive { dir, cell } => self.on_cell_arrive(now, dir, cell),
+            Ev::CtrlRequest { dst_fa, port, tc, src_fa, bytes } => {
+                self.on_request(now, dst_fa, port, tc, src_fa, bytes)
+            }
+            Ev::CtrlCredit { src_fa, key } => self.on_credit(now, src_fa, key),
+            Ev::CreditTick { fa, port } => self.on_credit_tick(now, fa, port),
+            Ev::PortTxDone { fa, port } => self.on_port_tx_done(now, fa, port),
+            Ev::Inject { pkt } => self.on_inject(now, pkt),
+            Ev::ReachTick { node } => self.on_reach_tick(now, node),
+            Ev::ReachMsg { node, port, kind, fas, faulty } => {
+                self.on_reach_msg(now, node, port, kind, &fas, faulty)
+            }
+            Ev::BurstTimeout { burst } => self.on_burst_timeout(now, burst),
+            Ev::FlowTick { flow } => self.on_flow_tick(now, flow),
+        }
+    }
+
+    fn on_flow_tick(&mut self, now: SimTime, flow: u32) {
+        let f = self.flows[flow as usize].clone();
+        if now >= f.stop {
+            return;
+        }
+        // §5.4 host flow control: a backlogged VOQ pauses its host source
+        // instead of dropping — the tick re-arms without injecting.
+        if let Some((hi, _lo)) = self.cfg.host_fc {
+            let key = VoqKey { dst_fa: f.dst_fa, dst_port: f.dst_port, tc: f.tc };
+            let backlog = self.fas[f.src_fa as usize]
+                .voqs
+                .get(&key)
+                .map_or(0, |v| v.bytes());
+            if backlog + f.pkt_bytes as u64 > hi {
+                self.stats.host_fc_pauses.inc();
+                self.events.schedule(now + f.interval, Ev::FlowTick { flow });
+                return;
+            }
+        }
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let pkt = Packet {
+            id,
+            src_fa: f.src_fa,
+            dst_fa: f.dst_fa,
+            dst_port: f.dst_port,
+            tc: f.tc,
+            bytes: f.pkt_bytes,
+            injected_at: now,
+        };
+        self.dispatch(now, Ev::Inject { pkt });
+        self.events.schedule(now + f.interval, Ev::FlowTick { flow });
+    }
+
+    // --- cell transport ---
+
+    fn push_cell(&mut self, now: SimTime, dir_idx: u32, mut cell: Cell) {
+        let fci_threshold = self.cfg.fci_threshold_cells as usize;
+        let measuring = self.measuring(now);
+        let d = &mut self.dirs[dir_idx as usize];
+        if !d.up {
+            self.stats.cells_dropped.inc();
+            return;
+        }
+        let depth = d.depth();
+        // FCI is a Fabric Element mechanism (§4.2): only FE output queues
+        // mark congestion. FA uplink queues are the adapter's own
+        // fragmentation/spraying stage and burst-clump by design — a whole
+        // credit-worth of cells is enqueued at packing time.
+        if d.fe_source && depth >= fci_threshold {
+            cell.fci = true;
+            self.stats.fci_marks.inc();
+        }
+        if measuring {
+            if d.last_stage {
+                self.stats.last_stage_queue.record(depth as u64);
+            }
+            if d.fe_source {
+                self.stats.fe_queue.record(depth as u64);
+            } else {
+                self.stats.fa_uplink_queue.record(depth as u64);
+            }
+        }
+        if d.in_service.is_none() {
+            let t = serialization_time(cell.wire_bytes as u64, d.rate_bps);
+            d.in_service = Some(cell);
+            self.events.schedule(now + t, Ev::TxDone { dir: dir_idx });
+        } else {
+            d.queue.push_back(cell);
+        }
+    }
+
+    fn on_tx_done(&mut self, now: SimTime, dir_idx: u32) {
+        let d = &mut self.dirs[dir_idx as usize];
+        let cell = d.in_service.take().expect("TxDone without in-service cell");
+        let corrupted = d.error_rate > 0.0 && self.err_rng.chance(d.error_rate);
+        if !d.up {
+            self.stats.cells_dropped.inc();
+        } else if corrupted {
+            // A CRC-failed cell is discarded at the receiver (§5.10); the
+            // reassembly timeout cleans up the burst.
+            self.stats.cells_corrupted.inc();
+        } else {
+            self.events
+                .schedule(now + d.prop, Ev::CellArrive { dir: dir_idx, cell });
+        }
+        if let Some(next) = d.queue.pop_front() {
+            let t = serialization_time(next.wire_bytes as u64, d.rate_bps);
+            d.in_service = Some(next);
+            self.events.schedule(now + t, Ev::TxDone { dir: dir_idx });
+        }
+    }
+
+    fn on_cell_arrive(&mut self, now: SimTime, dir_idx: u32, cell: Cell) {
+        let d = &self.dirs[dir_idx as usize];
+        if !d.up {
+            self.stats.cells_dropped.inc();
+            return;
+        }
+        let node = d.dst_node;
+        let fe = self.fe_of_node[node.0 as usize];
+        if fe != u32::MAX {
+            self.forward_at_fe(now, fe as usize, cell);
+        } else {
+            let fa = self.fa_of_node[node.0 as usize];
+            debug_assert_eq!(fa, cell.dst_fa, "cell delivered to wrong FA");
+            self.receive_at_fa(now, fa, cell);
+        }
+    }
+
+    /// Fabric Element forwarding: eligible links via the reachability
+    /// table with downward preference, then spray.
+    fn forward_at_fe(&mut self, now: SimTime, fe: usize, cell: Cell) {
+        let dst = cell.dst_fa;
+        let generation = self.fes[fe].reach.generation;
+        let needs_build = match self.fes[fe].sprayers.get(&dst) {
+            Some((g, _)) if *g == generation => false,
+            _ => true,
+        };
+        if needs_build {
+            let st = &self.fes[fe];
+            let eligible = st.reach.eligible(dst);
+            // Downward preference: if any eligible down-facing port exists,
+            // spray only over those; otherwise over eligible up-facing.
+            let down: Vec<u32> = eligible
+                .iter()
+                .copied()
+                .filter(|&p| !st.up_facing[p as usize])
+                .collect();
+            let set = if !down.is_empty() {
+                down
+            } else {
+                eligible
+                    .into_iter()
+                    .filter(|&p| st.up_facing[p as usize])
+                    .collect()
+            };
+            if set.is_empty() {
+                // No path: the cell is lost (reassembly timeout cleans up).
+                self.stats.cells_dropped.inc();
+                return;
+            }
+            let rng = DetRng::from_parts(self.seed, (1 << 40) | ((fe as u64) << 20) | dst as u64);
+            let sprayer = Sprayer::new(set, self.cfg.spray_rounds_per_shuffle, rng);
+            self.fes[fe].sprayers.insert(dst, (generation, sprayer));
+        }
+        let port = {
+            let (_, sprayer) = self.fes[fe].sprayers.get_mut(&dst).unwrap();
+            sprayer.next()
+        };
+        let out_dir = self.fes[fe].out_dirs[port as usize];
+        self.push_cell(now, out_dir, cell);
+    }
+
+    /// Destination Fabric Adapter: reassembly, FCI pickup, egress.
+    fn receive_at_fa(&mut self, now: SimTime, fa: u32, cell: Cell) {
+        self.stats.cells_delivered.inc();
+        if self.measuring(now) {
+            let lat_ns = now.since(cell.sent_at).as_nanos_f64() as u64;
+            self.stats.cell_latency_ns.record(lat_ns);
+        }
+        let Some(burst) = self.bursts.get_mut(&cell.burst.0) else {
+            // Burst already timed out and discarded.
+            return;
+        };
+        burst.received += 1;
+        let port = burst.dst_port;
+        if cell.fci {
+            self.fas[fa as usize].ports[port as usize].sched.on_fci(now);
+        }
+        if self.bursts[&cell.burst.0].complete() {
+            let burst = self.bursts.remove(&cell.burst.0).unwrap();
+            for pkt in burst.packets {
+                self.egress_enqueue(now, fa, port, pkt);
+            }
+        }
+    }
+
+    // --- egress (host-facing) ---
+
+    fn egress_enqueue(&mut self, now: SimTime, fa: u32, port: u8, pkt: Packet) {
+        let host_bps = self.cfg.host_port_bps;
+        let hiwat = self.cfg.egress_hiwat_bytes;
+        let ps = &mut self.fas[fa as usize].ports[port as usize];
+        ps.egress_bytes += pkt.bytes as u64;
+        if ps.egress_bytes > self.stats.max_egress_bytes {
+            self.stats.max_egress_bytes = ps.egress_bytes;
+        }
+        ps.tx_queue.push_back(pkt);
+        if !ps.tx_busy {
+            ps.tx_busy = true;
+            let t = serialization_time(pkt.bytes as u64, host_bps);
+            self.events.schedule(now + t, Ev::PortTxDone { fa, port });
+        }
+        if ps.egress_bytes >= hiwat && !ps.sched.is_paused() {
+            ps.sched.pause();
+        }
+    }
+
+    fn on_port_tx_done(&mut self, now: SimTime, fa: u32, port: u8) {
+        let host_bps = self.cfg.host_port_bps;
+        let lowat = self.cfg.egress_lowat_bytes;
+        let measuring = self.measuring(now);
+        let ps = &mut self.fas[fa as usize].ports[port as usize];
+        let pkt = ps.tx_queue.pop_front().expect("PortTxDone without packet");
+        ps.egress_bytes -= pkt.bytes as u64;
+        if let Some(next) = ps.tx_queue.front() {
+            let t = serialization_time(next.bytes as u64, host_bps);
+            self.events.schedule(now + t, Ev::PortTxDone { fa, port });
+        } else {
+            ps.tx_busy = false;
+        }
+        let resume = ps.egress_bytes <= lowat && ps.sched.is_paused();
+        if resume && ps.sched.resume() {
+            self.arm_credit_timer(now, fa, port);
+        }
+        self.stats.packets_delivered.inc();
+        self.stats.bytes_delivered.add(pkt.bytes as u64);
+        self.stats.delivered_per_fa[fa as usize] += pkt.bytes as u64;
+        self.stats.delivered_per_port[fa as usize][port as usize] += pkt.bytes as u64;
+        if measuring {
+            let lat = now.since(pkt.injected_at).as_nanos_f64() as u64;
+            self.stats.packet_latency_ns.record(lat);
+        }
+    }
+
+    // --- ingress / VOQ / credits ---
+
+    fn on_inject(&mut self, now: SimTime, pkt: Packet) {
+        self.stats.packets_injected.inc();
+        // §5.6 low-latency path: the packet bypasses the credit round
+        // trip and is packed and sprayed immediately. The configuration
+        // must keep the aggregate low-latency bandwidth small, as the
+        // paper assumes.
+        if Some(pkt.tc) == self.cfg.low_latency_tc {
+            self.transmit_burst(now, pkt.src_fa, VoqKey {
+                dst_fa: pkt.dst_fa,
+                dst_port: pkt.dst_port,
+                tc: pkt.tc,
+            }, vec![pkt]);
+            return;
+        }
+        let key = VoqKey { dst_fa: pkt.dst_fa, dst_port: pkt.dst_port, tc: pkt.tc };
+        let fa = &mut self.fas[pkt.src_fa as usize];
+        let src_fa = pkt.src_fa;
+        let voq = fa.voqs.entry(key).or_default();
+        // §3.1: persistent oversubscription drops at the Fabric Adapter.
+        if let Some(cap) = self.cfg.voq_max_bytes {
+            if voq.bytes() + pkt.bytes as u64 > cap {
+                self.stats.ingress_drops.inc();
+                return;
+            }
+        }
+        let delta = voq.push(pkt);
+        if voq.bytes() > self.stats.max_voq_bytes {
+            self.stats.max_voq_bytes = voq.bytes();
+        }
+        self.events.schedule(
+            now + self.cfg.ctrl_latency,
+            Ev::CtrlRequest {
+                dst_fa: key.dst_fa,
+                port: key.dst_port,
+                tc: key.tc,
+                src_fa,
+                bytes: delta,
+            },
+        );
+    }
+
+    fn on_request(&mut self, now: SimTime, dst_fa: u32, port: u8, tc: u8, src_fa: u32, bytes: u64) {
+        let ps = &mut self.fas[dst_fa as usize].ports[port as usize];
+        if ps.sched.request(SchedVoq { src_fa, tc }, bytes) {
+            self.arm_credit_timer(now, dst_fa, port);
+        }
+    }
+
+    fn arm_credit_timer(&mut self, now: SimTime, fa: u32, port: u8) {
+        let ps = &mut self.fas[fa as usize].ports[port as usize];
+        if !ps.sched.timer_armed {
+            ps.sched.timer_armed = true;
+            self.events.schedule(now, Ev::CreditTick { fa, port });
+        }
+    }
+
+    fn on_credit_tick(&mut self, now: SimTime, fa: u32, port: u8) {
+        let ctrl_latency = self.cfg.ctrl_latency;
+        let ps = &mut self.fas[fa as usize].ports[port as usize];
+        ps.sched.recover();
+        if ps.sched.is_paused() {
+            ps.sched.timer_armed = false;
+            return;
+        }
+        match ps.sched.next_grant() {
+            None => {
+                ps.sched.timer_armed = false;
+            }
+            Some(voq) => {
+                let interval = ps.sched.interval();
+                self.stats.credits_sent.inc();
+                self.events.schedule(
+                    now + ctrl_latency,
+                    Ev::CtrlCredit {
+                        src_fa: voq.src_fa,
+                        key: VoqKey { dst_fa: fa, dst_port: port, tc: voq.tc },
+                    },
+                );
+                self.events.schedule(now + interval, Ev::CreditTick { fa, port });
+            }
+        }
+    }
+
+    /// A credit grant arriving at the source FA: dequeue a burst, pack it
+    /// into cells and spray them over the eligible uplinks.
+    fn on_credit(&mut self, now: SimTime, src_fa: u32, key: VoqKey) {
+        let credit = self.cfg.credit_bytes as u64;
+        let packets = {
+            let fa = &mut self.fas[src_fa as usize];
+            let Some(voq) = fa.voqs.get_mut(&key) else {
+                return;
+            };
+            voq.grant(credit, credit as i64)
+        };
+        // Saturation refill keeps the VOQ (and the scheduler's view of it)
+        // backlogged.
+        if self.fas[src_fa as usize].sat.is_some() {
+            self.top_up_voq(src_fa, key);
+        }
+        if packets.is_empty() {
+            return;
+        }
+        self.transmit_burst(now, src_fa, key, packets);
+    }
+
+    /// Pack a dequeued burst into cells and spray them over the eligible
+    /// uplinks (shared by the credit path and the §5.6 low-latency path).
+    fn transmit_burst(&mut self, now: SimTime, src_fa: u32, key: VoqKey, packets: Vec<Packet>) {
+        let burst_id = BurstId(self.next_burst);
+        self.next_burst += 1;
+        let pb = pack_burst(
+            burst_id,
+            packets,
+            self.cfg.cell_bytes,
+            self.cfg.cell_header_bytes,
+            self.cfg.packet_packing,
+            now,
+        );
+        self.events.schedule(
+            now + self.cfg.reassembly_timeout,
+            Ev::BurstTimeout { burst: burst_id },
+        );
+
+        // Spray.
+        let dst = key.dst_fa;
+        let generation = self.fas[src_fa as usize].reach.generation;
+        let needs_build = match self.fas[src_fa as usize].sprayers.get(&dst) {
+            Some((g, _)) if *g == generation => false,
+            _ => true,
+        };
+        if needs_build {
+            let eligible = self.fas[src_fa as usize].reach.eligible(dst);
+            if eligible.is_empty() {
+                // Destination unreachable: the whole burst is lost; the
+                // timeout will count its packets as discarded.
+                self.bursts.insert(burst_id.0, pb.burst);
+                return;
+            }
+            let rng = DetRng::from_parts(self.seed, ((src_fa as u64) << 20) | dst as u64);
+            let sprayer = Sprayer::new(eligible, self.cfg.spray_rounds_per_shuffle, rng);
+            self.fas[src_fa as usize].sprayers.insert(dst, (generation, sprayer));
+        }
+        let n_cells = pb.burst.n_cells;
+        for seq in 0..n_cells {
+            let port = {
+                let (_, s) = self.fas[src_fa as usize].sprayers.get_mut(&dst).unwrap();
+                s.next()
+            };
+            let out_dir = self.fas[src_fa as usize].out_dirs[port as usize];
+            let cell = pb.cell(seq, now);
+            self.stats.cells_sent.inc();
+            self.push_cell(now, out_dir, cell);
+        }
+        self.bursts.insert(burst_id.0, pb.burst);
+    }
+
+    /// Refill a saturated VOQ to its backlog target with synthetic
+    /// packets, registering the new demand directly with the destination
+    /// scheduler (the control round-trip is irrelevant for a standing
+    /// backlog and skipping it keeps the event count down).
+    fn top_up_voq(&mut self, src_fa: u32, key: VoqKey) {
+        let Some(sat) = self.fas[src_fa as usize].sat.clone() else {
+            return;
+        };
+        let now = self.events.now();
+        let mut added = 0u64;
+        {
+            let fa = &mut self.fas[src_fa as usize];
+            let voq = fa.voqs.entry(key).or_default();
+            while voq.bytes() < sat.backlog_bytes {
+                let id = PacketId(self.next_packet);
+                self.next_packet += 1;
+                let pkt = Packet {
+                    id,
+                    src_fa,
+                    dst_fa: key.dst_fa,
+                    dst_port: key.dst_port,
+                    tc: key.tc,
+                    bytes: sat.packet_bytes,
+                    injected_at: now,
+                };
+                added += voq.push(pkt);
+                self.stats.packets_injected.inc();
+            }
+        }
+        if added > 0 {
+            let ps = &mut self.fas[key.dst_fa as usize].ports[key.dst_port as usize];
+            if ps.sched.request(SchedVoq { src_fa, tc: key.tc }, added) {
+                self.arm_credit_timer(now, key.dst_fa, key.dst_port);
+            }
+        }
+    }
+
+    fn on_burst_timeout(&mut self, _now: SimTime, burst: BurstId) {
+        if let Some(b) = self.bursts.get(&burst.0) {
+            if !b.complete() {
+                let b = self.bursts.remove(&burst.0).unwrap();
+                self.stats.packets_discarded.add(b.packets.len() as u64);
+            } else {
+                self.bursts.remove(&burst.0);
+            }
+        }
+    }
+
+    // --- reachability protocol ---
+
+    fn on_reach_tick(&mut self, now: SimTime, node: NodeId) {
+        let interval = self.cfg.reach_interval.expect("reach tick without interval");
+        let th = self.cfg.reach_miss_threshold as u64;
+        let deadline_ago = SimDuration::from_ps(interval.as_ps().saturating_mul(th));
+        let deadline = SimTime(now.as_ps().saturating_sub(deadline_ago.as_ps()));
+
+        let fa = self.fa_of_node[node.0 as usize];
+        if fa != u32::MAX {
+            // Expire stale uplinks (only meaningful once traffic ran a while).
+            if now.as_ps() > deadline_ago.as_ps() {
+                self.fas[fa as usize].reach.expire(deadline);
+            }
+            // Advertise self upward.
+            let ad = Rc::new(vec![fa]);
+            let out_dirs = self.fas[fa as usize].out_dirs.clone();
+            for dir in out_dirs {
+                self.send_reach(now, dir, AdKind::Up, ad.clone());
+            }
+        } else {
+            let fe = self.fe_of_node[node.0 as usize] as usize;
+            if now.as_ps() > deadline_ago.as_ps() {
+                self.fes[fe].reach.expire(deadline);
+            }
+            // Downward reach: union over down-facing ports.
+            let st = &self.fes[fe];
+            let down_ports = (0..st.links.len()).filter(|&p| !st.up_facing[p]);
+            let down_reach = Rc::new(st.reach.union_over(down_ports));
+            // Total reach via me: downward ∪ what my up links advertise.
+            let up_ports = (0..st.links.len()).filter(|&p| st.up_facing[p]);
+            let mut total = st.reach.union_over(up_ports);
+            total.extend_from_slice(&down_reach);
+            total.sort_unstable();
+            total.dedup();
+            let total = Rc::new(total);
+            let plan: Vec<(u32, AdKind)> = st
+                .up_facing
+                .iter()
+                .enumerate()
+                .map(|(p, &upf)| (st.out_dirs[p], if upf { AdKind::Up } else { AdKind::Down }))
+                .collect();
+            for (dir, kind) in plan {
+                let ad = match kind {
+                    AdKind::Up => down_reach.clone(),
+                    AdKind::Down => total.clone(),
+                };
+                self.send_reach(now, dir, kind, ad);
+            }
+        }
+        self.events.schedule(now + interval, Ev::ReachTick { node });
+    }
+
+    fn send_reach(&mut self, now: SimTime, dir_idx: u32, kind: AdKind, fas: Rc<Vec<u32>>) {
+        let d = &self.dirs[dir_idx as usize];
+        if !d.up {
+            return; // a failed link carries no reachability cells
+        }
+        if d.error_rate > 0.0 && self.err_rng.chance(d.error_rate) {
+            return; // reachability cell lost to the error process
+        }
+        // §5.10: a link whose error rate crossed the threshold marks
+        // itself faulty on its reachability cells, so the receiver
+        // excludes it even when a cell does get through.
+        let faulty = d.error_rate > FAULTY_BER_THRESHOLD;
+        self.events.schedule(
+            now + d.prop,
+            Ev::ReachMsg { node: d.dst_node, port: d.dst_port_index, kind, fas, faulty },
+        );
+    }
+
+    fn on_reach_msg(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        port: u16,
+        _kind: AdKind,
+        fas: &[u32],
+        faulty: bool,
+    ) {
+        let revive = self.cfg.reach_miss_threshold;
+        let fa = self.fa_of_node[node.0 as usize];
+        let table = if fa != u32::MAX {
+            &mut self.fas[fa as usize].reach
+        } else {
+            let fe = self.fe_of_node[node.0 as usize] as usize;
+            &mut self.fes[fe].reach
+        };
+        if faulty {
+            table.mark_faulty(port as usize, now);
+        } else {
+            table.on_advert(port as usize, fas, now, revive);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stardust_topo::builders::{
+        single_tier, three_tier, two_tier, SingleTierParams, ThreeTierParams, TwoTierParams,
+    };
+
+    fn small_engine(cfg: FabricConfig) -> FabricEngine {
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        FabricEngine::new(tt.topo, cfg)
+    }
+
+    fn cfg_small() -> FabricConfig {
+        FabricConfig {
+            host_ports: 2,
+            host_port_bps: stardust_sim::units::gbps(40),
+            ctrl_latency: SimDuration::from_micros(1),
+            ..FabricConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_packet_traverses_the_fabric() {
+        let mut e = small_engine(cfg_small());
+        e.inject(SimTime::ZERO, 0, 8, 0, 0, 1500);
+        e.run_until(SimTime::from_millis(2));
+        assert_eq!(e.stats().packets_injected.get(), 1);
+        assert_eq!(e.stats().packets_delivered.get(), 1);
+        assert_eq!(e.stats().bytes_delivered.get(), 1500);
+        assert_eq!(e.stats().packets_discarded.get(), 0);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+        // 1500B in ≤256B cells: ceil(1500/248) = 7 cells.
+        assert_eq!(e.stats().cells_sent.get(), 7);
+        assert_eq!(e.stats().cells_delivered.get(), 7);
+    }
+
+    #[test]
+    fn packet_latency_is_physical() {
+        let mut e = small_engine(cfg_small());
+        e.inject(SimTime::ZERO, 0, 8, 0, 0, 1500);
+        e.run_until(SimTime::from_millis(2));
+        // Control round trip (request + credit = 2µs) + 4 hops of ~0.5µs
+        // propagation + serialization. Expect single-digit µs, not ms.
+        let lat = e.stats().packet_latency_ns.mean();
+        assert!(lat > 2_000.0, "latency {lat}ns too low");
+        assert!(lat < 20_000.0, "latency {lat}ns too high");
+    }
+
+    #[test]
+    fn every_pair_communicates() {
+        let mut e = small_engine(cfg_small());
+        let n = e.num_fas() as u32;
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    e.inject(SimTime::ZERO, src, dst, 0, 0, 900);
+                }
+            }
+        }
+        e.run_until(SimTime::from_millis(5));
+        assert_eq!(e.stats().packets_delivered.get(), (n * (n - 1)) as u64);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut e = small_engine(cfg_small());
+            let n = e.num_fas() as u32;
+            for src in 0..n {
+                e.inject(SimTime::ZERO, src, (src + 1) % n, 0, 0, 4000);
+            }
+            e.run_until(SimTime::from_millis(2));
+            (
+                e.stats().packets_delivered.get(),
+                e.stats().cells_sent.get(),
+                e.stats().packet_latency_ns.mean().to_bits(),
+                e.events_executed(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn saturation_mode_fills_the_fabric() {
+        let mut cfg = cfg_small();
+        cfg.host_port_bps = stardust_sim::units::gbps(40);
+        let mut e = small_engine(cfg);
+        e.saturate_all_to_all(750, 32 * 1024);
+        e.begin_measurement(SimTime::from_micros(200));
+        e.run_until(SimTime::from_millis(2));
+        assert!(e.stats().packets_delivered.get() > 1000);
+        assert_eq!(e.stats().cells_dropped.get(), 0, "scheduled fabric is lossless");
+        // The last-stage queue distribution collected samples.
+        assert!(e.stats().last_stage_queue.count() > 1000);
+    }
+
+    #[test]
+    fn lossless_under_incast() {
+        // §5.4: incast accumulates in ingress VOQs, no fabric loss.
+        let cfg = cfg_small();
+        let mut e = small_engine(cfg);
+        let n = e.num_fas() as u32;
+        // Every other FA sends a 100KB burst to FA 0 port 0.
+        for src in 1..n {
+            for i in 0..100 {
+                e.inject(
+                    SimTime::from_nanos(i * 100),
+                    src,
+                    0,
+                    0,
+                    0,
+                    1000,
+                );
+            }
+        }
+        e.run_until(SimTime::from_millis(10));
+        assert_eq!(e.stats().packets_delivered.get(), ((n - 1) * 100) as u64);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+        assert_eq!(e.stats().packets_discarded.get(), 0);
+    }
+
+    #[test]
+    fn three_tier_fabric_works_end_to_end() {
+        // §5.1: deeper fabrics are just more tiers of the same Fabric
+        // Element; the engine's up/down forwarding and the reachability
+        // seeding are tier-count agnostic.
+        let tt = three_tier(ThreeTierParams::small());
+        let mut e = FabricEngine::new(tt.topo, cfg_small());
+        let n = e.num_fas() as u32;
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    e.inject(SimTime::ZERO, src, dst, 0, 0, 1200);
+                }
+            }
+        }
+        e.run_until(SimTime::from_millis(5));
+        assert_eq!(e.stats().packets_delivered.get(), (n * (n - 1)) as u64);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+        // Cross-super-pod latency includes 6 hops of propagation.
+        assert!(e.stats().cell_latency_ns.max() > 2_000);
+    }
+
+    #[test]
+    fn three_tier_dynamic_reach_converges_and_heals() {
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        let tt = three_tier(ThreeTierParams::small());
+        let victim = tt.fas[0];
+        let uplink = tt.topo.up_links(victim)[0];
+        let mut e = FabricEngine::new(tt.topo, cfg);
+        e.run_until(SimTime::from_micros(200));
+        e.fail_link(uplink);
+        e.run_until(SimTime::from_micros(600));
+        assert!(!e.fas[0].reach.port_up(0));
+        let t0 = e.now();
+        for i in 0..60u64 {
+            e.inject(t0 + SimDuration::from_nanos(i * 700), 0, 15, 0, 0, 1500);
+        }
+        e.run_until(t0 + SimDuration::from_millis(5));
+        assert_eq!(e.stats().packets_delivered.get(), 60);
+        assert_eq!(e.stats().packets_discarded.get(), 0);
+    }
+
+    #[test]
+    fn single_tier_system_works() {
+        let st = single_tier(SingleTierParams { num_fa: 8, fa_uplinks: 8, fe_count: 4, meters: 2 });
+        let mut e = FabricEngine::new(st.topo, cfg_small());
+        for src in 0..8u32 {
+            e.inject(SimTime::ZERO, src, (src + 3) % 8, 0, 0, 9000);
+        }
+        e.run_until(SimTime::from_millis(2));
+        assert_eq!(e.stats().packets_delivered.get(), 8);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+    }
+
+    #[test]
+    fn static_mode_link_failure_blackholes() {
+        // Without the reachability protocol a failed link silently eats
+        // its share of cells (motivates §5.9's self-healing).
+        let mut e = small_engine(cfg_small());
+        let fa0_uplink = {
+            let tt_link = e.fas[0].uplinks[0];
+            tt_link
+        };
+        e.fail_link(fa0_uplink);
+        for i in 0..50 {
+            e.inject(SimTime::from_nanos(i * 1000), 0, 8, 0, 0, 4000);
+        }
+        e.run_until(SimTime::from_millis(5));
+        assert!(e.stats().packets_discarded.get() > 0, "some bursts must time out");
+        assert!(e.stats().cells_dropped.get() > 0);
+    }
+
+    #[test]
+    fn dynamic_reach_heals_link_failure() {
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        cfg.reach_miss_threshold = 3;
+        let mut e = small_engine(cfg);
+        // Let the protocol breathe, then fail one of FA0's uplinks.
+        e.run_until(SimTime::from_micros(100));
+        let link = e.fas[0].uplinks[0];
+        e.fail_link(link);
+        // Wait for detection (3 missed 10µs intervals + margin).
+        e.run_until(SimTime::from_micros(300));
+        assert!(
+            !e.fas[0].reach.port_up(0),
+            "FA should have declared its uplink dead"
+        );
+        // Traffic now flows around the dead link with zero loss.
+        let t0 = e.now();
+        for i in 0..100u64 {
+            e.inject(t0 + SimDuration::from_nanos(i * 500), 0, 8, 0, 0, 2000);
+        }
+        e.run_until(t0 + SimDuration::from_millis(5));
+        assert_eq!(e.stats().packets_delivered.get(), 100);
+        assert_eq!(e.stats().packets_discarded.get(), 0);
+    }
+
+    #[test]
+    fn restored_link_revives_after_good_streak() {
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        let mut e = small_engine(cfg);
+        e.run_until(SimTime::from_micros(100));
+        let link = e.fas[0].uplinks[0];
+        e.fail_link(link);
+        e.run_until(SimTime::from_micros(300));
+        assert!(!e.fas[0].reach.port_up(0));
+        e.restore_link(link);
+        e.run_until(SimTime::from_micros(600));
+        assert!(e.fas[0].reach.port_up(0), "link should be re-admitted");
+    }
+
+    #[test]
+    fn traffic_classes_strict_priority_delivery() {
+        // Low-TC (high priority) traffic completes ahead of high-TC when
+        // both compete for the same egress port.
+        let mut e = small_engine(cfg_small());
+        for i in 0..200u64 {
+            e.inject(SimTime::from_nanos(i), 1, 0, 0, 1, 1500); // low prio
+            e.inject(SimTime::from_nanos(i), 2, 0, 0, 0, 1500); // high prio
+        }
+        e.run_until(SimTime::from_millis(20));
+        assert_eq!(e.stats().packets_delivered.get(), 400);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+    }
+
+    #[test]
+    fn fabric_utilization_accounting() {
+        // 2 ports × 40G host side vs 2 uplinks × 50G fabric: util ≈
+        // 80/96.9 ≈ 0.83 of payload capacity when saturated.
+        let mut e = small_engine(cfg_small());
+        e.saturate_all_to_all(750, 16 * 1024);
+        e.run_until(SimTime::from_millis(2));
+        let u = e.fabric_utilization(SimDuration::from_millis(2));
+        assert!(u > 0.75 && u < 0.90, "utilization {u}");
+    }
+
+    #[test]
+    fn host_flow_control_avoids_ingress_drops() {
+        // §5.4: "Even if the packet buffers are not sufficient, the source
+        // Fabric Adapter can avoid packet loss by sending flow control
+        // messages back to the host."
+        let run = |fc: bool| {
+            let mut cfg = cfg_small();
+            cfg.voq_max_bytes = Some(16 * 1024);
+            cfg.host_fc = fc.then_some((12 * 1024, 8 * 1024));
+            let mut e = small_engine(cfg);
+            for src in 1..8u32 {
+                e.add_cbr_flow(src, 0, 0, 0, stardust_sim::units::gbps(40), 1500,
+                    SimTime::ZERO, SimTime::from_millis(2));
+            }
+            e.run_until(SimTime::from_millis(4));
+            (e.stats().ingress_drops.get(), e.stats().host_fc_pauses.get())
+        };
+        let (drops_nofc, pauses_nofc) = run(false);
+        let (drops_fc, pauses_fc) = run(true);
+        assert!(drops_nofc > 0, "without FC the VOQ cap must drop");
+        assert_eq!(pauses_nofc, 0);
+        assert_eq!(drops_fc, 0, "with FC nothing is dropped at ingress");
+        assert!(pauses_fc > 0, "FC must actually have paused the sources");
+    }
+
+    #[test]
+    fn voq_cap_drops_persistent_oversubscription() {
+        // §3.1: long-term oversubscription drops at the Fabric Adapter.
+        let mut cfg = cfg_small();
+        cfg.voq_max_bytes = Some(16 * 1024);
+        let mut e = small_engine(cfg);
+        // Offer far more toward one port than it can drain.
+        for src in 1..8u32 {
+            e.add_cbr_flow(src, 0, 0, 0, stardust_sim::units::gbps(40), 1500,
+                SimTime::ZERO, SimTime::from_millis(2));
+        }
+        e.run_until(SimTime::from_millis(4));
+        let s = e.stats();
+        assert!(s.ingress_drops.get() > 0, "VOQ cap must drop");
+        assert_eq!(s.cells_dropped.get(), 0, "the fabric itself stays lossless");
+        // Every VOQ stayed within its cap.
+        assert!(s.max_voq_bytes <= 16 * 1024);
+    }
+
+    #[test]
+    fn low_latency_tc_skips_the_credit_round_trip() {
+        // §5.6: "a low latency VOQ starts transmitting immediately."
+        let fct_of = |ll: Option<u8>| {
+            let mut cfg = cfg_small();
+            cfg.low_latency_tc = ll;
+            let mut e = small_engine(cfg);
+            e.inject(SimTime::ZERO, 0, 8, 0, ll.unwrap_or(0), 256);
+            e.run_until(SimTime::from_millis(1));
+            assert_eq!(e.stats().packets_delivered.get(), 1);
+            e.stats().packet_latency_ns.mean()
+        };
+        let normal = fct_of(None);
+        let low_lat = fct_of(Some(0));
+        // The credit round trip is 2 × 1µs of control latency; the LL path
+        // saves it.
+        assert!(
+            low_lat < normal - 1_500.0,
+            "low-latency {low_lat}ns vs normal {normal}ns"
+        );
+    }
+
+    #[test]
+    fn link_errors_lose_cells_and_protocol_excludes_the_link() {
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        cfg.reach_miss_threshold = 3;
+        let mut e = small_engine(cfg);
+        e.run_until(SimTime::from_micros(50));
+        let victim = e.fas[0].uplinks[0];
+        // 60% cell loss: reachability messages miss 3 in a row with
+        // probability 0.216 per window — the link is declared faulty
+        // within a few hundred µs.
+        e.set_link_error_rate(victim, 0.6);
+        e.run_until(SimTime::from_millis(2));
+        assert!(!e.fas[0].reach.port_up(0), "noisy link must be excluded");
+        // Traffic now flows cleanly around it.
+        let t0 = e.now();
+        for i in 0..100u64 {
+            e.inject(t0 + SimDuration::from_nanos(i * 500), 0, 8, 0, 0, 2000);
+        }
+        e.run_until(t0 + SimDuration::from_millis(5));
+        assert_eq!(e.stats().packets_delivered.get(), 100);
+        assert_eq!(e.stats().packets_discarded.get(), 0);
+        // Repairing the link (error rate back to zero) re-admits it after
+        // the good-streak threshold.
+        e.set_link_error_rate(victim, 0.0);
+        let t1 = e.now();
+        e.run_until(t1 + SimDuration::from_millis(1));
+        assert!(e.fas[0].reach.port_up(0), "repaired link must revive");
+    }
+
+    #[test]
+    fn wrr_policy_shares_port_bandwidth() {
+        use crate::config::SchedPolicy;
+        let mut cfg = cfg_small();
+        cfg.sched_policy = SchedPolicy::Wrr(vec![3, 1]);
+        let mut e = small_engine(cfg);
+        // Two saturating flows of different classes into one port.
+        let stop = SimTime::from_millis(4);
+        e.add_cbr_flow(1, 0, 0, 0, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
+        e.add_cbr_flow(2, 0, 0, 1, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
+        e.run_until(SimTime::from_millis(4));
+        let a = e.stats().delivered_per_fa[0];
+        assert!(a > 0);
+        // Class split ≈ 3:1 at the shared port: check via packet latency
+        // proxy — class 1 backlog grows (its VOQ got 1/4 of the port).
+        // Direct check: delivered bytes per source FA.
+        let d1 = e.stats().delivered_per_port[0][0];
+        assert!(d1 > 0);
+        // With Strict instead, class 1 would be fully starved; WRR must
+        // deliver a substantial share to both. Compare against strict run:
+        let mut cfg2 = cfg_small();
+        cfg2.sched_policy = SchedPolicy::Strict;
+        let mut e2 = small_engine(cfg2);
+        e2.add_cbr_flow(1, 0, 0, 0, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
+        e2.add_cbr_flow(2, 0, 0, 1, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
+        e2.run_until(SimTime::from_millis(4));
+        // Low class delivered strictly more under WRR than under strict.
+        // (Both runs share seeds and arrival patterns.)
+        let low_wrr = e.stats().packets_delivered.get();
+        let low_strict = e2.stats().packets_delivered.get();
+        assert!(low_wrr >= low_strict, "wrr {low_wrr} vs strict {low_strict}");
+    }
+
+    #[test]
+    fn gradual_growth_partially_populated_fabric() {
+        // §5.1: "it is not necessary to populate the entire fabric from
+        // the start ... adding Fabric Elements over time within a live
+        // network." Model: start with half the spine links disabled,
+        // verify lossless operation at reduced capacity, then enable them
+        // live and verify capacity rises.
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        // Spine links occupy the tail of the link list: FA uplinks come
+        // first (num_fa × t), then t1↔t2.
+        let first_spine_link = 16 * 2;
+        let spine_links: Vec<u32> =
+            (first_spine_link..tt.topo.num_links() as u32).collect();
+        let mut e = FabricEngine::new(tt.topo, cfg);
+        // Disable half the spine (every other link).
+        for &l in spine_links.iter().step_by(2) {
+            e.fail_link(stardust_topo::LinkId(l));
+        }
+        e.run_until(SimTime::from_micros(500)); // protocol converges
+        let stop1 = SimTime::from_millis(3);
+        for src in 0..8u32 {
+            e.add_cbr_flow(src, src + 8, 0, 0, stardust_sim::units::gbps(30), 1500,
+                e.now(), stop1);
+        }
+        e.run_until(stop1 + SimDuration::from_millis(1));
+        let delivered_half = e.stats().packets_delivered.get();
+        let discarded_half = e.stats().packets_discarded.get();
+        assert!(delivered_half > 0);
+        assert_eq!(discarded_half, 0, "partially populated fabric is still lossless");
+
+        // "Install" the missing Fabric Elements live.
+        for &l in spine_links.iter().step_by(2) {
+            e.restore_link(stardust_topo::LinkId(l));
+        }
+        e.run_until(e.now() + SimDuration::from_micros(500));
+        let t2 = e.now();
+        let stop2 = t2 + SimDuration::from_millis(3);
+        for src in 0..8u32 {
+            e.add_cbr_flow(src, src + 8, 0, 0, stardust_sim::units::gbps(30), 1500, t2, stop2);
+        }
+        e.run_until(stop2 + SimDuration::from_millis(1));
+        assert_eq!(e.stats().packets_discarded.get(), 0);
+        assert!(e.stats().packets_delivered.get() > delivered_half);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-destined")]
+    fn self_traffic_rejected() {
+        let mut e = small_engine(cfg_small());
+        e.inject(SimTime::ZERO, 0, 0, 0, 0, 100);
+    }
+}

@@ -1,0 +1,212 @@
+//! Virtual output queues (§3.3, §4.1).
+//!
+//! "The architecture uses virtual output queues (VOQs) to queue packets
+//! arriving to the Fabric Adapter. Each destination port (and priority)
+//! has an assigned VOQ. ... Empty VOQs do not consume buffering resources."
+//!
+//! A VOQ is addressed by (destination FA, destination port, traffic
+//! class). On a credit grant it dequeues whole packets "up to the credit
+//! size; the amount of surplus data is stored for later accounting" — we
+//! model that with a signed credit balance: a burst may overshoot the
+//! grant by part of its last packet, and the overshoot is deducted from
+//! the next grant.
+
+use crate::cell::Packet;
+use std::collections::VecDeque;
+
+/// VOQ address: (destination FA, destination port, traffic class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VoqKey {
+    pub dst_fa: u32,
+    pub dst_port: u8,
+    pub tc: u8,
+}
+
+/// One virtual output queue.
+#[derive(Debug, Clone, Default)]
+pub struct Voq {
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    /// Signed credit balance in bytes: positive = unused grant carried
+    /// forward (bounded), negative = overshoot owed from the last burst.
+    balance: i64,
+    /// Bytes already requested from the egress scheduler but not yet
+    /// granted (to size incremental request messages).
+    requested: u64,
+}
+
+impl Voq {
+    /// Empty VOQ.
+    pub fn new() -> Self {
+        Voq::default()
+    }
+
+    /// Queue occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Queue occupancy in packets.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueue a packet; returns the number of *new* bytes that should be
+    /// requested from the egress scheduler (all of them — requests are
+    /// incremental).
+    pub fn push(&mut self, pkt: Packet) -> u64 {
+        self.bytes += pkt.bytes as u64;
+        self.queue.push_back(pkt);
+        let delta = pkt.bytes as u64;
+        self.requested += delta;
+        delta
+    }
+
+    /// Apply a credit grant of `credit_bytes`: dequeue whole packets until
+    /// the grant (plus any positive balance, minus any owed overshoot) is
+    /// exhausted. Returns the burst's packets (possibly empty if the
+    /// balance owed exceeds the grant).
+    ///
+    /// `max_balance` bounds the carried-forward positive balance (a real
+    /// scheduler would not bank unbounded credit; we cap at one credit).
+    pub fn grant(&mut self, credit_bytes: u64, max_balance: i64) -> Vec<Packet> {
+        let mut budget = credit_bytes as i64 + self.balance;
+        let mut burst = Vec::new();
+        while budget > 0 {
+            match self.queue.front() {
+                Some(p) => {
+                    let sz = p.bytes as i64;
+                    // Packet packing sends whole packets; the last packet
+                    // may overshoot the remaining budget (§3.3's surplus).
+                    budget -= sz;
+                    self.bytes -= p.bytes as u64;
+                    burst.push(self.queue.pop_front().unwrap());
+                }
+                None => break,
+            }
+        }
+        // The grant consumed queued bytes that were previously requested.
+        let sent: u64 = burst.iter().map(|p| p.bytes as u64).sum();
+        self.requested = self.requested.saturating_sub(sent.min(self.requested));
+        self.balance = budget.min(max_balance);
+        burst
+    }
+
+    /// Outstanding (queued but unrequested) bytes — used by re-request
+    /// logic after scheduler resets.
+    pub fn requested_bytes(&self) -> u64 {
+        self.requested
+    }
+
+    /// Forget request accounting (e.g. after a scheduler failover) so the
+    /// whole queue is re-requested.
+    pub fn reset_requests(&mut self) -> u64 {
+        self.requested = self.bytes;
+        self.bytes
+    }
+
+    /// Signed credit balance (test/diagnostic accessor).
+    pub fn balance(&self) -> i64 {
+        self.balance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::PacketId;
+    use stardust_sim::SimTime;
+
+    fn pkt(bytes: u32) -> Packet {
+        Packet {
+            id: PacketId(0),
+            src_fa: 0,
+            dst_fa: 1,
+            dst_port: 0,
+            tc: 0,
+            bytes,
+            injected_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn push_accumulates() {
+        let mut v = Voq::new();
+        assert!(v.is_empty());
+        assert_eq!(v.push(pkt(1000)), 1000);
+        assert_eq!(v.push(pkt(500)), 500);
+        assert_eq!(v.bytes(), 1500);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn grant_dequeues_whole_packets_to_credit() {
+        let mut v = Voq::new();
+        for _ in 0..10 {
+            v.push(pkt(1000));
+        }
+        let burst = v.grant(4096, 4096);
+        // 4 packets = 4000 < 4096, 5th overshoots: packing sends it and
+        // records the overshoot.
+        assert_eq!(burst.len(), 5);
+        assert_eq!(v.balance(), 4096 - 5000);
+        // Next grant is reduced by the overshoot: 4096 - 904 = 3192 → 4 pkts.
+        let burst2 = v.grant(4096, 4096);
+        assert_eq!(burst2.len(), 4);
+    }
+
+    #[test]
+    fn jumbo_packet_waits_for_enough_credit() {
+        // A 9KB packet needs three 4KB credits' worth of balance... but
+        // since packing overshoots, the first grant already releases it
+        // and the deficit carries.
+        let mut v = Voq::new();
+        v.push(pkt(9000));
+        let b1 = v.grant(4096, 4096);
+        assert_eq!(b1.len(), 1);
+        assert_eq!(v.balance(), 4096 - 9000);
+        // An empty queue with debt: next grant releases nothing until
+        // the balance recovers.
+        v.push(pkt(9000));
+        let b2 = v.grant(4096, 4096);
+        assert!(b2.is_empty(), "debt {} must gate the next burst", v.balance());
+        let b3 = v.grant(4096, 4096);
+        assert_eq!(b3.len(), 1);
+    }
+
+    #[test]
+    fn positive_balance_is_capped() {
+        let mut v = Voq::new();
+        v.push(pkt(100));
+        let b = v.grant(4096, 4096);
+        assert_eq!(b.len(), 1);
+        // Queue emptied with 3996 unused; capped at max_balance.
+        assert_eq!(v.balance(), 3996);
+        let mut v2 = Voq::new();
+        v2.push(pkt(100));
+        v2.grant(100_000, 4096);
+        assert_eq!(v2.balance(), 4096);
+    }
+
+    #[test]
+    fn request_accounting() {
+        let mut v = Voq::new();
+        v.push(pkt(1000));
+        v.push(pkt(1000));
+        assert_eq!(v.requested_bytes(), 2000);
+        v.grant(1000, 0);
+        assert_eq!(v.requested_bytes(), 1000);
+        assert_eq!(v.reset_requests(), v.bytes());
+    }
+
+    #[test]
+    fn grant_on_empty_returns_nothing() {
+        let mut v = Voq::new();
+        assert!(v.grant(4096, 4096).is_empty());
+    }
+}

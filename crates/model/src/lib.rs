@@ -1,0 +1,37 @@
+//! # stardust-model — the paper's analytic models
+//!
+//! Every closed-form result in *Stardust: Divide and Conquer in the Data
+//! Center Network* (NSDI'19) lives here, implemented directly from the
+//! paper's equations and appendices:
+//!
+//! * [`fattree`] — Appendix A / Table 2: element counts of multi-tier
+//!   fat-tree networks as a function of switch radix `k`, ToR uplinks `t`
+//!   and link bundle `l`.
+//! * [`scalability`] — Figure 2: end-hosts vs tiers, devices vs hosts and
+//!   serial links vs hosts for 12.8 Tb/s devices under different bundling.
+//! * [`parallelism`] — Figure 3 / Appendix B: the number of parallel
+//!   processing pipelines a switch needs at each packet size, and why cell
+//!   packing flattens it.
+//! * [`datapath`] — Figure 8: the NetFPGA-style device micro-model
+//!   comparing a reference packet switch, an NDP switch, unpacked cells and
+//!   Stardust packed cells at a fixed clock.
+//! * [`md1`] — §4.2.1: the M/D/1 queue law bounding Fabric Element queues,
+//!   and the paper's `o(fs^-2N)` tail approximation.
+//! * [`silicon`] — Figure 10(d) / Appendix C: relative die area and power of
+//!   a Fabric Element vs a standard Ethernet switch, plus the
+//!   reachability-vs-routing table size comparison.
+//! * [`cost`] — Figure 11 / Appendix D / Table 3: list-price cost model and
+//!   the relative power model of Stardust vs fat-tree DCNs.
+//! * [`resilience`] — Appendix E / Table 4: reachability-message propagation
+//!   and failure recovery time.
+
+pub mod cost;
+pub mod datapath;
+pub mod fattree;
+pub mod md1;
+pub mod parallelism;
+pub mod resilience;
+pub mod scalability;
+pub mod silicon;
+
+pub use fattree::FatTreeParams;

@@ -1,0 +1,191 @@
+//! Figure 3 / Appendix B — required parallel processing in a switch.
+//!
+//! Appendix B defines, for a switch of bandwidth `B` bits/s, packet size
+//! `S` bytes, wire gap `G` bytes (preamble + SFD + IPG = 20 B), pipeline
+//! clock `f` Hz and `c` clocks per pipeline stage:
+//!
+//! ```text
+//! R = B / (8·(S+G))      packets/s arriving
+//! r = f / c              packets/s one pipeline can handle
+//! P = R / r              pipelines (parallelism) required
+//! ```
+//!
+//! Figure 3 additionally accounts for the data-path *bus*: a packet of `S`
+//! bytes occupies `ceil(S/W)` cycles of a `W`-byte-wide bus, so a standard
+//! packet switch needs `P(S) = ceil(S/W) · B / (8·(S+G)·f)` parallel buses,
+//! producing the sawtooth of the figure. A Stardust Fabric Element receives
+//! optimally packed cells that fill every bus word, so its requirement is
+//! the flat line `B / (8·W·f)`.
+
+/// Ethernet wire overhead per packet (preamble 7 + SFD 1 + IPG 12).
+pub const WIRE_GAP_BYTES: u64 = 20;
+
+/// Parameters of the Figure 3 device.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceParams {
+    /// Device bandwidth in bits/s (Figure 3 uses 12.8 Tb/s).
+    pub bandwidth_bps: u64,
+    /// Data-path width in bytes (Figure 3 uses 256 B).
+    pub bus_width_bytes: u64,
+    /// Pipeline clock in Hz (Figure 3 uses 1 GHz).
+    pub clock_hz: u64,
+    /// Clocks per pipeline stage (optimal designs achieve 1).
+    pub clocks_per_stage: u64,
+}
+
+impl DeviceParams {
+    /// The exact device of Figure 3: 12.8 Tb/s, 256 B bus, 1 GHz, c = 1.
+    pub fn fig3() -> Self {
+        DeviceParams {
+            bandwidth_bps: 12_800_000_000_000,
+            bus_width_bytes: 256,
+            clock_hz: 1_000_000_000,
+            clocks_per_stage: 1,
+        }
+    }
+
+    /// Appendix B Equation 1: arriving packet rate `R` (packets/s) at full
+    /// line rate for `S`-byte packets.
+    pub fn packet_rate(&self, packet_bytes: u64) -> f64 {
+        self.bandwidth_bps as f64 / (8.0 * (packet_bytes + WIRE_GAP_BYTES) as f64)
+    }
+
+    /// Appendix B Equation 2: packets/s a single pipeline processes.
+    pub fn pipeline_rate(&self) -> f64 {
+        self.clock_hz as f64 / self.clocks_per_stage as f64
+    }
+
+    /// Appendix B Equation 3: `P = R / r`, ignoring bus-width effects.
+    /// This is the "number of packets processed in parallel" of §2.3
+    /// (19.05 for 64 B packets at 12.8 Tb/s).
+    pub fn required_parallelism_packets(&self, packet_bytes: u64) -> f64 {
+        self.packet_rate(packet_bytes) / self.pipeline_rate()
+    }
+
+    /// Bus cycles one packet of `S` bytes occupies on a `W`-byte bus.
+    pub fn bus_cycles(&self, packet_bytes: u64) -> u64 {
+        packet_bytes.div_ceil(self.bus_width_bytes)
+    }
+
+    /// Figure 3, "Standard Switch" curve: parallel buses required when each
+    /// packet occupies `ceil(S/W)` bus cycles.
+    pub fn standard_switch_parallelism(&self, packet_bytes: u64) -> f64 {
+        self.required_parallelism_packets(packet_bytes) * self.bus_cycles(packet_bytes) as f64
+    }
+
+    /// Figure 3, "Stardust Fabric Element" curve: cells perfectly fill the
+    /// bus, so the requirement is flat at `B / (8·W·f)` regardless of the
+    /// original packet size.
+    pub fn stardust_fe_parallelism(&self) -> f64 {
+        self.bandwidth_bps as f64
+            / (8.0 * self.bus_width_bytes as f64 * self.pipeline_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_b_worked_example() {
+        // "packet size S = 64B, switch bandwidth of B = 12.8Tbps, gap
+        // G = 20B, clock f = 1GHz, c = 1 → parallelism required is 19.047".
+        let d = DeviceParams::fig3();
+        let p = d.required_parallelism_packets(64);
+        assert!((p - 19.047).abs() < 0.01, "got {p}");
+        // Appendix B states "a packet size of 256B will require P = 6.06",
+        // which corresponds to G = 8 B (preamble+SFD without IPG); §2.3 of
+        // the same paper quotes 5.8 Gpps for 256 B, which is G = 20 B. The
+        // two sections disagree; we use G = 20 B consistently (5.797) and
+        // note the appendix figure here.
+        let p256 = d.required_parallelism_packets(256);
+        assert!((p256 - 5.797).abs() < 0.01, "got {p256}");
+    }
+
+    #[test]
+    fn section_2_3_packet_rates() {
+        // "equivalent to ... 19.05Gpps for 64B packets, and 5.8Gpps for
+        // 256B packets".
+        let d = DeviceParams::fig3();
+        assert!((d.packet_rate(64) / 1e9 - 19.05).abs() < 0.01);
+        assert!((d.packet_rate(256) / 1e9 - 5.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn stardust_fe_is_flat_at_6_25() {
+        let d = DeviceParams::fig3();
+        assert!((d.stardust_fe_parallelism() - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_ratios_from_the_paper_text() {
+        let d = DeviceParams::fig3();
+        let sd = d.stardust_fe_parallelism();
+        // "a design optimally packing data outperforms a packet-based
+        // design by a factor of ×4" for small packets (64B region):
+        // the standard curve peaks ≥ 3× the Stardust flat line there.
+        assert!(d.standard_switch_parallelism(64) / sd > 3.0);
+        // "Packing data provides 41% improvement for 513B packets":
+        let r513 = d.standard_switch_parallelism(513) / sd;
+        assert!((r513 - 1.44).abs() < 0.05, "got {r513}");
+        // "...and 18% for 1025B packets":
+        let r1025 = d.standard_switch_parallelism(1025) / sd;
+        assert!((r1025 - 1.22).abs() < 0.06, "got {r1025}");
+    }
+
+    #[test]
+    fn sawtooth_peaks_just_past_bus_multiples() {
+        let d = DeviceParams::fig3();
+        // Crossing a 256B boundary adds a bus cycle: 257B costs more
+        // parallelism than 256B.
+        assert!(
+            d.standard_switch_parallelism(257) > d.standard_switch_parallelism(256) * 1.5
+        );
+        assert!(
+            d.standard_switch_parallelism(513) > d.standard_switch_parallelism(512) * 1.3
+        );
+    }
+
+    #[test]
+    fn standard_tracks_or_exceeds_stardust() {
+        // Exactly at bus-width multiples the standard switch amortizes its
+        // wire gap over a full bus occupancy and can sit a few percent
+        // below the Stardust flat line (the curves touch in Figure 3);
+        // everywhere S is unaligned the standard switch needs strictly
+        // more parallelism.
+        let d = DeviceParams::fig3();
+        let sd = d.stardust_fe_parallelism();
+        for s in (64..=2500).step_by(7) {
+            let std = d.standard_switch_parallelism(s);
+            assert!(std >= sd * 0.92, "at {s}B standard fell far below stardust");
+            if s % 256 >= 1 && s % 256 <= 128 && s > 256 {
+                assert!(std > sd, "at {s}B (unaligned) standard should exceed stardust");
+            }
+        }
+    }
+
+    #[test]
+    fn more_than_one_packet_per_clock_even_at_1500b() {
+        // §2.3: "Even for 1500B packets, more than a single packet needs to
+        // be processed every clock cycle."
+        let d = DeviceParams::fig3();
+        assert!(d.required_parallelism_packets(1500) > 1.0);
+    }
+
+    #[test]
+    fn wider_bus_helps_large_packets_not_small() {
+        // §2.3: "Increasing the data path width eases the requirements for
+        // large packets, but not for small ones."
+        let narrow = DeviceParams::fig3();
+        let wide = DeviceParams { bus_width_bytes: 512, ..DeviceParams::fig3() };
+        // Large packets: fewer parallel buses needed with a wider bus.
+        assert!(
+            wide.standard_switch_parallelism(2048) < narrow.standard_switch_parallelism(2048)
+        );
+        // Small packets: the per-packet rate dominates; no improvement.
+        assert_eq!(
+            wide.standard_switch_parallelism(64),
+            narrow.standard_switch_parallelism(64)
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Figure 10(d) / Appendix C — relative silicon area and power.
+//!
+//! The paper compares two shipping Broadcom devices manufactured in the
+//! same process: device **A**, a standard Ethernet ToR switch (12.8 Tb/s
+//! class), and device **B**, a Fabric Element (BCM88790, 9.6 Tb/s). The
+//! published per-component B/A ratios are:
+//!
+//! | Component          | B/A    |
+//! |--------------------|--------|
+//! | Header processing  | 13%    |
+//! | Network interface  | 30%    |
+//! | Other logic        | 60%    |
+//! | I/O                | 87.5%  |
+//! | **Area/Tbps**      | 66.6%  |
+//! | **Power/Tbps**     | 64.8%  |
+//!
+//! The paper does not publish device A's component *weights*; we calibrate
+//! a plausible breakdown (documented below) such that the weighted ratios
+//! reproduce the published bottom-line 66.6% / 64.8% numbers, and expose
+//! both the component table and the calibration so ablations can vary it.
+//! Appendix C's table-size and VOQ-memory comparisons are implemented
+//! exactly.
+
+/// Published per-component area ratios (device B / device A), Fig 10(d).
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentRatios {
+    pub header_processing: f64,
+    pub network_interface: f64,
+    pub other_logic: f64,
+    pub io: f64,
+}
+
+/// The published Figure 10(d) area ratios.
+pub const FIG10D_AREA_RATIOS: ComponentRatios = ComponentRatios {
+    header_processing: 0.13,
+    network_interface: 0.30,
+    other_logic: 0.60,
+    io: 0.875,
+};
+
+/// Power ratios: the paper publishes only the bottom line (64.8%/Tbps).
+/// I/O (serdes) power scales closer to bandwidth than area does, so its
+/// effective ratio is slightly less favorable than the 87.5% area ratio;
+/// 0.835 calibrates the bottom line. All other components inherit the
+/// area ratios (logic power tracks logic area in the same process).
+pub const POWER_RATIOS: ComponentRatios = ComponentRatios {
+    header_processing: 0.13,
+    network_interface: 0.30,
+    other_logic: 0.60,
+    io: 0.835,
+};
+
+/// Calibrated component weights of device A (fractions of die area).
+/// Chosen so the weighted Fig 10(d) ratios reproduce the published
+/// area/Tbps of 66.6% given the 12.8 → 9.6 Tb/s bandwidth difference:
+/// I/O-heavy (serdes ring ~27%), substantial forwarding logic, and a
+/// programmable header processor consistent with the RMT-style area
+/// breakdowns the paper cites.
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentWeights {
+    pub header_processing: f64,
+    pub network_interface: f64,
+    pub other_logic: f64,
+    pub io: f64,
+}
+
+/// Default calibration (sums to 1.0).
+pub const DEVICE_A_WEIGHTS: ComponentWeights = ComponentWeights {
+    header_processing: 0.16,
+    network_interface: 0.335,
+    other_logic: 0.235,
+    io: 0.27,
+};
+
+/// Device bandwidths used for the per-Tbps normalization.
+pub const DEVICE_A_TBPS: f64 = 12.8;
+pub const DEVICE_B_TBPS: f64 = 9.6;
+
+impl ComponentWeights {
+    /// The weights must form a partition of the die.
+    pub fn total(&self) -> f64 {
+        self.header_processing + self.network_interface + self.other_logic + self.io
+    }
+
+    /// Weighted B/A ratio: device B's area (or power) as a fraction of
+    /// device A's, before bandwidth normalization.
+    pub fn weighted_ratio(&self, r: &ComponentRatios) -> f64 {
+        self.header_processing * r.header_processing
+            + self.network_interface * r.network_interface
+            + self.other_logic * r.other_logic
+            + self.io * r.io
+    }
+
+    /// Relative area (or power) per Tbps: `(B/A) / (bw_B/bw_A)`.
+    pub fn relative_per_tbps(&self, r: &ComponentRatios, bw_a: f64, bw_b: f64) -> f64 {
+        self.weighted_ratio(r) / (bw_b / bw_a)
+    }
+}
+
+/// The headline Figure 10(d) number: Fabric Element area per Tbps relative
+/// to a standard switch (paper: 66.6%).
+pub fn fe_relative_area_per_tbps() -> f64 {
+    DEVICE_A_WEIGHTS.relative_per_tbps(&FIG10D_AREA_RATIOS, DEVICE_A_TBPS, DEVICE_B_TBPS)
+}
+
+/// The headline power number (paper: 64.8%).
+pub fn fe_relative_power_per_tbps() -> f64 {
+    DEVICE_A_WEIGHTS.relative_per_tbps(&POWER_RATIOS, DEVICE_A_TBPS, DEVICE_B_TBPS)
+}
+
+/// Appendix C: exact-match IPv4 table size of a standard switch, in bits:
+/// `N × (32 + log2 k)` for `N` end hosts and radix `k`.
+pub fn tor_route_table_bits(hosts: u64, radix: u64) -> u64 {
+    hosts * (32 + (radix as f64).log2().ceil() as u64)
+}
+
+/// Appendix C: Fabric Element reachability table size, in bits:
+/// `(N / hosts_per_rack) × log2 k`.
+pub fn fe_reachability_table_bits(hosts: u64, hosts_per_rack: u64, radix: u64) -> u64 {
+    hosts.div_ceil(hosts_per_rack) * (radix as f64).log2().ceil() as u64
+}
+
+/// Appendix C: VOQ state memory. "128K VOQs consume roughly 4MB" →
+/// 32 B of state per VOQ.
+pub const VOQ_STATE_BYTES: u64 = 32;
+
+/// Memory consumed by `n` VOQs.
+pub fn voq_memory_bytes(n: u64) -> u64 {
+    n * VOQ_STATE_BYTES
+}
+
+/// Appendix C: the Stardust-specific functionality of a Fabric Adapter
+/// (cell generation, load balancing, credit generation) costs about 8% of
+/// the device area, "largely compensated by the saving on network-fabric
+/// facing interfaces, a gain of 70% per port" — so FA area ≈ ToR area.
+pub const FA_STARDUST_LOGIC_FRACTION: f64 = 0.08;
+pub const FABRIC_FACING_PORT_AREA_GAIN: f64 = 0.70;
+
+/// Rough net FA area relative to a ToR: the Stardust logic added, minus
+/// the per-port MAC savings applied to the fabric-facing share of the
+/// network-interface area. The paper states the net is ≈ 1.0.
+pub fn fa_relative_area(fabric_port_fraction: f64) -> f64 {
+    let ni_weight = DEVICE_A_WEIGHTS.network_interface;
+    1.0 + FA_STARDUST_LOGIC_FRACTION
+        - ni_weight * fabric_port_fraction * FABRIC_FACING_PORT_AREA_GAIN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_partition_the_die() {
+        assert!((DEVICE_A_WEIGHTS.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_per_tbps_matches_published_66_6() {
+        let v = fe_relative_area_per_tbps();
+        assert!((v - 0.666).abs() < 0.01, "got {v}");
+    }
+
+    #[test]
+    fn power_per_tbps_matches_published_64_8() {
+        let v = fe_relative_power_per_tbps();
+        assert!((v - 0.648).abs() < 0.01, "got {v}");
+    }
+
+    #[test]
+    fn fe_is_smaller_in_every_component() {
+        let r = FIG10D_AREA_RATIOS;
+        for v in [r.header_processing, r.network_interface, r.other_logic, r.io] {
+            assert!(v < 1.0);
+        }
+    }
+
+    #[test]
+    fn reachability_table_two_orders_smaller() {
+        // §4.2: "the size of the table can be two orders of magnitude
+        // smaller than a typical routing table".
+        let hosts = 100_000;
+        let tor = tor_route_table_bits(hosts, 256);
+        let fe = fe_reachability_table_bits(hosts, 40, 256);
+        let ratio = tor as f64 / fe as f64;
+        assert!(ratio > 100.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn appendix_c_worked_table_sizes() {
+        // N hosts, 40 per rack, radix k: A needs N×(32+log2 k),
+        // B needs (N/40)×log2 k.
+        let bits_a = tor_route_table_bits(32_000, 256);
+        assert_eq!(bits_a, 32_000 * 40);
+        let bits_b = fe_reachability_table_bits(32_000, 40, 256);
+        assert_eq!(bits_b, 800 * 8);
+    }
+
+    #[test]
+    fn voq_memory_matches_appendix_c() {
+        // "128K VOQs consume roughly 4MB".
+        assert_eq!(voq_memory_bytes(128 * 1024), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn fa_area_is_close_to_tor() {
+        // "The overall area of the Fabric Adapter is very similar to
+        // device A" — with ~40% of NI ports facing the fabric.
+        let v = fa_relative_area(0.4);
+        assert!((v - 1.0).abs() < 0.05, "got {v}");
+    }
+
+    #[test]
+    fn per_tbps_normalization_direction() {
+        // Without normalization B looks even smaller (it is also a lower
+        // bandwidth device); per-Tbps is the fair metric and must be
+        // larger than the raw ratio.
+        let raw = DEVICE_A_WEIGHTS.weighted_ratio(&FIG10D_AREA_RATIOS);
+        assert!(fe_relative_area_per_tbps() > raw);
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic random number streams.
+//!
+//! Every stochastic element of the simulations (arrival jitter, permutation
+//! shuffles for cell spraying, flow-size draws) pulls from a [`DetRng`]
+//! derived from a master seed plus a stream label. Two properties matter:
+//!
+//! 1. **Reproducibility** — a run is a pure function of `(config, seed)`.
+//! 2. **Stream independence** — adding a consumer of randomness in one
+//!    component must not perturb the draws seen by another, so each
+//!    component derives its own labelled stream instead of sharing one RNG.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A labelled deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+/// FNV-1a 64-bit hash, used to mix stream labels into the master seed.
+/// A tiny, dependency-free stable hash is all that is needed here; this is
+/// not a cryptographic boundary.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl DetRng {
+    /// Derive a stream from a master seed and a textual label.
+    pub fn from_label(master_seed: u64, label: &str) -> Self {
+        let mixed = master_seed ^ fnv1a(label.as_bytes()).rotate_left(17);
+        DetRng {
+            inner: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Derive a stream from a master seed and a numeric component id
+    /// (e.g. per-device streams).
+    pub fn from_parts(master_seed: u64, stream: u64) -> Self {
+        let mixed = master_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        DetRng {
+            inner: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Fork an independent child stream (used when a component spawns
+    /// sub-components at runtime).
+    pub fn fork(&mut self, tag: u64) -> DetRng {
+        let s = self.inner.next_u64();
+        DetRng::from_parts(s, tag)
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    ///
+    /// Used for Poisson arrival processes, the worst-case arrival model of
+    /// the paper's Fabric Element queueing analysis (§4.2.1).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "non-positive mean");
+        let u = 1.0 - self.unit(); // (0,1] so ln is finite
+        -mean * u.ln()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    ///
+    /// The Fabric Element traverses its links "in a random permutation
+    /// order, that is replaced every few rounds" (§5.3); this is the shuffle
+    /// behind that permutation.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = DetRng::from_label(42, "spray");
+        let mut b = DetRng::from_label(42, "spray");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = DetRng::from_label(42, "spray");
+        let mut b = DetRng::from_label(42, "arrivals");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::from_parts(1, 7);
+        let mut b = DetRng::from_parts(2, 7);
+        assert_ne!(
+            (0..16).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = DetRng::from_label(7, "t");
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+            let i = r.index(5);
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = DetRng::from_label(7, "exp");
+        let n = 200_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.05, "estimated mean {est}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::from_label(9, "shuffle");
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // And it actually moved things.
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_uniformity_rough() {
+        // Position of element 0 after shuffling [0..4] should be ~uniform.
+        let mut counts = [0usize; 4];
+        let mut r = DetRng::from_label(11, "uni");
+        for _ in 0..40_000 {
+            let mut xs = [0usize, 1, 2, 3];
+            r.shuffle(&mut xs);
+            let pos = xs.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fork_streams_differ_from_parent() {
+        let mut parent = DetRng::from_label(5, "parent");
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::from_label(5, "chance");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.1));
+    }
+}

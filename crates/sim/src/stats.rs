@@ -1,0 +1,419 @@
+//! Measurement collection: histograms, counters and online moments.
+//!
+//! These are the instruments behind the paper's distribution plots —
+//! Figure 9's latency and queue-size probability distributions, and the
+//! latency min/avg/max bands of §6.1.2.
+
+use std::fmt;
+
+/// A fixed-width-bin histogram over `u64` samples (e.g. queue depth in
+/// cells, latency in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// Samples ≥ `bin_width * bins.len()` land here (and in `max`).
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram of `nbins` bins, each `bin_width` wide. Sample `x` lands
+    /// in bin `x / bin_width`.
+    pub fn new(bin_width: u64, nbins: usize) -> Self {
+        assert!(bin_width > 0 && nbins > 0);
+        Histogram {
+            bin_width,
+            bins: vec![0; nbins],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: u64) {
+        self.count += 1;
+        self.sum += x as u128;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let idx = (x / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Record `n` identical samples (used when integrating queue occupancy
+    /// over time with weight = duration).
+    pub fn record_n(&mut self, x: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += (x as u128) * (n as u128);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let idx = (x / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += n;
+        } else {
+            self.overflow += n;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Probability mass of bin `i` (fraction of samples).
+    pub fn pmf(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of samples at or above `x` (complementary CDF); used for the
+    /// paper's tail-probability plots (Fig 9 right, log scale).
+    pub fn ccdf(&self, x: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let start = (x / self.bin_width) as usize;
+        let mut above: u64 = self.overflow;
+        for i in start..self.bins.len() {
+            above += self.bins[i];
+        }
+        // The start bin may contain samples below x; this is a bin-resolution
+        // approximation, acceptable for bin_width == 1 (exact) and plots.
+        above as f64 / self.count as f64
+    }
+
+    /// Approximate quantile by scanning bins; returns a bin lower edge.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return i as u64 * self.bin_width;
+            }
+        }
+        self.max
+    }
+
+    /// Iterate `(bin_lower_edge, probability_mass)` over non-empty bins.
+    pub fn nonempty_bins(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bin_width, c as f64 / self.count as f64))
+    }
+
+    /// Samples that exceeded the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Merge another histogram with identical geometry.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width);
+        assert_eq!(self.bins.len(), other.bins.len());
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.overflow += other.overflow;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={:.2} p50={} p99={} max={}",
+            self.count,
+            self.min(),
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Welford online mean/variance over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Minimum sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    /// Maximum sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Time-weighted average of a step function (e.g. queue occupancy over
+/// time). Feed it `(time, new_value)` transitions; it integrates value×dt.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_t: u64,
+    value: u64,
+    integral: u128,
+    peak: u64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at time `t0` with initial `value`.
+    pub fn new(t0: u64, value: u64) -> Self {
+        TimeWeighted {
+            last_t: t0,
+            value,
+            integral: 0,
+            peak: value,
+        }
+    }
+
+    /// Record that the tracked quantity changed to `value` at time `t`.
+    pub fn set(&mut self, t: u64, value: u64) {
+        debug_assert!(t >= self.last_t);
+        self.integral += (self.value as u128) * ((t - self.last_t) as u128);
+        self.last_t = t;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Time-weighted mean over `[t0, t]`, closing the integral at `t`.
+    pub fn mean_until(&self, t: u64, t0: u64) -> f64 {
+        if t <= t0 {
+            return self.value as f64;
+        }
+        let closed = self.integral + (self.value as u128) * ((t - self.last_t) as u128);
+        closed as f64 / (t - t0) as f64
+    }
+
+    /// Peak value observed.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Current value.
+    pub fn current(&self) -> u64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic() {
+        let mut h = Histogram::new(1, 100);
+        for x in [1u64, 2, 2, 3, 10] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert!((h.mean() - 3.6).abs() < 1e-9);
+        assert!((h.pmf(2) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_ccdf_exact_with_unit_bins() {
+        let mut h = Histogram::new(1, 32);
+        for x in 0..10u64 {
+            h.record(x);
+        }
+        assert!((h.ccdf(0) - 1.0).abs() < 1e-12);
+        assert!((h.ccdf(5) - 0.5).abs() < 1e-12);
+        assert!((h.ccdf(10) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(1, 1000);
+        for x in 1..=100u64 {
+            h.record(x);
+        }
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(0.99), 99);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn histogram_overflow_counted() {
+        let mut h = Histogram::new(1, 4);
+        h.record(100);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 1);
+        assert!((h.ccdf(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(1, 8);
+        let mut b = Histogram::new(1, 8);
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 3);
+    }
+
+    #[test]
+    fn online_stats_matches_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in 1..=9 {
+            s.record(x as f64);
+        }
+        assert_eq!(s.count(), 9);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance of 1..9 is 60/9.
+        assert!((s.variance() - 60.0 / 9.0).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(0, 0);
+        tw.set(10, 4); // value 0 for 10 units
+        tw.set(20, 0); // value 4 for 10 units
+        // mean over [0,20] = (0*10 + 4*10)/20 = 2
+        assert!((tw.mean_until(20, 0) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4);
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new(2, 16);
+        let mut b = Histogram::new(2, 16);
+        for _ in 0..7 {
+            a.record(5);
+        }
+        b.record_n(5, 7);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.max(), b.max());
+    }
+}

@@ -1,0 +1,599 @@
+//! Topology builders for the paper's evaluation shapes.
+
+use crate::graph::{NodeId, NodeKind, Topology};
+
+/// Parameters of the §6.2 two-tier fabric.
+///
+/// Fabric Adapters (level 1) connect `fa_uplinks` links into the
+/// aggregation tier (level 2); aggregation Fabric Elements split their
+/// radix half down / half up; spine Fabric Elements (level 3) face down
+/// with their whole radix. Fabric Adapters are grouped into pods: each pod
+/// of FAs shares a group of aggregation FEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoTierParams {
+    /// Number of Fabric Adapters.
+    pub num_fa: u32,
+    /// Uplinks per Fabric Adapter (the paper's `t`, 32 in §6.2).
+    pub fa_uplinks: u32,
+    /// Aggregation-tier Fabric Element count.
+    pub t1_count: u32,
+    /// Down (FA-facing) links per aggregation FE.
+    pub t1_down: u32,
+    /// Up (spine-facing) links per aggregation FE.
+    pub t1_up: u32,
+    /// Spine-tier Fabric Element count.
+    pub t2_count: u32,
+    /// Down links per spine FE.
+    pub t2_down: u32,
+    /// Fiber length of FA↔aggregation links, meters.
+    pub near_meters: u32,
+    /// Fiber length of aggregation↔spine links, meters.
+    pub far_meters: u32,
+}
+
+impl TwoTierParams {
+    /// The exact §6.2 configuration: 256 FAs × 32 uplinks, 128 aggregation
+    /// FEs (64 down / 64 up), 64 spine FEs (128 down), 100 m links.
+    pub fn paper_6_2() -> Self {
+        TwoTierParams {
+            num_fa: 256,
+            fa_uplinks: 32,
+            t1_count: 128,
+            t1_down: 64,
+            t1_up: 64,
+            t2_count: 64,
+            t2_down: 128,
+            near_meters: 100,
+            far_meters: 100,
+        }
+    }
+
+    /// A proportionally scaled-down variant: divides every population by
+    /// `factor` while keeping the structure (pods, speedup exposure)
+    /// intact. `factor` must divide the paper's populations.
+    pub fn paper_scaled(factor: u32) -> Self {
+        let p = Self::paper_6_2();
+        assert!(factor >= 1);
+        assert!(
+            p.num_fa % factor == 0
+                && p.fa_uplinks % factor == 0
+                && p.t1_count % factor == 0
+                && p.t1_down % factor == 0
+                && p.t1_up % factor == 0
+                && p.t2_count % factor == 0
+                && p.t2_down % factor == 0,
+            "factor {factor} does not divide the paper populations"
+        );
+        TwoTierParams {
+            num_fa: p.num_fa / factor,
+            fa_uplinks: p.fa_uplinks / factor,
+            t1_count: p.t1_count / factor,
+            t1_down: p.t1_down / factor,
+            t1_up: p.t1_up / factor,
+            t2_count: p.t2_count / factor,
+            t2_down: p.t2_down / factor,
+            near_meters: p.near_meters,
+            far_meters: p.far_meters,
+        }
+    }
+
+    /// Structural consistency checks (port-count conservation).
+    pub fn validate(&self) {
+        assert_eq!(
+            self.num_fa as u64 * self.fa_uplinks as u64,
+            self.t1_count as u64 * self.t1_down as u64,
+            "FA uplinks must equal aggregation down ports"
+        );
+        assert_eq!(
+            self.t1_count as u64 * self.t1_up as u64,
+            self.t2_count as u64 * self.t2_down as u64,
+            "aggregation up ports must equal spine down ports"
+        );
+        assert_eq!(
+            self.t2_down % self.t1_count,
+            0,
+            "spine down ports must spread evenly over aggregation FEs"
+        );
+        assert_eq!(
+            self.t1_down % self.pod_fa_count(),
+            0,
+            "pod FAs must spread evenly over their aggregation FEs"
+        );
+    }
+
+    /// Number of pods (groups of FAs sharing aggregation FEs).
+    pub fn pods(&self) -> u32 {
+        // Each FA reaches `fa_uplinks` aggregation FEs; pods partition the
+        // aggregation tier into groups of that size.
+        assert_eq!(self.t1_count % self.fa_uplinks, 0);
+        self.t1_count / self.fa_uplinks
+    }
+
+    /// FAs per pod.
+    pub fn pod_fa_count(&self) -> u32 {
+        assert_eq!(self.num_fa % self.pods(), 0);
+        self.num_fa / self.pods()
+    }
+}
+
+/// The two-tier build result: topology plus the node-id ranges.
+#[derive(Debug, Clone)]
+pub struct TwoTier {
+    pub topo: Topology,
+    pub params: TwoTierParams,
+    pub fas: Vec<NodeId>,
+    pub t1: Vec<NodeId>,
+    pub t2: Vec<NodeId>,
+}
+
+/// Build the §6.2-style two-tier fabric.
+pub fn two_tier(params: TwoTierParams) -> TwoTier {
+    params.validate();
+    let mut topo = Topology::new();
+    let fas: Vec<NodeId> = (0..params.num_fa)
+        .map(|_| topo.add_node(NodeKind::Edge, 1))
+        .collect();
+    let t1: Vec<NodeId> = (0..params.t1_count)
+        .map(|_| topo.add_node(NodeKind::Fabric, 2))
+        .collect();
+    let t2: Vec<NodeId> = (0..params.t2_count)
+        .map(|_| topo.add_node(NodeKind::Fabric, 3))
+        .collect();
+
+    // FA ↔ aggregation: pod p's FAs connect one or more links to each of
+    // pod p's aggregation FEs.
+    let pods = params.pods();
+    let pod_fas = params.pod_fa_count();
+    let agg_per_pod = params.t1_count / pods;
+    let links_per_pair = params.fa_uplinks / agg_per_pod;
+    for (i, &fa) in fas.iter().enumerate() {
+        let pod = i as u32 / pod_fas;
+        for a in 0..agg_per_pod {
+            let agg = t1[(pod * agg_per_pod + a) as usize];
+            for _ in 0..links_per_pair {
+                topo.add_link(fa, agg, params.near_meters);
+            }
+        }
+    }
+
+    // Aggregation ↔ spine: each spine FE spreads its down links evenly
+    // over all aggregation FEs.
+    let links_per_spine_pair = params.t2_down / params.t1_count;
+    for &sp in &t2 {
+        for &agg in &t1 {
+            for _ in 0..links_per_spine_pair {
+                topo.add_link(agg, sp, params.far_meters);
+            }
+        }
+    }
+
+    TwoTier { topo, params, fas, t1, t2 }
+}
+
+/// Parameters of a three-tier fabric (§5.1: additional tiers extend the
+/// network; Stardust saves tiers through non-bundled links, but a 3-tier
+/// build is still the shape of very large deployments).
+///
+/// Level layout: FAs (1) → tier-1 FEs (2, half down/half up) → tier-2 FEs
+/// (3, half/half) → tier-3 spine FEs (4, all down). Pods group FAs under
+/// tier-1 FEs, and super-pods group tier-1 FEs under tier-2 FEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreeTierParams {
+    pub num_fa: u32,
+    pub fa_uplinks: u32,
+    pub t1_count: u32,
+    pub t1_down: u32,
+    pub t1_up: u32,
+    pub t2_count: u32,
+    pub t2_down: u32,
+    pub t2_up: u32,
+    pub t3_count: u32,
+    pub t3_down: u32,
+    pub near_meters: u32,
+    pub far_meters: u32,
+}
+
+impl ThreeTierParams {
+    /// A compact test-scale 3-tier fabric: 16 FAs × 2 uplinks, 8+8+4 FEs.
+    pub fn small() -> Self {
+        ThreeTierParams {
+            num_fa: 16,
+            fa_uplinks: 2,
+            t1_count: 8,
+            t1_down: 4,
+            t1_up: 4,
+            t2_count: 8,
+            t2_down: 4,
+            t2_up: 4,
+            t3_count: 4,
+            t3_down: 8,
+            near_meters: 10,
+            far_meters: 100,
+        }
+    }
+
+    /// Structural consistency checks.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.num_fa as u64 * self.fa_uplinks as u64,
+            self.t1_count as u64 * self.t1_down as u64,
+            "FA uplinks must equal tier-1 down ports"
+        );
+        assert_eq!(
+            self.t1_count as u64 * self.t1_up as u64,
+            self.t2_count as u64 * self.t2_down as u64,
+            "tier-1 up must equal tier-2 down"
+        );
+        assert_eq!(
+            self.t2_count as u64 * self.t2_up as u64,
+            self.t3_count as u64 * self.t3_down as u64,
+            "tier-2 up must equal tier-3 down"
+        );
+    }
+}
+
+/// The three-tier build result.
+#[derive(Debug, Clone)]
+pub struct ThreeTier {
+    pub topo: Topology,
+    pub params: ThreeTierParams,
+    pub fas: Vec<NodeId>,
+    pub t1: Vec<NodeId>,
+    pub t2: Vec<NodeId>,
+    pub t3: Vec<NodeId>,
+}
+
+/// Build a three-tier folded Clos. FAs are grouped into pods (one pod per
+/// tier-1 group); tier-1 FEs into super-pods (one per tier-2 group); the
+/// tier-3 spine connects every tier-2 FE.
+pub fn three_tier(params: ThreeTierParams) -> ThreeTier {
+    params.validate();
+    let mut topo = Topology::new();
+    let fas: Vec<NodeId> = (0..params.num_fa)
+        .map(|_| topo.add_node(NodeKind::Edge, 1))
+        .collect();
+    let t1: Vec<NodeId> = (0..params.t1_count)
+        .map(|_| topo.add_node(NodeKind::Fabric, 2))
+        .collect();
+    let t2: Vec<NodeId> = (0..params.t2_count)
+        .map(|_| topo.add_node(NodeKind::Fabric, 3))
+        .collect();
+    let t3: Vec<NodeId> = (0..params.t3_count)
+        .map(|_| topo.add_node(NodeKind::Fabric, 4))
+        .collect();
+
+    // FA ↔ tier-1: pods of FAs fan out over their pod's tier-1 group.
+    let pods = params.t1_count / params.fa_uplinks;
+    let pod_fas = params.num_fa / pods;
+    let t1_per_pod = params.t1_count / pods;
+    for (i, &fa) in fas.iter().enumerate() {
+        let pod = i as u32 / pod_fas;
+        for a in 0..params.fa_uplinks {
+            let fe = t1[(pod * t1_per_pod + a % t1_per_pod) as usize];
+            topo.add_link(fa, fe, params.near_meters);
+        }
+    }
+    // Tier-1 ↔ tier-2: super-pods.
+    let spods = params.t2_count / params.t1_up;
+    let t1_per_spod = params.t1_count / spods;
+    let t2_per_spod = params.t2_count / spods;
+    for (i, &fe1) in t1.iter().enumerate() {
+        let spod = i as u32 / t1_per_spod;
+        for u in 0..params.t1_up {
+            let fe2 = t2[(spod * t2_per_spod + u % t2_per_spod) as usize];
+            topo.add_link(fe1, fe2, params.near_meters);
+        }
+    }
+    // Tier-2 ↔ tier-3: full spread.
+    let per = params.t3_down / params.t2_count;
+    for &fe3 in &t3 {
+        for &fe2 in &t2 {
+            for _ in 0..per {
+                topo.add_link(fe2, fe3, params.far_meters);
+            }
+        }
+    }
+    ThreeTier { topo, params, fas, t1, t2, t3 }
+}
+
+/// Parameters of the §6.1.2 single-tier system.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleTierParams {
+    pub num_fa: u32,
+    /// Uplinks per FA; must be a multiple of `fe_count`.
+    pub fa_uplinks: u32,
+    pub fe_count: u32,
+    pub meters: u32,
+}
+
+impl SingleTierParams {
+    /// The §6.1.2 test platform: 24 Fabric Adapters, 12 Fabric Elements
+    /// (Arista 7500E scale), 36 uplinks per FA (3 per FE).
+    pub fn paper_6_1() -> Self {
+        SingleTierParams { num_fa: 24, fa_uplinks: 36, fe_count: 12, meters: 2 }
+    }
+}
+
+/// The single-tier build result.
+#[derive(Debug, Clone)]
+pub struct SingleTier {
+    pub topo: Topology,
+    pub params: SingleTierParams,
+    pub fas: Vec<NodeId>,
+    pub fes: Vec<NodeId>,
+}
+
+/// Build a single-tier (FA — FE — FA) system: every FA spreads its uplinks
+/// evenly over every FE.
+pub fn single_tier(params: SingleTierParams) -> SingleTier {
+    assert_eq!(
+        params.fa_uplinks % params.fe_count,
+        0,
+        "uplinks must spread evenly over FEs"
+    );
+    let mut topo = Topology::new();
+    let fas: Vec<NodeId> = (0..params.num_fa)
+        .map(|_| topo.add_node(NodeKind::Edge, 1))
+        .collect();
+    let fes: Vec<NodeId> = (0..params.fe_count)
+        .map(|_| topo.add_node(NodeKind::Fabric, 2))
+        .collect();
+    let per = params.fa_uplinks / params.fe_count;
+    for &fa in &fas {
+        for &fe in &fes {
+            for _ in 0..per {
+                topo.add_link(fa, fe, params.meters);
+            }
+        }
+    }
+    SingleTier { topo, params, fas, fes }
+}
+
+/// Parameters of a k-ary fat-tree with hosts (Al-Fares).
+#[derive(Debug, Clone, Copy)]
+pub struct KaryParams {
+    /// Switch radix `k` (even). Hosts: k³/4; k = 12 gives the 432-node
+    /// topology of §6.3.
+    pub k: u32,
+    pub host_meters: u32,
+    pub edge_agg_meters: u32,
+    pub agg_core_meters: u32,
+}
+
+impl KaryParams {
+    /// The §6.3 / htsim 432-node fat-tree (k = 12).
+    pub fn paper_6_3() -> Self {
+        KaryParams { k: 12, host_meters: 2, edge_agg_meters: 10, agg_core_meters: 100 }
+    }
+}
+
+/// The k-ary build result.
+#[derive(Debug, Clone)]
+pub struct Kary {
+    pub topo: Topology,
+    pub params: KaryParams,
+    pub hosts: Vec<NodeId>,
+    pub edges: Vec<NodeId>,
+    pub aggs: Vec<NodeId>,
+    pub cores: Vec<NodeId>,
+}
+
+/// Build a k-ary fat-tree: k pods, each with k/2 edge and k/2 aggregation
+/// switches; (k/2)² cores; k²·k/4 hosts.
+pub fn kary(params: KaryParams) -> Kary {
+    let k = params.k;
+    assert!(k >= 2 && k % 2 == 0, "k must be even");
+    let half = k / 2;
+    let mut topo = Topology::new();
+
+    let hosts: Vec<NodeId> = (0..k * half * half)
+        .map(|_| topo.add_node(NodeKind::Host, 0))
+        .collect();
+    let edges: Vec<NodeId> = (0..k * half)
+        .map(|_| topo.add_node(NodeKind::Edge, 1))
+        .collect();
+    let aggs: Vec<NodeId> = (0..k * half)
+        .map(|_| topo.add_node(NodeKind::Fabric, 2))
+        .collect();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| topo.add_node(NodeKind::Fabric, 3))
+        .collect();
+
+    // Hosts to edges: half hosts per edge switch.
+    for (i, &h) in hosts.iter().enumerate() {
+        let e = edges[i / half as usize];
+        topo.add_link(h, e, params.host_meters);
+    }
+    // Edges to aggs within a pod: full bipartite per pod.
+    for pod in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                topo.add_link(
+                    edges[(pod * half + e) as usize],
+                    aggs[(pod * half + a) as usize],
+                    params.edge_agg_meters,
+                );
+            }
+        }
+    }
+    // Aggs to cores: agg `a` of each pod connects to cores [a·k/2, (a+1)·k/2).
+    for pod in 0..k {
+        for a in 0..half {
+            for c in 0..half {
+                topo.add_link(
+                    aggs[(pod * half + a) as usize],
+                    cores[(a * half + c) as usize],
+                    params.agg_core_meters,
+                );
+            }
+        }
+    }
+
+    Kary { topo, params, hosts, edges, aggs, cores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn paper_two_tier_dimensions() {
+        let p = TwoTierParams::paper_6_2();
+        p.validate();
+        assert_eq!(p.pods(), 4);
+        assert_eq!(p.pod_fa_count(), 64);
+        let tt = two_tier(p);
+        assert_eq!(tt.fas.len(), 256);
+        assert_eq!(tt.t1.len(), 128);
+        assert_eq!(tt.t2.len(), 64);
+        // Link count: 256×32 + 128×64 = 8192 + 8192 = 16384.
+        assert_eq!(tt.topo.num_links(), 16_384);
+        tt.topo.validate(128);
+    }
+
+    #[test]
+    fn two_tier_port_counts() {
+        let tt = two_tier(TwoTierParams::paper_6_2());
+        for &fa in &tt.fas {
+            assert_eq!(tt.topo.node(fa).links.len(), 32);
+        }
+        for &fe in &tt.t1 {
+            assert_eq!(tt.topo.up_links(fe).len(), 64);
+            assert_eq!(tt.topo.down_links(fe).len(), 64);
+        }
+        for &fe in &tt.t2 {
+            assert_eq!(tt.topo.down_links(fe).len(), 128);
+            assert!(tt.topo.up_links(fe).is_empty());
+        }
+    }
+
+    #[test]
+    fn two_tier_any_to_any_reachability() {
+        let tt = two_tier(TwoTierParams::paper_scaled(8));
+        let reach = tt.topo.downward_edge_reach();
+        // Every spine FE reaches every FA.
+        for &sp in &tt.t2 {
+            assert_eq!(reach[sp.0 as usize].len(), tt.fas.len());
+        }
+        // Every aggregation FE reaches exactly its pod downward...
+        let pod_fas = tt.params.pod_fa_count() as usize;
+        for &agg in &tt.t1 {
+            assert_eq!(reach[agg.0 as usize].len(), pod_fas);
+        }
+        // ...and has up links to fall back on for everything else.
+        for &agg in &tt.t1 {
+            let other_pod_dst = tt
+                .fas
+                .iter()
+                .find(|&&f| reach[agg.0 as usize].binary_search(&f).is_err())
+                .copied()
+                .unwrap();
+            let fwd = tt.topo.forward_links(agg, other_pod_dst, &reach);
+            assert_eq!(fwd.len(), tt.topo.up_links(agg).len());
+        }
+    }
+
+    #[test]
+    fn scaled_variant_keeps_structure() {
+        let p = TwoTierParams::paper_scaled(4);
+        p.validate();
+        let tt = two_tier(p);
+        assert_eq!(tt.fas.len(), 64);
+        assert_eq!(tt.topo.num_links(), 64 * 8 + 32 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn bad_scale_factor_panics() {
+        TwoTierParams::paper_scaled(3);
+    }
+
+    #[test]
+    fn three_tier_dimensions_and_reach() {
+        let p = ThreeTierParams::small();
+        p.validate();
+        let tt = three_tier(p);
+        assert_eq!(tt.fas.len(), 16);
+        // Links: 16×2 + 8×4 + 8×4 = 96.
+        assert_eq!(tt.topo.num_links(), 96);
+        tt.topo.validate(8);
+        let reach = tt.topo.downward_edge_reach();
+        // The spine reaches every FA.
+        for &sp in &tt.t3 {
+            assert_eq!(reach[sp.0 as usize].len(), 16);
+        }
+        // Forwarding from a tier-1 FE toward a remote pod uses up links.
+        let remote = tt.fas[15];
+        let fwd = tt.topo.forward_links(tt.t1[0], remote, &reach);
+        assert_eq!(fwd.len(), tt.topo.up_links(tt.t1[0]).len());
+    }
+
+    #[test]
+    fn single_tier_dimensions() {
+        let st = single_tier(SingleTierParams::paper_6_1());
+        assert_eq!(st.fas.len(), 24);
+        assert_eq!(st.fes.len(), 12);
+        // 24 FAs × 36 uplinks = 864 links; 72 per FE.
+        assert_eq!(st.topo.num_links(), 864);
+        for &fe in &st.fes {
+            assert_eq!(st.topo.node(fe).links.len(), 72);
+        }
+    }
+
+    #[test]
+    fn single_tier_every_fe_reaches_every_fa() {
+        let st = single_tier(SingleTierParams::paper_6_1());
+        let reach = st.topo.downward_edge_reach();
+        for &fe in &st.fes {
+            assert_eq!(reach[fe.0 as usize].len(), 24);
+        }
+    }
+
+    #[test]
+    fn kary_432_dimensions() {
+        let ft = kary(KaryParams::paper_6_3());
+        assert_eq!(ft.hosts.len(), 432);
+        assert_eq!(ft.edges.len(), 72);
+        assert_eq!(ft.aggs.len(), 72);
+        assert_eq!(ft.cores.len(), 36);
+        // Links: hosts 432 + edge-agg 12·6·6 = 432 + agg-core 12·6·6 = 432.
+        assert_eq!(ft.topo.num_links(), 432 * 3);
+        ft.topo.validate(12);
+    }
+
+    #[test]
+    fn kary_switch_radix_is_k() {
+        let ft = kary(KaryParams::paper_6_3());
+        for &e in &ft.edges {
+            assert_eq!(ft.topo.node(e).links.len(), 12);
+        }
+        for &a in &ft.aggs {
+            assert_eq!(ft.topo.node(a).links.len(), 12);
+        }
+        for &c in &ft.cores {
+            assert_eq!(ft.topo.node(c).links.len(), 12);
+        }
+    }
+
+    #[test]
+    fn kary_core_reaches_all_edges() {
+        let ft = kary(KaryParams { k: 4, ..KaryParams::paper_6_3() });
+        let reach = ft.topo.downward_edge_reach();
+        for &c in &ft.cores {
+            assert_eq!(reach[c.0 as usize].len(), ft.edges.len());
+        }
+        // Aggregation reaches only its pod's edges.
+        for &a in &ft.aggs {
+            assert_eq!(reach[a.0 as usize].len(), 2);
+        }
+    }
+
+    #[test]
+    fn node_kind_partitions() {
+        let ft = kary(KaryParams { k: 4, ..KaryParams::paper_6_3() });
+        assert_eq!(ft.topo.nodes_of_kind(NodeKind::Host).len(), 16);
+        assert_eq!(ft.topo.nodes_of_kind(NodeKind::Edge).len(), 8);
+        assert_eq!(ft.topo.nodes_of_kind(NodeKind::Fabric).len(), 8 + 4);
+    }
+}

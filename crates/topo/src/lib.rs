@@ -1,0 +1,24 @@
+//! # stardust-topo — Clos / fat-tree topology construction
+//!
+//! Builders for the network shapes the paper evaluates:
+//!
+//! * [`two_tier`] — the §6.2 simulation topology: Fabric Adapters at the
+//!   edge, two tiers of Fabric Elements (aggregation with half links down /
+//!   half up, spine with all links down), including the exact published
+//!   256 FA × (128+64) FE configuration and scaled-down variants.
+//! * [`single_tier`] — the §6.1.2 Arista-7500E-like system: 24 Fabric
+//!   Adapters, one tier of 12 Fabric Elements.
+//! * [`kary`] — the k-ary fat-tree (Al-Fares) with hosts, used by the
+//!   htsim-style transport comparison of §6.3 (k = 12 → 432 hosts).
+//!
+//! The [`Topology`] type is engine-agnostic: it records nodes, levels and
+//! full-duplex links with fiber lengths. Dynamic state — queues, failures,
+//! reachability tables — lives in the engines (`stardust-fabric`,
+//! `stardust-baseline`, `stardust-transport`), which consume a topology
+//! plus a rate plan.
+
+pub mod builders;
+pub mod graph;
+
+pub use builders::{kary, single_tier, three_tier, two_tier, KaryParams, SingleTierParams, ThreeTierParams, TwoTierParams};
+pub use graph::{LinkDir, LinkId, Node, NodeId, NodeKind, Topology};

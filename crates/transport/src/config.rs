@@ -1,0 +1,145 @@
+//! Transport-simulation configuration (defaults follow §6.3 / Appendix G).
+
+use stardust_sim::{units, SimDuration};
+
+/// The transport protocols compared in Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP NewReno over the Ethernet fat-tree.
+    Tcp,
+    /// DCTCP (ECN) over the Ethernet fat-tree.
+    Dctcp,
+    /// MPTCP with LIA coupling over ECMP subflow paths.
+    Mptcp,
+    /// Simplified DCQCN (rate-based ECN) over the Ethernet fat-tree.
+    Dcqcn,
+    /// Unmodified TCP over the Stardust scheduled fabric.
+    Stardust,
+}
+
+impl Protocol {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Tcp => "TCP",
+            Protocol::Dctcp => "DCTCP",
+            Protocol::Mptcp => "MPTCP",
+            Protocol::Dcqcn => "DCQCN",
+            Protocol::Stardust => "Stardust",
+        }
+    }
+}
+
+/// All knobs of the §6.3 environment.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Link rate everywhere (Appendix G: "All links in the system are of
+    /// 10Gbps").
+    pub link_bps: u64,
+    /// MSS for the Ethernet-path protocols (Appendix G: 9000 B).
+    pub mss: u32,
+    /// Output-queue capacity in packets (Appendix G: "100 packet output
+    /// queues").
+    pub queue_pkts: u32,
+    /// ECN marking threshold in packets (DCTCP K; htsim uses ~a third of
+    /// the buffer at 9000 B MSS).
+    pub ecn_k_pkts: u32,
+    /// Initial congestion window in MSS.
+    pub init_cwnd_mss: u32,
+    /// Initial slow-start threshold in MSS (a finite value, as htsim-style
+    /// setups use, keeps the first slow-start overshoot from dumping a
+    /// hundred segments into a 100-packet queue at once).
+    pub init_ssthresh_mss: u32,
+    /// Congestion-window cap in bytes (stands in for the receive window;
+    /// bounds ingress VOQ growth for TCP-over-Stardust).
+    pub max_cwnd_bytes: u64,
+    /// Minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// MPTCP subflow count (htsim's standard permutation setup uses 8).
+    pub subflows: u8,
+    /// DCQCN additive increase per timer period, bits/s.
+    pub dcqcn_rai_bps: u64,
+    /// DCQCN increase-timer period.
+    pub dcqcn_timer: SimDuration,
+    /// DCQCN/DCTCP EWMA gain g.
+    pub ewma_g: f64,
+    /// Stardust credit size (§6.3: 4 KB).
+    pub sd_credit_bytes: u32,
+    /// Stardust credit speedup (§6.3: 3%).
+    pub sd_speedup: f64,
+    /// Stardust one-way fabric transit latency (cells: a few µs, §6.2).
+    pub sd_fabric_latency: SimDuration,
+    /// Stardust control-message latency (request/credit).
+    pub sd_ctrl_latency: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            link_bps: units::gbps(10),
+            mss: 9_000,
+            queue_pkts: 100,
+            ecn_k_pkts: 32,
+            init_cwnd_mss: 10,
+            init_ssthresh_mss: 100,
+            max_cwnd_bytes: 12 * 1024 * 1024,
+            min_rto: SimDuration::from_millis(1),
+            subflows: 8,
+            dcqcn_rai_bps: units::mbps(100),
+            dcqcn_timer: SimDuration::from_micros(55),
+            ewma_g: 1.0 / 16.0,
+            sd_credit_bytes: 4_096,
+            sd_speedup: 0.03,
+            sd_fabric_latency: SimDuration::from_micros(3),
+            sd_ctrl_latency: SimDuration::from_micros(2),
+            seed: 0x5D_7A,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Sanity checks.
+    pub fn validate(&self) {
+        assert!(self.mss >= 64);
+        assert!(self.queue_pkts >= 4);
+        assert!(self.ecn_k_pkts < self.queue_pkts);
+        assert!(self.subflows >= 1);
+        assert!(self.sd_speedup >= 0.0 && self.sd_speedup < 0.5);
+        assert!((0.0..=1.0).contains(&self.ewma_g));
+    }
+
+    /// Queue capacity in bytes.
+    pub fn queue_bytes(&self) -> u64 {
+        self.queue_pkts as u64 * self.mss as u64
+    }
+
+    /// ECN threshold in bytes.
+    pub fn ecn_bytes(&self) -> u64 {
+        self.ecn_k_pkts as u64 * self.mss as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        TransportConfig::default().validate();
+    }
+
+    #[test]
+    fn derived_sizes() {
+        let c = TransportConfig::default();
+        assert_eq!(c.queue_bytes(), 900_000);
+        assert_eq!(c.ecn_bytes(), 288_000);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protocol::Stardust.label(), "Stardust");
+        assert_eq!(Protocol::Dcqcn.label(), "DCQCN");
+    }
+}

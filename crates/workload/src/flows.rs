@@ -1,0 +1,161 @@
+//! Flow-size distributions for the flow-completion-time experiments.
+//!
+//! Fig 10(b) replays "the Web workload from \[74\]" — Facebook's
+//! frontend-web flow sizes, as packaged with the NDP/htsim artifact the
+//! paper reproduces. The distribution is heavy at a few kilobytes with a
+//! tail into megabytes ("Even flows of 1MB have a FCT of less than a
+//! millisecond" — so the tail matters). We encode a log-spaced CDF of
+//! that shape; the exact trace is not public (see DESIGN.md).
+
+use stardust_sim::DetRng;
+
+/// A piecewise-linear (in log-size) flow-size CDF.
+#[derive(Debug, Clone)]
+pub struct FlowSizeDist {
+    pub name: &'static str,
+    /// `(size_bytes, cdf)` knots, strictly increasing in both coordinates,
+    /// ending at cdf = 1.0.
+    knots: Vec<(u64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// Build from CDF knots.
+    pub fn new(name: &'static str, knots: Vec<(u64, f64)>) -> Self {
+        assert!(knots.len() >= 2);
+        assert!(knots.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert!((knots.last().unwrap().1 - 1.0).abs() < 1e-9);
+        FlowSizeDist { name, knots }
+    }
+
+    /// The Facebook Web workload shape used by Fig 10(b): mostly small
+    /// request/response flows, tail to ~10 MB.
+    pub fn fb_web() -> Self {
+        FlowSizeDist::new(
+            "Web",
+            vec![
+                (512, 0.05),
+                (1_024, 0.15),
+                (2_048, 0.30),
+                (5_120, 0.50),
+                (10_240, 0.65),
+                (30_720, 0.80),
+                (102_400, 0.90),
+                (307_200, 0.95),
+                (1_048_576, 0.98),
+                (3_145_728, 0.995),
+                (10_485_760, 1.0),
+            ],
+        )
+    }
+
+    /// A Hadoop-like shape: larger flows, shifted tail.
+    pub fn fb_hadoop() -> Self {
+        FlowSizeDist::new(
+            "Hadoop",
+            vec![
+                (1_024, 0.05),
+                (10_240, 0.20),
+                (102_400, 0.45),
+                (1_048_576, 0.75),
+                (10_485_760, 0.95),
+                (104_857_600, 1.0),
+            ],
+        )
+    }
+
+    /// Inverse-CDF sample of a flow size in bytes (log-linear
+    /// interpolation between knots).
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.unit();
+        let mut prev = (self.knots[0].0, 0.0);
+        for &(s, c) in &self.knots {
+            if u <= c {
+                let (s0, c0) = prev;
+                let t = if c - c0 > 1e-12 { (u - c0) / (c - c0) } else { 1.0 };
+                let ls0 = (s0 as f64).ln();
+                let ls1 = (s as f64).ln();
+                return (ls0 + t * (ls1 - ls0)).exp().round() as u64;
+            }
+            prev = (s, c);
+        }
+        self.knots.last().unwrap().0
+    }
+
+    /// The CDF evaluated at `bytes` (log-linear interpolation).
+    pub fn cdf(&self, bytes: u64) -> f64 {
+        if bytes <= self.knots[0].0 {
+            return self.knots[0].1 * (bytes as f64 / self.knots[0].0 as f64);
+        }
+        for w in self.knots.windows(2) {
+            let ((s0, c0), (s1, c1)) = (w[0], w[1]);
+            if bytes <= s1 {
+                let t = ((bytes as f64).ln() - (s0 as f64).ln())
+                    / ((s1 as f64).ln() - (s0 as f64).ln());
+                return c0 + t * (c1 - c0);
+            }
+        }
+        1.0
+    }
+
+    /// Approximate mean flow size (by sampling; deterministic seed).
+    pub fn approx_mean(&self) -> f64 {
+        let mut rng = DetRng::from_label(7, "flow-mean");
+        let n = 50_000;
+        (0..n).map(|_| self.sample(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_median_is_about_5kb() {
+        let d = FlowSizeDist::fb_web();
+        assert!((d.cdf(5_120) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn samples_respect_cdf() {
+        let d = FlowSizeDist::fb_web();
+        let mut rng = DetRng::from_label(3, "fs");
+        let n = 50_000;
+        let below_10k = (0..n)
+            .filter(|_| d.sample(&mut rng) <= 10_240)
+            .count() as f64
+            / n as f64;
+        assert!((below_10k - 0.65).abs() < 0.02, "got {below_10k}");
+    }
+
+    #[test]
+    fn samples_bounded_by_knots() {
+        let d = FlowSizeDist::fb_web();
+        let mut rng = DetRng::from_label(4, "fs2");
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= 256 && s <= 10_485_760, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn hadoop_flows_are_bigger() {
+        assert!(FlowSizeDist::fb_hadoop().approx_mean() > 5.0 * FlowSizeDist::fb_web().approx_mean());
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let d = FlowSizeDist::fb_web();
+        let mut last = 0.0;
+        for b in (512..1_000_000).step_by(7919) {
+            let c = d.cdf(b);
+            assert!(c >= last - 1e-12);
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_knots_rejected() {
+        FlowSizeDist::new("bad", vec![(10, 0.5), (5, 1.0)]);
+    }
+}

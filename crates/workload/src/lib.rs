@@ -1,0 +1,19 @@
+//! # stardust-workload — traffic generation for the evaluation
+//!
+//! The workloads the paper evaluates with:
+//!
+//! * [`sizes`] — packet-size mixes shaped on the Facebook datacenter
+//!   measurements of Roy et al. \[74\] (the paper's Fig 8(b) "DB", "Web"
+//!   and "Hadoop" traces).
+//! * [`flows`] — flow-size distributions (the Fig 10(b) FCT experiment
+//!   replays the Facebook Web workload's flow sizes).
+//! * [`patterns`] — communication patterns: random permutations
+//!   (Fig 10(a)), incast groups (Fig 10(c)), all-to-all pairs (§6.2).
+
+pub mod flows;
+pub mod patterns;
+pub mod sizes;
+
+pub use flows::FlowSizeDist;
+pub use patterns::{all_to_all_pairs, incast_sources, permutation};
+pub use sizes::PacketMix;

@@ -1,0 +1,89 @@
+//! Communication patterns: permutation, incast, all-to-all.
+
+use stardust_sim::DetRng;
+
+/// A random permutation with no fixed points (a derangement): node `i`
+/// sends to `perm[i]` and `perm[i] != i`. This is the Fig 10(a) pattern:
+/// "each node in a Fat-tree continuously sends traffic to one node and
+/// receives from another, fully loading the data center."
+pub fn permutation(n: usize, rng: &mut DetRng) -> Vec<u32> {
+    assert!(n >= 2);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    loop {
+        rng.shuffle(&mut perm);
+        if perm.iter().enumerate().all(|(i, &p)| p != i as u32) {
+            return perm;
+        }
+        // Expected number of reshuffles is e ≈ 2.72; cheap.
+    }
+}
+
+/// The Fig 10(c) incast pattern: `n_backends` distinct sources (excluding
+/// the frontend itself) picked from `total` nodes, all answering frontend
+/// `dst`.
+pub fn incast_sources(total: usize, dst: u32, n_backends: usize, rng: &mut DetRng) -> Vec<u32> {
+    assert!(n_backends < total, "need at least one non-source node");
+    let mut candidates: Vec<u32> = (0..total as u32).filter(|&i| i != dst).collect();
+    rng.shuffle(&mut candidates);
+    candidates.truncate(n_backends);
+    candidates
+}
+
+/// All ordered pairs `(src, dst)` with `src != dst` — §6.2's "two flows
+/// from each Fabric Adapter to every other Fabric Adapter" uses this with
+/// a multiplicity of 2.
+pub fn all_to_all_pairs(n: usize) -> Vec<(u32, u32)> {
+    let mut v = Vec::with_capacity(n * (n - 1));
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s != d {
+                v.push((s, d));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let mut rng = DetRng::from_label(11, "perm");
+        for n in [2usize, 3, 16, 432] {
+            let p = permutation(n, &mut rng);
+            assert_eq!(p.len(), n);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+            assert!(p.iter().enumerate().all(|(i, &x)| x != i as u32));
+        }
+    }
+
+    #[test]
+    fn permutation_deterministic_per_seed() {
+        let mut a = DetRng::from_label(5, "p");
+        let mut b = DetRng::from_label(5, "p");
+        assert_eq!(permutation(100, &mut a), permutation(100, &mut b));
+    }
+
+    #[test]
+    fn incast_sources_exclude_destination() {
+        let mut rng = DetRng::from_label(13, "incast");
+        let srcs = incast_sources(432, 7, 400, &mut rng);
+        assert_eq!(srcs.len(), 400);
+        assert!(!srcs.contains(&7));
+        let mut uniq = srcs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 400);
+    }
+
+    #[test]
+    fn all_to_all_count() {
+        let pairs = all_to_all_pairs(16);
+        assert_eq!(pairs.len(), 16 * 15);
+        assert!(pairs.iter().all(|&(s, d)| s != d));
+    }
+}

@@ -1,0 +1,73 @@
+//! Datacenter planner — the paper's analytic models as a sizing tool.
+//!
+//! Given a target host count, prints what it takes to build the network
+//! as a Stardust fabric vs fat-trees at each link bundling, with device,
+//! link, cost and power totals (Figures 2 and 11, Appendix A/D).
+//!
+//! ```sh
+//! cargo run --release --example datacenter_planner -- 100000
+//! ```
+
+use stardust::model::cost::{CostConfig, PowerConfig, FIG11A_FT, FIG11A_STARDUST, FIG11B_FT};
+use stardust::model::scalability::FIG2_CONFIGS;
+
+fn main() {
+    let hosts: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    println!("=== planning a {hosts}-host data center network ===\n");
+
+    println!("{:<30} {:>6} {:>10} {:>12} {:>14}", "technology", "tiers", "devices", "serial links", "(12.8T device)");
+    for c in FIG2_CONFIGS {
+        match (c.tiers_for_hosts(hosts), c.devices_for_hosts(hosts), c.links_for_hosts(hosts)) {
+            (Some(t), Some(d), Some(l)) => {
+                println!("{:<30} {:>6} {:>10} {:>12}", c.label, t, d, l)
+            }
+            _ => println!("{:<30} {:>6}", c.label, "infeasible within 4 tiers"),
+        }
+    }
+
+    println!("\n--- bill of materials (6.4T platform generation, Table 3 prices) ---");
+    println!(
+        "{:<30} {:>6} {:>8} {:>10} {:>14} {:>10}",
+        "technology", "tiers", "ToRs", "switches", "total cost $", "vs FT L=4"
+    );
+    let mut rows: Vec<CostConfig> = vec![FIG11A_STARDUST];
+    rows.extend_from_slice(&FIG11A_FT);
+    let reference = FIG11A_FT[0].bill(hosts).map(|b| b.total());
+    for cfg in rows {
+        match cfg.bill(hosts) {
+            Some(b) => {
+                let rel = reference
+                    .map(|r| format!("{:.0}%", 100.0 * b.total() as f64 / r as f64))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{:<30} {:>6} {:>8} {:>10} {:>14.0} {:>10}",
+                    cfg.label,
+                    b.tiers,
+                    b.tors,
+                    b.fabric_switches,
+                    b.total_usd(),
+                    rel
+                );
+            }
+            None => println!("{:<30} infeasible within 4 tiers", cfg.label),
+        }
+    }
+
+    println!("\n--- power (12.8T generation, Fig 10(d) FE ratio) ---");
+    println!("{:<30} {:>14} {:>16}", "fat-tree baseline", "FT power [kW]", "Stardust rel. [%]");
+    for cfg in FIG11B_FT {
+        match (cfg.network_power_w(hosts, false), cfg.stardust_relative_power_pct(hosts)) {
+            (Some(w), Some(p)) => {
+                println!("{:<30} {:>14.1} {:>16.1}", cfg.label, w / 1e3, p)
+            }
+            _ => println!("{:<30} infeasible within 4 tiers", cfg.label),
+        }
+    }
+    let sd = PowerConfig { label: "Stardust", port_gbps: 50, ports: 256, bundle: 1 };
+    if let Some(w) = sd.network_power_w(hosts, true) {
+        println!("{:<30} {:>14.1}", "Stardust absolute", w / 1e3);
+    }
+}

@@ -1,0 +1,76 @@
+//! §5.9 / §5.10 — the self-healing fabric: fail a link under live
+//! traffic, watch the reachability protocol detect it, route around it,
+//! and re-admit it after repair.
+//!
+//! ```sh
+//! cargo run --release --example self_healing
+//! ```
+
+use stardust::fabric::{FabricConfig, FabricEngine};
+use stardust::sim::units::gbps;
+use stardust::sim::{SimDuration, SimTime};
+use stardust::topo::builders::{two_tier, TwoTierParams};
+use stardust::topo::LinkId;
+
+fn main() {
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let cfg = FabricConfig {
+        host_ports: 2,
+        host_port_bps: gbps(40),
+        // Reachability message every 10µs, 3 misses to declare failure —
+        // Appendix E's configuration scaled to the simulation.
+        reach_interval: Some(SimDuration::from_micros(10)),
+        reach_miss_threshold: 3,
+        ..FabricConfig::default()
+    };
+    let mut net = FabricEngine::new(tt.topo, cfg);
+    let n = net.num_fas() as u32;
+
+    // Continuous 20G flow from FA0 to the farthest FA.
+    net.add_cbr_flow(0, n - 1, 0, 0, gbps(20), 1500, SimTime::ZERO, SimTime::from_millis(30));
+    net.run_until(SimTime::from_millis(2));
+    let before = net.stats().packets_delivered.get();
+    println!("t=2ms: {} packets delivered, 0 lost — steady state", before);
+
+    // Fail one of FA0's two uplinks (link 0 connects FA0 to its first
+    // aggregation FE).
+    let victim = LinkId(0);
+    net.fail_link(victim);
+    println!("t=2ms: FAILED link {:?} (one of FA0's uplinks)", victim);
+
+    net.run_until(SimTime::from_millis(2) + SimDuration::from_micros(100));
+    let discarded_early = net.stats().packets_discarded.get();
+    println!(
+        "t=2.1ms: {} packets discarded while the failure was undetected",
+        discarded_early
+    );
+
+    net.run_until(SimTime::from_millis(10));
+    let discarded_total = net.stats().packets_discarded.get();
+    println!(
+        "t=10ms: discards stopped at {} — traffic now balanced over the surviving uplink",
+        discarded_total
+    );
+
+    // Repair the link; after `reach_miss_threshold` good messages it is
+    // re-admitted (§5.10: "declared valid only after the number of good
+    // reachability cells received crosses a threshold").
+    net.restore_link(victim);
+    println!("t=10ms: RESTORED link {:?}", victim);
+    net.run_until(SimTime::from_millis(30));
+
+    let s = net.stats();
+    println!(
+        "t=30ms: {} delivered, {} discarded in total, {} cells lost on the dead link",
+        s.packets_delivered.get(),
+        s.packets_discarded.get(),
+        s.cells_dropped.get()
+    );
+    assert!(s.packets_discarded.get() > 0, "the failure window loses packets");
+    assert_eq!(
+        s.packets_discarded.get(),
+        discarded_total,
+        "no loss after detection or after repair"
+    );
+    println!("\nself-healing verified: loss confined to the detection window");
+}

@@ -1,0 +1,51 @@
+//! # Stardust — divide and conquer in the data center network
+//!
+//! A complete, from-scratch reproduction of *Stardust: Divide and Conquer
+//! in the Data Center Network* (Zilberman, Bracha, Schzukin — NSDI 2019):
+//! the scheduled cell-fabric architecture, the simulators behind its
+//! evaluation, the Ethernet push-fabric and host-transport baselines it
+//! is compared against, and the analytic scale/cost/power/resilience
+//! models.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `stardust-sim` | discrete-event kernel: ps clock, calendar, links, RNG, stats |
+//! | [`model`] | `stardust-model` | Appendix A–E analytics: fat-tree math, parallelism, data path, M/D/1, silicon, cost, power, resilience |
+//! | [`topo`] | `stardust-topo` | folded-Clos / fat-tree builders (§6.1, §6.2, §6.3 shapes) |
+//! | [`fabric`] | `stardust-fabric` | **the core contribution**: Fabric Adapter + Fabric Element engine — VOQs, credits, packing, spraying, FCI, reachability |
+//! | [`baseline`] | `stardust-baseline` | push-fabric Ethernet baseline (Fig 7 / Fig 12 / §5.4) |
+//! | [`transport`] | `stardust-transport` | htsim-style host transports: TCP, DCTCP, MPTCP, DCQCN, TCP-over-Stardust (Fig 10) |
+//! | [`workload`] | `stardust-workload` | permutation / incast / all-to-all patterns, \[74\]-shaped packet and flow sizes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stardust::fabric::{FabricConfig, FabricEngine};
+//! use stardust::sim::SimTime;
+//! use stardust::topo::builders::{two_tier, TwoTierParams};
+//!
+//! // A 1/16-scale replica of the paper's §6.2 two-tier fabric.
+//! let tt = two_tier(TwoTierParams::paper_scaled(16));
+//! let mut net = FabricEngine::new(tt.topo, FabricConfig::default());
+//!
+//! // One 9 KB packet from Fabric Adapter 0 to FA 8, port 0, best effort.
+//! net.inject(SimTime::ZERO, 0, 8, 0, 0, 9000);
+//! net.run_until(SimTime::from_millis(1));
+//!
+//! assert_eq!(net.stats().packets_delivered.get(), 1);
+//! assert_eq!(net.stats().cells_dropped.get(), 0); // the fabric is lossless
+//! ```
+//!
+//! The `stardust-bench` crate regenerates every table and figure of the
+//! paper; see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+
+pub use stardust_baseline as baseline;
+pub use stardust_fabric as fabric;
+pub use stardust_model as model;
+pub use stardust_sim as sim;
+pub use stardust_topo as topo;
+pub use stardust_transport as transport;
+pub use stardust_workload as workload;

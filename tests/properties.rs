@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+use stardust::fabric::cell::{Packet, PacketId};
+use stardust::fabric::packing::pack_burst;
+use stardust::fabric::cell::BurstId;
+use stardust::fabric::spray::Sprayer;
+use stardust::fabric::voq::Voq;
+use stardust::model::fattree::FatTreeParams;
+use stardust::model::md1;
+use stardust::sim::stats::Histogram;
+use stardust::sim::units::serialization_time;
+use stardust::sim::{DetRng, EventQueue, SimTime};
+
+fn pkt(bytes: u32) -> Packet {
+    Packet {
+        id: PacketId(0),
+        src_fa: 0,
+        dst_fa: 1,
+        dst_port: 0,
+        tc: 0,
+        bytes,
+        injected_at: SimTime::ZERO,
+    }
+}
+
+proptest! {
+    /// Packing conserves payload exactly and produces at most one short
+    /// cell per burst (§3.4 / §5.3).
+    #[test]
+    fn packing_conserves_payload(sizes in prop::collection::vec(1u32..9000, 1..40)) {
+        let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+        let packets: Vec<Packet> = sizes.iter().map(|&s| pkt(s)).collect();
+        let pb = pack_burst(BurstId(0), packets, 256, 8, true, SimTime::ZERO);
+        let payload: u64 = pb.cell_sizes.iter().map(|&c| (c - 8) as u64).sum();
+        prop_assert_eq!(payload, total);
+        let short = pb.cell_sizes.iter().filter(|&&c| c < 256).count();
+        prop_assert!(short <= 1, "more than one short cell");
+        prop_assert_eq!(pb.burst.n_cells as u64, total.div_ceil(248));
+    }
+
+    /// Non-packed cells never beat packed cells on wire bytes.
+    #[test]
+    fn packing_never_loses(sizes in prop::collection::vec(1u32..9000, 1..20)) {
+        let mk = |packed| pack_burst(
+            BurstId(0),
+            sizes.iter().map(|&s| pkt(s)).collect(),
+            256, 8, packed, SimTime::ZERO,
+        );
+        prop_assert!(mk(true).wire_bytes() <= mk(false).wire_bytes());
+    }
+
+    /// VOQ grant accounting: bytes out never exceed credits in by more
+    /// than one packet, across any grant/push interleaving.
+    #[test]
+    fn voq_credit_conservation(
+        pushes in prop::collection::vec(1u32..9000, 1..50),
+        credit in 1024u64..16384,
+    ) {
+        let mut v = Voq::new();
+        let mut total_in = 0u64;
+        for &b in &pushes {
+            v.push(pkt(b));
+            total_in += b as u64;
+        }
+        let mut granted = 0u64;
+        let mut released = 0u64;
+        let max_pkt = *pushes.iter().max().unwrap() as u64;
+        for _ in 0..200 {
+            let burst = v.grant(credit, credit as i64);
+            granted += credit;
+            released += burst.iter().map(|p| p.bytes as u64).sum::<u64>();
+            if v.is_empty() { break; }
+            // Invariant: release never exceeds credit by more than the
+            // final overshooting packet.
+            prop_assert!(released <= granted + max_pkt);
+        }
+        prop_assert_eq!(released, total_in, "everything eventually drains");
+    }
+
+    /// The sprayer is perfectly balanced over any whole number of rounds.
+    #[test]
+    fn sprayer_balance(links in 1usize..64, rounds in 1u32..8, seed in any::<u64>()) {
+        let rng = DetRng::from_parts(seed, 1);
+        let mut s = Sprayer::new((0..links as u32).collect(), 4, rng);
+        let mut counts = vec![0u32; links];
+        for _ in 0..(links as u32 * rounds) {
+            counts[s.next() as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == rounds));
+    }
+
+    /// Event queue pops in nondecreasing time order regardless of the
+    /// insertion order.
+    #[test]
+    fn event_queue_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last);
+            last = ev.at;
+        }
+    }
+
+    /// Serialization time is additive: ser(a) + ser(b) == ser(a+b) up to
+    /// 1 ps of integer rounding per call.
+    #[test]
+    fn serialization_additive(a in 1u64..100_000, b in 1u64..100_000, g in 1u64..400) {
+        let rate = g * 1_000_000_000;
+        let lhs = serialization_time(a, rate) + serialization_time(b, rate);
+        let rhs = serialization_time(a + b, rate);
+        let diff = lhs.as_ps().abs_diff(rhs.as_ps());
+        prop_assert!(diff <= 2, "diff {diff}ps");
+    }
+
+    /// Histogram CCDF is monotone nonincreasing and consistent with the
+    /// sample count.
+    #[test]
+    fn histogram_ccdf_monotone(samples in prop::collection::vec(0u64..500, 1..300)) {
+        let mut h = Histogram::new(1, 512);
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let mut last = 1.0f64;
+        for n in 0..512u64 {
+            let c = h.ccdf(n);
+            prop_assert!(c <= last + 1e-12);
+            last = c;
+        }
+    }
+
+    /// Fat-tree capacity is monotone in every parameter (Appendix A).
+    #[test]
+    fn fattree_monotone(k in 2u64..64, t in 1u64..32, n in 1u32..4) {
+        let p = FatTreeParams::new(2 * k, t, 1);
+        let bigger_k = FatTreeParams::new(2 * k + 2, t, 1);
+        prop_assert!(bigger_k.max_tors(n) >= p.max_tors(n));
+        prop_assert!(p.max_tors(n + 1) >= p.max_tors(n));
+        prop_assert!(bigger_k.max_switches(n) >= 0u64.max(0));
+        // Pro-rata provisioning never exceeds the full build.
+        let full = p.max_switches(n);
+        let part = p.switches_for_tors(n, p.max_tors(n));
+        prop_assert!(part <= full + p.k);
+    }
+
+    /// M/D/1 distributions are valid probability vectors with the exact
+    /// empty probability for any utilization.
+    #[test]
+    fn md1_distribution_valid(rho_millis in 1u64..990) {
+        let rho = rho_millis as f64 / 1000.0;
+        let d = md1::queue_length_distribution(rho, 256);
+        let sum: f64 = d.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!((d[0] - (1.0 - rho)).abs() < 1e-6);
+        prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// The paper's o(fs^-2N) tail approximation is monotone in both
+    /// arguments.
+    #[test]
+    fn md1_paper_tail_monotone(fs_centi in 101u32..300, n in 1u32..64) {
+        let fs = fs_centi as f64 / 100.0;
+        let t = md1::paper_tail_approx(fs, n);
+        prop_assert!(t <= md1::paper_tail_approx(fs, n.saturating_sub(1).max(1)) + 1e-18);
+        prop_assert!(t >= md1::paper_tail_approx(fs + 0.1, n) - 1e-18);
+    }
+}
