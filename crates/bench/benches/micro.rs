@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks of the core data structures: the per-cell
-//! and per-credit costs that set the simulator's events/second, and the
+//! Micro-benchmarks of the core data structures: the per-cell and
+//! per-credit costs that set the simulator's events/second, and the
 //! analytic kernels.
+//!
+//! The build environment has no network access, so instead of Criterion
+//! this uses the tiny timing harness in [`stardust_bench::harness`]
+//! (`harness = false` in the manifest). Run with `cargo bench -p
+//! stardust-bench`; pass a substring argument to filter benchmarks.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stardust_bench::harness::Bench;
 use stardust_fabric::cell::{BurstId, Packet, PacketId};
 use stardust_fabric::packing::pack_burst;
 use stardust_fabric::spray::Sprayer;
@@ -24,114 +29,106 @@ fn pkt(bytes: u32) -> Packet {
     }
 }
 
-fn bench_packing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("packing");
-    g.sample_size(30);
-    for (name, packed) in [("packed", true), ("non_packed", false)] {
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || (0..6).map(|_| pkt(750)).collect::<Vec<_>>(),
-                |packets| pack_burst(BurstId(0), packets, 256, 8, packed, SimTime::ZERO),
-                BatchSize::SmallInput,
-            )
-        });
+fn bench_packing(b: &mut Bench) {
+    for (name, packed) in [("packing/packed", true), ("packing/non_packed", false)] {
+        b.bench_batched(
+            name,
+            30,
+            || (0..6).map(|_| pkt(750)).collect::<Vec<_>>(),
+            |packets| {
+                std::hint::black_box(pack_burst(
+                    BurstId(0),
+                    packets,
+                    256,
+                    8,
+                    packed,
+                    SimTime::ZERO,
+                ));
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_voq(c: &mut Criterion) {
-    c.bench_function("voq_push_grant_cycle", |b| {
-        let mut v = Voq::new();
-        b.iter(|| {
-            for _ in 0..6 {
-                v.push(pkt(750));
-            }
-            std::hint::black_box(v.grant(4096, 4096))
-        })
+fn bench_voq(b: &mut Bench) {
+    let mut v = Voq::new();
+    b.bench("voq_push_grant_cycle", || {
+        for _ in 0..6 {
+            v.push(pkt(750));
+        }
+        std::hint::black_box(v.grant(4096, 4096));
     });
 }
 
-fn bench_sprayer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sprayer");
-    g.sample_size(30);
+fn bench_sprayer(b: &mut Bench) {
     for links in [4u32, 32, 256] {
-        g.bench_function(format!("next_{links}_links"), |b| {
-            let rng = DetRng::from_label(1, "bench");
-            let mut s = Sprayer::new((0..links).collect(), 4, rng);
-            b.iter(|| std::hint::black_box(s.next()))
+        let rng = DetRng::from_label(1, "bench");
+        let mut s = Sprayer::new((0..links).collect(), 4, rng);
+        b.bench(&format!("sprayer/next_{links}_links"), || {
+            std::hint::black_box(s.next());
         });
     }
-    g.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some(e) = q.pop() {
-                acc = acc.wrapping_add(e.payload);
-            }
-            std::hint::black_box(acc)
-        })
+fn bench_event_queue(b: &mut Bench) {
+    b.bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some(e) = q.pop() {
+            acc = acc.wrapping_add(e.payload);
+        }
+        std::hint::black_box(acc);
     });
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("histogram_record", |b| {
-        let mut h = Histogram::new(1, 1024);
-        let mut x = 0u64;
-        b.iter(|| {
-            x = (x * 6364136223846793005 + 1) % 1024;
-            h.record(x);
-        })
+fn bench_histogram(b: &mut Bench) {
+    let mut h = Histogram::new(1, 1024);
+    let mut x = 0u64;
+    b.bench("histogram_record", || {
+        x = (x.wrapping_mul(6364136223846793005).wrapping_add(1)) % 1024;
+        h.record(x);
     });
 }
 
-fn bench_md1(c: &mut Criterion) {
-    c.bench_function("md1_distribution_256", |b| {
-        b.iter(|| std::hint::black_box(md1::queue_length_distribution(0.95, 256)))
+fn bench_md1(b: &mut Bench) {
+    b.bench("md1_distribution_256", || {
+        std::hint::black_box(md1::queue_length_distribution(0.95, 256));
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fabric_engine");
-    g.sample_size(10);
-    // Cost of simulating 50µs of a saturated 1/16-scale two-tier fabric.
-    g.bench_function("two_tier_scale16_50us", |b| {
-        b.iter_batched(
-            || {
-                let tt = two_tier(TwoTierParams::paper_scaled(16));
-                let cfg = FabricConfig {
-                    host_ports: 2,
-                    host_port_bps: stardust_sim::units::gbps(40),
-                    ..FabricConfig::default()
-                };
-                let mut e = FabricEngine::new(tt.topo, cfg);
-                e.saturate_all_to_all(750, 16 * 1024);
-                e
-            },
-            |mut e| {
-                e.run_until(SimTime::from_micros(50));
-                std::hint::black_box(e.stats().cells_delivered.get())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn bench_engine(b: &mut Bench) {
+    // Cost of simulating 50µs of a saturated 1/16-scale two-tier fabric;
+    // topology build and engine setup stay outside the timed region.
+    b.bench_batched(
+        "fabric_engine/two_tier_scale16_50us",
+        10,
+        || {
+            let tt = two_tier(TwoTierParams::paper_scaled(16));
+            let cfg = FabricConfig {
+                host_ports: 2,
+                host_port_bps: stardust_sim::units::gbps(40),
+                ..FabricConfig::default()
+            };
+            let mut e = FabricEngine::new(tt.topo, cfg);
+            e.saturate_all_to_all(750, 16 * 1024);
+            e
+        },
+        |mut e| {
+            e.run_until(SimTime::from_micros(50));
+            std::hint::black_box(e.stats().cells_delivered.get());
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_packing,
-    bench_voq,
-    bench_sprayer,
-    bench_event_queue,
-    bench_histogram,
-    bench_md1,
-    bench_engine
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_packing(&mut b);
+    bench_voq(&mut b);
+    bench_sprayer(&mut b);
+    bench_event_queue(&mut b);
+    bench_histogram(&mut b);
+    bench_md1(&mut b);
+    bench_engine(&mut b);
+}

@@ -12,19 +12,45 @@ use stardust_topo::LinkId;
 fn main() {
     let args = Args::parse();
 
-    header("Appendix E: closed-form recovery model (Table 4 example)", "quantity                          value");
+    header(
+        "Appendix E: closed-form recovery model (Table 4 example)",
+        "quantity                          value",
+    );
     let p = ResilienceParams::table4_example();
-    println!("{:<32} {:>10.1} us", "message interval t'", p.msg_interval_s() * 1e6);
+    println!(
+        "{:<32} {:>10.1} us",
+        "message interval t'",
+        p.msg_interval_s() * 1e6
+    );
     println!("{:<32} {:>10}", "messages per table M", p.msgs_per_table());
     println!("{:<32} {:>10}", "worst-case hops 2n-1", p.hops());
-    println!("{:<32} {:>10.1} us  (paper: 210)", "one propagation t", p.propagation_s() * 1e6);
-    println!("{:<32} {:>10.1} us  (paper: 630)", "simple recovery t x th", p.simple_recovery_s() * 1e6);
-    println!("{:<32} {:>10.1} us  (paper: 652)", "recovery incl. propagation", p.recovery_s() * 1e6);
-    println!("{:<32} {:>10.4} %  (paper: 0.04%)", "bandwidth overhead", p.bandwidth_overhead() * 100.0);
+    println!(
+        "{:<32} {:>10.1} us  (paper: 210)",
+        "one propagation t",
+        p.propagation_s() * 1e6
+    );
+    println!(
+        "{:<32} {:>10.1} us  (paper: 630)",
+        "simple recovery t x th",
+        p.simple_recovery_s() * 1e6
+    );
+    println!(
+        "{:<32} {:>10.1} us  (paper: 652)",
+        "recovery incl. propagation",
+        p.recovery_s() * 1e6
+    );
+    println!(
+        "{:<32} {:>10.4} %  (paper: 0.04%)",
+        "bandwidth overhead",
+        p.bandwidth_overhead() * 100.0
+    );
 
     header(
         "recovery time vs reachability interval (closed form)",
-        &format!("{:>16} {:>16} {:>14}", "interval [us]", "recovery [us]", "overhead [%]"),
+        &format!(
+            "{:>16} {:>16} {:>14}",
+            "interval [us]", "recovery [us]", "overhead [%]"
+        ),
     );
     for c in [1_000u64, 5_000, 10_000, 50_000, 100_000] {
         let mut q = ResilienceParams::table4_example();
@@ -52,7 +78,16 @@ fn main() {
     let mut e = FabricEngine::new(tt.topo, cfg);
     // Steady traffic 0 → farthest FA.
     let n = e.num_fas() as u32;
-    e.add_cbr_flow(0, n - 1, 0, 0, stardust_sim::units::gbps(20), 1500, SimTime::ZERO, SimTime::from_millis(50));
+    e.add_cbr_flow(
+        0,
+        n - 1,
+        0,
+        0,
+        stardust_sim::units::gbps(20),
+        1500,
+        SimTime::ZERO,
+        SimTime::from_millis(50),
+    );
     e.run_until(SimTime::from_millis(2));
     let delivered_before = e.stats().packets_delivered.get();
     let discarded_before = e.stats().packets_discarded.get();
@@ -67,7 +102,9 @@ fn main() {
         let t = e.now() + step;
         e.run_until(t);
         let d = e.stats().packets_discarded.get();
-        if d == last_discard && e.now().since(fail_at) > SimDuration::from_micros(interval_us * th as u64) {
+        if d == last_discard
+            && e.now().since(fail_at) > SimDuration::from_micros(interval_us * th as u64)
+        {
             // No new discards for one settling window: consider healed once
             // the table actually excluded the link.
             healed_at = Some(e.now());
@@ -77,7 +114,10 @@ fn main() {
     }
     e.run_until(SimTime::from_millis(40));
 
-    header("live self-healing measurement (fabric engine)", "quantity                          value");
+    header(
+        "live self-healing measurement (fabric engine)",
+        "quantity                          value",
+    );
     println!("{:<32} {:>10} us", "reachability interval", interval_us);
     println!("{:<32} {:>10}", "miss threshold", th);
     match healed_at {

@@ -13,8 +13,14 @@ use stardust_transport::{FlowId, Protocol, TransportConfig, TransportSim};
 use stardust_workload::permutation;
 
 fn run(proto: Protocol, k: u32, ms: u64, seed: u64) -> (Vec<f64>, u64) {
-    let ft = kary(KaryParams { k, ..KaryParams::paper_6_3() });
-    let cfg = TransportConfig { seed, ..TransportConfig::default() };
+    let ft = kary(KaryParams {
+        k,
+        ..KaryParams::paper_6_3()
+    });
+    let cfg = TransportConfig {
+        seed,
+        ..TransportConfig::default()
+    };
     let link = cfg.link_bps as f64;
     let mut sim = TransportSim::new(ft, cfg);
     let n = sim.num_hosts();
@@ -42,12 +48,24 @@ fn run(proto: Protocol, k: u32, ms: u64, seed: u64) -> (Vec<f64>, u64) {
 
 fn main() {
     let args = Args::parse();
-    let k = if args.has("full") { 12 } else { args.get_u64("k", 8) as u32 };
+    let k = if args.has("full") {
+        12
+    } else {
+        args.get_u64("k", 8) as u32
+    };
     let ms = args.get_u64("ms", 40);
     let seed = args.get_u64("seed", 42);
-    let protos = [Protocol::Mptcp, Protocol::Dctcp, Protocol::Dcqcn, Protocol::Stardust];
+    let protos = [
+        Protocol::Mptcp,
+        Protocol::Dctcp,
+        Protocol::Dcqcn,
+        Protocol::Stardust,
+    ];
 
-    println!("k = {k} fat-tree ({} hosts), {ms} ms simulated, 10G links, permutation", k * k * k / 4);
+    println!(
+        "k = {k} fat-tree ({} hosts), {ms} ms simulated, 10G links, permutation",
+        k * k * k / 4
+    );
 
     let results: Vec<(Protocol, Vec<f64>, u64)> = protos
         .iter()
@@ -62,7 +80,10 @@ fn main() {
         &format!(
             "{:>6} {}",
             "pct",
-            results.iter().map(|(p, ..)| format!("{:>10}", p.label())).collect::<String>()
+            results
+                .iter()
+                .map(|(p, ..)| format!("{:>10}", p.label()))
+                .collect::<String>()
         ),
     );
     for pct in (0..=100).step_by(5) {
@@ -76,7 +97,10 @@ fn main() {
 
     header(
         "summary",
-        &format!("{:>10} {:>12} {:>14} {:>12} {:>12}", "protocol", "mean util %", ">=9.44G flows %", "min Gbps", "net drops"),
+        &format!(
+            "{:>10} {:>12} {:>14} {:>12} {:>12}",
+            "protocol", "mean util %", ">=9.44G flows %", "min Gbps", "net drops"
+        ),
     );
     for (p, g, d) in &results {
         let mean = g.iter().sum::<f64>() / g.len() as f64;

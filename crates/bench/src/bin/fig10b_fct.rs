@@ -14,8 +14,14 @@ use stardust_transport::{FlowId, Protocol, TransportConfig, TransportSim};
 use stardust_workload::FlowSizeDist;
 
 fn run(proto: Protocol, k: u32, n_short: usize, seed: u64) -> Vec<f64> {
-    let ft = kary(KaryParams { k, ..KaryParams::paper_6_3() });
-    let cfg = TransportConfig { seed, ..TransportConfig::default() };
+    let ft = kary(KaryParams {
+        k,
+        ..KaryParams::paper_6_3()
+    });
+    let cfg = TransportConfig {
+        seed,
+        ..TransportConfig::default()
+    };
     let mut sim = TransportSim::new(ft, cfg);
     let n = sim.num_hosts() as u32;
     let mut rng = DetRng::from_label(seed, "fct-bg");
@@ -42,7 +48,7 @@ fn run(proto: Protocol, k: u32, n_short: usize, seed: u64) -> Vec<f64> {
         let size = dist.sample(&mut szrng).max(512);
         ids.push(sim.add_flow(proto, 0, n - 1, size, t));
         // Serial request/response exchanges, 200µs apart.
-        t = t + SimDuration::from_micros(200);
+        t += SimDuration::from_micros(200);
     }
     sim.run_until(t + SimDuration::from_millis(400));
     let mut fcts: Vec<f64> = ids
@@ -56,25 +62,39 @@ fn run(proto: Protocol, k: u32, n_short: usize, seed: u64) -> Vec<f64> {
 
 fn main() {
     let args = Args::parse();
-    let k = if args.has("full") { 12 } else { args.get_u64("k", 8) as u32 };
+    let k = if args.has("full") {
+        12
+    } else {
+        args.get_u64("k", 8) as u32
+    };
     let n_short = args.get_u64("flows", 200) as usize;
     let seed = args.get_u64("seed", 42);
-    let protos = [Protocol::Dctcp, Protocol::Dcqcn, Protocol::Mptcp, Protocol::Stardust];
+    let protos = [
+        Protocol::Dctcp,
+        Protocol::Dcqcn,
+        Protocol::Mptcp,
+        Protocol::Stardust,
+    ];
 
     println!(
         "k = {k} fat-tree, {n_short} Web-workload flows host0→host{}, 4 background flows/node",
         k * k * k / 4 - 1
     );
 
-    let results: Vec<(Protocol, Vec<f64>)> =
-        protos.iter().map(|&p| (p, run(p, k, n_short, seed))).collect();
+    let results: Vec<(Protocol, Vec<f64>)> = protos
+        .iter()
+        .map(|&p| (p, run(p, k, n_short, seed)))
+        .collect();
 
     header(
         "Figure 10(b): FCT CDF [ms]",
         &format!(
             "{:>8} {}",
             "CDF %",
-            results.iter().map(|(p, _)| format!("{:>10}", p.label())).collect::<String>()
+            results
+                .iter()
+                .map(|(p, _)| format!("{:>10}", p.label()))
+                .collect::<String>()
         ),
     );
     for pct in [10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99, 100] {
@@ -91,7 +111,10 @@ fn main() {
     }
     header(
         "summary",
-        &format!("{:>10} {:>10} {:>12} {:>12} {:>12}", "protocol", "completed", "median ms", "p99 ms", "max ms"),
+        &format!(
+            "{:>10} {:>10} {:>12} {:>12} {:>12}",
+            "protocol", "completed", "median ms", "p99 ms", "max ms"
+        ),
     );
     for (p, fcts) in &results {
         if fcts.is_empty() {

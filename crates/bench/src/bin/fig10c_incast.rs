@@ -14,8 +14,14 @@ use stardust_workload::incast_sources;
 const RESPONSE_BYTES: u64 = 450_000;
 
 fn run(proto: Protocol, k: u32, backends: usize, seed: u64) -> (f64, f64, u64) {
-    let ft = kary(KaryParams { k, ..KaryParams::paper_6_3() });
-    let cfg = TransportConfig { seed, ..TransportConfig::default() };
+    let ft = kary(KaryParams {
+        k,
+        ..KaryParams::paper_6_3()
+    });
+    let cfg = TransportConfig {
+        seed,
+        ..TransportConfig::default()
+    };
     let mut sim = TransportSim::new(ft, cfg);
     let n = sim.num_hosts();
     let frontend = 0u32;
@@ -32,7 +38,10 @@ fn run(proto: Protocol, k: u32, backends: usize, seed: u64) -> (f64, f64, u64) {
         .map(|d| d.as_secs_f64() * 1e3)
         .collect();
     let unfinished = ids.len() - fcts.len();
-    assert_eq!(unfinished, 0, "{proto:?} with {backends} backends left {unfinished} flows unfinished");
+    assert_eq!(
+        unfinished, 0,
+        "{proto:?} with {backends} backends left {unfinished} flows unfinished"
+    );
     let first = fcts.iter().cloned().fold(f64::INFINITY, f64::min);
     let last = fcts.iter().cloned().fold(0.0, f64::max);
     (first, last, sim.counters.drops.get())
@@ -40,7 +49,11 @@ fn run(proto: Protocol, k: u32, backends: usize, seed: u64) -> (f64, f64, u64) {
 
 fn main() {
     let args = Args::parse();
-    let k = if args.has("full") { 12 } else { args.get_u64("k", 8) as u32 };
+    let k = if args.has("full") {
+        12
+    } else {
+        args.get_u64("k", 8) as u32
+    };
     let seed = args.get_u64("seed", 42);
     let max_backends = (k * k * k / 4 - 1) as usize;
     let steps: Vec<usize> = [10, 25, 50, 100, 150, 200, 300, 400]
@@ -60,7 +73,12 @@ fn main() {
             "backends",
             protos
                 .iter()
-                .map(|p| format!("{:>12}-first {:>11}-last {:>6}drops", p.label(), p.label(), ""))
+                .map(|p| format!(
+                    "{:>12}-first {:>11}-last {:>6}drops",
+                    p.label(),
+                    p.label(),
+                    ""
+                ))
                 .collect::<String>(),
             "ideal last"
         ),

@@ -10,10 +10,21 @@ use stardust_model::silicon::{
 };
 
 fn main() {
-    header("Figure 10(d): Fabric Element (B) vs standard switch (A)", "component                    B/A");
+    header(
+        "Figure 10(d): Fabric Element (B) vs standard switch (A)",
+        "component                    B/A",
+    );
     let r = FIG10D_AREA_RATIOS;
-    println!("{:<24} {:>8.1}%", "Header Processing", r.header_processing * 100.0);
-    println!("{:<24} {:>8.1}%", "Network Interface", r.network_interface * 100.0);
+    println!(
+        "{:<24} {:>8.1}%",
+        "Header Processing",
+        r.header_processing * 100.0
+    );
+    println!(
+        "{:<24} {:>8.1}%",
+        "Network Interface",
+        r.network_interface * 100.0
+    );
     println!("{:<24} {:>8.1}%", "Other logic", r.other_logic * 100.0);
     println!("{:<24} {:>8.1}%", "I/O", r.io * 100.0);
     println!(
@@ -36,7 +47,10 @@ fn main() {
 
     header(
         "Appendix C: lookup-table sizes (N hosts, 40/rack, radix 256)",
-        &format!("{:>12} {:>22} {:>22} {:>8}", "hosts", "ToR IPv4 table [bits]", "FE reach table [bits]", "ratio"),
+        &format!(
+            "{:>12} {:>22} {:>22} {:>8}",
+            "hosts", "ToR IPv4 table [bits]", "FE reach table [bits]", "ratio"
+        ),
     );
     for hosts in [10_000u64, 32_000, 100_000, 1_000_000] {
         let a = tor_route_table_bits(hosts, 256);

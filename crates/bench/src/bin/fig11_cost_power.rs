@@ -14,7 +14,10 @@ fn main() {
         &format!(
             "{:>10} {}",
             "hosts",
-            FIG11A_FT.iter().map(|c| format!("{:>26}", c.label)).collect::<String>()
+            FIG11A_FT
+                .iter()
+                .map(|c| format!("{:>26}", c.label))
+                .collect::<String>()
         ),
     );
     for &h in &hosts_axis {
@@ -32,7 +35,15 @@ fn main() {
         "Figure 11(a) detail: absolute bill of materials at 100K hosts [USD]",
         &format!(
             "{:<28} {:>6} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>14}",
-            "config", "tiers", "ToRs", "switches", "platforms$", "optics$", "fiber$", "cabling$", "total$"
+            "config",
+            "tiers",
+            "ToRs",
+            "switches",
+            "platforms$",
+            "optics$",
+            "fiber$",
+            "cabling$",
+            "total$"
         ),
     );
     let mut rows: Vec<CostConfig> = FIG11A_FT.to_vec();
@@ -59,7 +70,10 @@ fn main() {
         &format!(
             "{:>10} {}",
             "hosts",
-            FIG11B_FT.iter().map(|c| format!("{:>26}", c.label)).collect::<String>()
+            FIG11B_FT
+                .iter()
+                .map(|c| format!("{:>26}", c.label))
+                .collect::<String>()
         ),
     );
     for &h in &hosts_axis {

@@ -11,7 +11,10 @@ use stardust_model::scalability::FIG2_CONFIGS;
 fn main() {
     header(
         "Figure 2(a): end hosts vs number of tiers",
-        &format!("{:<30} {:>12} {:>14} {:>16} {:>18}", "config", "1 tier", "2 tiers", "3 tiers", "4 tiers"),
+        &format!(
+            "{:<30} {:>12} {:>14} {:>16} {:>18}",
+            "config", "1 tier", "2 tiers", "3 tiers", "4 tiers"
+        ),
     );
     for c in FIG2_CONFIGS {
         print!("{:<30}", c.label);
@@ -25,7 +28,10 @@ fn main() {
 
     header(
         "Figure 2(b): network devices required vs end hosts",
-        &format!("{:<30} {}", "config", "devices at 100K..1M hosts (step 100K)"),
+        &format!(
+            "{:<30} {}",
+            "config", "devices at 100K..1M hosts (step 100K)"
+        ),
     );
     for c in FIG2_CONFIGS {
         print!("{:<30}", c.label);

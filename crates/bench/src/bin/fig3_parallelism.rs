@@ -8,7 +8,10 @@ fn main() {
     let d = DeviceParams::fig3();
     header(
         "Figure 3: required parallelism vs packet size",
-        &format!("{:>10} {:>18} {:>24}", "size [B]", "standard switch", "stardust fabric element"),
+        &format!(
+            "{:>10} {:>18} {:>24}",
+            "size [B]", "standard switch", "stardust fabric element"
+        ),
     );
     let sd = d.stardust_fe_parallelism();
     for s in (64..=2560).step_by(64) {
@@ -19,10 +22,16 @@ fn main() {
             sd
         );
     }
-    println!("\nAppendix B worked example (64 B): P = {:.3} (paper: 19.047)",
-        d.required_parallelism_packets(64));
-    println!("Improvement at 513 B: {:.0}% (paper: 41%)",
-        (d.standard_switch_parallelism(513) / sd - 1.0) * 100.0);
-    println!("Improvement at 1025 B: {:.0}% (paper: 18%)",
-        (d.standard_switch_parallelism(1025) / sd - 1.0) * 100.0);
+    println!(
+        "\nAppendix B worked example (64 B): P = {:.3} (paper: 19.047)",
+        d.required_parallelism_packets(64)
+    );
+    println!(
+        "Improvement at 513 B: {:.0}% (paper: 41%)",
+        (d.standard_switch_parallelism(513) / sd - 1.0) * 100.0
+    );
+    println!(
+        "Improvement at 1025 B: {:.0}% (paper: 18%)",
+        (d.standard_switch_parallelism(1025) / sd - 1.0) * 100.0
+    );
 }

@@ -83,7 +83,10 @@ fn main() {
     };
     header(
         title,
-        &format!("{:<26} {:>12} {:>12} {:>14} {:>14}", "fabric", "A [Gbps]", "B [Gbps]", "fabric drops", "note"),
+        &format!(
+            "{:<26} {:>12} {:>12} {:>14} {:>14}",
+            "fabric", "A [Gbps]", "B [Gbps]", "fabric drops", "note"
+        ),
     );
     let rate = |bytes: u64| (bytes as f64 * 8.0 / window.as_secs_f64() / 1e9).min(100.0);
     let pa = rate(push.stats().delivered_per_port[2][0]);

@@ -39,7 +39,11 @@ fn main() {
 
     // Worst-case dips (the paper's "up to 15%, 30% and 49% better").
     println!();
-    for d in [Design::ReferenceSwitch, Design::NdpSwitch, Design::CellsNonPacked] {
+    for d in [
+        Design::ReferenceSwitch,
+        Design::NdpSwitch,
+        Design::CellsNonPacked,
+    ] {
         let worst = (64..=1514)
             .map(|s| p.relative_throughput(d, s))
             .fold(1.0f64, f64::min);
@@ -53,7 +57,10 @@ fn main() {
 
     header(
         "Figure 8(b): throughput [%] on trace-shaped packet mixes",
-        &format!("{:>8} {:>10} {:>8} {:>10}", "trace", "Switch", "Cell", "Stardust"),
+        &format!(
+            "{:>8} {:>10} {:>8} {:>10}",
+            "trace", "Switch", "Cell", "Stardust"
+        ),
     );
     for mix in PacketMix::fig8b() {
         let t = |d: Design| p.trace_throughput(d, mix.entries()) * 100.0;

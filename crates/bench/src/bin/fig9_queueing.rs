@@ -40,21 +40,30 @@ fn run_point(util: f64, scale: u32, ms: u64) -> FabricEngine {
 
 fn main() {
     let args = Args::parse();
-    let scale = if args.has("full") { 1 } else { args.get_u64("scale", 16) as u32 };
+    let scale = if args.has("full") {
+        1
+    } else {
+        args.get_u64("scale", 16) as u32
+    };
     let ms = args.get_u64("ms", 3);
     let utils = [0.66, 0.8, 0.92, 0.95, 1.2];
 
     println!("topology: paper_6_2 / scale {scale}; {ms} ms simulated per point");
 
-    let engines: Vec<(f64, FabricEngine)> =
-        utils.iter().map(|&u| (u, run_point(u, scale, ms))).collect();
+    let engines: Vec<(f64, FabricEngine)> = utils
+        .iter()
+        .map(|&u| (u, run_point(u, scale, ms)))
+        .collect();
 
     header(
         "Figure 9 (left): fabric traversal latency distribution [probability per 1µs bin]",
         &format!(
             "{:>10} {}",
             "lat [us]",
-            utils.iter().map(|u| format!("{u:>9.2}")).collect::<String>()
+            utils
+                .iter()
+                .map(|u| format!("{u:>9.2}"))
+                .collect::<String>()
         ),
     );
     for bin_us in 0..16u64 {
@@ -77,7 +86,10 @@ fn main() {
         &format!(
             "{:>8} {}   {}",
             "n",
-            utils.iter().map(|u| format!("{u:>10.2}")).collect::<String>(),
+            utils
+                .iter()
+                .map(|u| format!("{u:>10.2}"))
+                .collect::<String>(),
             "M/D/1 @0.95"
         ),
     );
@@ -94,7 +106,13 @@ fn main() {
         "summary per utilization point",
         &format!(
             "{:>6} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12}",
-            "util", "eff util", "mean lat us", "p99 lat us", "cells lost", "fci marks", "max egress B"
+            "util",
+            "eff util",
+            "mean lat us",
+            "p99 lat us",
+            "cells lost",
+            "fci marks",
+            "max egress B"
         ),
     );
     for (u, e) in &engines {

@@ -41,7 +41,12 @@ fn main() {
     let params = if args.has("full") {
         SingleTierParams::paper_6_1()
     } else {
-        SingleTierParams { num_fa: 8, fa_uplinks: 12, fe_count: 4, meters: 2 }
+        SingleTierParams {
+            num_fa: 8,
+            fa_uplinks: 12,
+            fe_count: 4,
+            meters: 2,
+        }
     };
     println!(
         "single-tier system: {} FAs x {} uplinks over {} FEs, {} ms per point",

@@ -1,0 +1,114 @@
+//! A tiny self-contained micro-benchmark harness.
+//!
+//! The build environment has no network access, so Criterion is not
+//! available; this module provides the small subset the workspace needs:
+//! warmup, repeated timed batches, and a median-of-batches report in
+//! ns/iter. Bench targets set `harness = false` and call this from `main`.
+
+use std::time::Instant;
+
+/// Runs named benchmark closures and prints one line per benchmark.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Build from `std::env::args`: the first non-flag argument (if any)
+    /// is a substring filter on benchmark names. The libtest-style
+    /// `--bench` flag passed by `cargo bench` is ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Bench { filter }
+    }
+
+    /// Benchmark `f` with the default batch count.
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        self.bench_n(name, 30, f);
+    }
+
+    /// Benchmark `routine` over inputs produced by `setup`, excluding
+    /// `setup` from the timed region (the equivalent of Criterion's
+    /// `iter_batched`): each batch pre-builds its inputs, then times only
+    /// the routine over them.
+    pub fn bench_batched<I>(
+        &mut self,
+        name: &str,
+        batches: u32,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I),
+    ) {
+        if let Some(ref pat) = self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
+        // Calibrate iters-per-batch on the routine alone (inputs built
+        // outside the timed window), capped to bound input storage.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                routine(input);
+            }
+            if t.elapsed().as_millis() >= 1 || iters >= 1 << 16 {
+                break;
+            }
+            iters *= 8;
+        }
+        let mut samples: Vec<f64> = (0..batches)
+            .map(|_| {
+                let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                let t = Instant::now();
+                for input in inputs {
+                    routine(input);
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!(
+            "{name:<44} {median:>12.1} ns/iter (best {best:.1}, {iters} iters x {batches} batches)"
+        );
+    }
+
+    /// Benchmark `f` over `batches` timed batches and report the median.
+    pub fn bench_n(&mut self, name: &str, batches: u32, mut f: impl FnMut()) {
+        if let Some(ref pat) = self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: grow iters-per-batch until a batch takes >= 1 ms,
+        // so short closures are timed over many iterations.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_millis() >= 1 || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 8;
+        }
+        let mut samples: Vec<f64> = (0..batches)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!(
+            "{name:<44} {median:>12.1} ns/iter (best {best:.1}, {iters} iters x {batches} batches)"
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! # stardust-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see `src/bin/`), each
-//! printing the rows/series the paper reports, plus Criterion
-//! micro-benchmarks of the core data structures (see `benches/`).
+//! printing the rows/series the paper reports, plus micro-benchmarks of
+//! the core data structures (see `benches/`, built on the dependency-free
+//! [`harness`] module).
 //!
 //! Every binary accepts `--scale <n>` (topology scale-down divisor where
 //! applicable), `--ms <n>` (simulated milliseconds) and `--full` (run the
@@ -11,6 +12,8 @@
 //! the larger settings.
 
 use std::collections::HashMap;
+
+pub mod harness;
 
 /// Minimal `--key value` / `--flag` argument parser (no dependency).
 #[derive(Debug, Default)]
@@ -47,7 +50,10 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.kv
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -55,7 +61,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.kv
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -77,7 +86,7 @@ pub fn commas(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

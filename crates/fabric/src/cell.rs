@@ -26,6 +26,7 @@ pub struct BurstId(pub u64);
 /// parses further than a ToR would.
 #[derive(Debug, Clone, Copy)]
 pub struct Packet {
+    /// Globally unique packet id (injection order).
     pub id: PacketId,
     /// Source Fabric Adapter index.
     pub src_fa: u32,
@@ -50,7 +51,9 @@ pub struct Packet {
 /// on the wire, §5.3).
 #[derive(Debug, Clone, Copy)]
 pub struct Cell {
+    /// Source Fabric Adapter index.
     pub src_fa: u32,
+    /// Destination Fabric Adapter index.
     pub dst_fa: u32,
     /// Burst this cell belongs to.
     pub burst: BurstId,
@@ -70,10 +73,15 @@ pub struct Cell {
 /// by the destination FA's reassembly stage.
 #[derive(Debug, Clone)]
 pub struct Burst {
+    /// Burst id, unique per source FA.
     pub id: BurstId,
+    /// Source Fabric Adapter index.
     pub src_fa: u32,
+    /// Destination Fabric Adapter index.
     pub dst_fa: u32,
+    /// Destination host port on the destination FA.
     pub dst_port: u8,
+    /// Traffic class.
     pub tc: u8,
     /// The packets packed into this burst, in order.
     pub packets: Vec<Packet>,

@@ -1,6 +1,6 @@
 //! Fabric configuration knobs (defaults follow the paper's §6 setups).
 
-use stardust_sim::{SimDuration, units};
+use stardust_sim::{units, SimDuration};
 
 /// All tunables of a Stardust fabric instance.
 #[derive(Debug, Clone)]
@@ -140,7 +140,7 @@ impl FabricConfig {
     /// Sanity checks; call after hand-editing a config.
     pub fn validate(&self) {
         assert!(self.cell_header_bytes < self.cell_bytes);
-        assert!(self.credit_bytes as u32 >= self.cell_payload());
+        assert!(self.credit_bytes >= self.cell_payload());
         assert!(self.credit_speedup >= 0.0 && self.credit_speedup < 0.5);
         assert!(self.fci_min > 0.0 && self.fci_min <= 1.0);
         assert!((0.0..=1.0).contains(&self.fci_decrease));

@@ -47,7 +47,13 @@ enum Ev {
     /// A cell arrived at the far end of a link direction.
     CellArrive { dir: u32, cell: Cell },
     /// VOQ demand announcement reaching the destination's scheduler.
-    CtrlRequest { dst_fa: u32, port: u8, tc: u8, src_fa: u32, bytes: u64 },
+    CtrlRequest {
+        dst_fa: u32,
+        port: u8,
+        tc: u8,
+        src_fa: u32,
+        bytes: u64,
+    },
     /// A credit grant reaching the source FA.
     CtrlCredit { src_fa: u32, key: VoqKey },
     /// Per-port credit pacing tick at a destination FA.
@@ -60,7 +66,13 @@ enum Ev {
     ReachTick { node: NodeId },
     /// A reachability advertisement arriving at `node` on local `port`.
     /// `faulty` carries the sender's self-assessment of the link (§5.10).
-    ReachMsg { node: NodeId, port: u16, kind: AdKind, fas: Rc<Vec<u32>>, faulty: bool },
+    ReachMsg {
+        node: NodeId,
+        port: u16,
+        kind: AdKind,
+        fas: Rc<Vec<u32>>,
+        faulty: bool,
+    },
     /// Reassembly deadline for a burst.
     BurstTimeout { burst: BurstId },
     /// Next packet of a constant-bit-rate flow.
@@ -154,7 +166,10 @@ struct FeState {
 }
 
 /// Measurements collected by the engine.
-#[derive(Debug)]
+///
+/// Derives `PartialEq`/`Eq` so determinism tests can assert that two runs
+/// with the same seed produce **bit-identical** measurements.
+#[derive(Debug, PartialEq, Eq)]
 pub struct FabricStats {
     /// Per-cell fabric traversal latency (uplink enqueue → dst FA), ns bins.
     pub cell_latency_ns: Histogram,
@@ -166,8 +181,11 @@ pub struct FabricStats {
     pub fe_queue: Histogram,
     /// FA uplink queues, same sampling.
     pub fa_uplink_queue: Histogram,
+    /// Cells put on a fabric wire.
     pub cells_sent: Counter,
+    /// Cells that reached their destination FA.
     pub cells_delivered: Counter,
+    /// Cells dropped inside the fabric (must stay 0: the fabric is lossless).
     pub cells_dropped: Counter,
     /// Cells lost to injected link errors (CRC-failed, §5.10).
     pub cells_corrupted: Counter,
@@ -176,11 +194,17 @@ pub struct FabricStats {
     pub ingress_drops: Counter,
     /// CBR source ticks deferred by host flow control (§5.4).
     pub host_fc_pauses: Counter,
+    /// Fabric Congestion Indication marks observed (§5.6).
     pub fci_marks: Counter,
+    /// Packets handed to `inject` / generated by sources.
     pub packets_injected: Counter,
+    /// Packets fully reassembled and played out at egress.
     pub packets_delivered: Counter,
+    /// Packets discarded at reassembly (corrupted member cells).
     pub packets_discarded: Counter,
+    /// Payload bytes of delivered packets.
     pub bytes_delivered: Counter,
+    /// Scheduler credits issued to source FAs.
     pub credits_sent: Counter,
     /// Delivered payload bytes per destination FA.
     pub delivered_per_fa: Vec<u64>,
@@ -275,12 +299,8 @@ impl FabricEngine {
             for from_end in 0..2u8 {
                 let src = link.end(from_end);
                 let dst = link.dst_of(from_end);
-                let dst_port_index = topo
-                    .node(dst)
-                    .links
-                    .iter()
-                    .position(|&x| x == l)
-                    .unwrap() as u16;
+                let dst_port_index =
+                    topo.node(dst).links.iter().position(|&x| x == l).unwrap() as u16;
                 let src_is_fe = fe_of_node[src.0 as usize] != u32::MAX;
                 let dst_is_fa = fa_of_node[dst.0 as usize] != u32::MAX;
                 dirs.push(DirState {
@@ -377,7 +397,14 @@ impl FabricEngine {
                     reach.seed(p, to_fa_idx(&static_reach[peer.0 as usize]));
                 }
             }
-            fes.push(FeState { node: n, links, out_dirs, up_facing, sprayers: HashMap::new(), reach });
+            fes.push(FeState {
+                node: n,
+                links,
+                out_dirs,
+                up_facing,
+                sprayers: HashMap::new(),
+                reach,
+            });
         }
 
         let dynamic_reach = cfg.reach_interval.is_some();
@@ -462,7 +489,10 @@ impl FabricEngine {
 
     /// The saturation targets of an FA, if it is in saturation mode.
     pub fn saturation_targets(&self, fa: u32) -> Option<&[(u32, u8, u8)]> {
-        self.fas[fa as usize].sat.as_ref().map(|s| s.targets.as_slice())
+        self.fas[fa as usize]
+            .sat
+            .as_ref()
+            .map(|s| s.targets.as_slice())
     }
 
     /// Exclude samples before `at` from the distribution statistics
@@ -482,14 +512,25 @@ impl FabricEngine {
         tc: u8,
         bytes: u32,
     ) -> PacketId {
-        assert_ne!(src_fa, dst_fa, "self-destined traffic does not enter the fabric");
+        assert_ne!(
+            src_fa, dst_fa,
+            "self-destined traffic does not enter the fabric"
+        );
         assert!((dst_fa as usize) < self.fas.len());
         assert!(dst_port < self.cfg.host_ports);
         assert!(tc < self.cfg.num_tcs);
         assert!(bytes > 0);
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
-        let pkt = Packet { id, src_fa, dst_fa, dst_port, tc, bytes, injected_at: at };
+        let pkt = Packet {
+            id,
+            src_fa,
+            dst_fa,
+            dst_port,
+            tc,
+            bytes,
+            injected_at: at,
+        };
         self.events.schedule(at, Ev::Inject { pkt });
         id
     }
@@ -513,7 +554,15 @@ impl FabricEngine {
         assert_ne!(src_fa, dst_fa);
         let interval = serialization_time(pkt_bytes as u64, rate_bps);
         let id = self.flows.len() as u32;
-        self.flows.push(CbrFlow { src_fa, dst_fa, dst_port, tc, pkt_bytes, interval, stop });
+        self.flows.push(CbrFlow {
+            src_fa,
+            dst_fa,
+            dst_port,
+            tc,
+            pkt_bytes,
+            interval,
+            stop,
+        });
         self.events.schedule(start, Ev::FlowTick { flow: id });
     }
 
@@ -529,10 +578,20 @@ impl FabricEngine {
                 .filter(|&d| d != src)
                 .map(|d| (d, ((src + d) % ports as u32) as u8, 0u8))
                 .collect();
-            self.fas[src as usize].sat =
-                Some(SatState { packet_bytes, backlog_bytes, targets: targets.clone() });
+            self.fas[src as usize].sat = Some(SatState {
+                packet_bytes,
+                backlog_bytes,
+                targets: targets.clone(),
+            });
             for (dst, port, tc) in targets {
-                self.top_up_voq(src, VoqKey { dst_fa: dst, dst_port: port, tc });
+                self.top_up_voq(
+                    src,
+                    VoqKey {
+                        dst_fa: dst,
+                        dst_port: port,
+                        tc,
+                    },
+                );
             }
         }
     }
@@ -614,17 +673,25 @@ impl FabricEngine {
         match ev {
             Ev::TxDone { dir } => self.on_tx_done(now, dir),
             Ev::CellArrive { dir, cell } => self.on_cell_arrive(now, dir, cell),
-            Ev::CtrlRequest { dst_fa, port, tc, src_fa, bytes } => {
-                self.on_request(now, dst_fa, port, tc, src_fa, bytes)
-            }
+            Ev::CtrlRequest {
+                dst_fa,
+                port,
+                tc,
+                src_fa,
+                bytes,
+            } => self.on_request(now, dst_fa, port, tc, src_fa, bytes),
             Ev::CtrlCredit { src_fa, key } => self.on_credit(now, src_fa, key),
             Ev::CreditTick { fa, port } => self.on_credit_tick(now, fa, port),
             Ev::PortTxDone { fa, port } => self.on_port_tx_done(now, fa, port),
             Ev::Inject { pkt } => self.on_inject(now, pkt),
             Ev::ReachTick { node } => self.on_reach_tick(now, node),
-            Ev::ReachMsg { node, port, kind, fas, faulty } => {
-                self.on_reach_msg(now, node, port, kind, &fas, faulty)
-            }
+            Ev::ReachMsg {
+                node,
+                port,
+                kind,
+                fas,
+                faulty,
+            } => self.on_reach_msg(now, node, port, kind, &fas, faulty),
             Ev::BurstTimeout { burst } => self.on_burst_timeout(now, burst),
             Ev::FlowTick { flow } => self.on_flow_tick(now, flow),
         }
@@ -638,14 +705,19 @@ impl FabricEngine {
         // §5.4 host flow control: a backlogged VOQ pauses its host source
         // instead of dropping — the tick re-arms without injecting.
         if let Some((hi, _lo)) = self.cfg.host_fc {
-            let key = VoqKey { dst_fa: f.dst_fa, dst_port: f.dst_port, tc: f.tc };
+            let key = VoqKey {
+                dst_fa: f.dst_fa,
+                dst_port: f.dst_port,
+                tc: f.tc,
+            };
             let backlog = self.fas[f.src_fa as usize]
                 .voqs
                 .get(&key)
                 .map_or(0, |v| v.bytes());
             if backlog + f.pkt_bytes as u64 > hi {
                 self.stats.host_fc_pauses.inc();
-                self.events.schedule(now + f.interval, Ev::FlowTick { flow });
+                self.events
+                    .schedule(now + f.interval, Ev::FlowTick { flow });
                 return;
             }
         }
@@ -661,7 +733,8 @@ impl FabricEngine {
             injected_at: now,
         };
         self.dispatch(now, Ev::Inject { pkt });
-        self.events.schedule(now + f.interval, Ev::FlowTick { flow });
+        self.events
+            .schedule(now + f.interval, Ev::FlowTick { flow });
     }
 
     // --- cell transport ---
@@ -745,10 +818,8 @@ impl FabricEngine {
     fn forward_at_fe(&mut self, now: SimTime, fe: usize, cell: Cell) {
         let dst = cell.dst_fa;
         let generation = self.fes[fe].reach.generation;
-        let needs_build = match self.fes[fe].sprayers.get(&dst) {
-            Some((g, _)) if *g == generation => false,
-            _ => true,
-        };
+        let needs_build =
+            !matches!(self.fes[fe].sprayers.get(&dst), Some((g, _)) if *g == generation);
         if needs_build {
             let st = &self.fes[fe];
             let eligible = st.reach.eligible(dst);
@@ -865,14 +936,23 @@ impl FabricEngine {
         // must keep the aggregate low-latency bandwidth small, as the
         // paper assumes.
         if Some(pkt.tc) == self.cfg.low_latency_tc {
-            self.transmit_burst(now, pkt.src_fa, VoqKey {
-                dst_fa: pkt.dst_fa,
-                dst_port: pkt.dst_port,
-                tc: pkt.tc,
-            }, vec![pkt]);
+            self.transmit_burst(
+                now,
+                pkt.src_fa,
+                VoqKey {
+                    dst_fa: pkt.dst_fa,
+                    dst_port: pkt.dst_port,
+                    tc: pkt.tc,
+                },
+                vec![pkt],
+            );
             return;
         }
-        let key = VoqKey { dst_fa: pkt.dst_fa, dst_port: pkt.dst_port, tc: pkt.tc };
+        let key = VoqKey {
+            dst_fa: pkt.dst_fa,
+            dst_port: pkt.dst_port,
+            tc: pkt.tc,
+        };
         let fa = &mut self.fas[pkt.src_fa as usize];
         let src_fa = pkt.src_fa;
         let voq = fa.voqs.entry(key).or_default();
@@ -933,10 +1013,15 @@ impl FabricEngine {
                     now + ctrl_latency,
                     Ev::CtrlCredit {
                         src_fa: voq.src_fa,
-                        key: VoqKey { dst_fa: fa, dst_port: port, tc: voq.tc },
+                        key: VoqKey {
+                            dst_fa: fa,
+                            dst_port: port,
+                            tc: voq.tc,
+                        },
                     },
                 );
-                self.events.schedule(now + interval, Ev::CreditTick { fa, port });
+                self.events
+                    .schedule(now + interval, Ev::CreditTick { fa, port });
             }
         }
     }
@@ -984,10 +1069,10 @@ impl FabricEngine {
         // Spray.
         let dst = key.dst_fa;
         let generation = self.fas[src_fa as usize].reach.generation;
-        let needs_build = match self.fas[src_fa as usize].sprayers.get(&dst) {
-            Some((g, _)) if *g == generation => false,
-            _ => true,
-        };
+        let needs_build = !matches!(
+            self.fas[src_fa as usize].sprayers.get(&dst),
+            Some((g, _)) if *g == generation
+        );
         if needs_build {
             let eligible = self.fas[src_fa as usize].reach.eligible(dst);
             if eligible.is_empty() {
@@ -998,7 +1083,9 @@ impl FabricEngine {
             }
             let rng = DetRng::from_parts(self.seed, ((src_fa as u64) << 20) | dst as u64);
             let sprayer = Sprayer::new(eligible, self.cfg.spray_rounds_per_shuffle, rng);
-            self.fas[src_fa as usize].sprayers.insert(dst, (generation, sprayer));
+            self.fas[src_fa as usize]
+                .sprayers
+                .insert(dst, (generation, sprayer));
         }
         let n_cells = pb.burst.n_cells;
         for seq in 0..n_cells {
@@ -1065,7 +1152,10 @@ impl FabricEngine {
     // --- reachability protocol ---
 
     fn on_reach_tick(&mut self, now: SimTime, node: NodeId) {
-        let interval = self.cfg.reach_interval.expect("reach tick without interval");
+        let interval = self
+            .cfg
+            .reach_interval
+            .expect("reach tick without interval");
         let th = self.cfg.reach_miss_threshold as u64;
         let deadline_ago = SimDuration::from_ps(interval.as_ps().saturating_mul(th));
         let deadline = SimTime(now.as_ps().saturating_sub(deadline_ago.as_ps()));
@@ -1129,7 +1219,13 @@ impl FabricEngine {
         let faulty = d.error_rate > FAULTY_BER_THRESHOLD;
         self.events.schedule(
             now + d.prop,
-            Ev::ReachMsg { node: d.dst_node, port: d.dst_port_index, kind, fas, faulty },
+            Ev::ReachMsg {
+                node: d.dst_node,
+                port: d.dst_port_index,
+                kind,
+                fas,
+                faulty,
+            },
         );
     }
 
@@ -1250,7 +1346,11 @@ mod tests {
         e.begin_measurement(SimTime::from_micros(200));
         e.run_until(SimTime::from_millis(2));
         assert!(e.stats().packets_delivered.get() > 1000);
-        assert_eq!(e.stats().cells_dropped.get(), 0, "scheduled fabric is lossless");
+        assert_eq!(
+            e.stats().cells_dropped.get(),
+            0,
+            "scheduled fabric is lossless"
+        );
         // The last-stage queue distribution collected samples.
         assert!(e.stats().last_stage_queue.count() > 1000);
     }
@@ -1264,14 +1364,7 @@ mod tests {
         // Every other FA sends a 100KB burst to FA 0 port 0.
         for src in 1..n {
             for i in 0..100 {
-                e.inject(
-                    SimTime::from_nanos(i * 100),
-                    src,
-                    0,
-                    0,
-                    0,
-                    1000,
-                );
+                e.inject(SimTime::from_nanos(i * 100), src, 0, 0, 0, 1000);
             }
         }
         e.run_until(SimTime::from_millis(10));
@@ -1325,7 +1418,12 @@ mod tests {
 
     #[test]
     fn single_tier_system_works() {
-        let st = single_tier(SingleTierParams { num_fa: 8, fa_uplinks: 8, fe_count: 4, meters: 2 });
+        let st = single_tier(SingleTierParams {
+            num_fa: 8,
+            fa_uplinks: 8,
+            fe_count: 4,
+            meters: 2,
+        });
         let mut e = FabricEngine::new(st.topo, cfg_small());
         for src in 0..8u32 {
             e.inject(SimTime::ZERO, src, (src + 3) % 8, 0, 0, 9000);
@@ -1340,16 +1438,16 @@ mod tests {
         // Without the reachability protocol a failed link silently eats
         // its share of cells (motivates §5.9's self-healing).
         let mut e = small_engine(cfg_small());
-        let fa0_uplink = {
-            let tt_link = e.fas[0].uplinks[0];
-            tt_link
-        };
+        let fa0_uplink = e.fas[0].uplinks[0];
         e.fail_link(fa0_uplink);
         for i in 0..50 {
             e.inject(SimTime::from_nanos(i * 1000), 0, 8, 0, 0, 4000);
         }
         e.run_until(SimTime::from_millis(5));
-        assert!(e.stats().packets_discarded.get() > 0, "some bursts must time out");
+        assert!(
+            e.stats().packets_discarded.get() > 0,
+            "some bursts must time out"
+        );
         assert!(e.stats().cells_dropped.get() > 0);
     }
 
@@ -1430,11 +1528,22 @@ mod tests {
             cfg.host_fc = fc.then_some((12 * 1024, 8 * 1024));
             let mut e = small_engine(cfg);
             for src in 1..8u32 {
-                e.add_cbr_flow(src, 0, 0, 0, stardust_sim::units::gbps(40), 1500,
-                    SimTime::ZERO, SimTime::from_millis(2));
+                e.add_cbr_flow(
+                    src,
+                    0,
+                    0,
+                    0,
+                    stardust_sim::units::gbps(40),
+                    1500,
+                    SimTime::ZERO,
+                    SimTime::from_millis(2),
+                );
             }
             e.run_until(SimTime::from_millis(4));
-            (e.stats().ingress_drops.get(), e.stats().host_fc_pauses.get())
+            (
+                e.stats().ingress_drops.get(),
+                e.stats().host_fc_pauses.get(),
+            )
         };
         let (drops_nofc, pauses_nofc) = run(false);
         let (drops_fc, pauses_fc) = run(true);
@@ -1452,8 +1561,16 @@ mod tests {
         let mut e = small_engine(cfg);
         // Offer far more toward one port than it can drain.
         for src in 1..8u32 {
-            e.add_cbr_flow(src, 0, 0, 0, stardust_sim::units::gbps(40), 1500,
-                SimTime::ZERO, SimTime::from_millis(2));
+            e.add_cbr_flow(
+                src,
+                0,
+                0,
+                0,
+                stardust_sim::units::gbps(40),
+                1500,
+                SimTime::ZERO,
+                SimTime::from_millis(2),
+            );
         }
         e.run_until(SimTime::from_millis(4));
         let s = e.stats();
@@ -1523,8 +1640,26 @@ mod tests {
         let mut e = small_engine(cfg);
         // Two saturating flows of different classes into one port.
         let stop = SimTime::from_millis(4);
-        e.add_cbr_flow(1, 0, 0, 0, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
-        e.add_cbr_flow(2, 0, 0, 1, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
+        e.add_cbr_flow(
+            1,
+            0,
+            0,
+            0,
+            stardust_sim::units::gbps(40),
+            1500,
+            SimTime::ZERO,
+            stop,
+        );
+        e.add_cbr_flow(
+            2,
+            0,
+            0,
+            1,
+            stardust_sim::units::gbps(40),
+            1500,
+            SimTime::ZERO,
+            stop,
+        );
         e.run_until(SimTime::from_millis(4));
         let a = e.stats().delivered_per_fa[0];
         assert!(a > 0);
@@ -1538,14 +1673,35 @@ mod tests {
         let mut cfg2 = cfg_small();
         cfg2.sched_policy = SchedPolicy::Strict;
         let mut e2 = small_engine(cfg2);
-        e2.add_cbr_flow(1, 0, 0, 0, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
-        e2.add_cbr_flow(2, 0, 0, 1, stardust_sim::units::gbps(40), 1500, SimTime::ZERO, stop);
+        e2.add_cbr_flow(
+            1,
+            0,
+            0,
+            0,
+            stardust_sim::units::gbps(40),
+            1500,
+            SimTime::ZERO,
+            stop,
+        );
+        e2.add_cbr_flow(
+            2,
+            0,
+            0,
+            1,
+            stardust_sim::units::gbps(40),
+            1500,
+            SimTime::ZERO,
+            stop,
+        );
         e2.run_until(SimTime::from_millis(4));
         // Low class delivered strictly more under WRR than under strict.
         // (Both runs share seeds and arrival patterns.)
         let low_wrr = e.stats().packets_delivered.get();
         let low_strict = e2.stats().packets_delivered.get();
-        assert!(low_wrr >= low_strict, "wrr {low_wrr} vs strict {low_strict}");
+        assert!(
+            low_wrr >= low_strict,
+            "wrr {low_wrr} vs strict {low_strict}"
+        );
     }
 
     #[test]
@@ -1561,8 +1717,7 @@ mod tests {
         // Spine links occupy the tail of the link list: FA uplinks come
         // first (num_fa × t), then t1↔t2.
         let first_spine_link = 16 * 2;
-        let spine_links: Vec<u32> =
-            (first_spine_link..tt.topo.num_links() as u32).collect();
+        let spine_links: Vec<u32> = (first_spine_link..tt.topo.num_links() as u32).collect();
         let mut e = FabricEngine::new(tt.topo, cfg);
         // Disable half the spine (every other link).
         for &l in spine_links.iter().step_by(2) {
@@ -1571,14 +1726,25 @@ mod tests {
         e.run_until(SimTime::from_micros(500)); // protocol converges
         let stop1 = SimTime::from_millis(3);
         for src in 0..8u32 {
-            e.add_cbr_flow(src, src + 8, 0, 0, stardust_sim::units::gbps(30), 1500,
-                e.now(), stop1);
+            e.add_cbr_flow(
+                src,
+                src + 8,
+                0,
+                0,
+                stardust_sim::units::gbps(30),
+                1500,
+                e.now(),
+                stop1,
+            );
         }
         e.run_until(stop1 + SimDuration::from_millis(1));
         let delivered_half = e.stats().packets_delivered.get();
         let discarded_half = e.stats().packets_discarded.get();
         assert!(delivered_half > 0);
-        assert_eq!(discarded_half, 0, "partially populated fabric is still lossless");
+        assert_eq!(
+            discarded_half, 0,
+            "partially populated fabric is still lossless"
+        );
 
         // "Install" the missing Fabric Elements live.
         for &l in spine_links.iter().step_by(2) {
@@ -1588,7 +1754,16 @@ mod tests {
         let t2 = e.now();
         let stop2 = t2 + SimDuration::from_millis(3);
         for src in 0..8u32 {
-            e.add_cbr_flow(src, src + 8, 0, 0, stardust_sim::units::gbps(30), 1500, t2, stop2);
+            e.add_cbr_flow(
+                src,
+                src + 8,
+                0,
+                0,
+                stardust_sim::units::gbps(30),
+                1500,
+                t2,
+                stop2,
+            );
         }
         e.run_until(stop2 + SimDuration::from_millis(1));
         assert_eq!(e.stats().packets_discarded.get(), 0);

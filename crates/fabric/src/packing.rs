@@ -15,6 +15,7 @@ use stardust_sim::SimTime;
 /// Result of packing one burst: the burst record plus per-cell wire sizes.
 #[derive(Debug)]
 pub struct PackedBurst {
+    /// The burst record (packets, cell count, timestamps).
     pub burst: Burst,
     /// Wire bytes of each cell (header + payload share).
     pub cell_sizes: Vec<u16>,

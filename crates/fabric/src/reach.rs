@@ -38,7 +38,12 @@ pub struct PortReach {
 
 impl Default for PortReach {
     fn default() -> Self {
-        PortReach { up: true, fas: Vec::new(), last_heard: SimTime::ZERO, good_streak: 0 }
+        PortReach {
+            up: true,
+            fas: Vec::new(),
+            last_heard: SimTime::ZERO,
+            good_streak: 0,
+        }
     }
 }
 
@@ -55,7 +60,10 @@ pub struct ReachTable {
 impl ReachTable {
     /// A table over `n` ports, initially up with empty advertisements.
     pub fn new(n: usize) -> Self {
-        ReachTable { ports: vec![PortReach::default(); n], generation: 0 }
+        ReachTable {
+            ports: vec![PortReach::default(); n],
+            generation: 0,
+        }
     }
 
     /// Seed a port's advertised set without bumping the generation (used
@@ -67,7 +75,13 @@ impl ReachTable {
 
     /// Record an advertisement received on `port`. Returns `true` if the
     /// eligibility view changed (set differs or link revived).
-    pub fn on_advert(&mut self, port: usize, fas: &[u32], now: SimTime, revive_streak: u32) -> bool {
+    pub fn on_advert(
+        &mut self,
+        port: usize,
+        fas: &[u32],
+        now: SimTime,
+        revive_streak: u32,
+    ) -> bool {
         let p = &mut self.ports[port];
         p.last_heard = now;
         let mut changed = false;

@@ -27,7 +27,9 @@ use std::collections::{HashMap, VecDeque};
 /// (the destination port is implicit — one scheduler per port).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SchedVoq {
+    /// Source Fabric Adapter index.
     pub src_fa: u32,
+    /// Traffic class.
     pub tc: u8,
 }
 
@@ -79,8 +81,15 @@ impl PortScheduler {
         fci_hold: SimDuration,
     ) -> Self {
         Self::with_policy(
-            port_bps, credit_bytes, speedup, num_tcs, fci_decrease, fci_recover, fci_min,
-            fci_hold, SchedPolicy::Strict,
+            port_bps,
+            credit_bytes,
+            speedup,
+            num_tcs,
+            fci_decrease,
+            fci_recover,
+            fci_min,
+            fci_hold,
+            SchedPolicy::Strict,
         )
     }
 
@@ -176,7 +185,10 @@ impl PortScheduler {
         let order = self.class_order();
         for tc in order {
             while let Some(src) = self.rings[tc].pop_front() {
-                let voq = SchedVoq { src_fa: src, tc: tc as u8 };
+                let voq = SchedVoq {
+                    src_fa: src,
+                    tc: tc as u8,
+                };
                 let Some(p) = self.pending.get_mut(&voq) else {
                     continue; // stale ring entry
                 };

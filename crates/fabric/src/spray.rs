@@ -38,6 +38,9 @@ impl Sprayer {
     }
 
     /// The next link to send a cell on.
+    // Deliberately named like `Iterator::next`; the sprayer is an infinite
+    // round-robin source, not an `Iterator` (it never returns `None`).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u32 {
         let link = self.perm[self.ptr];
         self.ptr += 1;

@@ -17,8 +17,11 @@ use std::collections::VecDeque;
 /// VOQ address: (destination FA, destination port, traffic class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VoqKey {
+    /// Destination Fabric Adapter index.
     pub dst_fa: u32,
+    /// Destination host port on that FA.
     pub dst_port: u8,
+    /// Traffic class.
     pub tc: u8,
 }
 
@@ -174,7 +177,11 @@ mod tests {
         // the balance recovers.
         v.push(pkt(9000));
         let b2 = v.grant(4096, 4096);
-        assert!(b2.is_empty(), "debt {} must gate the next burst", v.balance());
+        assert!(
+            b2.is_empty(),
+            "debt {} must gate the next burst",
+            v.balance()
+        );
         let b3 = v.grant(4096, 4096);
         assert_eq!(b3.len(), 1);
     }

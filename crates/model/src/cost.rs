@@ -12,6 +12,9 @@
 use crate::fattree::FatTreeParams;
 
 /// Table 3 — indicative component costs, in US cents (integer math).
+// Constants are written as dollars_cents (435_00 = $435.00), which clippy
+// misreads as inconsistent digit grouping.
+#[allow(clippy::inconsistent_digit_grouping)]
 pub mod prices {
     /// Edgecore AS7816-64X, 64×100GE (used as ToR/FA and FT switch).
     pub const SWITCH_PLATFORM: u64 = 16_200_00;
@@ -63,9 +66,27 @@ pub struct CostConfig {
 
 /// The Figure 11(a) fat-tree configurations (6.4 Tb/s, 25G lanes).
 pub const FIG11A_FT: [CostConfig; 3] = [
-    CostConfig { label: "FT, 100Gx64 Port (L=4)", port_gbps: 100, ports: 64, bundle: 4, stardust: false },
-    CostConfig { label: "FT, 50Gx128 Port (L=2)", port_gbps: 50, ports: 128, bundle: 2, stardust: false },
-    CostConfig { label: "FT, 25Gx256 Port (L=1)", port_gbps: 25, ports: 256, bundle: 1, stardust: false },
+    CostConfig {
+        label: "FT, 100Gx64 Port (L=4)",
+        port_gbps: 100,
+        ports: 64,
+        bundle: 4,
+        stardust: false,
+    },
+    CostConfig {
+        label: "FT, 50Gx128 Port (L=2)",
+        port_gbps: 50,
+        ports: 128,
+        bundle: 2,
+        stardust: false,
+    },
+    CostConfig {
+        label: "FT, 25Gx256 Port (L=1)",
+        port_gbps: 25,
+        ports: 256,
+        bundle: 1,
+        stardust: false,
+    },
 ];
 
 /// The Stardust configuration priced against them.
@@ -80,14 +101,21 @@ pub const FIG11A_STARDUST: CostConfig = CostConfig {
 /// Itemized bill of materials for a network of `hosts` end hosts.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BillOfMaterials {
+    /// Number of switching tiers.
     pub tiers: u32,
+    /// ToR (or Fabric Adapter) count.
     pub tors: u64,
+    /// Fabric switch (or Fabric Element) count.
     pub fabric_switches: u64,
     /// Cost in cents.
     pub tor_cost: u64,
+    /// Fabric switch cost in cents.
     pub fabric_cost: u64,
+    /// Server-cabling cost in cents.
     pub server_cabling: u64,
+    /// Transceiver cost in cents.
     pub transceivers: u64,
+    /// Fiber cost in cents.
     pub fibers: u64,
 }
 
@@ -154,10 +182,14 @@ impl CostConfig {
         // evenly across the `tiers` layers (equal aggregate bandwidth per
         // layer in a fully provisioned fat-tree).
         let bundles = ft.bundles_for_tors(tiers, tors);
-        let bundles_last = if tiers >= 2 { bundles / tiers as u64 } else { 0 };
+        let bundles_last = if tiers >= 2 {
+            bundles / tiers as u64
+        } else {
+            0
+        };
         let bundles_near = bundles - bundles_last;
-        let fibers =
-            bundles_near * self.bundle * prices::FIBER_10M + bundles_last * self.bundle * prices::FIBER_100M;
+        let fibers = bundles_near * self.bundle * prices::FIBER_10M
+            + bundles_last * self.bundle * prices::FIBER_100M;
 
         Some(BillOfMaterials {
             tiers,
@@ -187,18 +219,42 @@ impl CostConfig {
 /// A power-comparison configuration of the 12.8 Tb/s device family.
 #[derive(Debug, Clone, Copy)]
 pub struct PowerConfig {
+    /// Human-readable row label, as in Fig 11(b).
     pub label: &'static str,
+    /// Per-port speed in Gb/s.
     pub port_gbps: u64,
+    /// Port count per device.
     pub ports: u64,
+    /// Links bundled per logical port.
     pub bundle: u64,
 }
 
 /// The Figure 11(b) fat-tree configurations.
 pub const FIG11B_FT: [PowerConfig; 4] = [
-    PowerConfig { label: "FT, 400Gx32 Port (L=8)", port_gbps: 400, ports: 32, bundle: 8 },
-    PowerConfig { label: "FT, 200Gx64 Port (L=4)", port_gbps: 200, ports: 64, bundle: 4 },
-    PowerConfig { label: "FT, 100Gx128 Port (L=2)", port_gbps: 100, ports: 128, bundle: 2 },
-    PowerConfig { label: "FT, 50Gx256 Port (L=1)", port_gbps: 50, ports: 256, bundle: 1 },
+    PowerConfig {
+        label: "FT, 400Gx32 Port (L=8)",
+        port_gbps: 400,
+        ports: 32,
+        bundle: 8,
+    },
+    PowerConfig {
+        label: "FT, 200Gx64 Port (L=4)",
+        port_gbps: 200,
+        ports: 64,
+        bundle: 4,
+    },
+    PowerConfig {
+        label: "FT, 100Gx128 Port (L=2)",
+        port_gbps: 100,
+        ports: 128,
+        bundle: 2,
+    },
+    PowerConfig {
+        label: "FT, 50Gx256 Port (L=1)",
+        port_gbps: 50,
+        ports: 256,
+        bundle: 1,
+    },
 ];
 
 /// Nominal switch platform power in watts (the paper quotes a 150–310 W
@@ -208,6 +264,7 @@ pub const SWITCH_POWER_W: f64 = 230.0;
 pub const LINK_POWER_W: f64 = 3.0;
 /// Figure 11(b) edge assumption, as in Figure 2.
 pub const POWER_HOSTS_PER_TOR: u64 = 40;
+/// Figure 11(b) edge assumption: 100 Gb/s per server.
 pub const POWER_HOST_GBPS: u64 = 100;
 
 impl PowerConfig {
@@ -277,8 +334,10 @@ mod tests {
         assert!(b.tor_cost > 0 && b.fabric_cost > 0);
         assert!(b.transceivers > 0 && b.fibers > 0 && b.server_cabling > 0);
         assert_eq!(b.tors, 2500);
-        assert_eq!(b.total(),
-            b.tor_cost + b.fabric_cost + b.server_cabling + b.transceivers + b.fibers);
+        assert_eq!(
+            b.total(),
+            b.tor_cost + b.fabric_cost + b.server_cabling + b.transceivers + b.fibers
+        );
     }
 
     #[test]
@@ -329,7 +388,12 @@ mod tests {
         // "78% saving within the network fabric" for small networks:
         // Stardust needs fewer tiers *and* cheaper watts per device.
         let ft = FIG11B_FT[1]; // 200G×64, needs 2 tiers at 10K hosts
-        let sd_cfg = PowerConfig { label: "sd", port_gbps: 50, ports: 256, bundle: 1 };
+        let sd_cfg = PowerConfig {
+            label: "sd",
+            port_gbps: 50,
+            ports: 256,
+            bundle: 1,
+        };
         let sd = sd_cfg.fabric_power_w(10_000, true).unwrap();
         let base = ft.fabric_power_w(10_000, false).unwrap();
         let saving = 1.0 - sd / base;

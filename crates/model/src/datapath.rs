@@ -101,7 +101,10 @@ impl Platform {
 
     /// Same platform at a different clock (used for the 180/200 MHz claims).
     pub fn at_clock(self, hz: u64) -> Self {
-        Platform { clock_hz: hz, ..self }
+        Platform {
+            clock_hz: hz,
+            ..self
+        }
     }
 
     /// Aggregate line rate on the wire (bits/s, includes IPG/preamble).
@@ -260,8 +263,8 @@ mod tests {
             );
         }
         // And at 150 MHz it does not.
-        let any_below = (64..=1514)
-            .any(|s| p().relative_throughput(Design::ReferenceSwitch, s) < 0.99);
+        let any_below =
+            (64..=1514).any(|s| p().relative_throughput(Design::ReferenceSwitch, s) < 0.99);
         assert!(any_below);
     }
 
@@ -269,7 +272,11 @@ mod tests {
     fn stardust_beats_everyone_everywhere() {
         for s in (64..=1514).step_by(3) {
             let sd = p().relative_throughput(Design::StardustPacked, s);
-            for d in [Design::ReferenceSwitch, Design::NdpSwitch, Design::CellsNonPacked] {
+            for d in [
+                Design::ReferenceSwitch,
+                Design::NdpSwitch,
+                Design::CellsNonPacked,
+            ] {
                 assert!(
                     sd >= p().relative_throughput(d, s) - 1e-9,
                     "{d:?} beats stardust at {s}B"

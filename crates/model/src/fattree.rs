@@ -57,7 +57,7 @@ impl FatTreeParams {
     /// `(2n−1)/2ⁿ⁻¹ · t · kⁿ⁻¹`.
     pub fn max_switches(&self, n: u32) -> u64 {
         assert!(n >= 1);
-        (2 * n as u64 - 1) * self.t * self.k.pow(n - 1) >> (n - 1)
+        ((2 * n as u64 - 1) * self.t * self.k.pow(n - 1)) >> (n - 1)
     }
 
     /// Fabric switches needed *per ToR*: `(2n−1) · t / k` (as a ratio; use

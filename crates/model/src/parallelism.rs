@@ -77,8 +77,7 @@ impl DeviceParams {
     /// bus, so the requirement is flat at `B / (8·W·f)` regardless of the
     /// original packet size.
     pub fn stardust_fe_parallelism(&self) -> f64 {
-        self.bandwidth_bps as f64
-            / (8.0 * self.bus_width_bytes as f64 * self.pipeline_rate())
+        self.bandwidth_bps as f64 / (8.0 * self.bus_width_bytes as f64 * self.pipeline_rate())
     }
 }
 
@@ -138,12 +137,8 @@ mod tests {
         let d = DeviceParams::fig3();
         // Crossing a 256B boundary adds a bus cycle: 257B costs more
         // parallelism than 256B.
-        assert!(
-            d.standard_switch_parallelism(257) > d.standard_switch_parallelism(256) * 1.5
-        );
-        assert!(
-            d.standard_switch_parallelism(513) > d.standard_switch_parallelism(512) * 1.3
-        );
+        assert!(d.standard_switch_parallelism(257) > d.standard_switch_parallelism(256) * 1.5);
+        assert!(d.standard_switch_parallelism(513) > d.standard_switch_parallelism(512) * 1.3);
     }
 
     #[test]
@@ -159,7 +154,10 @@ mod tests {
             let std = d.standard_switch_parallelism(s);
             assert!(std >= sd * 0.92, "at {s}B standard fell far below stardust");
             if s % 256 >= 1 && s % 256 <= 128 && s > 256 {
-                assert!(std > sd, "at {s}B (unaligned) standard should exceed stardust");
+                assert!(
+                    std > sd,
+                    "at {s}B (unaligned) standard should exceed stardust"
+                );
             }
         }
     }
@@ -177,11 +175,12 @@ mod tests {
         // §2.3: "Increasing the data path width eases the requirements for
         // large packets, but not for small ones."
         let narrow = DeviceParams::fig3();
-        let wide = DeviceParams { bus_width_bytes: 512, ..DeviceParams::fig3() };
+        let wide = DeviceParams {
+            bus_width_bytes: 512,
+            ..DeviceParams::fig3()
+        };
         // Large packets: fewer parallel buses needed with a wider bus.
-        assert!(
-            wide.standard_switch_parallelism(2048) < narrow.standard_switch_parallelism(2048)
-        );
+        assert!(wide.standard_switch_parallelism(2048) < narrow.standard_switch_parallelism(2048));
         // Small packets: the per-packet rate dominates; no improvement.
         assert_eq!(
             wide.standard_switch_parallelism(64),

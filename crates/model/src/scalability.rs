@@ -27,14 +27,35 @@ pub struct BundleConfig {
 /// The four configurations plotted in Figure 2 (12.8 Tb/s device,
 /// 50 Gb/s serdes lanes).
 pub const FIG2_CONFIGS: [BundleConfig; 4] = [
-    BundleConfig { label: "FT, 400Gx32 Port (L=8)", port_gbps: 400, ports: 32, bundle: 8 },
-    BundleConfig { label: "FT, 200Gx64 Port (L=4)", port_gbps: 200, ports: 64, bundle: 4 },
-    BundleConfig { label: "FT, 100Gx128 Port (L=2)", port_gbps: 100, ports: 128, bundle: 2 },
-    BundleConfig { label: "Stardust, 50Gx256 Port (L=1)", port_gbps: 50, ports: 256, bundle: 1 },
+    BundleConfig {
+        label: "FT, 400Gx32 Port (L=8)",
+        port_gbps: 400,
+        ports: 32,
+        bundle: 8,
+    },
+    BundleConfig {
+        label: "FT, 200Gx64 Port (L=4)",
+        port_gbps: 200,
+        ports: 64,
+        bundle: 4,
+    },
+    BundleConfig {
+        label: "FT, 100Gx128 Port (L=2)",
+        port_gbps: 100,
+        ports: 128,
+        bundle: 2,
+    },
+    BundleConfig {
+        label: "Stardust, 50Gx256 Port (L=1)",
+        port_gbps: 50,
+        ports: 256,
+        bundle: 1,
+    },
 ];
 
 /// Figure 2's edge assumption: 40 servers per ToR, each at 100 Gb/s.
 pub const HOSTS_PER_TOR: u64 = 40;
+/// Figure 2's edge assumption: each server connects at 100 Gb/s.
 pub const HOST_LINK_GBPS: u64 = 100;
 
 impl BundleConfig {
@@ -135,8 +156,10 @@ mod tests {
     #[test]
     fn fig2b_stardust_needs_fewest_devices() {
         for hosts in [100_000u64, 400_000, 1_000_000] {
-            let devs: Vec<Option<u64>> =
-                FIG2_CONFIGS.iter().map(|c| c.devices_for_hosts(hosts)).collect();
+            let devs: Vec<Option<u64>> = FIG2_CONFIGS
+                .iter()
+                .map(|c| c.devices_for_hosts(hosts))
+                .collect();
             let sd = devs[3].unwrap();
             for (i, d) in devs.iter().enumerate().take(3) {
                 if let Some(d) = d {
@@ -159,8 +182,10 @@ mod tests {
     #[test]
     fn fig2c_stardust_needs_fewest_links() {
         for hosts in [200_000u64, 600_000, 1_000_000] {
-            let links: Vec<Option<u64>> =
-                FIG2_CONFIGS.iter().map(|c| c.links_for_hosts(hosts)).collect();
+            let links: Vec<Option<u64>> = FIG2_CONFIGS
+                .iter()
+                .map(|c| c.links_for_hosts(hosts))
+                .collect();
             let sd = links[3].unwrap();
             for l in links.iter().take(3).flatten() {
                 assert!(sd <= *l, "hosts={hosts}");

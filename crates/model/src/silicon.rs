@@ -24,9 +24,13 @@
 /// Published per-component area ratios (device B / device A), Fig 10(d).
 #[derive(Debug, Clone, Copy)]
 pub struct ComponentRatios {
+    /// Header-processing (parser/match-action) area ratio.
     pub header_processing: f64,
+    /// Network-interface (MAC/PCS) area ratio.
     pub network_interface: f64,
+    /// Remaining logic (buffers, scheduling, control) area ratio.
     pub other_logic: f64,
+    /// I/O (serdes ring) area ratio.
     pub io: f64,
 }
 
@@ -58,9 +62,13 @@ pub const POWER_RATIOS: ComponentRatios = ComponentRatios {
 /// breakdowns the paper cites.
 #[derive(Debug, Clone, Copy)]
 pub struct ComponentWeights {
+    /// Header-processing share of the die.
     pub header_processing: f64,
+    /// Network-interface (MAC/PCS) share of the die.
     pub network_interface: f64,
+    /// Remaining-logic share of the die.
     pub other_logic: f64,
+    /// I/O (serdes ring) share of the die.
     pub io: f64,
 }
 
@@ -74,6 +82,7 @@ pub const DEVICE_A_WEIGHTS: ComponentWeights = ComponentWeights {
 
 /// Device bandwidths used for the per-Tbps normalization.
 pub const DEVICE_A_TBPS: f64 = 12.8;
+/// Device B bandwidth (Tb/s), Fig 10(d).
 pub const DEVICE_B_TBPS: f64 = 9.6;
 
 impl ComponentWeights {
@@ -134,6 +143,7 @@ pub fn voq_memory_bytes(n: u64) -> u64 {
 /// the device area, "largely compensated by the saving on network-fabric
 /// facing interfaces, a gain of 70% per port" — so FA area ≈ ToR area.
 pub const FA_STARDUST_LOGIC_FRACTION: f64 = 0.08;
+/// Appendix C: per-port area gain on fabric-facing interfaces (70%).
 pub const FABRIC_FACING_PORT_AREA_GAIN: f64 = 0.70;
 
 /// Rough net FA area relative to a ToR: the Stardust logic added, minus
@@ -169,7 +179,12 @@ mod tests {
     #[test]
     fn fe_is_smaller_in_every_component() {
         let r = FIG10D_AREA_RATIOS;
-        for v in [r.header_processing, r.network_interface, r.other_logic, r.io] {
+        for v in [
+            r.header_processing,
+            r.network_interface,
+            r.other_logic,
+            r.io,
+        ] {
             assert!(v < 1.0);
         }
     }

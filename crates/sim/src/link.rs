@@ -98,7 +98,11 @@ impl LinkClock {
     /// Enqueue a frame of `bytes` at time `now`; returns the time the last
     /// bit has been serialized (start of propagation).
     pub fn depart(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if self.free_at > now { self.free_at } else { now };
+        let start = if self.free_at > now {
+            self.free_at
+        } else {
+            now
+        };
         let done = start + self.profile.serialize(bytes);
         self.free_at = done;
         done

@@ -9,13 +9,23 @@
 //!    component must not perturb the draws seen by another, so each
 //!    component derives its own labelled stream instead of sharing one RNG.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A labelled deterministic random stream.
+///
+/// Backed by a self-contained xoshiro256++ generator (seeded through
+/// SplitMix64) so the simulation has **zero external dependencies** and the
+/// byte-for-byte output of a run can never drift under a dependency upgrade.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// FNV-1a 64-bit hash, used to mix stream labels into the master seed.
@@ -31,12 +41,22 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 impl DetRng {
+    /// Seed the xoshiro256++ state from a single mixed 64-bit value.
+    fn seed_from_u64(mixed: u64) -> Self {
+        let mut sm = mixed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state }
+    }
+
     /// Derive a stream from a master seed and a textual label.
     pub fn from_label(master_seed: u64, label: &str) -> Self {
         let mixed = master_seed ^ fnv1a(label.as_bytes()).rotate_left(17);
-        DetRng {
-            inner: SmallRng::seed_from_u64(mixed),
-        }
+        DetRng::seed_from_u64(mixed)
     }
 
     /// Derive a stream from a master seed and a numeric component id
@@ -45,38 +65,54 @@ impl DetRng {
         let mixed = master_seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9));
-        DetRng {
-            inner: SmallRng::seed_from_u64(mixed),
-        }
+        DetRng::seed_from_u64(mixed)
     }
 
     /// Fork an independent child stream (used when a component spawns
     /// sub-components at runtime).
     pub fn fork(&mut self, tag: u64) -> DetRng {
-        let s = self.inner.next_u64();
+        let s = self.next_u64();
         DetRng::from_parts(s, tag)
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Unbiased via rejection sampling on the top of the range.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Largest multiple of n that fits in u64; reject draws above it.
+        let zone = u64::MAX - (u64::MAX % n + 1) % n;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % n;
+            }
+        }
     }
 
     /// Uniform `usize` in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index(0)");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0,1]`).

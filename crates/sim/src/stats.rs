@@ -8,7 +8,7 @@ use std::fmt;
 
 /// A fixed-width-bin histogram over `u64` samples (e.g. queue depth in
 /// cells, latency in nanoseconds).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     bin_width: u64,
     bins: Vec<u64>,
@@ -187,7 +187,7 @@ impl fmt::Display for Histogram {
 }
 
 /// A named monotonically increasing counter.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(pub u64);
 
 impl Counter {
@@ -399,7 +399,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0, 0);
         tw.set(10, 4); // value 0 for 10 units
         tw.set(20, 0); // value 4 for 10 units
-        // mean over [0,20] = (0*10 + 4*10)/20 = 2
+                       // mean over [0,20] = (0*10 + 4*10)/20 = 2
         assert!((tw.mean_until(20, 0) - 2.0).abs() < 1e-12);
         assert_eq!(tw.peak(), 4);
     }

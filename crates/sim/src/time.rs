@@ -17,9 +17,13 @@ pub struct SimTime(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
+/// Picoseconds per nanosecond.
 pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
 pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
 pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
 impl SimTime {
@@ -259,7 +263,10 @@ mod tests {
         let b = SimTime::from_nanos(25);
         assert_eq!(b.since(a).as_ps(), 15_000);
         assert_eq!(a.saturating_since(b), SimDuration::ZERO);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub const ETHERNET_WIRE_OVERHEAD: u64 = 20;
 /// Minimum / maximum standard Ethernet frame payloads referenced throughout
 /// the evaluation.
 pub const MIN_ETHERNET_FRAME: u64 = 64;
+/// Largest jumbo-frame payload used in the evaluation (9 KB).
 pub const MAX_JUMBO_FRAME: u64 = 9_000;
 
 #[cfg(test)]

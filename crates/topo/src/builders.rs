@@ -55,13 +55,13 @@ impl TwoTierParams {
         let p = Self::paper_6_2();
         assert!(factor >= 1);
         assert!(
-            p.num_fa % factor == 0
-                && p.fa_uplinks % factor == 0
-                && p.t1_count % factor == 0
-                && p.t1_down % factor == 0
-                && p.t1_up % factor == 0
-                && p.t2_count % factor == 0
-                && p.t2_down % factor == 0,
+            p.num_fa.is_multiple_of(factor)
+                && p.fa_uplinks.is_multiple_of(factor)
+                && p.t1_count.is_multiple_of(factor)
+                && p.t1_down.is_multiple_of(factor)
+                && p.t1_up.is_multiple_of(factor)
+                && p.t2_count.is_multiple_of(factor)
+                && p.t2_down.is_multiple_of(factor),
             "factor {factor} does not divide the paper populations"
         );
         TwoTierParams {
@@ -119,10 +119,15 @@ impl TwoTierParams {
 /// The two-tier build result: topology plus the node-id ranges.
 #[derive(Debug, Clone)]
 pub struct TwoTier {
+    /// The built link-level topology.
     pub topo: Topology,
+    /// The parameters the build used.
     pub params: TwoTierParams,
+    /// Fabric Adapter node ids, in FA-index order.
     pub fas: Vec<NodeId>,
+    /// Aggregation-tier Fabric Element node ids.
     pub t1: Vec<NodeId>,
+    /// Spine-tier Fabric Element node ids.
     pub t2: Vec<NodeId>,
 }
 
@@ -167,7 +172,13 @@ pub fn two_tier(params: TwoTierParams) -> TwoTier {
         }
     }
 
-    TwoTier { topo, params, fas, t1, t2 }
+    TwoTier {
+        topo,
+        params,
+        fas,
+        t1,
+        t2,
+    }
 }
 
 /// Parameters of a three-tier fabric (§5.1: additional tiers extend the
@@ -179,17 +190,29 @@ pub fn two_tier(params: TwoTierParams) -> TwoTier {
 /// tier-1 FEs, and super-pods group tier-1 FEs under tier-2 FEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreeTierParams {
+    /// Number of Fabric Adapters.
     pub num_fa: u32,
+    /// Uplinks per Fabric Adapter.
     pub fa_uplinks: u32,
+    /// Tier-1 Fabric Element count.
     pub t1_count: u32,
+    /// Down (FA-facing) links per tier-1 FE.
     pub t1_down: u32,
+    /// Up (tier-2-facing) links per tier-1 FE.
     pub t1_up: u32,
+    /// Tier-2 Fabric Element count.
     pub t2_count: u32,
+    /// Down links per tier-2 FE.
     pub t2_down: u32,
+    /// Up (spine-facing) links per tier-2 FE.
     pub t2_up: u32,
+    /// Tier-3 (spine) Fabric Element count.
     pub t3_count: u32,
+    /// Down links per spine FE.
     pub t3_down: u32,
+    /// Fiber length of intra-pod links, meters.
     pub near_meters: u32,
+    /// Fiber length of spine-facing links, meters.
     pub far_meters: u32,
 }
 
@@ -235,11 +258,17 @@ impl ThreeTierParams {
 /// The three-tier build result.
 #[derive(Debug, Clone)]
 pub struct ThreeTier {
+    /// The built link-level topology.
     pub topo: Topology,
+    /// The parameters the build used.
     pub params: ThreeTierParams,
+    /// Fabric Adapter node ids, in FA-index order.
     pub fas: Vec<NodeId>,
+    /// Tier-1 Fabric Element node ids.
     pub t1: Vec<NodeId>,
+    /// Tier-2 Fabric Element node ids.
     pub t2: Vec<NodeId>,
+    /// Tier-3 (spine) Fabric Element node ids.
     pub t3: Vec<NodeId>,
 }
 
@@ -293,16 +322,26 @@ pub fn three_tier(params: ThreeTierParams) -> ThreeTier {
             }
         }
     }
-    ThreeTier { topo, params, fas, t1, t2, t3 }
+    ThreeTier {
+        topo,
+        params,
+        fas,
+        t1,
+        t2,
+        t3,
+    }
 }
 
 /// Parameters of the §6.1.2 single-tier system.
 #[derive(Debug, Clone, Copy)]
 pub struct SingleTierParams {
+    /// Number of Fabric Adapters.
     pub num_fa: u32,
     /// Uplinks per FA; must be a multiple of `fe_count`.
     pub fa_uplinks: u32,
+    /// Fabric Element count.
     pub fe_count: u32,
+    /// Fiber length of FA↔FE links, meters.
     pub meters: u32,
 }
 
@@ -310,16 +349,25 @@ impl SingleTierParams {
     /// The §6.1.2 test platform: 24 Fabric Adapters, 12 Fabric Elements
     /// (Arista 7500E scale), 36 uplinks per FA (3 per FE).
     pub fn paper_6_1() -> Self {
-        SingleTierParams { num_fa: 24, fa_uplinks: 36, fe_count: 12, meters: 2 }
+        SingleTierParams {
+            num_fa: 24,
+            fa_uplinks: 36,
+            fe_count: 12,
+            meters: 2,
+        }
     }
 }
 
 /// The single-tier build result.
 #[derive(Debug, Clone)]
 pub struct SingleTier {
+    /// The built link-level topology.
     pub topo: Topology,
+    /// The parameters the build used.
     pub params: SingleTierParams,
+    /// Fabric Adapter node ids, in FA-index order.
     pub fas: Vec<NodeId>,
+    /// Fabric Element node ids.
     pub fes: Vec<NodeId>,
 }
 
@@ -346,7 +394,12 @@ pub fn single_tier(params: SingleTierParams) -> SingleTier {
             }
         }
     }
-    SingleTier { topo, params, fas, fes }
+    SingleTier {
+        topo,
+        params,
+        fas,
+        fes,
+    }
 }
 
 /// Parameters of a k-ary fat-tree with hosts (Al-Fares).
@@ -355,26 +408,40 @@ pub struct KaryParams {
     /// Switch radix `k` (even). Hosts: k³/4; k = 12 gives the 432-node
     /// topology of §6.3.
     pub k: u32,
+    /// Fiber length of host↔edge links, meters.
     pub host_meters: u32,
+    /// Fiber length of edge↔aggregation links, meters.
     pub edge_agg_meters: u32,
+    /// Fiber length of aggregation↔core links, meters.
     pub agg_core_meters: u32,
 }
 
 impl KaryParams {
     /// The §6.3 / htsim 432-node fat-tree (k = 12).
     pub fn paper_6_3() -> Self {
-        KaryParams { k: 12, host_meters: 2, edge_agg_meters: 10, agg_core_meters: 100 }
+        KaryParams {
+            k: 12,
+            host_meters: 2,
+            edge_agg_meters: 10,
+            agg_core_meters: 100,
+        }
     }
 }
 
 /// The k-ary build result.
 #[derive(Debug, Clone)]
 pub struct Kary {
+    /// The built link-level topology.
     pub topo: Topology,
+    /// The parameters the build used.
     pub params: KaryParams,
+    /// Host node ids.
     pub hosts: Vec<NodeId>,
+    /// Edge (ToR) switch node ids.
     pub edges: Vec<NodeId>,
+    /// Aggregation switch node ids.
     pub aggs: Vec<NodeId>,
+    /// Core switch node ids.
     pub cores: Vec<NodeId>,
 }
 
@@ -382,7 +449,7 @@ pub struct Kary {
 /// switches; (k/2)² cores; k²·k/4 hosts.
 pub fn kary(params: KaryParams) -> Kary {
     let k = params.k;
-    assert!(k >= 2 && k % 2 == 0, "k must be even");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even");
     let half = k / 2;
     let mut topo = Topology::new();
 
@@ -429,7 +496,14 @@ pub fn kary(params: KaryParams) -> Kary {
         }
     }
 
-    Kary { topo, params, hosts, edges, aggs, cores }
+    Kary {
+        topo,
+        params,
+        hosts,
+        edges,
+        aggs,
+        cores,
+    }
 }
 
 #[cfg(test)]
@@ -578,7 +652,10 @@ mod tests {
 
     #[test]
     fn kary_core_reaches_all_edges() {
-        let ft = kary(KaryParams { k: 4, ..KaryParams::paper_6_3() });
+        let ft = kary(KaryParams {
+            k: 4,
+            ..KaryParams::paper_6_3()
+        });
         let reach = ft.topo.downward_edge_reach();
         for &c in &ft.cores {
             assert_eq!(reach[c.0 as usize].len(), ft.edges.len());
@@ -591,7 +668,10 @@ mod tests {
 
     #[test]
     fn node_kind_partitions() {
-        let ft = kary(KaryParams { k: 4, ..KaryParams::paper_6_3() });
+        let ft = kary(KaryParams {
+            k: 4,
+            ..KaryParams::paper_6_3()
+        });
         assert_eq!(ft.topo.nodes_of_kind(NodeKind::Host).len(), 16);
         assert_eq!(ft.topo.nodes_of_kind(NodeKind::Edge).len(), 8);
         assert_eq!(ft.topo.nodes_of_kind(NodeKind::Fabric).len(), 8 + 4);

@@ -12,14 +12,19 @@ pub struct LinkId(pub u32);
 /// `from_end` (0 or 1) toward the opposite end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkDir {
+    /// The underlying full-duplex link.
     pub link: LinkId,
+    /// Which end (0 or 1) traffic flows out of.
     pub from_end: u8,
 }
 
 impl LinkDir {
     /// The reverse direction of the same link.
     pub fn reverse(self) -> LinkDir {
-        LinkDir { link: self.link, from_end: 1 - self.from_end }
+        LinkDir {
+            link: self.link,
+            from_end: 1 - self.from_end,
+        }
     }
 }
 
@@ -42,7 +47,9 @@ pub enum NodeKind {
 /// Levels: hosts are 0, edge devices 1, first fabric tier 2, and so on.
 #[derive(Debug, Clone)]
 pub struct Node {
+    /// What role the node plays in the fabric.
     pub kind: NodeKind,
+    /// Tier level (hosts 0, edge 1, fabric tiers 2+).
     pub level: u8,
     /// Links attached to this node, in port order.
     pub links: Vec<LinkId>,
@@ -94,7 +101,11 @@ impl Topology {
     /// Add a node and return its id.
     pub fn add_node(&mut self, kind: NodeKind, level: u8) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, level, links: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            level,
+            links: Vec::new(),
+        });
         id
     }
 
@@ -102,7 +113,10 @@ impl Topology {
     pub fn add_link(&mut self, a: NodeId, b: NodeId, meters: u32) -> LinkId {
         assert_ne!(a, b, "self-links are not allowed");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { ends: [a, b], meters });
+        self.links.push(Link {
+            ends: [a, b],
+            meters,
+        });
         self.nodes[a.0 as usize].links.push(id);
         self.nodes[b.0 as usize].links.push(id);
         id
@@ -147,12 +161,18 @@ impl Topology {
 
     /// The [`LinkDir`] for traffic leaving `node` on `link`.
     pub fn dir_from(&self, node: NodeId, link: LinkId) -> LinkDir {
-        LinkDir { link, from_end: self.link(link).end_of(node) }
+        LinkDir {
+            link,
+            from_end: self.link(link).end_of(node),
+        }
     }
 
     /// Neighbors of `node` as `(link, peer)` pairs, in port order.
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (LinkId, NodeId)> + '_ {
-        self.node(node).links.iter().map(move |&l| (l, self.peer(node, l)))
+        self.node(node)
+            .links
+            .iter()
+            .map(move |&l| (l, self.peer(node, l)))
     }
 
     /// Links from `node` whose peer sits one level *above*.

@@ -20,5 +20,8 @@
 pub mod builders;
 pub mod graph;
 
-pub use builders::{kary, single_tier, three_tier, two_tier, KaryParams, SingleTierParams, ThreeTierParams, TwoTierParams};
+pub use builders::{
+    kary, single_tier, three_tier, two_tier, KaryParams, SingleTierParams, ThreeTierParams,
+    TwoTierParams,
+};
 pub use graph::{LinkDir, LinkId, Node, NodeId, NodeKind, Topology};

@@ -26,21 +26,47 @@ struct Pkt {
 
 #[derive(Debug, Clone)]
 enum Ev {
-    FlowStart { flow: u32 },
-    QTx { dir: u32 },
-    QArr { dir: u32, pkt: Pkt },
-    Ack { flow: u32, sub: u8, ackno: u64, ecn: bool },
-    Rto { flow: u32, sub: u8, gen: u64 },
+    FlowStart {
+        flow: u32,
+    },
+    QTx {
+        dir: u32,
+    },
+    QArr {
+        dir: u32,
+        pkt: Pkt,
+    },
+    Ack {
+        flow: u32,
+        sub: u8,
+        ackno: u64,
+        ecn: bool,
+    },
+    Rto {
+        flow: u32,
+        sub: u8,
+        gen: u64,
+    },
     /// DCQCN paced transmission opportunity.
-    Paced { flow: u32 },
+    Paced {
+        flow: u32,
+    },
     /// DCQCN rate-increase timer.
-    RateTimer { flow: u32 },
+    RateTimer {
+        flow: u32,
+    },
     /// Stardust credit tick for one destination port (= host).
-    SdTick { dst_host: u32 },
+    SdTick {
+        dst_host: u32,
+    },
     /// Stardust credit grant arriving at a flow's ingress VOQ.
-    SdGrant { flow: u32 },
+    SdGrant {
+        flow: u32,
+    },
     /// Stardust packet leaving the fabric toward the destination port.
-    SdOut { pkt: Pkt },
+    SdOut {
+        pkt: Pkt,
+    },
 }
 
 /// One link direction: FIFO with byte cap and optional ECN marking.
@@ -108,11 +134,17 @@ impl Sub {
 /// Public view of a flow.
 #[derive(Debug, Clone)]
 pub struct FlowStatus {
+    /// Transport protocol driving the flow.
     pub proto: Protocol,
+    /// Sending host index.
     pub src_host: u32,
+    /// Receiving host index.
     pub dst_host: u32,
+    /// Flow size in bytes.
     pub size: u64,
+    /// When the flow was started.
     pub start: SimTime,
+    /// Completion time, once the last byte is acknowledged.
     pub finished: Option<SimTime>,
     /// Total bytes cumulatively acknowledged across subflows.
     pub acked: u64,
@@ -161,9 +193,13 @@ pub struct NetCounters {
     /// Drops at the sending host's own NIC queue (hop 0) — TCP bursting
     /// into its local uplink, not a fabric property.
     pub host_drops: Counter,
+    /// ECN marks applied by switch queues.
     pub ecn_marks: Counter,
+    /// Fast retransmissions.
     pub retransmits: Counter,
+    /// Retransmission timeouts fired.
     pub rtos: Counter,
+    /// Stardust scheduler credits issued (TCP-over-Stardust only).
     pub sd_credits: Counter,
 }
 
@@ -178,6 +214,7 @@ pub struct TransportSim {
     events: EventQueue<Ev>,
     voqs: HashMap<u32, SdVoq>,
     sd_ports: Vec<SdPort>,
+    /// Aggregate drop/mark counters for the run.
     pub counters: NetCounters,
 }
 
@@ -310,12 +347,20 @@ impl TransportSim {
     ) -> FlowId {
         assert_ne!(src_host, dst_host);
         let id = self.flows.len() as u32;
-        let nsubs = if proto == Protocol::Mptcp { self.cfg.subflows } else { 1 };
+        let nsubs = if proto == Protocol::Mptcp {
+            self.cfg.subflows
+        } else {
+            1
+        };
         let mss = self.cfg.mss as f64;
         let share = size / nsubs as u64;
         let mut subs = Vec::with_capacity(nsubs as usize);
         for s in 0..nsubs {
-            let sub_size = if s == nsubs - 1 { size - share * (nsubs as u64 - 1) } else { share };
+            let sub_size = if s == nsubs - 1 {
+                size - share * (nsubs as u64 - 1)
+            } else {
+                share
+            };
             let path = match proto {
                 Protocol::Stardust => {
                     let up = self.compute_path(id, s, src_host, dst_host);
@@ -330,7 +375,7 @@ impl TransportSim {
                 .map(|&d| self.dirs[d as usize].prop)
                 .fold(SimDuration::ZERO, |a, b| a + b);
             if proto == Protocol::Stardust {
-                ret_delay = ret_delay + self.cfg.sd_fabric_latency;
+                ret_delay += self.cfg.sd_fabric_latency;
             }
             subs.push(Sub {
                 size: sub_size,
@@ -391,7 +436,12 @@ impl TransportSim {
             Ev::FlowStart { flow } => self.on_flow_start(now, flow),
             Ev::QTx { dir } => self.on_qtx(now, dir),
             Ev::QArr { dir, pkt } => self.on_qarr(now, dir, pkt),
-            Ev::Ack { flow, sub, ackno, ecn } => self.on_ack(now, flow, sub, ackno, ecn),
+            Ev::Ack {
+                flow,
+                sub,
+                ackno,
+                ecn,
+            } => self.on_ack(now, flow, sub, ackno, ecn),
             Ev::Rto { flow, sub, gen } => self.on_rto(now, flow, sub, gen),
             Ev::Paced { flow } => self.on_paced(now, flow),
             Ev::RateTimer { flow } => self.on_rate_timer(now, flow),
@@ -450,7 +500,8 @@ impl TransportSim {
     fn on_qtx(&mut self, now: SimTime, dir_idx: u32) {
         let d = &mut self.dirs[dir_idx as usize];
         let pkt = d.in_service.take().expect("QTx without packet");
-        self.events.schedule(now + d.prop, Ev::QArr { dir: dir_idx, pkt });
+        self.events
+            .schedule(now + d.prop, Ev::QArr { dir: dir_idx, pkt });
         if let Some(next) = d.q.pop_front() {
             d.bytes -= next.bytes as u64;
             let t = serialization_time(next.bytes as u64, d.rate_bps);
@@ -473,8 +524,7 @@ impl TransportSim {
             return;
         }
         pkt.hop += 1;
-        let next_dir = self.flows[pkt.flow as usize].subs[pkt.sub as usize].path
-            [pkt.hop as usize];
+        let next_dir = self.flows[pkt.flow as usize].subs[pkt.sub as usize].path[pkt.hop as usize];
         self.enqueue(now, next_dir, pkt);
     }
 
@@ -504,7 +554,12 @@ impl TransportSim {
         };
         self.events.schedule(
             now + ret.1,
-            Ev::Ack { flow: pkt.flow, sub: pkt.sub, ackno: ret.0, ecn: pkt.ecn },
+            Ev::Ack {
+                flow: pkt.flow,
+                sub: pkt.sub,
+                ackno: ret.0,
+                ecn: pkt.ecn,
+            },
         );
     }
 
@@ -527,7 +582,14 @@ impl TransportSim {
         if retx {
             self.counters.retransmits.inc();
         }
-        let pkt = Pkt { flow, sub, seq, bytes, ecn: false, hop: 0 };
+        let pkt = Pkt {
+            flow,
+            sub,
+            seq,
+            bytes,
+            ecn: false,
+            hop: 0,
+        };
         self.enqueue(now, dir, pkt);
     }
 
@@ -678,7 +740,9 @@ impl TransportSim {
                 s.snd_una,
             )
         };
-        if (need_fast_rtx || need_partial_rtx) && una < self.flows[flow as usize].subs[sub as usize].size {
+        if (need_fast_rtx || need_partial_rtx)
+            && una < self.flows[flow as usize].subs[sub as usize].size
+        {
             self.send_segment(now, flow, sub, una, true);
         }
         self.after_progress(now, flow, sub);
@@ -716,9 +780,7 @@ impl TransportSim {
             // use PFC; our queues can drop).
             let cap = 64 * mss;
             let can = s.next_seq < s.size && s.outstanding() < cap;
-            let gap = SimDuration::from_ps(
-                (mss as f64 * 8.0 * 1e12 / s.rate_bps).round() as u64,
-            );
+            let gap = SimDuration::from_ps((mss as f64 * 8.0 * 1e12 / s.rate_bps).round() as u64);
             (can, s.next_seq, gap)
         };
         if can {
@@ -794,7 +856,11 @@ impl TransportSim {
     fn after_progress(&mut self, now: SimTime, flow: u32, sub: u8) {
         let proto = self.flows[flow as usize].status.proto;
         // Update aggregate acked bytes.
-        let acked: u64 = self.flows[flow as usize].subs.iter().map(|s| s.snd_una).sum();
+        let acked: u64 = self.flows[flow as usize]
+            .subs
+            .iter()
+            .map(|s| s.snd_una)
+            .sum();
         self.flows[flow as usize].status.acked = acked;
         let sub_done = {
             let s = &mut self.flows[flow as usize].subs[sub as usize];
@@ -866,7 +932,9 @@ impl TransportSim {
         }
         let mut granted = None;
         while let Some(fl) = port.ring.pop_front() {
-            let Some(p) = port.pending.get_mut(&fl) else { continue };
+            let Some(p) = port.pending.get_mut(&fl) else {
+                continue;
+            };
             *p -= credit;
             if *p > 0 {
                 port.ring.push_back(fl);
@@ -881,7 +949,8 @@ impl TransportSim {
                 self.counters.sd_credits.inc();
                 let interval = port.interval;
                 self.events.schedule(now + ctrl, Ev::SdGrant { flow: fl });
-                self.events.schedule(now + interval, Ev::SdTick { dst_host });
+                self.events
+                    .schedule(now + interval, Ev::SdTick { dst_host });
             }
             None => {
                 port.armed = false;
@@ -927,7 +996,10 @@ mod tests {
     use stardust_topo::builders::{kary, KaryParams};
 
     fn k4() -> Kary {
-        kary(KaryParams { k: 4, ..KaryParams::paper_6_3() })
+        kary(KaryParams {
+            k: 4,
+            ..KaryParams::paper_6_3()
+        })
     }
 
     fn cfg() -> TransportConfig {
@@ -974,7 +1046,11 @@ mod tests {
         let g = goodput_gbps(&sim, long, SimDuration::from_millis(20));
         assert!(g > 8.5, "stardust goodput {g} Gbps");
         assert!(sim.flow(short).finished.is_some());
-        assert_eq!(sim.counters.drops.get(), 0, "scheduled fabric must not drop");
+        assert_eq!(
+            sim.counters.drops.get(),
+            0,
+            "scheduled fabric must not drop"
+        );
         assert!(sim.counters.host_drops.get() < 10);
         assert!(sim.counters.sd_credits.get() > 100);
     }
@@ -1003,8 +1079,14 @@ mod tests {
                 .map(|s| sim.add_flow(proto, s, 15, 450_000, SimTime::ZERO))
                 .collect();
             sim.run_until(SimTime::from_millis(200));
-            let unfinished = ids.iter().filter(|&&i| sim.flow(i).finished.is_none()).count();
-            (sim.counters.drops.get() + sim.counters.host_drops.get(), unfinished)
+            let unfinished = ids
+                .iter()
+                .filter(|&&i| sim.flow(i).finished.is_none())
+                .count();
+            (
+                sim.counters.drops.get() + sim.counters.host_drops.get(),
+                unfinished,
+            )
         };
         let (tcp_drops, tcp_unfinished) = run(Protocol::Tcp);
         let (sd_drops, sd_unfinished) = run(Protocol::Stardust);
@@ -1085,7 +1167,10 @@ mod tests {
             .map(|f| sim.compute_path(f, 0, 0, 15))
             .collect::<std::collections::HashSet<_>>()
             .len();
-        assert!(distinct > 2, "ECMP should spread flows, got {distinct} paths");
+        assert!(
+            distinct > 2,
+            "ECMP should spread flows, got {distinct} paths"
+        );
     }
 
     #[test]

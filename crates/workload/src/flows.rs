@@ -12,6 +12,7 @@ use stardust_sim::DetRng;
 /// A piecewise-linear (in log-size) flow-size CDF.
 #[derive(Debug, Clone)]
 pub struct FlowSizeDist {
+    /// Distribution name (e.g. the trace it was digitized from).
     pub name: &'static str,
     /// `(size_bytes, cdf)` knots, strictly increasing in both coordinates,
     /// ending at cdf = 1.0.
@@ -71,7 +72,11 @@ impl FlowSizeDist {
         for &(s, c) in &self.knots {
             if u <= c {
                 let (s0, c0) = prev;
-                let t = if c - c0 > 1e-12 { (u - c0) / (c - c0) } else { 1.0 };
+                let t = if c - c0 > 1e-12 {
+                    (u - c0) / (c - c0)
+                } else {
+                    1.0
+                };
                 let ls0 = (s0 as f64).ln();
                 let ls1 = (s as f64).ln();
                 return (ls0 + t * (ls1 - ls0)).exp().round() as u64;
@@ -120,10 +125,7 @@ mod tests {
         let d = FlowSizeDist::fb_web();
         let mut rng = DetRng::from_label(3, "fs");
         let n = 50_000;
-        let below_10k = (0..n)
-            .filter(|_| d.sample(&mut rng) <= 10_240)
-            .count() as f64
-            / n as f64;
+        let below_10k = (0..n).filter(|_| d.sample(&mut rng) <= 10_240).count() as f64 / n as f64;
         assert!((below_10k - 0.65).abs() < 0.02, "got {below_10k}");
     }
 
@@ -133,13 +135,15 @@ mod tests {
         let mut rng = DetRng::from_label(4, "fs2");
         for _ in 0..10_000 {
             let s = d.sample(&mut rng);
-            assert!(s >= 256 && s <= 10_485_760, "sample {s}");
+            assert!((256..=10_485_760).contains(&s), "sample {s}");
         }
     }
 
     #[test]
     fn hadoop_flows_are_bigger() {
-        assert!(FlowSizeDist::fb_hadoop().approx_mean() > 5.0 * FlowSizeDist::fb_web().approx_mean());
+        assert!(
+            FlowSizeDist::fb_hadoop().approx_mean() > 5.0 * FlowSizeDist::fb_web().approx_mean()
+        );
     }
 
     #[test]

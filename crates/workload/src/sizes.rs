@@ -16,6 +16,7 @@ use stardust_sim::DetRng;
 /// Weights are packet-count proportions (not byte proportions).
 #[derive(Debug, Clone)]
 pub struct PacketMix {
+    /// Mix name (e.g. the trace it was digitized from).
     pub name: &'static str,
     entries: Vec<(u64, f64)>,
     total: f64,
@@ -27,7 +28,11 @@ impl PacketMix {
         assert!(!entries.is_empty());
         assert!(entries.iter().all(|&(s, w)| s >= 64 && w > 0.0));
         let total = entries.iter().map(|&(_, w)| w).sum();
-        PacketMix { name, entries, total }
+        PacketMix {
+            name,
+            entries,
+            total,
+        }
     }
 
     /// The Fig 8(b) "DB" trace shape: cache traffic, dominated by small

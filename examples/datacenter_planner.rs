@@ -18,9 +18,16 @@ fn main() {
         .unwrap_or(100_000);
     println!("=== planning a {hosts}-host data center network ===\n");
 
-    println!("{:<30} {:>6} {:>10} {:>12} {:>14}", "technology", "tiers", "devices", "serial links", "(12.8T device)");
+    println!(
+        "{:<30} {:>6} {:>10} {:>12} {:>14}",
+        "technology", "tiers", "devices", "serial links", "(12.8T device)"
+    );
     for c in FIG2_CONFIGS {
-        match (c.tiers_for_hosts(hosts), c.devices_for_hosts(hosts), c.links_for_hosts(hosts)) {
+        match (
+            c.tiers_for_hosts(hosts),
+            c.devices_for_hosts(hosts),
+            c.links_for_hosts(hosts),
+        ) {
             (Some(t), Some(d), Some(l)) => {
                 println!("{:<30} {:>6} {:>10} {:>12}", c.label, t, d, l)
             }
@@ -57,16 +64,27 @@ fn main() {
     }
 
     println!("\n--- power (12.8T generation, Fig 10(d) FE ratio) ---");
-    println!("{:<30} {:>14} {:>16}", "fat-tree baseline", "FT power [kW]", "Stardust rel. [%]");
+    println!(
+        "{:<30} {:>14} {:>16}",
+        "fat-tree baseline", "FT power [kW]", "Stardust rel. [%]"
+    );
     for cfg in FIG11B_FT {
-        match (cfg.network_power_w(hosts, false), cfg.stardust_relative_power_pct(hosts)) {
+        match (
+            cfg.network_power_w(hosts, false),
+            cfg.stardust_relative_power_pct(hosts),
+        ) {
             (Some(w), Some(p)) => {
                 println!("{:<30} {:>14.1} {:>16.1}", cfg.label, w / 1e3, p)
             }
             _ => println!("{:<30} infeasible within 4 tiers", cfg.label),
         }
     }
-    let sd = PowerConfig { label: "Stardust", port_gbps: 50, ports: 256, bundle: 1 };
+    let sd = PowerConfig {
+        label: "Stardust",
+        port_gbps: 50,
+        ports: 256,
+        bundle: 1,
+    };
     if let Some(w) = sd.network_power_w(hosts, true) {
         println!("{:<30} {:>14.1}", "Stardust absolute", w / 1e3);
     }

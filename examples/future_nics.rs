@@ -24,14 +24,19 @@ use stardust::topo::builders::{single_tier, SingleTierParams};
 fn main() {
     // 64 servers, each with a dual-homed 2×50G smart NIC, over 2 Fabric
     // Elements (a rack-scale Stardust cell, the paper's end state).
-    let params = SingleTierParams { num_fa: 64, fa_uplinks: 2, fe_count: 2, meters: 5 };
+    let params = SingleTierParams {
+        num_fa: 64,
+        fa_uplinks: 2,
+        fe_count: 2,
+        meters: 5,
+    };
     let st = single_tier(params);
     let cfg = FabricConfig {
-        host_ports: 1,              // the NIC's host-side DMA engine
-        host_port_bps: gbps(90),    // ~PCIe-limited
-        credit_bytes: 2048,         // host-scale credits (§4.1 minimum)
+        host_ports: 1,                        // the NIC's host-side DMA engine
+        host_port_bps: gbps(90),              // ~PCIe-limited
+        credit_bytes: 2048,                   // host-scale credits (§4.1 minimum)
         voq_max_bytes: Some(4 * 1024 * 1024), // host memory as buffer [54,58]
-        low_latency_tc: Some(0),    // RPCs bypass the credit round trip
+        low_latency_tc: Some(0),              // RPCs bypass the credit round trip
         num_tcs: 2,
         ..FabricConfig::default()
     };
@@ -59,7 +64,10 @@ fn main() {
     let s = net.stats();
     println!("\nafter 3 ms:");
     println!("  packets delivered : {}", s.packets_delivered.get());
-    println!("  cells dropped     : {} (lossless NIC fabric)", s.cells_dropped.get());
+    println!(
+        "  cells dropped     : {} (lossless NIC fabric)",
+        s.cells_dropped.get()
+    );
     println!(
         "  bulk utilization  : {:.1}% of fabric payload capacity",
         net.fabric_utilization(SimDuration::from_millis(3)) * 100.0

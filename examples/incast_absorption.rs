@@ -72,7 +72,10 @@ fn main() {
         total / 1_000_000
     );
     println!("Ethernet push fabric:");
-    println!("  delivered : {} packets", push.stats().packets_delivered.get());
+    println!(
+        "  delivered : {} packets",
+        push.stats().packets_delivered.get()
+    );
     println!(
         "  dropped   : {} in fabric, {} at the ToR egress buffer",
         push.stats().fabric_drops.get(),
@@ -80,7 +83,10 @@ fn main() {
     );
 
     println!("\nStardust scheduled fabric:");
-    println!("  delivered : {} packets", sd.stats().packets_delivered.get());
+    println!(
+        "  delivered : {} packets",
+        sd.stats().packets_delivered.get()
+    );
     println!(
         "  dropped   : {} cells, {} packets discarded",
         sd.stats().cells_dropped.get(),
@@ -95,6 +101,13 @@ fn main() {
         sd.stats().max_egress_bytes as f64 / 1e3
     );
 
-    assert!(push.stats().egress_drops.get() > 0, "push fabric must overflow");
-    assert_eq!(sd.stats().cells_dropped.get(), 0, "Stardust must be lossless");
+    assert!(
+        push.stats().egress_drops.get() > 0,
+        "push fabric must overflow"
+    );
+    assert_eq!(
+        sd.stats().cells_dropped.get(),
+        0,
+        "Stardust must be lossless"
+    );
 }

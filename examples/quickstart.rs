@@ -53,7 +53,10 @@ fn main() {
     println!("\nafter {}:", horizon);
     println!("  packets delivered : {}", s.packets_delivered.get());
     println!("  cells sent        : {}", s.cells_sent.get());
-    println!("  cells dropped     : {}  (the scheduled fabric is lossless)", s.cells_dropped.get());
+    println!(
+        "  cells dropped     : {}  (the scheduled fabric is lossless)",
+        s.cells_dropped.get()
+    );
     println!("  credits granted   : {}", s.credits_sent.get());
     println!(
         "  fabric utilization: {:.1}% of payload capacity",

@@ -27,7 +27,16 @@ fn main() {
     let n = net.num_fas() as u32;
 
     // Continuous 20G flow from FA0 to the farthest FA.
-    net.add_cbr_flow(0, n - 1, 0, 0, gbps(20), 1500, SimTime::ZERO, SimTime::from_millis(30));
+    net.add_cbr_flow(
+        0,
+        n - 1,
+        0,
+        0,
+        gbps(20),
+        1500,
+        SimTime::ZERO,
+        SimTime::from_millis(30),
+    );
     net.run_until(SimTime::from_millis(2));
     let before = net.stats().packets_delivered.get();
     println!("t=2ms: {} packets delivered, 0 lost — steady state", before);
@@ -66,7 +75,10 @@ fn main() {
         s.packets_discarded.get(),
         s.cells_dropped.get()
     );
-    assert!(s.packets_discarded.get() > 0, "the failure window loses packets");
+    assert!(
+        s.packets_discarded.get() > 0,
+        "the failure window loses packets"
+    );
     assert_eq!(
         s.packets_discarded.get(),
         discarded_total,

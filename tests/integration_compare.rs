@@ -102,7 +102,10 @@ fn fig12_priority_starvation_only_in_push() {
     push.add_cbr_flow(1, 2, 0, 0, gbps(100), 1500, SimTime::ZERO, stop); // A high
     push.run_until(horizon);
     let push_b = gbps_of(push.stats().delivered_per_port[2][1], ms);
-    assert!(push_b < 20.0, "push should starve low-priority B, got {push_b}");
+    assert!(
+        push_b < 20.0,
+        "push should starve low-priority B, got {push_b}"
+    );
 
     let mut pull = FabricEngine::new(
         fig7_topo(),
@@ -140,7 +143,11 @@ fn incast_absorbed_by_stardust_dropped_by_push() {
     );
     let mut sd = FabricEngine::new(
         tt.topo,
-        FabricConfig { host_ports: 2, host_port_bps: gbps(50), ..FabricConfig::default() },
+        FabricConfig {
+            host_ports: 2,
+            host_port_bps: gbps(50),
+            ..FabricConfig::default()
+        },
     );
     for src in 1..n {
         for i in 0..300u64 {
@@ -151,7 +158,10 @@ fn incast_absorbed_by_stardust_dropped_by_push() {
     push.run_until(SimTime::from_millis(20));
     sd.run_until(SimTime::from_millis(20));
 
-    assert!(push.stats().egress_drops.get() > 0, "push ToR buffer must overflow");
+    assert!(
+        push.stats().egress_drops.get() > 0,
+        "push ToR buffer must overflow"
+    );
     assert_eq!(sd.stats().cells_dropped.get(), 0);
     assert_eq!(sd.stats().packets_discarded.get(), 0);
     assert_eq!(sd.stats().packets_delivered.get(), (n as u64 - 1) * 300);
@@ -170,10 +180,23 @@ fn fairness_of_incast_draining() {
     let tt = two_tier(params);
     let mut sd = FabricEngine::new(
         tt.topo,
-        FabricConfig { host_ports: 2, host_port_bps: gbps(50), ..FabricConfig::default() },
+        FabricConfig {
+            host_ports: 2,
+            host_port_bps: gbps(50),
+            ..FabricConfig::default()
+        },
     );
     for src in 1..n {
-        sd.add_cbr_flow(src, 0, 0, 0, gbps(20), 1000, SimTime::ZERO, SimTime::from_millis(5));
+        sd.add_cbr_flow(
+            src,
+            0,
+            0,
+            0,
+            gbps(20),
+            1000,
+            SimTime::ZERO,
+            SimTime::from_millis(5),
+        );
     }
     sd.run_until(SimTime::from_millis(5));
     // All sources share one 50G port: delivered should be ~equal per src.

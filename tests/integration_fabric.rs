@@ -11,9 +11,7 @@ fn engine_at_scale(util: f64, ms: u64, scale: u32) -> FabricEngine {
     let params = TwoTierParams::paper_scaled(scale);
     let tt = two_tier(params);
     let mut cfg = FabricConfig::default();
-    let capacity = params.fa_uplinks as f64
-        * cfg.fabric_link_bps as f64
-        * cfg.payload_fraction();
+    let capacity = params.fa_uplinks as f64 * cfg.fabric_link_bps as f64 * cfg.payload_fraction();
     cfg.host_ports = 2;
     cfg.host_port_bps = (util * capacity / 2.0) as u64;
     cfg.fci_threshold_cells = 96;
@@ -56,9 +54,8 @@ fn queue_tail_decays_like_md1() {
     let dist = md1::queue_length_distribution(util, 512);
     let h = &e.stats().last_stage_queue;
     assert!(h.count() > 100_000, "need samples, got {}", h.count());
-    let slope = |lo: u64, hi: u64, f: &dyn Fn(u64) -> f64| {
-        (f(lo).ln() - f(hi).ln()) / (hi - lo) as f64
-    };
+    let slope =
+        |lo: u64, hi: u64, f: &dyn Fn(u64) -> f64| (f(lo).ln() - f(hi).ln()) / (hi - lo) as f64;
     let sim_slope = slope(8, 40, &|n| e.stats().last_stage_queue.ccdf(n).max(1e-12));
     let md1_slope = slope(8, 40, &|n| md1::ccdf(&dist, n as usize).max(1e-12));
     assert!(sim_slope > 0.0, "sim tail must decay");
@@ -83,7 +80,10 @@ fn queue_tail_is_exponential_and_load_ordered() {
     let e95 = engine_at_utilization(0.95, 2);
     let t80 = e80.stats().last_stage_queue.ccdf(24);
     let t95 = e95.stats().last_stage_queue.ccdf(24);
-    assert!(t95 > t80 * 2.0, "tails must fatten with load: {t80} vs {t95}");
+    assert!(
+        t95 > t80 * 2.0,
+        "tails must fatten with load: {t80} vs {t95}"
+    );
 }
 
 #[test]
@@ -109,7 +109,11 @@ fn oversubscription_is_controlled_by_fci() {
     let e = engine_at_utilization(1.2, 3);
     let eff = e.fabric_utilization(SimDuration::from_millis(3));
     assert!(eff > 0.8 && eff < 1.0, "effective utilization {eff}");
-    assert_eq!(e.stats().cells_dropped.get(), 0, "lossless even oversubscribed");
+    assert_eq!(
+        e.stats().cells_dropped.get(),
+        0,
+        "lossless even oversubscribed"
+    );
     assert!(e.stats().fci_marks.get() > 0, "FCI must engage");
 }
 
@@ -119,7 +123,11 @@ fn packet_conservation_closed_workload() {
     let tt = two_tier(TwoTierParams::paper_scaled(16));
     let mut e = FabricEngine::new(
         tt.topo,
-        FabricConfig { host_ports: 2, host_port_bps: gbps(40), ..FabricConfig::default() },
+        FabricConfig {
+            host_ports: 2,
+            host_port_bps: gbps(40),
+            ..FabricConfig::default()
+        },
     );
     let n = e.num_fas() as u32;
     let mut injected = 0u64;
@@ -127,7 +135,14 @@ fn packet_conservation_closed_workload() {
         for dst in 0..n {
             if src != dst {
                 for i in 0..20 {
-                    e.inject(SimTime::from_nanos(i * 777), src, dst, (i % 2) as u8, 0, 517);
+                    e.inject(
+                        SimTime::from_nanos(i * 777),
+                        src,
+                        dst,
+                        (i % 2) as u8,
+                        0,
+                        517,
+                    );
                     injected += 1;
                 }
             }
@@ -147,8 +162,8 @@ fn egress_memory_stays_within_the_papers_bound() {
     // fabric must stay proportionally far below that.
     let e = engine_at_utilization(0.95, 2);
     let bound = md1::egress_memory_bytes(128, 256, 2); // per-port uplink share
-    // The engine buffers whole packets at egress; allow generous slack
-    // while still proving "shallow" (<< 1 MB per port vs multi-MB ToRs).
+                                                       // The engine buffers whole packets at egress; allow generous slack
+                                                       // while still proving "shallow" (<< 1 MB per port vs multi-MB ToRs).
     assert!(
         e.stats().max_egress_bytes < 64 * bound,
         "egress peak {} vs scaled bound {}",

@@ -7,7 +7,10 @@ use stardust::transport::{FlowId, Protocol, TransportConfig, TransportSim};
 use stardust::workload::permutation;
 
 fn permutation_run(proto: Protocol, k: u32, ms: u64) -> Vec<f64> {
-    let ft = kary(KaryParams { k, ..KaryParams::paper_6_3() });
+    let ft = kary(KaryParams {
+        k,
+        ..KaryParams::paper_6_3()
+    });
     let mut sim = TransportSim::new(ft, TransportConfig::default());
     let n = sim.num_hosts();
     let mut rng = DetRng::from_label(7, "itest-perm");
@@ -47,7 +50,10 @@ fn fig10a_stardust_fairness() {
 
 #[test]
 fn fig10c_stardust_fair_incast_without_loss() {
-    let ft = kary(KaryParams { k: 4, ..KaryParams::paper_6_3() });
+    let ft = kary(KaryParams {
+        k: 4,
+        ..KaryParams::paper_6_3()
+    });
     let mut sim = TransportSim::new(ft, TransportConfig::default());
     let ids: Vec<FlowId> = (1..13u32)
         .map(|s| sim.add_flow(Protocol::Stardust, s, 0, 450_000, SimTime::ZERO))
@@ -69,7 +75,10 @@ fn fig10c_stardust_fair_incast_without_loss() {
 #[test]
 fn fig10b_short_flows_faster_on_stardust_than_mptcp() {
     let run = |proto: Protocol| {
-        let ft = kary(KaryParams { k: 4, ..KaryParams::paper_6_3() });
+        let ft = kary(KaryParams {
+            k: 4,
+            ..KaryParams::paper_6_3()
+        });
         let mut sim = TransportSim::new(ft, TransportConfig::default());
         // Background load.
         let mut rng = DetRng::from_label(9, "bg");
@@ -101,7 +110,11 @@ fn fig10b_short_flows_faster_on_stardust_than_mptcp() {
             .map(|d| d.as_secs_f64() * 1e3)
             .collect();
         fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(fcts.len() >= 25, "{proto:?}: too few completions {}", fcts.len());
+        assert!(
+            fcts.len() >= 25,
+            "{proto:?}: too few completions {}",
+            fcts.len()
+        );
         fcts[fcts.len() / 2]
     };
     let sd = run(Protocol::Stardust);
@@ -111,7 +124,13 @@ fn fig10b_short_flows_faster_on_stardust_than_mptcp() {
 
 #[test]
 fn deterministic_across_protocols() {
-    for proto in [Protocol::Tcp, Protocol::Dctcp, Protocol::Mptcp, Protocol::Dcqcn, Protocol::Stardust] {
+    for proto in [
+        Protocol::Tcp,
+        Protocol::Dctcp,
+        Protocol::Mptcp,
+        Protocol::Dcqcn,
+        Protocol::Stardust,
+    ] {
         let one = permutation_run(proto, 4, 6);
         let two = permutation_run(proto, 4, 6);
         assert_eq!(one, two, "{proto:?} not deterministic");

@@ -1,10 +1,14 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants.
+//! Property-based tests on the core data structures and invariants.
+//!
+//! The container this repo builds in has no network access, so instead of
+//! `proptest` these use a small self-contained harness: each property runs
+//! against `PROPTEST_CASES` randomly generated inputs (default 64) drawn
+//! from the workspace's own deterministic [`DetRng`]. Failures print the
+//! case seed so a run is exactly reproducible.
 
-use proptest::prelude::*;
+use stardust::fabric::cell::BurstId;
 use stardust::fabric::cell::{Packet, PacketId};
 use stardust::fabric::packing::pack_burst;
-use stardust::fabric::cell::BurstId;
 use stardust::fabric::spray::Sprayer;
 use stardust::fabric::voq::Voq;
 use stardust::model::fattree::FatTreeParams;
@@ -12,6 +16,57 @@ use stardust::model::md1;
 use stardust::sim::stats::Histogram;
 use stardust::sim::units::serialization_time;
 use stardust::sim::{DetRng, EventQueue, SimTime};
+
+/// Number of random cases per property (override with `PROPTEST_CASES`).
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Run `body` once per case with a per-case deterministic RNG. On a
+/// failure, reports the case index and seed before propagating the panic,
+/// so the failing case can be re-run in isolation.
+fn for_each_case(label: &str, mut body: impl FnMut(&mut DetRng)) {
+    for case in 0..cases() {
+        let seed = 0x57a2_d057 ^ case;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = DetRng::from_label(seed, label);
+            body(&mut rng);
+        }));
+        if let Err(panic) = result {
+            eprintln!(
+                "property '{label}' failed at case {case}/{} \
+                 (DetRng::from_label({seed:#x}, {label:?}))",
+                cases()
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Random `u32` in `[lo, hi)`.
+fn gen_u32(rng: &mut DetRng, lo: u32, hi: u32) -> u32 {
+    lo + rng.below((hi - lo) as u64) as u32
+}
+
+/// Random `u64` in `[lo, hi)`.
+fn gen_u64(rng: &mut DetRng, lo: u64, hi: u64) -> u64 {
+    lo + rng.below(hi - lo)
+}
+
+/// Random vec of `u32` values in `[lo, hi)`, length in `[len_lo, len_hi)`.
+fn gen_vec_u32(rng: &mut DetRng, lo: u32, hi: u32, len_lo: usize, len_hi: usize) -> Vec<u32> {
+    let len = len_lo + rng.index(len_hi - len_lo);
+    (0..len).map(|_| gen_u32(rng, lo, hi)).collect()
+}
+
+/// Random vec of `u64` values in `[lo, hi)`, length in `[len_lo, len_hi)`.
+fn gen_vec_u64(rng: &mut DetRng, lo: u64, hi: u64, len_lo: usize, len_hi: usize) -> Vec<u64> {
+    let len = len_lo + rng.index(len_hi - len_lo);
+    (0..len).map(|_| gen_u64(rng, lo, hi)).collect()
+}
 
 fn pkt(bytes: u32) -> Packet {
     Packet {
@@ -25,39 +80,56 @@ fn pkt(bytes: u32) -> Packet {
     }
 }
 
-proptest! {
-    /// Packing conserves payload exactly and produces at most one short
-    /// cell per burst (§3.4 / §5.3).
-    #[test]
-    fn packing_conserves_payload(sizes in prop::collection::vec(1u32..9000, 1..40)) {
+/// Packing conserves payload exactly and produces at most one short
+/// cell per burst (§3.4 / §5.3).
+#[test]
+fn packing_conserves_payload() {
+    for_each_case("packing_conserves_payload", |rng| {
+        let sizes = gen_vec_u32(rng, 1, 9000, 1, 40);
         let total: u64 = sizes.iter().map(|&s| s as u64).sum();
         let packets: Vec<Packet> = sizes.iter().map(|&s| pkt(s)).collect();
         let pb = pack_burst(BurstId(0), packets, 256, 8, true, SimTime::ZERO);
         let payload: u64 = pb.cell_sizes.iter().map(|&c| (c - 8) as u64).sum();
-        prop_assert_eq!(payload, total);
+        assert_eq!(payload, total, "sizes {sizes:?}");
         let short = pb.cell_sizes.iter().filter(|&&c| c < 256).count();
-        prop_assert!(short <= 1, "more than one short cell");
-        prop_assert_eq!(pb.burst.n_cells as u64, total.div_ceil(248));
-    }
-
-    /// Non-packed cells never beat packed cells on wire bytes.
-    #[test]
-    fn packing_never_loses(sizes in prop::collection::vec(1u32..9000, 1..20)) {
-        let mk = |packed| pack_burst(
-            BurstId(0),
-            sizes.iter().map(|&s| pkt(s)).collect(),
-            256, 8, packed, SimTime::ZERO,
+        assert!(short <= 1, "more than one short cell for sizes {sizes:?}");
+        assert_eq!(
+            pb.burst.n_cells as u64,
+            total.div_ceil(248),
+            "sizes {sizes:?}"
         );
-        prop_assert!(mk(true).wire_bytes() <= mk(false).wire_bytes());
-    }
+    });
+}
 
-    /// VOQ grant accounting: bytes out never exceed credits in by more
-    /// than one packet, across any grant/push interleaving.
-    #[test]
-    fn voq_credit_conservation(
-        pushes in prop::collection::vec(1u32..9000, 1..50),
-        credit in 1024u64..16384,
-    ) {
+/// Non-packed cells never beat packed cells on wire bytes.
+#[test]
+fn packing_never_loses() {
+    for_each_case("packing_never_loses", |rng| {
+        let sizes = gen_vec_u32(rng, 1, 9000, 1, 20);
+        let mk = |packed| {
+            pack_burst(
+                BurstId(0),
+                sizes.iter().map(|&s| pkt(s)).collect(),
+                256,
+                8,
+                packed,
+                SimTime::ZERO,
+            )
+        };
+        assert!(
+            mk(true).wire_bytes() <= mk(false).wire_bytes(),
+            "sizes {sizes:?}"
+        );
+    });
+}
+
+/// VOQ grant accounting: bytes out never exceed credits in by more
+/// than one packet, across any grant/push interleaving.
+#[test]
+fn voq_credit_conservation() {
+    for_each_case("voq_credit_conservation", |rng| {
+        let pushes = gen_vec_u32(rng, 1, 9000, 1, 50);
+        let credit = gen_u64(rng, 1024, 16384);
         let mut v = Voq::new();
         let mut total_in = 0u64;
         for &b in &pushes {
@@ -71,102 +143,138 @@ proptest! {
             let burst = v.grant(credit, credit as i64);
             granted += credit;
             released += burst.iter().map(|p| p.bytes as u64).sum::<u64>();
-            if v.is_empty() { break; }
+            if v.is_empty() {
+                break;
+            }
             // Invariant: release never exceeds credit by more than the
             // final overshooting packet.
-            prop_assert!(released <= granted + max_pkt);
+            assert!(released <= granted + max_pkt, "pushes {pushes:?}");
         }
-        prop_assert_eq!(released, total_in, "everything eventually drains");
-    }
+        assert_eq!(released, total_in, "everything eventually drains");
+    });
+}
 
-    /// The sprayer is perfectly balanced over any whole number of rounds.
-    #[test]
-    fn sprayer_balance(links in 1usize..64, rounds in 1u32..8, seed in any::<u64>()) {
-        let rng = DetRng::from_parts(seed, 1);
-        let mut s = Sprayer::new((0..links as u32).collect(), 4, rng);
+/// The sprayer is perfectly balanced over any whole number of rounds.
+#[test]
+fn sprayer_balance() {
+    for_each_case("sprayer_balance", |rng| {
+        let links = 1 + rng.index(63);
+        let rounds = gen_u32(rng, 1, 8);
+        let seed = rng.next_u64();
+        let child = DetRng::from_parts(seed, 1);
+        let mut s = Sprayer::new((0..links as u32).collect(), 4, child);
         let mut counts = vec![0u32; links];
         for _ in 0..(links as u32 * rounds) {
             counts[s.next() as usize] += 1;
         }
-        prop_assert!(counts.iter().all(|&c| c == rounds));
-    }
+        assert!(
+            counts.iter().all(|&c| c == rounds),
+            "links {links} rounds {rounds} counts {counts:?}"
+        );
+    });
+}
 
-    /// Event queue pops in nondecreasing time order regardless of the
-    /// insertion order.
-    #[test]
-    fn event_queue_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Event queue pops in nondecreasing time order regardless of the
+/// insertion order.
+#[test]
+fn event_queue_sorted() {
+    for_each_case("event_queue_sorted", |rng| {
+        let times = gen_vec_u64(rng, 0, 1_000_000, 1, 200);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
         }
         let mut last = SimTime::ZERO;
         while let Some(ev) = q.pop() {
-            prop_assert!(ev.at >= last);
+            assert!(ev.at >= last);
             last = ev.at;
         }
-    }
+    });
+}
 
-    /// Serialization time is additive: ser(a) + ser(b) == ser(a+b) up to
-    /// 1 ps of integer rounding per call.
-    #[test]
-    fn serialization_additive(a in 1u64..100_000, b in 1u64..100_000, g in 1u64..400) {
+/// Serialization time is additive: ser(a) + ser(b) == ser(a+b) up to
+/// 1 ps of integer rounding per call.
+#[test]
+fn serialization_additive() {
+    for_each_case("serialization_additive", |rng| {
+        let a = gen_u64(rng, 1, 100_000);
+        let b = gen_u64(rng, 1, 100_000);
+        let g = gen_u64(rng, 1, 400);
         let rate = g * 1_000_000_000;
         let lhs = serialization_time(a, rate) + serialization_time(b, rate);
         let rhs = serialization_time(a + b, rate);
         let diff = lhs.as_ps().abs_diff(rhs.as_ps());
-        prop_assert!(diff <= 2, "diff {diff}ps");
-    }
+        assert!(diff <= 2, "a {a} b {b} g {g}: diff {diff}ps");
+    });
+}
 
-    /// Histogram CCDF is monotone nonincreasing and consistent with the
-    /// sample count.
-    #[test]
-    fn histogram_ccdf_monotone(samples in prop::collection::vec(0u64..500, 1..300)) {
+/// Histogram CCDF is monotone nonincreasing and consistent with the
+/// sample count.
+#[test]
+fn histogram_ccdf_monotone() {
+    for_each_case("histogram_ccdf_monotone", |rng| {
+        let samples = gen_vec_u64(rng, 0, 500, 1, 300);
         let mut h = Histogram::new(1, 512);
         for &s in &samples {
             h.record(s);
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.count(), samples.len() as u64);
         let mut last = 1.0f64;
         for n in 0..512u64 {
             let c = h.ccdf(n);
-            prop_assert!(c <= last + 1e-12);
+            assert!(c <= last + 1e-12);
             last = c;
         }
-    }
+    });
+}
 
-    /// Fat-tree capacity is monotone in every parameter (Appendix A).
-    #[test]
-    fn fattree_monotone(k in 2u64..64, t in 1u64..32, n in 1u32..4) {
+/// Fat-tree capacity is monotone in every parameter (Appendix A).
+#[test]
+fn fattree_monotone() {
+    for_each_case("fattree_monotone", |rng| {
+        let k = gen_u64(rng, 2, 64);
+        let t = gen_u64(rng, 1, 32);
+        let n = gen_u32(rng, 1, 4);
         let p = FatTreeParams::new(2 * k, t, 1);
         let bigger_k = FatTreeParams::new(2 * k + 2, t, 1);
-        prop_assert!(bigger_k.max_tors(n) >= p.max_tors(n));
-        prop_assert!(p.max_tors(n + 1) >= p.max_tors(n));
-        prop_assert!(bigger_k.max_switches(n) >= 0u64.max(0));
+        assert!(bigger_k.max_tors(n) >= p.max_tors(n), "k {k} t {t} n {n}");
+        assert!(p.max_tors(n + 1) >= p.max_tors(n), "k {k} t {t} n {n}");
         // Pro-rata provisioning never exceeds the full build.
         let full = p.max_switches(n);
         let part = p.switches_for_tors(n, p.max_tors(n));
-        prop_assert!(part <= full + p.k);
-    }
+        assert!(part <= full + p.k, "k {k} t {t} n {n}");
+    });
+}
 
-    /// M/D/1 distributions are valid probability vectors with the exact
-    /// empty probability for any utilization.
-    #[test]
-    fn md1_distribution_valid(rho_millis in 1u64..990) {
-        let rho = rho_millis as f64 / 1000.0;
+/// M/D/1 distributions are valid probability vectors with the exact
+/// empty probability for any utilization.
+#[test]
+fn md1_distribution_valid() {
+    for_each_case("md1_distribution_valid", |rng| {
+        let rho = gen_u64(rng, 1, 990) as f64 / 1000.0;
         let d = md1::queue_length_distribution(rho, 256);
         let sum: f64 = d.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6);
-        prop_assert!((d[0] - (1.0 - rho)).abs() < 1e-6);
-        prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
-    }
+        assert!((sum - 1.0).abs() < 1e-6, "rho {rho}: sum {sum}");
+        assert!((d[0] - (1.0 - rho)).abs() < 1e-6, "rho {rho}");
+        assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)), "rho {rho}");
+    });
+}
 
-    /// The paper's o(fs^-2N) tail approximation is monotone in both
-    /// arguments.
-    #[test]
-    fn md1_paper_tail_monotone(fs_centi in 101u32..300, n in 1u32..64) {
-        let fs = fs_centi as f64 / 100.0;
+/// The paper's o(fs^-2N) tail approximation is monotone in both
+/// arguments.
+#[test]
+fn md1_paper_tail_monotone() {
+    for_each_case("md1_paper_tail_monotone", |rng| {
+        let fs = gen_u32(rng, 101, 300) as f64 / 100.0;
+        let n = gen_u32(rng, 1, 64);
         let t = md1::paper_tail_approx(fs, n);
-        prop_assert!(t <= md1::paper_tail_approx(fs, n.saturating_sub(1).max(1)) + 1e-18);
-        prop_assert!(t >= md1::paper_tail_approx(fs + 0.1, n) - 1e-18);
-    }
+        assert!(
+            t <= md1::paper_tail_approx(fs, n.saturating_sub(1).max(1)) + 1e-18,
+            "fs {fs} n {n}"
+        );
+        assert!(
+            t >= md1::paper_tail_approx(fs + 0.1, n) - 1e-18,
+            "fs {fs} n {n}"
+        );
+    });
 }
