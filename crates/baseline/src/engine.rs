@@ -2,7 +2,7 @@
 
 use stardust_sim::link::fiber_delay;
 use stardust_sim::units::serialization_time;
-use stardust_sim::{Counter, DetRng, EventQueue, Histogram, SimDuration, SimTime};
+use stardust_sim::{Counter, DetRng, EventQueue, Histogram, ScheduledEvent, SimDuration, SimTime};
 use stardust_topo::{NodeId, NodeKind, Topology};
 use std::collections::VecDeque;
 
@@ -111,7 +111,7 @@ struct PortState {
     busy: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct CbrFlow {
     src_tor: u32,
     dst_tor: u32,
@@ -185,6 +185,8 @@ pub struct PushEngine {
     ports: Vec<Vec<PortState>>,
     reach: Vec<Vec<NodeId>>,
     events: EventQueue<Ev>,
+    /// Scratch buffer for batched same-timestamp dispatch in `run_until`.
+    batch: Vec<ScheduledEvent<Ev>>,
     flows: Vec<CbrFlow>,
     stats: PushStats,
     rng: DetRng,
@@ -240,6 +242,7 @@ impl PushEngine {
             ports,
             reach,
             events: EventQueue::new(),
+            batch: Vec::new(),
             flows: Vec::new(),
             stats,
             rng,
@@ -320,10 +323,20 @@ impl PushEngine {
         flow
     }
 
-    /// Run until `horizon`.
+    /// Run until `horizon`, draining same-timestamp events in batches,
+    /// then advance the clock to `horizon` (unless it is
+    /// [`SimTime::MAX`], which means "run to exhaustion") so back-to-back
+    /// windowed runs cover exactly their span.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(ev) = self.events.pop_until(horizon) {
-            self.dispatch(ev.at, ev.payload);
+        let mut batch = std::mem::take(&mut self.batch);
+        while self.events.pop_batch_until(horizon, &mut batch) > 0 {
+            for ev in batch.drain(..) {
+                self.dispatch(ev.at, ev.payload);
+            }
+        }
+        self.batch = batch;
+        if horizon < SimTime::MAX {
+            self.events.advance_clock(horizon);
         }
     }
 
@@ -350,7 +363,7 @@ impl PushEngine {
     }
 
     fn on_flow_tick(&mut self, now: SimTime, idx: u32) {
-        let f = self.flows[idx as usize].clone();
+        let f = self.flows[idx as usize];
         if now >= f.stop {
             return;
         }
@@ -546,23 +559,40 @@ mod tests {
     #[test]
     fn fig7_congestion_collaterally_damages_b() {
         // in0 → A (port 0) 100G; in0 → B (port 1) 100G; in1 → A 100G.
-        let mut e = PushEngine::new(fig7_topo(), fig7_cfg());
-        let stop = SimTime::from_millis(2);
-        e.add_cbr_flow(0, 2, 0, 0, gbps(100), 1500, SimTime::ZERO, stop);
-        e.add_cbr_flow(0, 2, 1, 0, gbps(100), 1500, SimTime::ZERO, stop);
-        e.add_cbr_flow(1, 2, 0, 0, gbps(100), 1500, SimTime::ZERO, stop);
-        e.run_until(SimTime::from_millis(3));
-        let a = e.stats().delivered_per_port[2][0] as f64 * 8.0 / 2e-3 / 1e9;
-        let b = e.stats().delivered_per_port[2][1] as f64 * 8.0 / 2e-3 / 1e9;
-        // A saturates its port; B — whose own port is idle — loses a big
-        // slice of its traffic to shared fabric queues (paper: delivers
-        // ~66%). Exactly how the tail-drops split between A and B depends
-        // on the relative phase of the CBR sources (sweeping seeds gives B
-        // 69–90 Gbps), so assert the collateral-damage band, not the point.
-        assert!(a > 90.0, "A got {a} Gbps");
-        assert!(b < 92.0, "B should be collaterally damaged, got {b} Gbps");
-        assert!(b > 55.0, "B should still get most of its traffic, got {b}");
-        assert!(e.stats().fabric_drops.get() > 0);
+        //
+        // Exactly how the tail-drops split between A and B depends on the
+        // relative phase of the CBR sources (a single seed lands anywhere
+        // in 69–90 Gbps for B), so average over a fixed seed set and
+        // assert the mean — phase noise cancels, and the band tightens to
+        // the collateral-damage effect the paper reports (B delivers
+        // ~66% of its offered load while its own port sits idle).
+        let seeds = [1u64, 2, 3, 4, 5];
+        let mut total_drops = 0u64;
+        let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+        for seed in seeds {
+            let cfg = PushConfig { seed, ..fig7_cfg() };
+            let mut e = PushEngine::new(fig7_topo(), cfg);
+            let stop = SimTime::from_millis(2);
+            e.add_cbr_flow(0, 2, 0, 0, gbps(100), 1500, SimTime::ZERO, stop);
+            e.add_cbr_flow(0, 2, 1, 0, gbps(100), 1500, SimTime::ZERO, stop);
+            e.add_cbr_flow(1, 2, 0, 0, gbps(100), 1500, SimTime::ZERO, stop);
+            e.run_until(SimTime::from_millis(3));
+            sum_a += e.stats().delivered_per_port[2][0] as f64 * 8.0 / 2e-3 / 1e9;
+            sum_b += e.stats().delivered_per_port[2][1] as f64 * 8.0 / 2e-3 / 1e9;
+            total_drops += e.stats().fabric_drops.get();
+        }
+        let a = sum_a / seeds.len() as f64;
+        let b = sum_b / seeds.len() as f64;
+        assert!(a > 90.0, "A must saturate its port, got {a} Gbps mean");
+        assert!(
+            b < 92.0,
+            "B should be collaterally damaged, got {b} Gbps mean"
+        );
+        assert!(
+            b > 60.0,
+            "B should still get most of its traffic, got {b} mean"
+        );
+        assert!(total_drops > 0, "congestion must actually drop in-fabric");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (`harness = false` in the manifest). Run with `cargo bench -p
 //! stardust-bench`; pass a substring argument to filter benchmarks.
 
+use stardust_bench::corebench::{record_sec62_trace, replay};
 use stardust_bench::harness::Bench;
 use stardust_fabric::cell::{BurstId, Packet, PacketId};
 use stardust_fabric::packing::pack_burst;
@@ -14,7 +15,7 @@ use stardust_fabric::spray::Sprayer;
 use stardust_fabric::voq::Voq;
 use stardust_fabric::{FabricConfig, FabricEngine};
 use stardust_model::md1;
-use stardust_sim::{DetRng, EventQueue, Histogram, SimTime};
+use stardust_sim::{DetRng, EventQueue, HeapEventQueue, Histogram, SimTime};
 use stardust_topo::builders::{two_tier, TwoTierParams};
 
 fn pkt(bytes: u32) -> Packet {
@@ -83,6 +84,44 @@ fn bench_event_queue(b: &mut Bench) {
     });
 }
 
+/// Old-vs-new event core on the real §6.2 permutation workload: replay
+/// the exact queue-operation trace of a saturated 1/16-scale fabric run
+/// against the legacy binary heap and the calendar queue, and report the
+/// events/sec ratio (the ROADMAP gate is ≥ 1.3×).
+fn bench_event_cores(b: &mut Bench) {
+    let trace = record_sec62_trace(100);
+    let pops = trace
+        .iter()
+        .filter(|op| matches!(op, stardust_bench::corebench::TraceOp::Pop))
+        .count() as u64;
+    b.bench_n("event_core/sec62_replay_heap", 10, || {
+        std::hint::black_box(replay::<HeapEventQueue<u32>>(&trace));
+    });
+    b.bench_n("event_core/sec62_replay_calendar", 10, || {
+        std::hint::black_box(replay::<EventQueue<u32>>(&trace));
+    });
+    // Direct events/sec comparison (median of 5 full replays each).
+    let time = |f: &dyn Fn() -> u64| -> f64 {
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let heap_s = time(&|| replay::<HeapEventQueue<u32>>(&trace));
+    let cal_s = time(&|| replay::<EventQueue<u32>>(&trace));
+    println!(
+        "event_core/sec62_events_per_sec              heap {:.2}M  calendar {:.2}M  speedup {:.2}x",
+        pops as f64 / heap_s / 1e6,
+        pops as f64 / cal_s / 1e6,
+        heap_s / cal_s,
+    );
+}
+
 fn bench_histogram(b: &mut Bench) {
     let mut h = Histogram::new(1, 1024);
     let mut x = 0u64;
@@ -128,6 +167,7 @@ fn main() {
     bench_voq(&mut b);
     bench_sprayer(&mut b);
     bench_event_queue(&mut b);
+    bench_event_cores(&mut b);
     bench_histogram(&mut b);
     bench_md1(&mut b);
     bench_engine(&mut b);

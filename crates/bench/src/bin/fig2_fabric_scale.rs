@@ -1,0 +1,160 @@
+//! fig2_fabric_scale — engine events/sec across fabric sizes.
+//!
+//! The paper's Figure 2 argument is that a cell fabric scales to
+//! data-center size; the simulator's version of that claim is that the
+//! event core sustains its throughput as the topology grows. This
+//! scenario sweeps a two-tier fabric from 64 to 1024 Fabric Adapters
+//! under a permutation workload (every FA streams line-rate CBR traffic
+//! at its permutation partner — the §6.2 traffic shape) and reports
+//! simulated events per wall-clock second at each size.
+//!
+//! `--smoke` runs the smallest size only and fails (exit 1) if events/sec
+//! drops below a floor (`STARDUST_MIN_EVENTS_PER_SEC`, default 200,000),
+//! giving CI a loud regression gate on the event core.
+
+use stardust_bench::{commas, header, Args};
+use stardust_fabric::{FabricConfig, FabricEngine};
+use stardust_sim::units::gbps;
+use stardust_sim::{DetRng, SimDuration, SimTime};
+use stardust_topo::builders::{two_tier, TwoTierParams};
+use stardust_workload::permutation;
+use std::time::Instant;
+
+/// A two-tier parameter family: the aggregation tier keeps a fixed
+/// 32-port FE radix (16 down / 16 up) and grows by adding FEs. The
+/// builder's spine stage is a full bipartite layer, so its 16 spines
+/// fatten with fabric size (`t2_down = num_fa / 4`) — the sweep
+/// therefore stresses both the more-elements and the bigger-elements
+/// growth directions. `num_fa` must be a multiple of 16.
+fn params_for(num_fa: u32) -> TwoTierParams {
+    assert!(num_fa >= 16 && num_fa.is_multiple_of(16));
+    TwoTierParams {
+        num_fa,
+        fa_uplinks: 4,
+        t1_count: num_fa / 4,
+        t1_down: 16,
+        t1_up: 16,
+        t2_count: 16,
+        t2_down: num_fa / 4,
+        near_meters: 10,
+        far_meters: 100,
+    }
+}
+
+struct Sample {
+    num_fa: u32,
+    links: usize,
+    events: u64,
+    wall_s: f64,
+    delivered: u64,
+}
+
+/// Build the fabric, attach the permutation CBR workload, simulate
+/// `sim_us` microseconds and measure wall-clock cost of the run loop
+/// (topology construction and flow setup stay untimed).
+fn run_size(num_fa: u32, sim_us: u64, seed: u64) -> Sample {
+    let tt = two_tier(params_for(num_fa));
+    let links = tt.topo.num_links();
+    let cfg = FabricConfig {
+        seed,
+        host_ports: 2,
+        host_port_bps: gbps(40),
+        ctrl_latency: SimDuration::from_micros(1),
+        ..FabricConfig::default()
+    };
+    let mut e = FabricEngine::new(tt.topo, cfg);
+    let mut rng = DetRng::from_label(seed, "fig2-fabric-scale");
+    let perm = permutation(num_fa as usize, &mut rng);
+    let stop = SimTime::from_micros(sim_us);
+    for src in 0..num_fa {
+        e.add_cbr_flow(
+            src,
+            perm[src as usize],
+            (src % 2) as u8,
+            0,
+            gbps(40),
+            1500,
+            SimTime::ZERO,
+            stop,
+        );
+    }
+    let t = Instant::now();
+    e.run_until(stop);
+    let wall_s = t.elapsed().as_secs_f64();
+    Sample {
+        num_fa,
+        links,
+        events: e.events_executed(),
+        wall_s,
+        delivered: e.stats().packets_delivered.get(),
+    }
+}
+
+fn events_per_sec(s: &Sample) -> f64 {
+    s.events as f64 / s.wall_s
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get_u64("seed", 42);
+    if args.has("smoke") {
+        // CI regression gate: one small size, hard events/sec floor.
+        let floor: f64 = std::env::var("STARDUST_MIN_EVENTS_PER_SEC")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000.0);
+        let s = run_size(64, args.get_u64("us", 200), seed);
+        let eps = events_per_sec(&s);
+        println!(
+            "smoke: 64 FAs, {} events in {:.3}s = {} events/sec (floor {})",
+            commas(s.events),
+            s.wall_s,
+            commas(eps as u64),
+            commas(floor as u64)
+        );
+        if eps < floor {
+            eprintln!("event core below the events/sec floor — perf regression");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let sim_us = args.get_u64("us", if args.has("full") { 200 } else { 100 });
+    let sizes: &[u32] = if args.has("full") {
+        &[64, 128, 256, 512, 1024]
+    } else {
+        &[64, 128, 256, 512]
+    };
+    println!(
+        "two-tier fabric sweep, permutation CBR at 40G per FA, {sim_us} µs simulated per size"
+    );
+    header(
+        "fig2_fabric_scale: event-core throughput vs fabric size",
+        &format!(
+            "{:>8} {:>8} {:>14} {:>10} {:>14} {:>12}",
+            "FAs", "links", "events", "wall s", "events/sec", "pkts deliv"
+        ),
+    );
+    let mut first_eps = None;
+    for &n in sizes {
+        let s = run_size(n, sim_us, seed);
+        let eps = events_per_sec(&s);
+        first_eps.get_or_insert(eps);
+        println!(
+            "{:>8} {:>8} {:>14} {:>10.3} {:>14} {:>12}",
+            s.num_fa,
+            s.links,
+            commas(s.events),
+            s.wall_s,
+            commas(eps as u64),
+            commas(s.delivered)
+        );
+    }
+    if let Some(base) = first_eps {
+        println!(
+            "\n(events/sec at the largest size should stay within a small factor of \
+             the smallest — {}/sec at 64 FAs — if the event core scales)",
+            commas(base as u64)
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Event-core benchmarking support: record the exact queue-operation
+//! trace of a real fabric run, then replay it against any [`EventCore`]
+//! implementation.
+//!
+//! The point of the old-vs-new event-core comparison is to measure the
+//! *queue* under the *real* §6.2 workload, not under a synthetic
+//! hold-model. [`RecordingCore`] is a [`CoreKind`] whose queue wraps the
+//! production calendar queue and logs every schedule/pop to a
+//! thread-local buffer; running the permutation scenario on a
+//! `FabricEngine<RecordingCore>` therefore captures the genuine sequence
+//! of event times and drain patterns the engine generates. [`replay`]
+//! feeds that sequence back into a queue of unit-sized payloads so the
+//! measured cost is the core's ordering machinery alone.
+
+use stardust_fabric::{FabricConfig, FabricEngine};
+use stardust_sim::{CoreKind, DetRng, EventCore, EventQueue, ScheduledEvent, SimTime};
+use stardust_topo::builders::{two_tier, TwoTierParams};
+use stardust_workload::permutation;
+use std::cell::RefCell;
+
+/// One recorded queue operation. Times are absolute picoseconds.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceOp {
+    /// `schedule(at, _)`.
+    Schedule(u64),
+    /// One `pop` (batched drains are recorded as consecutive pops).
+    Pop,
+}
+
+thread_local! {
+    static TRACE: RefCell<Vec<TraceOp>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`CoreKind`] that records every queue operation to a thread-local
+/// trace while delegating to the production calendar queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecordingCore;
+
+impl CoreKind for RecordingCore {
+    type Queue<E> = RecordingQueue<E>;
+}
+
+/// The queue behind [`RecordingCore`].
+#[derive(Debug)]
+pub struct RecordingQueue<E> {
+    inner: EventQueue<E>,
+}
+
+impl<E> EventCore<E> for RecordingQueue<E> {
+    fn new() -> Self {
+        RecordingQueue {
+            inner: EventQueue::new(),
+        }
+    }
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn events_executed(&self) -> u64 {
+        self.inner.events_executed()
+    }
+    fn schedule(&mut self, at: SimTime, payload: E) {
+        TRACE.with(|t| t.borrow_mut().push(TraceOp::Schedule(at.as_ps())));
+        self.inner.schedule(at, payload);
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        self.inner.peek_time()
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.inner.pop();
+        if ev.is_some() {
+            TRACE.with(|t| t.borrow_mut().push(TraceOp::Pop));
+        }
+        ev
+    }
+    fn pop_until(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        let ev = self.inner.pop_until(horizon);
+        if ev.is_some() {
+            TRACE.with(|t| t.borrow_mut().push(TraceOp::Pop));
+        }
+        ev
+    }
+    fn pop_batch_until(&mut self, horizon: SimTime, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        let n = self.inner.pop_batch_until(horizon, out);
+        if n > 0 {
+            TRACE.with(|t| {
+                let mut t = t.borrow_mut();
+                t.extend(std::iter::repeat_n(TraceOp::Pop, n));
+            });
+        }
+        n
+    }
+    fn advance_clock(&mut self, to: SimTime) {
+        self.inner.advance_clock(to);
+    }
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// Record the queue-operation trace of the §6.2 permutation scenario —
+/// the same 1/16-scale workload `tests/determinism.rs` locks — over
+/// `sim_micros` of simulated time.
+pub fn record_sec62_trace(sim_micros: u64) -> Vec<TraceOp> {
+    TRACE.with(|t| t.borrow_mut().clear());
+    let seed = 0xDC_FA_B0_05u64;
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let cfg = FabricConfig {
+        seed,
+        host_ports: 2,
+        ..FabricConfig::default()
+    };
+    let num_fa = tt.fas.len();
+    let mut rng = DetRng::from_label(seed, "det-regression-workload");
+    let perm = permutation(num_fa, &mut rng);
+    let mut e = FabricEngine::<RecordingCore>::with_core(tt.topo, cfg);
+    e.saturate_all_to_all(750, 16 * 1024);
+    for src in 0..num_fa as u32 {
+        let mut t = 0u64;
+        for i in 0..40u32 {
+            t += rng.below(2_000);
+            let bytes = if i % 4 == 0 {
+                9000
+            } else {
+                64 + rng.below(1400) as u32
+            };
+            e.inject(
+                SimTime::from_nanos(t),
+                src,
+                perm[src as usize],
+                (i % 2) as u8,
+                0,
+                bytes,
+            );
+        }
+    }
+    e.run_until(SimTime::from_micros(sim_micros));
+    TRACE.with(|t| std::mem::take(&mut *t.borrow_mut()))
+}
+
+/// Replay a recorded trace against a fresh queue of core kind `Q`,
+/// returning a checksum of the popped sequence numbers (so the work
+/// cannot be optimized away and any ordering divergence shows up as a
+/// checksum mismatch between cores).
+pub fn replay<Q: EventCore<u32>>(trace: &[TraceOp]) -> u64 {
+    let mut q = Q::new();
+    let mut payload = 0u32;
+    let mut acc = 0u64;
+    for &op in trace {
+        match op {
+            TraceOp::Schedule(ps) => {
+                q.schedule(SimTime(ps), payload);
+                payload = payload.wrapping_add(1);
+            }
+            TraceOp::Pop => {
+                let ev = q.pop().expect("trace pops a scheduled event");
+                acc = acc
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(ev.seq ^ ev.payload as u64);
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stardust_sim::HeapEventQueue;
+
+    #[test]
+    fn recorded_trace_replays_identically_on_both_cores() {
+        let trace = record_sec62_trace(20);
+        assert!(trace.len() > 1_000, "trace too small: {}", trace.len());
+        let heap = replay::<HeapEventQueue<u32>>(&trace);
+        let cal = replay::<EventQueue<u32>>(&trace);
+        assert_eq!(heap, cal, "replay checksums diverged between cores");
+    }
+}

@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+pub mod corebench;
 pub mod harness;
 
 /// Minimal `--key value` / `--flag` argument parser (no dependency).

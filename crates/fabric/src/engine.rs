@@ -20,7 +20,10 @@ use crate::spray::Sprayer;
 use crate::voq::{Voq, VoqKey};
 use stardust_sim::link::fiber_delay;
 use stardust_sim::units::serialization_time;
-use stardust_sim::{Counter, DetRng, EventQueue, Histogram, SimDuration, SimTime};
+use stardust_sim::{
+    CalendarCore, CoreKind, Counter, DetRng, EventCore, Histogram, ScheduledEvent, SimDuration,
+    SimTime,
+};
 use stardust_topo::{LinkId, NodeId, NodeKind, Topology};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -39,13 +42,21 @@ enum AdKind {
     Down,
 }
 
-/// Engine events.
+/// Index of an in-flight cell in the engine's cell slab. Cells travel
+/// through the event queue and link FIFOs by reference so the hot
+/// `Ev::CellArrive` variant stays 8 bytes instead of carrying the whole
+/// `Cell` by value.
+type CellRef = u32;
+
+/// Engine events. Kept deliberately small (see `ev_stays_small` test):
+/// every event is moved several times through the calendar queue, so the
+/// large payloads (cells, packets) live out-of-line.
 #[derive(Debug, Clone)]
 enum Ev {
     /// A cell finished serializing on a link direction.
     TxDone { dir: u32 },
     /// A cell arrived at the far end of a link direction.
-    CellArrive { dir: u32, cell: Cell },
+    CellArrive { dir: u32, cell: CellRef },
     /// VOQ demand announcement reaching the destination's scheduler.
     CtrlRequest {
         dst_fa: u32,
@@ -60,8 +71,10 @@ enum Ev {
     CreditTick { fa: u32, port: u8 },
     /// A packet finished transmitting on a host-facing egress port.
     PortTxDone { fa: u32, port: u8 },
-    /// Workload packet arrival at a source FA.
-    Inject { pkt: Packet },
+    /// Workload packet arrival at a source FA (boxed: injection is not a
+    /// steady-state hot path, and inlining the packet would double the
+    /// size of every event).
+    Inject { pkt: Box<Packet> },
     /// Periodic reachability advertisement + expiry at a node.
     ReachTick { node: NodeId },
     /// A reachability advertisement arriving at `node` on local `port`.
@@ -80,8 +93,8 @@ enum Ev {
 }
 
 /// A constant-bit-rate open-loop flow (used by the push-vs-pull and
-/// incast experiments).
-#[derive(Debug, Clone)]
+/// incast experiments). `Copy` so per-tick reads never allocate.
+#[derive(Debug, Clone, Copy)]
 struct CbrFlow {
     src_fa: u32,
     dst_fa: u32,
@@ -100,8 +113,8 @@ struct DirState {
     error_rate: f64,
     rate_bps: u64,
     prop: SimDuration,
-    queue: std::collections::VecDeque<Cell>,
-    in_service: Option<Cell>,
+    queue: std::collections::VecDeque<CellRef>,
+    in_service: Option<CellRef>,
     /// Destination node of this direction.
     dst_node: NodeId,
     /// Port index of this link within the destination node's link list.
@@ -245,7 +258,12 @@ impl FabricStats {
 }
 
 /// The Stardust fabric simulator. See the module docs for the data flow.
-pub struct FabricEngine {
+///
+/// Generic over the event-core kind `K` so the same engine can run on the
+/// production calendar queue ([`CalendarCore`], the default) or the
+/// reference binary heap ([`stardust_sim::HeapCore`]); the determinism
+/// suite asserts the two produce bit-identical [`FabricStats`].
+pub struct FabricEngine<K: CoreKind = CalendarCore> {
     cfg: FabricConfig,
     topo: Topology,
     fas: Vec<FaState>,
@@ -255,7 +273,13 @@ pub struct FabricEngine {
     /// NodeId → FE index (or u32::MAX).
     fe_of_node: Vec<u32>,
     dirs: Vec<DirState>,
-    events: EventQueue<Ev>,
+    events: K::Queue<Ev>,
+    /// Scratch buffer for batched same-timestamp dispatch in `run_until`.
+    batch: Vec<ScheduledEvent<Ev>>,
+    /// Slab of in-flight cells; events and link FIFOs hold `CellRef`
+    /// indices into it. Freed slots are recycled LIFO.
+    cells: Vec<Cell>,
+    free_cells: Vec<CellRef>,
     bursts: HashMap<u64, Burst>,
     next_burst: u64,
     next_packet: u64,
@@ -268,12 +292,24 @@ pub struct FabricEngine {
     err_rng: DetRng,
 }
 
+/// A [`FabricEngine`] on the reference binary-heap event core, used by
+/// the old-vs-new determinism regression and the core benchmarks.
+pub type HeapCoreFabricEngine = FabricEngine<stardust_sim::HeapCore>;
+
 impl FabricEngine {
+    /// Build an engine on the default calendar-queue event core. See
+    /// [`FabricEngine::with_core`].
+    pub fn new(topo: Topology, cfg: FabricConfig) -> Self {
+        Self::with_core(topo, cfg)
+    }
+}
+
+impl<K: CoreKind> FabricEngine<K> {
     /// Build an engine over `topo`. Edge nodes become Fabric Adapters (in
     /// `topo` order), fabric nodes become Fabric Elements. Reachability
     /// tables are seeded converged; if `cfg.reach_interval` is set the
     /// protocol runs and maintains them (and failures self-heal).
-    pub fn new(topo: Topology, cfg: FabricConfig) -> Self {
+    pub fn with_core(topo: Topology, cfg: FabricConfig) -> Self {
         cfg.validate();
         let fa_nodes = topo.nodes_of_kind(NodeKind::Edge);
         let fe_nodes = topo.nodes_of_kind(NodeKind::Fabric);
@@ -411,7 +447,7 @@ impl FabricEngine {
         let num_fa = fas.len();
         let host_ports = cfg.host_ports as usize;
         let seed = cfg.seed;
-        let mut engine = FabricEngine {
+        let mut engine: Self = FabricEngine {
             cfg,
             topo,
             fas,
@@ -419,7 +455,10 @@ impl FabricEngine {
             fa_of_node,
             fe_of_node,
             dirs,
-            events: EventQueue::new(),
+            events: <K::Queue<Ev> as EventCore<Ev>>::new(),
+            batch: Vec::new(),
+            cells: Vec::new(),
+            free_cells: Vec::new(),
             bursts: HashMap::new(),
             next_burst: 0,
             next_packet: 0,
@@ -531,7 +570,7 @@ impl FabricEngine {
             bytes,
             injected_at: at,
         };
-        self.events.schedule(at, Ev::Inject { pkt });
+        self.events.schedule(at, Ev::Inject { pkt: Box::new(pkt) });
         id
     }
 
@@ -578,12 +617,18 @@ impl FabricEngine {
                 .filter(|&d| d != src)
                 .map(|d| (d, ((src + d) % ports as u32) as u8, 0u8))
                 .collect();
+            let n_targets = targets.len();
             self.fas[src as usize].sat = Some(SatState {
                 packet_bytes,
                 backlog_bytes,
-                targets: targets.clone(),
+                targets,
             });
-            for (dst, port, tc) in targets {
+            for i in 0..n_targets {
+                let (dst, port, tc) = self.fas[src as usize]
+                    .sat
+                    .as_ref()
+                    .expect("just set")
+                    .targets[i];
                 self.top_up_voq(
                     src,
                     VoqKey {
@@ -604,7 +649,7 @@ impl FabricEngine {
             let d = &mut self.dirs[idx];
             d.up = false;
             self.stats.cells_dropped.add(d.queue.len() as u64);
-            d.queue.clear();
+            self.free_cells.extend(d.queue.drain(..));
             // The in-service cell is dropped at its TxDone.
         }
     }
@@ -629,14 +674,31 @@ impl FabricEngine {
         }
     }
 
-    /// Run until the event queue is exhausted or `horizon` is reached.
+    /// Run until the event queue is exhausted or `horizon` is reached,
+    /// then advance the clock to `horizon` (unless it is [`SimTime::MAX`],
+    /// which means "run to exhaustion" and leaves the clock at the final
+    /// event). Committing the horizon is what makes back-to-back
+    /// [`FabricEngine::run_for`] calls cover exactly their duration
+    /// instead of restarting from the last popped event.
+    ///
+    /// Events sharing a timestamp are drained from the calendar in one
+    /// batch and dispatched in FIFO order, saving a peek/pop round trip
+    /// per event on the (common) simultaneous-event clusters.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(ev) = self.events.pop_until(horizon) {
-            self.dispatch(ev.at, ev.payload);
+        let mut batch = std::mem::take(&mut self.batch);
+        while self.events.pop_batch_until(horizon, &mut batch) > 0 {
+            for ev in batch.drain(..) {
+                self.dispatch(ev.at, ev.payload);
+            }
+        }
+        self.batch = batch;
+        if horizon < SimTime::MAX {
+            self.events.advance_clock(horizon);
         }
     }
 
-    /// Run for `d` more simulated time.
+    /// Run for `d` more simulated time. Consecutive calls advance the
+    /// clock by exactly `d` each (see [`FabricEngine::run_until`]).
     pub fn run_for(&mut self, d: SimDuration) {
         let h = self.now() + d;
         self.run_until(h);
@@ -649,13 +711,18 @@ impl FabricEngine {
 
     /// Delivered payload throughput over `window`, as a fraction of the
     /// aggregate fabric payload capacity (the §6.2 "fabric utilization").
+    /// Degenerate inputs (no Fabric Adapters, no uplinks, a zero-length
+    /// window) yield 0.0 rather than a panic or a division by zero.
     pub fn fabric_utilization(&self, window: SimDuration) -> f64 {
-        let capacity_bps = self.fas.len() as f64
-            * self.fas[0].uplinks.len() as f64
-            * self.cfg.fabric_link_bps as f64
-            * self.cfg.payload_fraction();
-        let delivered_bits = self.stats.bytes_delivered.get() as f64 * 8.0;
-        delivered_bits / (capacity_bps * window.as_secs_f64())
+        let uplinks = self.fas.first().map_or(0, |fa| fa.uplinks.len());
+        payload_utilization(
+            self.fas.len(),
+            uplinks,
+            self.cfg.fabric_link_bps,
+            self.cfg.payload_fraction(),
+            self.stats.bytes_delivered.get(),
+            window,
+        )
     }
 
     /// Direct read of a link-direction queue depth (tests/diagnostics).
@@ -683,7 +750,7 @@ impl FabricEngine {
             Ev::CtrlCredit { src_fa, key } => self.on_credit(now, src_fa, key),
             Ev::CreditTick { fa, port } => self.on_credit_tick(now, fa, port),
             Ev::PortTxDone { fa, port } => self.on_port_tx_done(now, fa, port),
-            Ev::Inject { pkt } => self.on_inject(now, pkt),
+            Ev::Inject { pkt } => self.on_inject(now, *pkt),
             Ev::ReachTick { node } => self.on_reach_tick(now, node),
             Ev::ReachMsg {
                 node,
@@ -698,7 +765,7 @@ impl FabricEngine {
     }
 
     fn on_flow_tick(&mut self, now: SimTime, flow: u32) {
-        let f = self.flows[flow as usize].clone();
+        let f = self.flows[flow as usize];
         if now >= f.stop {
             return;
         }
@@ -732,19 +799,32 @@ impl FabricEngine {
             bytes: f.pkt_bytes,
             injected_at: now,
         };
-        self.dispatch(now, Ev::Inject { pkt });
+        self.on_inject(now, pkt);
         self.events
             .schedule(now + f.interval, Ev::FlowTick { flow });
     }
 
     // --- cell transport ---
 
-    fn push_cell(&mut self, now: SimTime, dir_idx: u32, mut cell: Cell) {
+    /// Allocate a slab slot for an in-flight cell.
+    fn alloc_cell(&mut self, cell: Cell) -> CellRef {
+        if let Some(idx) = self.free_cells.pop() {
+            self.cells[idx as usize] = cell;
+            idx
+        } else {
+            self.cells.push(cell);
+            (self.cells.len() - 1) as CellRef
+        }
+    }
+
+    fn push_cell(&mut self, now: SimTime, dir_idx: u32, cell: CellRef) {
         let fci_threshold = self.cfg.fci_threshold_cells as usize;
         let measuring = self.measuring(now);
+        let wire_bytes = self.cells[cell as usize].wire_bytes;
         let d = &mut self.dirs[dir_idx as usize];
         if !d.up {
             self.stats.cells_dropped.inc();
+            self.free_cells.push(cell);
             return;
         }
         let depth = d.depth();
@@ -753,7 +833,7 @@ impl FabricEngine {
         // fragmentation/spraying stage and burst-clump by design — a whole
         // credit-worth of cells is enqueued at packing time.
         if d.fe_source && depth >= fci_threshold {
-            cell.fci = true;
+            self.cells[cell as usize].fci = true;
             self.stats.fci_marks.inc();
         }
         if measuring {
@@ -767,7 +847,7 @@ impl FabricEngine {
             }
         }
         if d.in_service.is_none() {
-            let t = serialization_time(cell.wire_bytes as u64, d.rate_bps);
+            let t = serialization_time(wire_bytes as u64, d.rate_bps);
             d.in_service = Some(cell);
             self.events.schedule(now + t, Ev::TxDone { dir: dir_idx });
         } else {
@@ -781,25 +861,28 @@ impl FabricEngine {
         let corrupted = d.error_rate > 0.0 && self.err_rng.chance(d.error_rate);
         if !d.up {
             self.stats.cells_dropped.inc();
+            self.free_cells.push(cell);
         } else if corrupted {
             // A CRC-failed cell is discarded at the receiver (§5.10); the
             // reassembly timeout cleans up the burst.
             self.stats.cells_corrupted.inc();
+            self.free_cells.push(cell);
         } else {
             self.events
                 .schedule(now + d.prop, Ev::CellArrive { dir: dir_idx, cell });
         }
         if let Some(next) = d.queue.pop_front() {
-            let t = serialization_time(next.wire_bytes as u64, d.rate_bps);
+            let t = serialization_time(self.cells[next as usize].wire_bytes as u64, d.rate_bps);
             d.in_service = Some(next);
             self.events.schedule(now + t, Ev::TxDone { dir: dir_idx });
         }
     }
 
-    fn on_cell_arrive(&mut self, now: SimTime, dir_idx: u32, cell: Cell) {
+    fn on_cell_arrive(&mut self, now: SimTime, dir_idx: u32, cell: CellRef) {
         let d = &self.dirs[dir_idx as usize];
         if !d.up {
             self.stats.cells_dropped.inc();
+            self.free_cells.push(cell);
             return;
         }
         let node = d.dst_node;
@@ -808,15 +891,17 @@ impl FabricEngine {
             self.forward_at_fe(now, fe as usize, cell);
         } else {
             let fa = self.fa_of_node[node.0 as usize];
-            debug_assert_eq!(fa, cell.dst_fa, "cell delivered to wrong FA");
-            self.receive_at_fa(now, fa, cell);
+            let c = self.cells[cell as usize];
+            self.free_cells.push(cell);
+            debug_assert_eq!(fa, c.dst_fa, "cell delivered to wrong FA");
+            self.receive_at_fa(now, fa, c);
         }
     }
 
     /// Fabric Element forwarding: eligible links via the reachability
     /// table with downward preference, then spray.
-    fn forward_at_fe(&mut self, now: SimTime, fe: usize, cell: Cell) {
-        let dst = cell.dst_fa;
+    fn forward_at_fe(&mut self, now: SimTime, fe: usize, cell: CellRef) {
+        let dst = self.cells[cell as usize].dst_fa;
         let generation = self.fes[fe].reach.generation;
         let needs_build =
             !matches!(self.fes[fe].sprayers.get(&dst), Some((g, _)) if *g == generation);
@@ -841,6 +926,7 @@ impl FabricEngine {
             if set.is_empty() {
                 // No path: the cell is lost (reassembly timeout cleans up).
                 self.stats.cells_dropped.inc();
+                self.free_cells.push(cell);
                 return;
             }
             let rng = DetRng::from_parts(self.seed, (1 << 40) | ((fe as u64) << 20) | dst as u64);
@@ -868,11 +954,12 @@ impl FabricEngine {
         };
         burst.received += 1;
         let port = burst.dst_port;
+        let complete = burst.complete();
         if cell.fci {
             self.fas[fa as usize].ports[port as usize].sched.on_fci(now);
         }
-        if self.bursts[&cell.burst.0].complete() {
-            let burst = self.bursts.remove(&cell.burst.0).unwrap();
+        if complete {
+            let burst = self.bursts.remove(&cell.burst.0).expect("just updated");
             for pkt in burst.packets {
                 self.egress_enqueue(now, fa, port, pkt);
             }
@@ -1094,7 +1181,7 @@ impl FabricEngine {
                 s.next()
             };
             let out_dir = self.fas[src_fa as usize].out_dirs[port as usize];
-            let cell = pb.cell(seq, now);
+            let cell = self.alloc_cell(pb.cell(seq, now));
             self.stats.cells_sent.inc();
             self.push_cell(now, out_dir, cell);
         }
@@ -1106,7 +1193,14 @@ impl FabricEngine {
     /// scheduler (the control round-trip is irrelevant for a standing
     /// backlog and skipping it keeps the event count down).
     fn top_up_voq(&mut self, src_fa: u32, key: VoqKey) {
-        let Some(sat) = self.fas[src_fa as usize].sat.clone() else {
+        // Only the two scalars are needed here; cloning the whole
+        // `SatState` (with its targets Vec) per credit grant was one of
+        // the hot-path allocations this engine used to make.
+        let Some((packet_bytes, backlog_bytes)) = self.fas[src_fa as usize]
+            .sat
+            .as_ref()
+            .map(|s| (s.packet_bytes, s.backlog_bytes))
+        else {
             return;
         };
         let now = self.events.now();
@@ -1114,7 +1208,7 @@ impl FabricEngine {
         {
             let fa = &mut self.fas[src_fa as usize];
             let voq = fa.voqs.entry(key).or_default();
-            while voq.bytes() < sat.backlog_bytes {
+            while voq.bytes() < backlog_bytes {
                 let id = PacketId(self.next_packet);
                 self.next_packet += 1;
                 let pkt = Packet {
@@ -1123,7 +1217,7 @@ impl FabricEngine {
                     dst_fa: key.dst_fa,
                     dst_port: key.dst_port,
                     tc: key.tc,
-                    bytes: sat.packet_bytes,
+                    bytes: packet_bytes,
                     injected_at: now,
                 };
                 added += voq.push(pkt);
@@ -1166,10 +1260,11 @@ impl FabricEngine {
             if now.as_ps() > deadline_ago.as_ps() {
                 self.fas[fa as usize].reach.expire(deadline);
             }
-            // Advertise self upward.
+            // Advertise self upward (indexing per port avoids cloning the
+            // out_dirs Vec every tick).
             let ad = Rc::new(vec![fa]);
-            let out_dirs = self.fas[fa as usize].out_dirs.clone();
-            for dir in out_dirs {
+            for p in 0..self.fas[fa as usize].out_dirs.len() {
+                let dir = self.fas[fa as usize].out_dirs[p];
                 self.send_reach(now, dir, AdKind::Up, ad.clone());
             }
         } else {
@@ -1188,16 +1283,15 @@ impl FabricEngine {
             total.sort_unstable();
             total.dedup();
             let total = Rc::new(total);
-            let plan: Vec<(u32, AdKind)> = st
-                .up_facing
-                .iter()
-                .enumerate()
-                .map(|(p, &upf)| (st.out_dirs[p], if upf { AdKind::Up } else { AdKind::Down }))
-                .collect();
-            for (dir, kind) in plan {
-                let ad = match kind {
-                    AdKind::Up => down_reach.clone(),
-                    AdKind::Down => total.clone(),
+            for p in 0..self.fes[fe].links.len() {
+                let (dir, upf) = {
+                    let st = &self.fes[fe];
+                    (st.out_dirs[p], st.up_facing[p])
+                };
+                let (kind, ad) = if upf {
+                    (AdKind::Up, down_reach.clone())
+                } else {
+                    (AdKind::Down, total.clone())
                 };
                 self.send_reach(now, dir, kind, ad);
             }
@@ -1252,6 +1346,29 @@ impl FabricEngine {
             table.on_advert(port as usize, fas, now, revive);
         }
     }
+}
+
+/// Utilization math behind [`FabricEngine::fabric_utilization`], factored
+/// out so the degenerate edges (zero Fabric Adapters, zero-length window)
+/// are unit-testable without constructing a degenerate engine — the
+/// engine constructor rejects FA-less topologies, but the method must
+/// still be total.
+fn payload_utilization(
+    num_fas: usize,
+    uplinks_per_fa: usize,
+    link_bps: u64,
+    payload_fraction: f64,
+    delivered_bytes: u64,
+    window: SimDuration,
+) -> f64 {
+    if num_fas == 0 || uplinks_per_fa == 0 || window == SimDuration::ZERO {
+        return 0.0;
+    }
+    let capacity_bps = num_fas as f64 * uplinks_per_fa as f64 * link_bps as f64 * payload_fraction;
+    if capacity_bps <= 0.0 {
+        return 0.0;
+    }
+    delivered_bytes as f64 * 8.0 / (capacity_bps * window.as_secs_f64())
 }
 
 #[cfg(test)]
@@ -1775,5 +1892,88 @@ mod tests {
     fn self_traffic_rejected() {
         let mut e = small_engine(cfg_small());
         e.inject(SimTime::ZERO, 0, 0, 0, 0, 100);
+    }
+
+    #[test]
+    fn run_for_advances_by_full_duration() {
+        // Regression: `pop_until` used to leave `now` at the last popped
+        // event, so back-to-back `run_for(d)` calls advanced by less than
+        // `d` each. The horizon must now be committed to the clock.
+        let mut e = small_engine(cfg_small());
+        e.inject(SimTime::ZERO, 0, 8, 0, 0, 1500);
+        e.run_for(SimDuration::from_micros(100));
+        assert_eq!(e.now(), SimTime::from_micros(100));
+        e.run_for(SimDuration::from_micros(100));
+        assert_eq!(e.now(), SimTime::from_micros(200));
+        // And an idle engine still advances.
+        e.run_for(SimDuration::from_micros(50));
+        assert_eq!(e.now(), SimTime::from_micros(250));
+        assert_eq!(e.stats().packets_delivered.get(), 1);
+    }
+
+    #[test]
+    fn fabric_utilization_degenerate_inputs_are_zero() {
+        // Zero-length window on a live engine: 0.0, not a division by 0.
+        let mut e = small_engine(cfg_small());
+        e.inject(SimTime::ZERO, 0, 8, 0, 0, 1500);
+        e.run_until(SimTime::from_millis(1));
+        assert!(e.stats().bytes_delivered.get() > 0);
+        assert_eq!(e.fabric_utilization(SimDuration::ZERO), 0.0);
+        // Zero-FA topology edge, via the factored-out math (the engine
+        // constructor refuses FA-less topologies).
+        let w = SimDuration::from_millis(1);
+        assert_eq!(
+            payload_utilization(0, 4, 50_000_000_000, 0.97, 1_000, w),
+            0.0
+        );
+        assert_eq!(
+            payload_utilization(4, 0, 50_000_000_000, 0.97, 1_000, w),
+            0.0
+        );
+        // Sanity: the live path still reports a positive fraction.
+        assert!(e.fabric_utilization(SimDuration::from_millis(1)) > 0.0);
+    }
+
+    #[test]
+    fn heap_core_engine_matches_calendar_core() {
+        // The event core must be behavior-invisible: the same workload on
+        // the reference heap core and on the calendar core produces
+        // bit-identical measurements (the full §6.2 version of this check
+        // lives in tests/determinism.rs).
+        fn run<K: stardust_sim::CoreKind>() -> FabricStats {
+            let tt = two_tier(TwoTierParams::paper_scaled(16));
+            let mut e = FabricEngine::<K>::with_core(tt.topo, cfg_small());
+            let n = e.num_fas() as u32;
+            for src in 0..n {
+                e.inject(SimTime::ZERO, src, (src + 5) % n, 0, 0, 4000);
+                e.inject(
+                    SimTime::from_nanos(src as u64 * 97),
+                    src,
+                    (src + 1) % n,
+                    1,
+                    1,
+                    700,
+                );
+            }
+            e.run_until(SimTime::from_millis(2));
+            std::mem::replace(&mut e.stats, FabricStats::new(0, 0))
+        }
+        let heap = run::<stardust_sim::HeapCore>();
+        let cal = run::<stardust_sim::CalendarCore>();
+        assert_eq!(heap, cal, "event cores diverged");
+        assert!(heap.packets_delivered.get() > 0);
+    }
+
+    #[test]
+    fn ev_stays_small() {
+        // The dispatch path moves events through bucket sorts and batch
+        // drains; the slab/boxing layout keeps them to ≤ 24 bytes (3
+        // words). This is a budget, not an exact pin, so a legitimate new
+        // variant has headroom before the assert trips.
+        assert!(
+            std::mem::size_of::<Ev>() <= 24,
+            "Ev grew to {} bytes — keep large payloads out-of-line",
+            std::mem::size_of::<Ev>()
+        );
     }
 }

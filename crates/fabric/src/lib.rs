@@ -40,5 +40,5 @@ pub mod voq;
 
 pub use cell::{Burst, BurstId, Cell, Packet, PacketId};
 pub use config::FabricConfig;
-pub use engine::{FabricEngine, FabricStats};
+pub use engine::{FabricEngine, FabricStats, HeapCoreFabricEngine};
 pub use voq::VoqKey;

@@ -1,13 +1,30 @@
-//! Deterministic event calendar.
+//! Deterministic event calendars.
 //!
-//! The calendar is a binary min-heap keyed on `(time, sequence)`. The
-//! sequence number makes the pop order of simultaneous events equal to their
-//! push order, which makes every simulation in this workspace
-//! bit-reproducible for a given seed — a property the paper's own
-//! proprietary simulator relied on when sweeping utilization levels.
+//! Two interchangeable discrete-event calendars live here, both keyed on
+//! `(time, sequence)` so the pop order of simultaneous events equals their
+//! push order — the property that makes every simulation in this workspace
+//! bit-reproducible for a given seed (the paper's own proprietary simulator
+//! relied on it when sweeping utilization levels):
+//!
+//! * [`EventQueue`] — the production calendar: a bucketed **calendar queue**
+//!   (timing wheel with a sorted overflow level). Near-future events land in
+//!   fixed-width time buckets and are sorted lazily one bucket at a time;
+//!   far-future events wait in a binary-heap overflow level and migrate into
+//!   the wheel when it advances. Scheduling and popping are O(1) amortized
+//!   for the dense near-horizon traffic that dominates a fabric run, instead
+//!   of the O(log n) of a global heap.
+//! * [`HeapEventQueue`] — the reference calendar: a plain binary min-heap.
+//!   It is kept for differential tests (the property suite asserts the two
+//!   produce identical pop orders) and as the baseline of the old-vs-new
+//!   micro-benchmarks.
+//!
+//! The shared surface is the [`EventCore`] trait; engines that want to run
+//! on either implementation (for A/B determinism tests) are generic over a
+//! [`CoreKind`], which maps a marker type ([`CalendarCore`], [`HeapCore`])
+//! to its queue type.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// An event of payload type `E` scheduled at an absolute simulated time.
@@ -42,7 +59,131 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// A deterministic discrete-event calendar.
+/// The operations every event calendar offers.
+///
+/// Both [`EventQueue`] (calendar queue) and [`HeapEventQueue`] (binary
+/// heap) implement this; simulation engines that want to be generic over
+/// the calendar implementation bound on it via [`CoreKind`].
+pub trait EventCore<E> {
+    /// Create an empty calendar with the clock at zero.
+    fn new() -> Self
+    where
+        Self: Sized;
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event, or the horizon of the last [`EventCore::advance_clock`],
+    /// whichever is later (zero initially).
+    fn now(&self) -> SimTime;
+
+    /// Number of events waiting in the calendar.
+    fn len(&self) -> usize;
+
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events executed (popped) so far.
+    fn events_executed(&self) -> u64;
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a simulator bug; implementations panic
+    /// (in debug and release) rather than silently reordering causality.
+    fn schedule(&mut self, at: SimTime, payload: E);
+
+    /// Timestamp of the next event without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Remove and return the earliest event, advancing the clock to it.
+    fn pop(&mut self) -> Option<ScheduledEvent<E>>;
+
+    /// Remove and return the earliest event only if it fires at or before
+    /// `horizon`. The clock never advances past `horizon` via this method.
+    fn pop_until(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>>;
+
+    /// Drain **every** event sharing the earliest pending timestamp into
+    /// `out` (cleared first), provided that timestamp is at or before
+    /// `horizon`. Returns the number of events drained (0 when nothing is
+    /// due). Events appear in `out` in deterministic FIFO (sequence)
+    /// order, and the clock advances to their shared timestamp.
+    ///
+    /// Engines use this to dispatch same-timestamp event groups without a
+    /// peek/pop round trip per event.
+    fn pop_batch_until(&mut self, horizon: SimTime, out: &mut Vec<ScheduledEvent<E>>) -> usize;
+
+    /// Advance the clock to `to` without popping anything (no-op if the
+    /// clock is already at or past `to`).
+    ///
+    /// This is how `run_until(h)` commits the horizon once every event at
+    /// or before `h` has been dispatched, so that a following `run_for(d)`
+    /// covers exactly `d` more simulated time instead of restarting from
+    /// the last popped event. Panics if an event strictly earlier than
+    /// `to` is still pending — that would rewind causality.
+    fn advance_clock(&mut self, to: SimTime);
+
+    /// Drop every pending event (the clock is retained).
+    fn clear(&mut self);
+}
+
+/// Maps a core marker type to its queue implementation for any payload.
+///
+/// Engines take `K: CoreKind` and store a `K::Queue<Ev>`; picking
+/// [`CalendarCore`] or [`HeapCore`] swaps the entire event core without
+/// touching engine logic — which is exactly what the old-vs-new
+/// determinism regression does.
+pub trait CoreKind {
+    /// The calendar implementation this core provides.
+    type Queue<E>: EventCore<E>;
+}
+
+/// Marker for the production calendar-queue core ([`EventQueue`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CalendarCore;
+
+/// Marker for the reference binary-heap core ([`HeapEventQueue`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapCore;
+
+impl CoreKind for CalendarCore {
+    type Queue<E> = EventQueue<E>;
+}
+impl CoreKind for HeapCore {
+    type Queue<E> = HeapEventQueue<E>;
+}
+
+/// Default bucket width: 2^15 ps = 32.768 ns, about one 256 B cell
+/// serialization time on a 50 Gb/s link — the natural spacing of the
+/// hot events in a fabric run.
+const DEFAULT_BUCKET_BITS: u32 = 15;
+
+/// Default wheel size (must be a power of two): 2048 buckets × 32.768 ns
+/// ≈ 67 µs of near-future span. Control latencies, credit ticks and
+/// reachability intervals all land in the wheel; only long timers
+/// (reassembly timeouts, ~1 ms) take the overflow path.
+const DEFAULT_NUM_BUCKETS: usize = 2048;
+
+/// A deterministic discrete-event calendar queue.
+///
+/// Three levels, earliest first:
+///
+/// 1. **`cur`** — the bucket currently being drained, sorted by
+///    `(time, seq)` descending so the earliest event pops off the back in
+///    O(1). Newly scheduled events that fall at or before the drained
+///    bucket's horizon are merge-inserted here, preserving total order.
+/// 2. **the wheel** — `N` fixed-width buckets covering the ticks
+///    `[win_end - N, win_end)`; an event lands in bucket
+///    `tick & (N - 1)` unsorted, O(1). A bucket is sorted only when the
+///    wheel reaches it. A bitmap tracks occupancy so skipping empty
+///    buckets costs a few word scans.
+/// 3. **overflow** — a binary min-heap of everything at or beyond
+///    `win_end`. When the wheel runs dry it re-bases onto the earliest
+///    overflow event and migrates the next window's worth of events into
+///    the buckets.
+///
+/// Pop order is globally `(time, seq)` — bit-identical to
+/// [`HeapEventQueue`] — because `(time, seq)` is a unique total key and
+/// every level respects it.
 ///
 /// ```
 /// use stardust_sim::{EventQueue, SimTime};
@@ -58,7 +199,24 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// The bucket being drained: sorted by `(at, seq)` **descending**
+    /// (earliest at the back). Holds every pending event whose tick is
+    /// strictly below `cur_horizon_tick`.
+    cur: Vec<ScheduledEvent<E>>,
+    /// The wheel: unsorted buckets, one per tick in the current window.
+    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occ: Vec<u64>,
+    /// log2 of the bucket width in picoseconds.
+    bucket_bits: u32,
+    /// Ticks strictly below this are in `cur` (or already popped).
+    cur_horizon_tick: u64,
+    /// The wheel covers ticks `[win_end_tick - N, win_end_tick)`; events
+    /// at or beyond `win_end_tick` wait in `overflow`.
+    win_end_tick: u64,
+    /// Far-future events, min-first.
+    overflow: BinaryHeap<ScheduledEvent<E>>,
+    len: usize,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -71,10 +229,26 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty calendar with the clock at zero.
+    /// Create an empty calendar with the clock at zero and the default
+    /// geometry (32.768 ns buckets, 2048-bucket wheel).
     pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_BUCKET_BITS, DEFAULT_NUM_BUCKETS)
+    }
+
+    /// Create an empty calendar with `2^bucket_bits` ps buckets and a
+    /// wheel of `num_buckets` (must be a power of two ≥ 64).
+    pub fn with_geometry(bucket_bits: u32, num_buckets: usize) -> Self {
+        assert!(num_buckets.is_power_of_two() && num_buckets >= 64);
+        assert!(bucket_bits < 40, "bucket width out of range");
         EventQueue {
-            heap: BinaryHeap::new(),
+            cur: Vec::new(),
+            buckets: (0..num_buckets).map(|_| Vec::new()).collect(),
+            occ: vec![0; num_buckets / 64],
+            bucket_bits,
+            cur_horizon_tick: 0,
+            win_end_tick: num_buckets as u64,
+            overflow: BinaryHeap::new(),
+            len: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -82,7 +256,300 @@ impl<E> EventQueue<E> {
     }
 
     /// Current simulated time: the timestamp of the most recently popped
-    /// event (zero before the first pop).
+    /// event or the last committed horizon (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the calendar.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events executed (popped) so far.
+    pub fn events_executed(&self) -> u64 {
+        self.popped
+    }
+
+    #[inline]
+    fn tick_of(&self, at: SimTime) -> u64 {
+        at.as_ps() >> self.bucket_bits
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a simulator bug; this panics (in debug
+    /// and release) rather than silently reordering causality.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tick = self.tick_of(at);
+        if self.len == 0 {
+            // Re-base an idle wheel around the event so near-future
+            // events use buckets rather than churning the overflow heap.
+            self.cur_horizon_tick = tick;
+            self.win_end_tick = tick + self.buckets.len() as u64;
+        }
+        self.len += 1;
+        let ev = ScheduledEvent { at, seq, payload };
+        if tick < self.cur_horizon_tick {
+            // Belongs at or before the bucket being drained: merge into
+            // `cur`, keeping descending (at, seq) order. The new event has
+            // the largest seq, so among equal timestamps it sorts latest.
+            let pos = self.cur.partition_point(|e| (e.at, e.seq) > (at, seq));
+            self.cur.insert(pos, ev);
+        } else if tick < self.win_end_tick {
+            let slot = (tick as usize) & (self.buckets.len() - 1);
+            self.buckets[slot].push(ev);
+            self.occ[slot >> 6] |= 1u64 << (slot & 63);
+        } else {
+            self.overflow.push(ev);
+        }
+    }
+
+    /// Tick of the next non-empty wheel bucket at or after
+    /// `cur_horizon_tick`, if any.
+    fn next_occupied_tick(&self) -> Option<u64> {
+        let n = self.buckets.len();
+        let mask = n - 1;
+        let start = self.cur_horizon_tick;
+        let span = (self.win_end_tick - start) as usize;
+        let mut scanned = 0usize;
+        while scanned < span {
+            let slot = (start as usize).wrapping_add(scanned) & mask;
+            let bit = slot & 63;
+            // Bits examinable in this word: bounded by the word, by the
+            // remaining span, and by the wheel wrap point.
+            let avail = (64 - bit).min(span - scanned).min(n - slot);
+            let m = if avail == 64 {
+                !0u64
+            } else {
+                ((1u64 << avail) - 1) << bit
+            };
+            let w = self.occ[slot >> 6] & m;
+            if w != 0 {
+                let adv = w.trailing_zeros() as usize - bit;
+                return Some(start + (scanned + adv) as u64);
+            }
+            scanned += avail;
+        }
+        None
+    }
+
+    /// Refill `cur` from the next non-empty bucket, re-basing the window
+    /// from the overflow level when the wheel is dry. Returns false iff
+    /// the queue is empty. `cur` must be empty on entry.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.cur.is_empty());
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            if let Some(tick) = self.next_occupied_tick() {
+                let slot = (tick as usize) & (self.buckets.len() - 1);
+                std::mem::swap(&mut self.cur, &mut self.buckets[slot]);
+                self.occ[slot >> 6] &= !(1u64 << (slot & 63));
+                self.cur.sort_unstable_by_key(|e| Reverse((e.at, e.seq)));
+                self.cur_horizon_tick = tick + 1;
+                return true;
+            }
+            // Wheel dry: everything pending is in the overflow level.
+            debug_assert!(!self.overflow.is_empty());
+            let n = self.buckets.len() as u64;
+            let first = self.tick_of(self.overflow.peek().expect("len > 0").at);
+            self.cur_horizon_tick = first;
+            self.win_end_tick = first + n;
+            while let Some(e) = self.overflow.peek() {
+                let t = self.tick_of(e.at);
+                if t >= self.win_end_tick {
+                    break;
+                }
+                let e = self.overflow.pop().expect("peeked");
+                let slot = (t as usize) & (self.buckets.len() - 1);
+                self.buckets[slot].push(e);
+                self.occ[slot >> 6] |= 1u64 << (slot & 63);
+            }
+        }
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.cur.last() {
+            return Some(e.at);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Cold path (`cur` drained and not yet refilled): the earliest
+        // event is the minimum of the next occupied bucket, else the
+        // overflow head. Wheel events always precede overflow events.
+        if let Some(tick) = self.next_occupied_tick() {
+            let slot = (tick as usize) & (self.buckets.len() - 1);
+            return self.buckets[slot]
+                .iter()
+                .map(|e| (e.at, e.seq))
+                .min()
+                .map(|(at, _)| at);
+        }
+        self.overflow.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.cur.is_empty() && !self.refill() {
+            return None;
+        }
+        let ev = self.cur.pop().expect("refill left cur non-empty");
+        debug_assert!(ev.at >= self.now, "calendar went backwards");
+        self.now = ev.at;
+        self.popped += 1;
+        self.len -= 1;
+        Some(ev)
+    }
+
+    /// Remove and return the earliest event only if it fires at or before
+    /// `horizon`. The clock never advances past `horizon` via this method.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.cur.is_empty() && !self.refill() {
+            return None;
+        }
+        if self.cur.last().expect("refilled").at <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// See [`EventCore::pop_batch_until`].
+    pub fn pop_batch_until(&mut self, horizon: SimTime, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        out.clear();
+        if self.cur.is_empty() && !self.refill() {
+            return 0;
+        }
+        let t0 = self.cur.last().expect("refilled").at;
+        if t0 > horizon {
+            return 0;
+        }
+        // Same-tick implies same-bucket, so every event at t0 is in `cur`.
+        while let Some(e) = self.cur.last() {
+            if e.at != t0 {
+                break;
+            }
+            out.push(self.cur.pop().expect("peeked"));
+        }
+        self.len -= out.len();
+        self.popped += out.len() as u64;
+        self.now = t0;
+        out.len()
+    }
+
+    /// See [`EventCore::advance_clock`].
+    pub fn advance_clock(&mut self, to: SimTime) {
+        if to <= self.now {
+            return;
+        }
+        if let Some(t) = self.peek_time() {
+            assert!(
+                t >= to,
+                "advance_clock({to:?}) would skip a pending event at {t:?}"
+            );
+        }
+        self.now = to;
+    }
+
+    /// Drop every pending event (the clock is retained).
+    pub fn clear(&mut self) {
+        self.cur.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        for w in &mut self.occ {
+            *w = 0;
+        }
+        self.overflow.clear();
+        self.len = 0;
+    }
+}
+
+impl<E> EventCore<E> for EventQueue<E> {
+    fn new() -> Self {
+        EventQueue::new()
+    }
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn events_executed(&self) -> u64 {
+        EventQueue::events_executed(self)
+    }
+    fn schedule(&mut self, at: SimTime, payload: E) {
+        EventQueue::schedule(self, at, payload);
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        EventQueue::pop(self)
+    }
+    fn pop_until(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        EventQueue::pop_until(self, horizon)
+    }
+    fn pop_batch_until(&mut self, horizon: SimTime, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        EventQueue::pop_batch_until(self, horizon, out)
+    }
+    fn advance_clock(&mut self, to: SimTime) {
+        EventQueue::advance_clock(self, to);
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self);
+    }
+}
+
+/// The reference event calendar: a deterministic binary min-heap keyed on
+/// `(time, sequence)`.
+///
+/// This is the event core the workspace originally ran on. It is retained
+/// as the ordering oracle for the calendar queue (see the property suite)
+/// and as the baseline of the old-vs-new event-core micro-benchmarks; new
+/// code should use [`EventQueue`].
+#[derive(Debug, Clone)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Create an empty calendar with the clock at zero.
+    pub fn new() -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time (see [`EventQueue::now`]).
     pub fn now(&self) -> SimTime {
         self.now
     }
@@ -102,10 +569,7 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Schedule `payload` to fire at absolute time `at`.
-    ///
-    /// Scheduling in the past is a simulator bug; this panics (in debug and
-    /// release) rather than silently reordering causality.
+    /// Schedule `payload` at `at`; panics on past times (simulator bug).
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         assert!(
             at >= self.now,
@@ -131,13 +595,46 @@ impl<E> EventQueue<E> {
         Some(ev)
     }
 
-    /// Remove and return the earliest event only if it fires at or before
-    /// `horizon`. The clock never advances past `horizon` via this method.
+    /// Remove the earliest event if it fires at or before `horizon`.
     pub fn pop_until(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
         match self.peek_time() {
             Some(t) if t <= horizon => self.pop(),
             _ => None,
         }
+    }
+
+    /// See [`EventCore::pop_batch_until`].
+    pub fn pop_batch_until(&mut self, horizon: SimTime, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        out.clear();
+        let Some(t0) = self.peek_time() else {
+            return 0;
+        };
+        if t0 > horizon {
+            return 0;
+        }
+        while let Some(e) = self.heap.peek() {
+            if e.at != t0 {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked"));
+        }
+        self.popped += out.len() as u64;
+        self.now = t0;
+        out.len()
+    }
+
+    /// See [`EventCore::advance_clock`].
+    pub fn advance_clock(&mut self, to: SimTime) {
+        if to <= self.now {
+            return;
+        }
+        if let Some(t) = self.peek_time() {
+            assert!(
+                t >= to,
+                "advance_clock({to:?}) would skip a pending event at {t:?}"
+            );
+        }
+        self.now = to;
     }
 
     /// Drop every pending event (the clock is retained).
@@ -146,9 +643,47 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> EventCore<E> for HeapEventQueue<E> {
+    fn new() -> Self {
+        HeapEventQueue::new()
+    }
+    fn now(&self) -> SimTime {
+        HeapEventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        HeapEventQueue::len(self)
+    }
+    fn events_executed(&self) -> u64 {
+        HeapEventQueue::events_executed(self)
+    }
+    fn schedule(&mut self, at: SimTime, payload: E) {
+        HeapEventQueue::schedule(self, at, payload);
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        HeapEventQueue::peek_time(self)
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        HeapEventQueue::pop(self)
+    }
+    fn pop_until(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        HeapEventQueue::pop_until(self, horizon)
+    }
+    fn pop_batch_until(&mut self, horizon: SimTime, out: &mut Vec<ScheduledEvent<E>>) -> usize {
+        HeapEventQueue::pop_batch_until(self, horizon, out)
+    }
+    fn advance_clock(&mut self, to: SimTime) {
+        HeapEventQueue::advance_clock(self, to);
+    }
+    fn clear(&mut self) {
+        HeapEventQueue::clear(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::DetRng;
+    use crate::SimDuration;
 
     #[test]
     fn orders_by_time() {
@@ -210,12 +745,145 @@ mod tests {
             while let Some(ev) = q.pop() {
                 trace.push((ev.at, ev.payload));
                 if ev.payload < 50 {
-                    q.schedule(ev.at + crate::SimDuration::from_nanos(2), ev.payload + 1);
-                    q.schedule(ev.at + crate::SimDuration::from_nanos(2), ev.payload + 100);
+                    q.schedule(ev.at + SimDuration::from_nanos(2), ev.payload + 1);
+                    q.schedule(ev.at + SimDuration::from_nanos(2), ev.payload + 100);
                 }
             }
             trace
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path_and_come_back() {
+        // Default window is ~67 µs; a 1 ms event must sit in overflow and
+        // still pop in order, including after wheel re-basing.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 3);
+        q.schedule(SimTime::from_nanos(100), 1);
+        q.schedule(SimTime::from_micros(500), 2);
+        q.schedule(SimTime::from_millis(2), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_windows() {
+        // March far past the wheel span, scheduling as we go: every event
+        // must come back in order across many re-basings.
+        let mut q = EventQueue::with_geometry(10, 64); // ~1 ns buckets, tiny wheel
+        let mut expect = Vec::new();
+        for i in 0..500u64 {
+            let t = SimTime::from_nanos(i * 37);
+            q.schedule(t, i);
+            expect.push((t, i));
+        }
+        let got: Vec<(SimTime, u64)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.at, e.payload))).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn schedule_at_now_lands_after_earlier_same_time_events() {
+        // An event scheduled *while draining* its own timestamp must run
+        // after the already-queued events of that timestamp (FIFO by seq).
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.schedule(t, 3); // at == now, mid-drain
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_one_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(SimTime::from_nanos(20), 3);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch_until(SimTime::from_nanos(50), &mut out), 2);
+        assert_eq!(
+            out.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(q.now(), t);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.events_executed(), 2);
+        // Beyond the horizon: nothing drained, nothing lost.
+        assert_eq!(q.pop_batch_until(SimTime::from_nanos(15), &mut out), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn advance_clock_commits_the_horizon() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.advance_clock(SimTime::from_micros(1));
+        assert_eq!(q.now(), SimTime::from_micros(1));
+        // No-op when earlier than now.
+        q.advance_clock(SimTime::from_nanos(20));
+        assert_eq!(q.now(), SimTime::from_micros(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_clock_cannot_skip_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.advance_clock(SimTime::from_nanos(11));
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_random_workload() {
+        // Differential test: identical schedule/pop interleavings on both
+        // cores must produce identical traces, across time scales that
+        // exercise cur-merge, wheel and overflow paths.
+        let mut rng = DetRng::from_label(42, "event-core-diff");
+        let mut cal: EventQueue<u64> = EventQueue::with_geometry(12, 64);
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut payload = 0u64;
+        for _ in 0..20_000 {
+            if rng.chance(0.6) || cal.is_empty() {
+                let magnitude = 1u64 << rng.index(30);
+                let delta = rng.below(magnitude);
+                let at = cal.now() + SimDuration::from_ps(delta);
+                cal.schedule(at, payload);
+                heap.schedule(at, payload);
+                payload += 1;
+            } else {
+                let a = cal.pop().expect("non-empty");
+                let b = heap.pop().expect("mirrored");
+                assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload));
+                assert_eq!(cal.now(), heap.now());
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload));
+                }
+                _ => panic!("queues drained at different lengths"),
+            }
+        }
+    }
+
+    #[test]
+    fn clear_retains_clock_and_seq_monotonicity() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.pop();
+        q.schedule(SimTime::from_nanos(20), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        q.schedule(SimTime::from_nanos(30), 3);
+        assert_eq!(q.pop().unwrap().payload, 3);
     }
 }

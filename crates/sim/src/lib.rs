@@ -8,8 +8,11 @@
 //!   cell on a 50 Gb/s serial link serializes in 40.96 ns, so integer
 //!   nanoseconds are too coarse; `u64` picoseconds cover ~213 days of
 //!   simulated time, far beyond any experiment in the paper.
-//! * [`EventQueue`] — a deterministic binary-heap calendar. Ties in time are
-//!   broken by insertion sequence number so runs are bit-reproducible.
+//! * [`EventQueue`] — a deterministic bucketed calendar queue (timing wheel
+//!   with a sorted overflow level). Ties in time are broken by insertion
+//!   sequence number so runs are bit-reproducible. [`HeapEventQueue`] keeps
+//!   the original binary-heap core as an ordering oracle and benchmark
+//!   baseline, and engines can be generic over the two via [`CoreKind`].
 //! * [`LinkProfile`] / [`LinkClock`] — serialization + propagation modelling
 //!   for point-to-point serial links (the paper's non-bundled links).
 //! * [`rng`] — seeded, stream-split deterministic random number generation.
@@ -29,7 +32,9 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{
+    CalendarCore, CoreKind, EventCore, EventQueue, HeapCore, HeapEventQueue, ScheduledEvent,
+};
 pub use link::{LinkClock, LinkProfile};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, OnlineStats};

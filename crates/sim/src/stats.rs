@@ -118,13 +118,20 @@ impl Histogram {
         above as f64 / self.count as f64
     }
 
-    /// Approximate quantile by scanning bins; returns a bin lower edge.
+    /// Approximate quantile by scanning bins; returns a bin lower edge,
+    /// except `q = 0.0` which returns the exact recorded minimum (a zero
+    /// target would otherwise "satisfy" at bin 0 even when the leading
+    /// bins are empty) and all-overflow histograms which return the
+    /// recorded maximum (the bins cannot resolve the overflow region).
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q));
         if self.count == 0 {
             return 0;
         }
         let target = (q * self.count as f64).ceil() as u64;
+        if target == 0 {
+            return self.min();
+        }
         let mut acc = 0u64;
         for (i, &c) in self.bins.iter().enumerate() {
             acc += c;
@@ -358,6 +365,42 @@ mod tests {
         assert_eq!(h.quantile(0.5), 50);
         assert_eq!(h.quantile(0.99), 99);
         assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantile_zero_returns_recorded_min_not_bin_zero() {
+        // Leading bins empty: q=0 must report the true minimum, not 0.
+        let mut h = Histogram::new(1, 1000);
+        for x in [50u64, 60, 70] {
+            h.record(x);
+        }
+        assert_eq!(h.quantile(0.0), 50);
+        // And a coarse-binned histogram reports the exact sample minimum,
+        // not its bin's lower edge.
+        let mut c = Histogram::new(100, 10);
+        c.record(250);
+        assert_eq!(c.quantile(0.0), 250);
+        // Empty histogram stays at 0.
+        assert_eq!(Histogram::new(1, 4).quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_one_with_overflow_returns_max() {
+        let mut h = Histogram::new(1, 4);
+        h.record(2);
+        h.record(100); // overflow
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.0), 2);
+    }
+
+    #[test]
+    fn quantile_all_overflow_returns_max() {
+        let mut h = Histogram::new(1, 4);
+        h.record(100);
+        h.record(200);
+        assert_eq!(h.quantile(0.0), 100, "q=0 is the recorded min");
+        assert_eq!(h.quantile(0.5), 200, "bins cannot resolve overflow");
+        assert_eq!(h.quantile(1.0), 200);
     }
 
     #[test]

@@ -212,6 +212,8 @@ pub struct TransportSim {
     dirs: Vec<Dir>,
     flows: Vec<Flow>,
     events: EventQueue<Ev>,
+    /// Scratch buffer for batched same-timestamp dispatch in `run_until`.
+    batch: Vec<stardust_sim::ScheduledEvent<Ev>>,
     voqs: HashMap<u32, SdVoq>,
     sd_ports: Vec<SdPort>,
     /// Aggregate drop/mark counters for the run.
@@ -267,6 +269,7 @@ impl TransportSim {
             dirs,
             flows: Vec::new(),
             events: EventQueue::new(),
+            batch: Vec::new(),
             voqs: HashMap::new(),
             sd_ports,
             counters: NetCounters::default(),
@@ -424,10 +427,20 @@ impl TransportSim {
         FlowId(id)
     }
 
-    /// Run until `horizon`.
+    /// Run until `horizon`, draining same-timestamp events in batches,
+    /// then advance the clock to `horizon` (unless it is
+    /// [`SimTime::MAX`], which means "run to exhaustion") so back-to-back
+    /// windowed runs cover exactly their span.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(ev) = self.events.pop_until(horizon) {
-            self.dispatch(ev.at, ev.payload);
+        let mut batch = std::mem::take(&mut self.batch);
+        while self.events.pop_batch_until(horizon, &mut batch) > 0 {
+            for ev in batch.drain(..) {
+                self.dispatch(ev.at, ev.payload);
+            }
+        }
+        self.batch = batch;
+        if horizon < SimTime::MAX {
+            self.events.advance_clock(horizon);
         }
     }
 

@@ -9,12 +9,13 @@
 //! the paper's evaluation (and every future perf refactor here) relies on.
 
 use stardust::fabric::{FabricConfig, FabricEngine, FabricStats};
-use stardust::sim::{DetRng, SimTime};
+use stardust::sim::{CalendarCore, CoreKind, DetRng, HeapCore, SimTime};
 use stardust::topo::builders::{two_tier, TwoTierParams};
 use stardust::workload::permutation;
 
-/// Run the §6.2 two-tier permutation scenario at 1/16 scale.
-fn permutation_run(seed: u64) -> FabricEngine {
+/// Run the §6.2 two-tier permutation scenario at 1/16 scale on the
+/// event core `K`.
+fn permutation_run_on<K: CoreKind>(seed: u64) -> FabricEngine<K> {
     let params = TwoTierParams::paper_scaled(16);
     let tt = two_tier(params);
     let cfg = FabricConfig {
@@ -25,7 +26,7 @@ fn permutation_run(seed: u64) -> FabricEngine {
     let num_fa = tt.fas.len();
     let mut rng = DetRng::from_label(seed, "det-regression-workload");
     let perm = permutation(num_fa, &mut rng);
-    let mut e = FabricEngine::new(tt.topo, cfg);
+    let mut e = FabricEngine::<K>::with_core(tt.topo, cfg);
     // Each FA streams 40 jittered packets at its permutation partner,
     // mixing 9 KB jumbos with small packets so packing paths execute.
     for src in 0..num_fa as u32 {
@@ -51,6 +52,11 @@ fn permutation_run(seed: u64) -> FabricEngine {
     e
 }
 
+/// The same scenario on the production calendar-queue core.
+fn permutation_run(seed: u64) -> FabricEngine {
+    permutation_run_on::<CalendarCore>(seed)
+}
+
 #[test]
 fn same_seed_bit_identical_stats() {
     let a = permutation_run(0xDC_FA_B0_05);
@@ -66,6 +72,21 @@ fn same_seed_bit_identical_stats() {
     assert_eq!(s.packets_delivered.get(), s.packets_injected.get());
     assert_eq!(s.cells_dropped.get(), 0);
     assert!(s.packet_latency_ns.count() > 0);
+}
+
+#[test]
+fn heap_and_calendar_cores_bit_identical() {
+    // The calendar-queue event core must be a behavior-preserving
+    // replacement for the original binary heap: the §6.2 permutation
+    // scenario on the old core and on the new core must agree on every
+    // counter and every histogram bin, and must have executed the same
+    // number of events in the same simulated span.
+    let heap = permutation_run_on::<HeapCore>(0xDC_FA_B0_05);
+    let cal = permutation_run_on::<CalendarCore>(0xDC_FA_B0_05);
+    assert_eq!(heap.stats(), cal.stats(), "old→new event core diverged");
+    assert_eq!(heap.events_executed(), cal.events_executed());
+    assert_eq!(heap.now(), cal.now());
+    assert!(heap.stats().packets_delivered.get() > 0);
 }
 
 #[test]

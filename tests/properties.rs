@@ -13,9 +13,10 @@ use stardust::fabric::spray::Sprayer;
 use stardust::fabric::voq::Voq;
 use stardust::model::fattree::FatTreeParams;
 use stardust::model::md1;
+use stardust::sim::event::HeapEventQueue;
 use stardust::sim::stats::Histogram;
 use stardust::sim::units::serialization_time;
-use stardust::sim::{DetRng, EventQueue, SimTime};
+use stardust::sim::{DetRng, EventQueue, SimDuration, SimTime};
 
 /// Number of random cases per property (override with `PROPTEST_CASES`).
 fn cases() -> u64 {
@@ -188,6 +189,62 @@ fn event_queue_sorted() {
         while let Some(ev) = q.pop() {
             assert!(ev.at >= last);
             last = ev.at;
+        }
+    });
+}
+
+/// The calendar queue is a drop-in ordering match for the binary heap:
+/// any random interleaving of schedules and pops (spanning the merge,
+/// wheel and overflow levels, including same-timestamp clusters and
+/// batched drains) produces the identical `(time, seq, payload)` trace
+/// on both cores.
+#[test]
+fn calendar_queue_is_drop_in_for_heap() {
+    for_each_case("calendar_queue_is_drop_in_for_heap", |rng| {
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut payload = 0u64;
+        let ops = 200 + rng.index(800);
+        let mut cal_batch = Vec::new();
+        let mut heap_batch = Vec::new();
+        for _ in 0..ops {
+            let r = rng.unit();
+            if r < 0.55 || cal.is_empty() {
+                // Schedule 1–4 events; cluster some at the same instant
+                // to exercise FIFO tie-breaking.
+                let magnitude = 1u64 << (10 + rng.index(30) as u32);
+                let base = cal.now() + SimDuration::from_ps(gen_u64(rng, 0, magnitude));
+                for _ in 0..1 + rng.index(4) {
+                    cal.schedule(base, payload);
+                    heap.schedule(base, payload);
+                    payload += 1;
+                }
+            } else if r < 0.85 {
+                let a = cal.pop().expect("non-empty");
+                let b = heap.pop().expect("mirrored queue non-empty");
+                assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload));
+                assert_eq!(cal.now(), heap.now());
+                assert_eq!(cal.len(), heap.len());
+            } else {
+                // Batched same-timestamp drain up to a random horizon.
+                let horizon = cal.now() + SimDuration::from_ps(gen_u64(rng, 0, 1 << 32));
+                let nc = cal.pop_batch_until(horizon, &mut cal_batch);
+                let nh = heap.pop_batch_until(horizon, &mut heap_batch);
+                assert_eq!(nc, nh, "batch sizes diverged");
+                for (a, b) in cal_batch.iter().zip(&heap_batch) {
+                    assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload));
+                }
+            }
+        }
+        // Drain fully: the tails must match element for element.
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!((a.at, a.seq, a.payload), (b.at, b.seq, b.payload));
+                }
+                _ => panic!("queues drained at different lengths"),
+            }
         }
     });
 }
