@@ -1,96 +1,88 @@
-//! Figure 10(a) — per-flow throughput under a permutation workload.
+//! Figure 10(a) — per-flow throughput under a permutation workload,
+//! side by side on the §6.3 fat-tree transports **and** the cell-accurate
+//! Stardust fabric.
 //!
-//! Each host continuously sends to one host and receives from another,
-//! fully loading the fat-tree (432 nodes at k = 12 with `--full`; k = 8
-//! by default for a quick run). Prints the per-flow throughput in
-//! increasing order (the paper's "flow rank" series) and per-protocol
-//! means.
+//! One [`Scenario`] expands into a random derangement of finite flows
+//! (each node sends `--bytes` to its partner); both engines are offered
+//! the same spec and per-flow goodput (bytes / FCT) prints by flow rank,
+//! the paper's x-axis. `--full` runs the 432-host k = 12 fat-tree;
+//! `--smoke` runs a small deterministic configuration with hard
+//! assertions (wired into CI).
 
+use stardust_bench::fig10::{
+    fabric_fas, goodputs_gbps, kary_hosts, print_fct_summary, run_side_by_side, FABRIC_LABEL, PCTS,
+};
 use stardust_bench::{header, Args};
-use stardust_sim::{DetRng, SimDuration, SimTime};
-use stardust_topo::builders::{kary, KaryParams};
-use stardust_transport::{FlowId, Protocol, TransportConfig, TransportSim};
-use stardust_workload::permutation;
-
-fn run(proto: Protocol, k: u32, ms: u64, seed: u64) -> (Vec<f64>, u64) {
-    let ft = kary(KaryParams {
-        k,
-        ..KaryParams::paper_6_3()
-    });
-    let cfg = TransportConfig {
-        seed,
-        ..TransportConfig::default()
-    };
-    let link = cfg.link_bps as f64;
-    let mut sim = TransportSim::new(ft, cfg);
-    let n = sim.num_hosts();
-    let mut rng = DetRng::from_label(seed, "permutation");
-    let perm = permutation(n, &mut rng);
-    let ids: Vec<FlowId> = (0..n as u32)
-        .map(|src| sim.add_flow(proto, src, perm[src as usize], u64::MAX / 2, SimTime::ZERO))
-        .collect();
-    // Warm-up, then measure over the second half.
-    let half = SimTime::from_millis(ms / 2);
-    sim.run_until(half);
-    let base: Vec<u64> = ids.iter().map(|&i| sim.flow(i).acked).collect();
-    sim.run_until(SimTime::from_millis(ms));
-    let window = SimDuration::from_millis(ms - ms / 2);
-    let mut gbps: Vec<f64> = ids
-        .iter()
-        .zip(&base)
-        .map(|(&i, &b)| (sim.flow(i).acked - b) as f64 * 8.0 / window.as_secs_f64() / 1e9)
-        .collect();
-    gbps.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let drops = sim.counters.drops.get();
-    let _ = link;
-    (gbps, drops)
-}
+use stardust_sim::SimTime;
+use stardust_transport::Protocol;
+use stardust_workload::{Scenario, ScenarioKind};
 
 fn main() {
     let args = Args::parse();
+    let smoke = args.has("smoke");
     let k = if args.has("full") {
         12
+    } else if smoke {
+        4
     } else {
         args.get_u64("k", 8) as u32
     };
-    let ms = args.get_u64("ms", 40);
+    let factor = if args.has("full") {
+        1
+    } else if smoke {
+        16
+    } else {
+        2
+    } as u32;
+    let flow_bytes = args.get_u64("bytes", if smoke { 500_000 } else { 2_500_000 });
+    let ms = args.get_u64("ms", if smoke { 50 } else { 100 });
     let seed = args.get_u64("seed", 42);
-    let protos = [
-        Protocol::Mptcp,
-        Protocol::Dctcp,
-        Protocol::Dcqcn,
-        Protocol::Stardust,
-    ];
+    let scenario = Scenario {
+        name: "fig10a-permutation",
+        seed,
+        kind: ScenarioKind::Permutation { flow_bytes },
+    };
+    let protos: &[Protocol] = if smoke {
+        &[Protocol::Dctcp, Protocol::Stardust]
+    } else {
+        &[
+            Protocol::Mptcp,
+            Protocol::Dctcp,
+            Protocol::Dcqcn,
+            Protocol::Stardust,
+        ]
+    };
 
     println!(
-        "k = {k} fat-tree ({} hosts), {ms} ms simulated, 10G links, permutation",
-        k * k * k / 4
+        "permutation of {flow_bytes} B flows: k = {k} fat-tree ({} hosts, 10G NICs) vs \
+         1/{factor}-scale Stardust fabric ({} FAs, 1×10G port each), {ms} ms horizon",
+        kary_hosts(k),
+        fabric_fas(factor)
     );
 
-    let results: Vec<(Protocol, Vec<f64>, u64)> = protos
-        .iter()
-        .map(|&p| {
-            let (g, d) = run(p, k, ms, seed);
-            (p, g, d)
-        })
-        .collect();
+    let results = run_side_by_side(&scenario, protos, k, factor, SimTime::from_millis(ms));
 
     header(
-        "Figure 10(a): throughput [Gbps] by flow rank (every 5th percentile)",
+        "Figure 10(a): goodput [Gbps] by flow rank",
         &format!(
             "{:>6} {}",
             "pct",
             results
                 .iter()
-                .map(|(p, ..)| format!("{:>10}", p.label()))
+                .map(|(l, _)| format!("{l:>12}"))
                 .collect::<String>()
         ),
     );
-    for pct in (0..=100).step_by(5) {
-        print!("{:>6}", pct);
-        for (_, g, _) in &results {
-            let idx = ((pct as f64 / 100.0) * (g.len() - 1) as f64).round() as usize;
-            print!(" {:>10.2}", g[idx]);
+    let ranked: Vec<Vec<f64>> = results.iter().map(|(_, fs)| goodputs_gbps(fs)).collect();
+    for &pct in &PCTS {
+        print!("{pct:>6}");
+        for g in &ranked {
+            if g.is_empty() {
+                print!(" {:>11}", "-");
+            } else {
+                let idx = ((pct as f64 / 100.0) * (g.len() - 1) as f64).round() as usize;
+                print!(" {:>11.2}", g[idx]);
+            }
         }
         println!();
     }
@@ -98,24 +90,72 @@ fn main() {
     header(
         "summary",
         &format!(
-            "{:>10} {:>12} {:>14} {:>12} {:>12}",
-            "protocol", "mean util %", ">=9.44G flows %", "min Gbps", "net drops"
+            "{:>12} {:>12} {:>12} {:>14} {:>12}",
+            "engine", "completed", "mean util %", ">=9.44G flows %", "min Gbps"
         ),
     );
-    for (p, g, d) in &results {
-        let mean = g.iter().sum::<f64>() / g.len() as f64;
-        let near_line = g.iter().filter(|&&x| x >= 9.44).count() as f64 / g.len() as f64;
+    for ((label, fs), g) in results.iter().zip(&ranked) {
+        let mean = if g.is_empty() {
+            0.0
+        } else {
+            g.iter().sum::<f64>() / g.len() as f64
+        };
+        let near_line = if g.is_empty() {
+            0.0
+        } else {
+            g.iter().filter(|&&x| x >= 9.44).count() as f64 / g.len() as f64
+        };
         println!(
-            "{:>10} {:>12.1} {:>14.1} {:>12.2} {:>12}",
-            p.label(),
+            "{:>12} {:>12} {:>12.1} {:>14.1} {:>12.2}",
+            label,
+            format!("{}/{}", fs.completed(), fs.len()),
             mean * 10.0,
             near_line * 100.0,
             g.first().copied().unwrap_or(0.0),
-            d
         );
+    }
+    print_fct_summary(&results);
+    // Goodput = bytes / FCT exists only for completed flows, so the rank
+    // series above is survivor-biased for any engine that did not finish
+    // every flow within the horizon — call that out rather than letting
+    // a lossy transport's fast survivors read as its whole population.
+    for (label, fs) in &results {
+        let unfinished = fs.len() - fs.completed();
+        if unfinished > 0 {
+            println!(
+                "note: {label} left {unfinished}/{} flows unfinished at the horizon — its \
+                 goodput columns cover only the {} completed (faster) flows",
+                fs.len(),
+                fs.completed()
+            );
+        }
     }
     println!(
         "\npaper (432 nodes): Stardust 9.44G on 96% of flows, mean util 94%; \
          MPTCP 90%; DCTCP 49%; DCQCN 47%"
     );
+
+    if smoke {
+        let (_, fab) = results
+            .iter()
+            .find(|(l, _)| l == FABRIC_LABEL)
+            .expect("fabric column");
+        assert_eq!(fab.completed(), fab.len(), "fabric left flows unfinished");
+        let fab_g = goodputs_gbps(fab);
+        assert!(
+            fab_g[0] > 5.0,
+            "fabric permutation goodput collapsed: min {} Gbps",
+            fab_g[0]
+        );
+        let (_, sd) = results
+            .iter()
+            .find(|(l, _)| l == Protocol::Stardust.label())
+            .expect("stardust transport column");
+        assert_eq!(
+            sd.completed(),
+            sd.len(),
+            "SD transport left flows unfinished"
+        );
+        println!("\nsmoke OK: both engines completed the permutation via one scenario spec");
+    }
 }

@@ -1,93 +1,114 @@
-//! Figure 10(c) — incast completion time vs number of backend servers.
+//! Figure 10(c) — incast completion time vs number of backend servers,
+//! side by side on the §6.3 fat-tree transports **and** the cell-accurate
+//! Stardust fabric.
 //!
 //! A frontend fans out work to N backends which all answer with a 450 KB
-//! response. The figure reports the first and last flow completion time —
-//! "a measure both of performance and fairness". DCQCN is omitted, as in
-//! the paper (its artifact lacked the incast configuration).
+//! response; the figure reports the first and last flow completion time —
+//! "a measure both of performance and fairness". One [`Scenario`] per
+//! backend count drives every engine. DCQCN is omitted, as in the paper
+//! (its artifact lacked the incast configuration). The backend sweep is
+//! clamped to each network's own population minus the frontend.
+//! `--smoke` runs a small deterministic sweep with hard assertions
+//! (wired into CI).
 
+use stardust_bench::fig10::{fabric_fas, kary_hosts, run_side_by_side, FABRIC_LABEL};
 use stardust_bench::{header, Args};
-use stardust_sim::{DetRng, SimTime};
-use stardust_topo::builders::{kary, KaryParams};
-use stardust_transport::{FlowId, Protocol, TransportConfig, TransportSim};
-use stardust_workload::incast_sources;
+use stardust_sim::SimTime;
+use stardust_transport::Protocol;
+use stardust_workload::{Scenario, ScenarioKind};
 
 const RESPONSE_BYTES: u64 = 450_000;
 
-fn run(proto: Protocol, k: u32, backends: usize, seed: u64) -> (f64, f64, u64) {
-    let ft = kary(KaryParams {
-        k,
-        ..KaryParams::paper_6_3()
-    });
-    let cfg = TransportConfig {
-        seed,
-        ..TransportConfig::default()
-    };
-    let mut sim = TransportSim::new(ft, cfg);
-    let n = sim.num_hosts();
-    let frontend = 0u32;
-    let mut rng = DetRng::from_label(seed, "incast");
-    let sources = incast_sources(n, frontend, backends, &mut rng);
-    let ids: Vec<FlowId> = sources
-        .iter()
-        .map(|&s| sim.add_flow(proto, s, frontend, RESPONSE_BYTES, SimTime::ZERO))
-        .collect();
-    sim.run_until(SimTime::from_millis(2_000));
-    let fcts: Vec<f64> = ids
-        .iter()
-        .filter_map(|&i| sim.flow(i).fct())
-        .map(|d| d.as_secs_f64() * 1e3)
-        .collect();
-    let unfinished = ids.len() - fcts.len();
-    assert_eq!(
-        unfinished, 0,
-        "{proto:?} with {backends} backends left {unfinished} flows unfinished"
-    );
-    let first = fcts.iter().cloned().fold(f64::INFINITY, f64::min);
-    let last = fcts.iter().cloned().fold(0.0, f64::max);
-    (first, last, sim.counters.drops.get())
-}
-
 fn main() {
     let args = Args::parse();
+    let smoke = args.has("smoke");
     let k = if args.has("full") {
         12
+    } else if smoke {
+        4
     } else {
         args.get_u64("k", 8) as u32
     };
+    let factor = if args.has("full") {
+        1
+    } else if smoke {
+        16
+    } else {
+        2
+    } as u32;
+    let ms = args.get_u64("ms", if smoke { 100 } else { 400 });
     let seed = args.get_u64("seed", 42);
-    let max_backends = (k * k * k / 4 - 1) as usize;
-    let steps: Vec<usize> = [10, 25, 50, 100, 150, 200, 300, 400]
-        .into_iter()
-        .filter(|&b| b <= max_backends)
-        .collect();
-    let protos = [Protocol::Mptcp, Protocol::Dctcp, Protocol::Stardust];
+    let protos: &[Protocol] = if smoke {
+        &[Protocol::Dctcp, Protocol::Stardust]
+    } else {
+        &[Protocol::Mptcp, Protocol::Dctcp, Protocol::Stardust]
+    };
+
+    let n_hosts = kary_hosts(k);
+    let n_fas = fabric_fas(factor);
+    let max_backends = n_hosts.min(n_fas) - 1;
+    let steps: Vec<usize> = if smoke {
+        vec![5, 10, 15]
+    } else {
+        [10, 25, 50, 100, 150, 200, 300, 400].into_iter().collect()
+    }
+    .into_iter()
+    .filter(|&b| b <= max_backends)
+    .collect();
 
     println!(
-        "k = {k} fat-tree, {RESPONSE_BYTES} B responses to one frontend; \
-         ideal last-FCT = N × 450KB / 10G"
+        "{RESPONSE_BYTES} B responses to one frontend: k = {k} fat-tree ({n_hosts} hosts) \
+         vs 1/{factor}-scale Stardust fabric ({n_fas} FAs); ideal last-FCT = N × 450KB / 10G"
     );
     header(
-        "Figure 10(c): incast completion time [ms] (first / last per protocol)",
+        "Figure 10(c): incast completion time [ms] (first / last per engine)",
         &format!(
             "{:>9} {} {:>12}",
             "backends",
             protos
                 .iter()
-                .map(|p| format!(
-                    "{:>12}-first {:>11}-last {:>6}drops",
-                    p.label(),
-                    p.label(),
-                    ""
-                ))
+                .map(|p| p.label().to_string())
+                .chain([FABRIC_LABEL.to_string()])
+                .map(|l| format!("{:>14}-first {:>8}-last", l, ""))
                 .collect::<String>(),
             "ideal last"
         ),
     );
+    let mut fabric_fairness = Vec::new();
     for &b in &steps {
+        let scenario = Scenario {
+            name: "fig10c-incast",
+            seed,
+            kind: ScenarioKind::Incast {
+                backends: b,
+                response_bytes: RESPONSE_BYTES,
+            },
+        };
+        let results = run_side_by_side(&scenario, protos, k, factor, SimTime::from_millis(ms));
         print!("{b:>9}");
-        for &p in &protos {
-            let (first, last, drops) = run(p, k, b, seed);
-            print!(" {:>17.2} {:>16.2} {:>10}", first, last, drops);
+        for (label, fs) in &results {
+            let first = fs.fct_quantile(0.0);
+            let last = fs.fct_quantile(1.0);
+            match (first, last, fs.completed() == fs.len()) {
+                (Some(f), Some(l), true) => {
+                    print!(
+                        " {:>19.2} {:>13.2}",
+                        f.as_secs_f64() * 1e3,
+                        l.as_secs_f64() * 1e3
+                    );
+                    if label == FABRIC_LABEL {
+                        fabric_fairness.push(l.as_secs_f64() / f.as_secs_f64());
+                    }
+                }
+                _ => print!(" {:>19} {:>13}", "unfinished", "-"),
+            }
+            if smoke {
+                assert_eq!(
+                    fs.completed(),
+                    fs.len(),
+                    "{label}: {b}-to-1 incast left flows unfinished"
+                );
+            }
         }
         let ideal = b as f64 * RESPONSE_BYTES as f64 * 8.0 / 10e9 * 1e3;
         println!(" {:>12.2}", ideal);
@@ -97,4 +118,15 @@ fn main() {
          its fairness is considerably better. Furthermore, no packets are dropped within \
          the Stardust fabric.\""
     );
+
+    if smoke {
+        assert_eq!(fabric_fairness.len(), steps.len());
+        for (b, r) in steps.iter().zip(&fabric_fairness) {
+            assert!(
+                *r < 1.5,
+                "{b}-to-1: fabric last/first FCT ratio {r:.2} — credits are not fair"
+            );
+        }
+        println!("\nsmoke OK: fabric incast complete, lossless and fair at every step");
+    }
 }

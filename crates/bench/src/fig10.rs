@@ -1,0 +1,186 @@
+//! Shared scaffolding for the Fig 10 a–c experiments: build the two
+//! engines, run one [`Scenario`] on both, and print FCT tables side by
+//! side.
+//!
+//! The fat-tree transport simulator models the paper's §6.3 htsim setup
+//! (k-ary fat-tree, one 10G NIC per host, per-protocol transports). The
+//! fabric engine is the cell-accurate §6.2 Stardust model (VOQs, credit
+//! scheduling, packing, spraying); to keep the comparison one-NIC-per-
+//! node it runs with a single 10G host port per Fabric Adapter. The two
+//! topologies differ — that is the point: the same workload spec lands on
+//! the paper's comparison network and on the Stardust fabric proper.
+
+use crate::header;
+use stardust_fabric::{FabricConfig, FabricEngine};
+use stardust_sim::{quantile_of_sorted, units, FlowStats, SimTime};
+use stardust_topo::builders::{kary, two_tier, KaryParams, TwoTierParams};
+use stardust_transport::{Protocol, TransportConfig, TransportSim};
+use stardust_workload::Scenario;
+
+/// Label used for the cell-accurate fabric column.
+pub const FABRIC_LABEL: &str = "SD-fabric";
+
+/// Percentiles printed by [`print_fct_table`].
+pub const PCTS: [u32; 8] = [10, 25, 50, 75, 90, 95, 99, 100];
+
+/// Fabric Adapter population of [`fabric_engine`]`(factor, _)` — one
+/// source of truth with `TwoTierParams::paper_scaled`, so the binaries'
+/// printed populations and backend clamps can never drift from the
+/// topology actually built.
+pub fn fabric_fas(factor: u32) -> usize {
+    TwoTierParams::paper_scaled(factor).num_fa as usize
+}
+
+/// Host population of [`transport_sim`]`(k, _)` (k³/4 for a k-ary
+/// fat-tree).
+pub fn kary_hosts(k: u32) -> usize {
+    (k * k * k / 4) as usize
+}
+
+/// A scaled-down §6.2 two-tier Stardust fabric with one 10G host port
+/// per Fabric Adapter (`factor` divides the paper populations; 16 gives
+/// 16 FAs, 4 gives 64).
+pub fn fabric_engine(factor: u32, seed: u64) -> FabricEngine {
+    let tt = two_tier(TwoTierParams::paper_scaled(factor));
+    let cfg = FabricConfig {
+        host_ports: 1,
+        host_port_bps: units::gbps(10),
+        seed,
+        ..FabricConfig::default()
+    };
+    FabricEngine::new(tt.topo, cfg)
+}
+
+/// The §6.3 k-ary fat-tree transport simulator (k³/4 hosts, 10G links).
+pub fn transport_sim(k: u32, seed: u64) -> TransportSim {
+    let ft = kary(KaryParams {
+        k,
+        ..KaryParams::paper_6_3()
+    });
+    TransportSim::new(
+        ft,
+        TransportConfig {
+            seed,
+            ..TransportConfig::default()
+        },
+    )
+}
+
+/// Run `scenario` on the fat-tree under each of `protos`, then on the
+/// Stardust fabric, and return the labelled FCT tables (fabric last,
+/// labelled [`FABRIC_LABEL`]). Asserts the paper's losslessness claim:
+/// the scheduled fabric drops no cells.
+pub fn run_side_by_side(
+    scenario: &Scenario,
+    protos: &[Protocol],
+    k: u32,
+    factor: u32,
+    horizon: SimTime,
+) -> Vec<(String, FlowStats)> {
+    let mut out = Vec::with_capacity(protos.len() + 1);
+    for &p in protos {
+        let mut sim = transport_sim(k, scenario.seed);
+        out.push((
+            p.label().to_string(),
+            scenario.run_transport(&mut sim, p, horizon),
+        ));
+    }
+    let mut engine = fabric_engine(factor, scenario.seed);
+    let fs = scenario.run_fabric(&mut engine, horizon);
+    assert_eq!(
+        engine.stats().cells_dropped.get(),
+        0,
+        "the scheduled fabric must not drop cells"
+    );
+    out.push((FABRIC_LABEL.to_string(), fs));
+    out
+}
+
+/// Print an FCT-percentile table, one column per labelled result, in ms
+/// (each column's FCTs are sorted once, not per percentile).
+pub fn print_fct_table(title: &str, results: &[(String, FlowStats)]) {
+    let cols: String = results.iter().map(|(l, _)| format!("{l:>12}")).collect();
+    header(title, &format!("{:>6} {cols}", "pct"));
+    let sorted: Vec<_> = results.iter().map(|(_, fs)| fs.fcts_sorted()).collect();
+    for &pct in &PCTS {
+        print!("{pct:>6}");
+        for fcts in &sorted {
+            match quantile_of_sorted(fcts, pct as f64 / 100.0) {
+                Some(d) => print!(" {:>11.3}", d.as_secs_f64() * 1e3),
+                None => print!(" {:>11}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Print the completion/median/tail summary for each labelled result.
+pub fn print_fct_summary(results: &[(String, FlowStats)]) {
+    header(
+        "summary",
+        &format!(
+            "{:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "engine", "completed", "mean ms", "median ms", "p99 ms", "max ms"
+        ),
+    );
+    for (label, fs) in results {
+        let ms = |d: Option<stardust_sim::SimDuration>| {
+            d.map_or("-".to_string(), |d| format!("{:.3}", d.as_secs_f64() * 1e3))
+        };
+        let fcts = fs.fcts_sorted();
+        println!(
+            "{:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            label,
+            format!("{}/{}", fs.completed(), fs.len()),
+            ms(fs.fct_mean()),
+            ms(quantile_of_sorted(&fcts, 0.5)),
+            ms(quantile_of_sorted(&fcts, 0.99)),
+            ms(quantile_of_sorted(&fcts, 1.0)),
+        );
+    }
+}
+
+/// Per-flow goodputs in Gbps (bytes / FCT) over completed flows,
+/// ascending — the paper's Fig 10(a) "flow rank" series.
+pub fn goodputs_gbps(fs: &FlowStats) -> Vec<f64> {
+    let mut v: Vec<f64> = fs
+        .records()
+        .iter()
+        .filter_map(|r| {
+            r.fct()
+                .map(|d| r.bytes as f64 * 8.0 / d.as_secs_f64() / 1e9)
+        })
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stardust_workload::ScenarioKind;
+
+    #[test]
+    fn side_by_side_runs_one_spec_on_both_engines() {
+        let scn = Scenario {
+            name: "fig10-helper-test",
+            seed: 5,
+            kind: ScenarioKind::Permutation {
+                flow_bytes: 200_000,
+            },
+        };
+        let results =
+            run_side_by_side(&scn, &[Protocol::Stardust], 4, 16, SimTime::from_millis(50));
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, "Stardust");
+        assert_eq!(results[1].0, FABRIC_LABEL);
+        // Both populations sized by their own engine: k=4 → 16 hosts,
+        // factor=16 → 16 FAs.
+        assert_eq!(results[0].1.len(), 16);
+        assert_eq!(results[1].1.len(), 16);
+        assert_eq!(results[1].1.completed(), 16);
+        let g = goodputs_gbps(&results[1].1);
+        assert_eq!(g.len(), 16);
+        assert!(g[0] > 0.0 && g[g.len() - 1] <= 10.5, "goodputs {g:?}");
+    }
+}

@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 pub mod corebench;
+pub mod fig10;
 pub mod harness;
 
 /// Minimal `--key value` / `--flag` argument parser (no dependency).
@@ -67,6 +68,11 @@ impl Args {
                     .unwrap_or_else(|_| panic!("--{key} expects a number"))
             })
             .unwrap_or(default)
+    }
+
+    /// A `--key value` as a string, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.kv.get(key).map(String::as_str)
     }
 
     /// Presence of a bare `--flag`.

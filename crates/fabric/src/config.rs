@@ -76,6 +76,12 @@ pub struct FabricConfig {
     /// Scheduling across traffic classes (§4.1: "typically a combination
     /// of round-robin, strict priority and weighted").
     pub sched_policy: SchedPolicy,
+    /// MTU used when a finite message flow
+    /// ([`crate::FabricEngine::add_message`]) is segmented into packets at
+    /// the source Fabric Adapter ingress. Stardust itself is
+    /// packet-agnostic — this only shapes the synthetic host traffic the
+    /// Fig 10 FCT scenarios offer.
+    pub msg_mtu_bytes: u32,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -120,6 +126,7 @@ impl Default for FabricConfig {
             voq_max_bytes: None,
             low_latency_tc: None,
             sched_policy: SchedPolicy::Strict,
+            msg_mtu_bytes: 1_500,
             seed: 0xDC_FA_B0_05,
         }
     }
@@ -153,6 +160,7 @@ impl FabricConfig {
         if let Some(tc) = self.low_latency_tc {
             assert!(tc < self.num_tcs, "low-latency TC out of range");
         }
+        assert!(self.msg_mtu_bytes > 0, "zero message MTU");
         if let SchedPolicy::Wrr(w) = &self.sched_policy {
             assert_eq!(w.len(), self.num_tcs as usize, "one WRR weight per TC");
             assert!(w.iter().all(|&x| x > 0), "WRR weights must be positive");

@@ -21,8 +21,8 @@ use crate::voq::{Voq, VoqKey};
 use stardust_sim::link::fiber_delay;
 use stardust_sim::units::serialization_time;
 use stardust_sim::{
-    CalendarCore, CoreKind, Counter, DetRng, EventCore, Histogram, ScheduledEvent, SimDuration,
-    SimTime,
+    CalendarCore, CoreKind, Counter, DetRng, EventCore, FlowStats, Histogram, ScheduledEvent,
+    SimDuration, SimTime,
 };
 use stardust_topo::{LinkId, NodeId, NodeKind, Topology};
 use std::collections::HashMap;
@@ -90,6 +90,8 @@ enum Ev {
     BurstTimeout { burst: BurstId },
     /// Next packet of a constant-bit-rate flow.
     FlowTick { flow: u32 },
+    /// A finite message flow arriving at its source FA ingress.
+    MsgStart { flow: u32 },
 }
 
 /// A constant-bit-rate open-loop flow (used by the push-vs-pull and
@@ -103,6 +105,32 @@ struct CbrFlow {
     pkt_bytes: u32,
     interval: SimDuration,
     stop: SimTime,
+}
+
+/// Outcome of FA ingress admission (see `FabricEngine::admit_at_ingress`).
+enum Ingress {
+    /// Joined a VOQ; the payload carries the bytes to announce to the
+    /// destination scheduler.
+    Queued(u64),
+    /// §5.6 low-latency class: packed and sprayed immediately, no demand
+    /// announcement.
+    Bypassed,
+    /// §3.1 VOQ-cap drop.
+    Dropped,
+}
+
+/// A finite message flow (Fig 10 FCT workloads): `bytes` offered to the
+/// source FA at a start time, segmented into MTU-sized packets through the
+/// ordinary VOQ → credit → packing → spray path, finished when the last
+/// byte leaves the destination egress wire. `Copy` so the start handler
+/// never allocates for the flow descriptor.
+#[derive(Debug, Clone, Copy)]
+struct MsgFlow {
+    src_fa: u32,
+    dst_fa: u32,
+    dst_port: u8,
+    tc: u8,
+    bytes: u64,
 }
 
 /// One direction of a fabric link: a FIFO of cells plus the serializer.
@@ -227,6 +255,10 @@ pub struct FabricStats {
     pub max_egress_bytes: u64,
     /// Peak VOQ occupancy observed on any single VOQ (bytes).
     pub max_voq_bytes: u64,
+    /// Finite message flows: per-flow FCT table + histogram (the fabric
+    /// side of the Fig 10 a–c experiments). Shared surface with
+    /// `TransportSim::flow_stats()`.
+    pub flows: FlowStats,
 }
 
 impl FabricStats {
@@ -253,6 +285,7 @@ impl FabricStats {
             delivered_per_port: vec![vec![0; ports]; num_fa],
             max_egress_bytes: 0,
             max_voq_bytes: 0,
+            flows: FlowStats::new(),
         }
     }
 }
@@ -288,6 +321,15 @@ pub struct FabricEngine<K: CoreKind = CalendarCore> {
     seed: u64,
     dynamic_reach: bool,
     flows: Vec<CbrFlow>,
+    /// Finite message flows, indexed by the id `add_message` returned.
+    msgs: Vec<MsgFlow>,
+    /// Undelivered payload bytes per message flow (completion detection).
+    msg_remaining: Vec<u64>,
+    /// PacketId → message-flow index for in-flight message packets.
+    /// Entries are removed as packets are delivered (or discarded by a
+    /// burst timeout), so the map stays proportional to the in-flight
+    /// packet population.
+    msg_of_packet: HashMap<u64, u32>,
     /// Link-error draw stream (§5.10 failure injection).
     err_rng: DetRng,
 }
@@ -467,6 +509,9 @@ impl<K: CoreKind> FabricEngine<K> {
             seed,
             dynamic_reach,
             flows: Vec::new(),
+            msgs: Vec::new(),
+            msg_remaining: Vec::new(),
+            msg_of_packet: HashMap::new(),
             err_rng: DetRng::from_label(seed, "link-errors"),
         };
         if dynamic_reach {
@@ -603,6 +648,52 @@ impl<K: CoreKind> FabricEngine<K> {
             stop,
         });
         self.events.schedule(start, Ev::FlowTick { flow: id });
+    }
+
+    /// Add a finite message flow: `bytes` of payload offered to
+    /// `src_fa`'s ingress at `start`, destined to `(dst_fa, dst_port,
+    /// tc)`. The message is segmented into `cfg.msg_mtu_bytes`-sized
+    /// packets that take the ordinary VOQ → credit → packing → spray
+    /// path (or the §5.6 low-latency bypass if `tc` is configured for
+    /// it); its flow-completion time — recorded in
+    /// [`FabricStats::flows`] — ends when the last byte leaves the
+    /// destination egress wire. Returns the flow's index into
+    /// [`FlowStats::records`].
+    ///
+    /// This is the fabric-side workload of the paper's Fig 10 a–c
+    /// experiments: finite flows with no per-flow transport machinery,
+    /// paced purely by the fabric's credit scheduler.
+    pub fn add_message(
+        &mut self,
+        src_fa: u32,
+        dst_fa: u32,
+        dst_port: u8,
+        tc: u8,
+        bytes: u64,
+        start: SimTime,
+    ) -> u32 {
+        assert_ne!(
+            src_fa, dst_fa,
+            "self-destined traffic does not enter the fabric"
+        );
+        assert!((src_fa as usize) < self.fas.len());
+        assert!((dst_fa as usize) < self.fas.len());
+        assert!(dst_port < self.cfg.host_ports);
+        assert!(tc < self.cfg.num_tcs);
+        assert!(bytes > 0);
+        let flow = self.msgs.len() as u32;
+        self.msgs.push(MsgFlow {
+            src_fa,
+            dst_fa,
+            dst_port,
+            tc,
+            bytes,
+        });
+        self.msg_remaining.push(bytes);
+        let idx = self.stats.flows.add(src_fa, dst_fa, bytes, start);
+        debug_assert_eq!(idx, flow, "flow table out of sync");
+        self.events.schedule(start, Ev::MsgStart { flow });
+        flow
     }
 
     /// Put every FA into saturation mode: each FA keeps `backlog_bytes`
@@ -761,6 +852,64 @@ impl<K: CoreKind> FabricEngine<K> {
             } => self.on_reach_msg(now, node, port, kind, &fas, faulty),
             Ev::BurstTimeout { burst } => self.on_burst_timeout(now, burst),
             Ev::FlowTick { flow } => self.on_flow_tick(now, flow),
+            Ev::MsgStart { flow } => self.on_msg_start(now, flow),
+        }
+    }
+
+    /// A message flow arrives at its source FA: segment into MTU packets
+    /// and enqueue them all through the shared ingress admission path,
+    /// registering the aggregate demand with the destination scheduler in
+    /// **one** control message (per-packet requests would be pure
+    /// event-count overhead — the scheduler only tracks byte totals).
+    /// §3.1 VOQ-cap drops clip the message; a clipped message never
+    /// completes (there is no transport to retransmit — that is the
+    /// experiment's point).
+    fn on_msg_start(&mut self, now: SimTime, flow: u32) {
+        let m = self.msgs[flow as usize];
+        let mtu = self.cfg.msg_mtu_bytes as u64;
+        let key = VoqKey {
+            dst_fa: m.dst_fa,
+            dst_port: m.dst_port,
+            tc: m.tc,
+        };
+        let mut offered = m.bytes;
+        let mut added = 0u64;
+        while offered > 0 {
+            let sz = offered.min(mtu) as u32;
+            offered -= sz as u64;
+            let id = PacketId(self.next_packet);
+            self.next_packet += 1;
+            let pkt = Packet {
+                id,
+                src_fa: m.src_fa,
+                dst_fa: m.dst_fa,
+                dst_port: m.dst_port,
+                tc: m.tc,
+                bytes: sz,
+                injected_at: now,
+            };
+            match self.admit_at_ingress(now, pkt) {
+                Ingress::Dropped => {}
+                Ingress::Bypassed => {
+                    self.msg_of_packet.insert(id.0, flow);
+                }
+                Ingress::Queued(delta) => {
+                    added += delta;
+                    self.msg_of_packet.insert(id.0, flow);
+                }
+            }
+        }
+        if added > 0 {
+            self.events.schedule(
+                now + self.cfg.ctrl_latency,
+                Ev::CtrlRequest {
+                    dst_fa: key.dst_fa,
+                    port: key.dst_port,
+                    tc: key.tc,
+                    src_fa: m.src_fa,
+                    bytes: added,
+                },
+            );
         }
     }
 
@@ -1012,58 +1161,82 @@ impl<K: CoreKind> FabricEngine<K> {
             let lat = now.since(pkt.injected_at).as_nanos_f64() as u64;
             self.stats.packet_latency_ns.record(lat);
         }
+        // Finite-flow completion: the last byte of a message leaving the
+        // egress wire ends its FCT. The map is empty unless message flows
+        // are in play, so CBR/saturation runs skip the hash probe.
+        if !self.msg_of_packet.is_empty() {
+            if let Some(flow) = self.msg_of_packet.remove(&pkt.id.0) {
+                let rem = &mut self.msg_remaining[flow as usize];
+                *rem -= pkt.bytes as u64;
+                if *rem == 0 {
+                    self.stats.flows.finish(flow, now);
+                }
+            }
+        }
     }
 
     // --- ingress / VOQ / credits ---
 
-    fn on_inject(&mut self, now: SimTime, pkt: Packet) {
+    /// Shared FA ingress admission, used by single-packet injection and
+    /// the message layer so the two can never diverge on ingress
+    /// semantics:
+    ///
+    /// * §5.6 low-latency path — the packet bypasses the credit round
+    ///   trip and is packed and sprayed immediately ([`Ingress::Bypassed`];
+    ///   the configuration must keep the aggregate low-latency bandwidth
+    ///   small, as the paper assumes);
+    /// * §3.1 — persistent oversubscription drops at the Fabric Adapter
+    ///   ([`Ingress::Dropped`]);
+    /// * otherwise the packet joins its VOQ and [`Ingress::Queued`]
+    ///   carries the bytes the caller must announce to the destination
+    ///   scheduler (per packet or batched, the caller's choice).
+    fn admit_at_ingress(&mut self, now: SimTime, pkt: Packet) -> Ingress {
         self.stats.packets_injected.inc();
-        // §5.6 low-latency path: the packet bypasses the credit round
-        // trip and is packed and sprayed immediately. The configuration
-        // must keep the aggregate low-latency bandwidth small, as the
-        // paper assumes.
-        if Some(pkt.tc) == self.cfg.low_latency_tc {
-            self.transmit_burst(
-                now,
-                pkt.src_fa,
-                VoqKey {
-                    dst_fa: pkt.dst_fa,
-                    dst_port: pkt.dst_port,
-                    tc: pkt.tc,
-                },
-                vec![pkt],
-            );
-            return;
-        }
         let key = VoqKey {
             dst_fa: pkt.dst_fa,
             dst_port: pkt.dst_port,
             tc: pkt.tc,
         };
-        let fa = &mut self.fas[pkt.src_fa as usize];
-        let src_fa = pkt.src_fa;
-        let voq = fa.voqs.entry(key).or_default();
-        // §3.1: persistent oversubscription drops at the Fabric Adapter.
+        if Some(pkt.tc) == self.cfg.low_latency_tc {
+            let src_fa = pkt.src_fa;
+            self.transmit_burst(now, src_fa, key, vec![pkt]);
+            return Ingress::Bypassed;
+        }
+        let voq = self.fas[pkt.src_fa as usize].voqs.entry(key).or_default();
         if let Some(cap) = self.cfg.voq_max_bytes {
             if voq.bytes() + pkt.bytes as u64 > cap {
                 self.stats.ingress_drops.inc();
-                return;
+                return Ingress::Dropped;
             }
         }
         let delta = voq.push(pkt);
         if voq.bytes() > self.stats.max_voq_bytes {
             self.stats.max_voq_bytes = voq.bytes();
         }
-        self.events.schedule(
-            now + self.cfg.ctrl_latency,
-            Ev::CtrlRequest {
-                dst_fa: key.dst_fa,
-                port: key.dst_port,
-                tc: key.tc,
-                src_fa,
-                bytes: delta,
+        Ingress::Queued(delta)
+    }
+
+    fn on_inject(&mut self, now: SimTime, pkt: Packet) {
+        let (src_fa, key) = (
+            pkt.src_fa,
+            VoqKey {
+                dst_fa: pkt.dst_fa,
+                dst_port: pkt.dst_port,
+                tc: pkt.tc,
             },
         );
+        if let Ingress::Queued(delta) = self.admit_at_ingress(now, pkt) {
+            self.events.schedule(
+                now + self.cfg.ctrl_latency,
+                Ev::CtrlRequest {
+                    dst_fa: key.dst_fa,
+                    port: key.dst_port,
+                    tc: key.tc,
+                    src_fa,
+                    bytes: delta,
+                },
+            );
+        }
     }
 
     fn on_request(&mut self, now: SimTime, dst_fa: u32, port: u8, tc: u8, src_fa: u32, bytes: u64) {
@@ -1237,6 +1410,15 @@ impl<K: CoreKind> FabricEngine<K> {
             if !b.complete() {
                 let b = self.bursts.remove(&burst.0).unwrap();
                 self.stats.packets_discarded.add(b.packets.len() as u64);
+                // Discarded packets can never be delivered: drop their
+                // message-flow tracking entries too, or a lossy run would
+                // leak one dead map entry per discarded packet (the flow
+                // itself stays unfinished — there is no retransmission).
+                if !self.msg_of_packet.is_empty() {
+                    for pkt in &b.packets {
+                        self.msg_of_packet.remove(&pkt.id.0);
+                    }
+                }
             } else {
                 self.bursts.remove(&burst.0);
             }
@@ -1962,6 +2144,150 @@ mod tests {
         let cal = run::<stardust_sim::CalendarCore>();
         assert_eq!(heap, cal, "event cores diverged");
         assert!(heap.packets_delivered.get() > 0);
+    }
+
+    #[test]
+    fn message_flow_completes_and_records_fct() {
+        let mut e = small_engine(cfg_small());
+        let id = e.add_message(0, 8, 0, 0, 100_000, SimTime::ZERO);
+        e.run_until(SimTime::from_millis(5));
+        let flows = &e.stats().flows;
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows.completed(), 1);
+        let rec = flows.records()[id as usize];
+        assert_eq!((rec.src, rec.dst, rec.bytes), (0, 8, 100_000));
+        let fct = rec.fct().expect("finished");
+        // Credit round trip (2 × 1µs control latency) bounds it below;
+        // 100 KB at 40G host egress is 20µs of serialization alone.
+        assert!(fct > SimDuration::from_micros(20), "fct {fct}");
+        assert!(fct < SimDuration::from_millis(2), "fct {fct}");
+        // The message was segmented at the MTU: ceil(100000/1500) packets.
+        assert_eq!(e.stats().packets_injected.get(), 67);
+        assert_eq!(e.stats().packets_delivered.get(), 67);
+        assert_eq!(e.stats().bytes_delivered.get(), 100_000);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+        // The in-flight tracking map fully drained.
+        assert!(e.msg_of_packet.is_empty());
+    }
+
+    #[test]
+    fn message_incast_completes_fairly_without_fabric_loss() {
+        // §5.4 on the cell fabric: N-to-1 messages are absorbed in ingress
+        // VOQs and drained by the egress credit scheduler round-robin, so
+        // first ≈ last FCT and nothing is dropped inside the fabric.
+        let mut e = small_engine(cfg_small());
+        let n = e.num_fas() as u32;
+        for src in 1..n {
+            e.add_message(src, 0, 0, 0, 150_000, SimTime::ZERO);
+        }
+        e.run_until(SimTime::from_millis(10));
+        let flows = &e.stats().flows;
+        assert_eq!(flows.completed(), (n - 1) as usize);
+        assert_eq!(e.stats().cells_dropped.get(), 0);
+        assert_eq!(e.stats().packets_discarded.get(), 0);
+        let first = flows.fct_quantile(0.0).unwrap().as_secs_f64();
+        let last = flows.fct_quantile(1.0).unwrap().as_secs_f64();
+        assert!(last / first < 1.5, "first {first} last {last}");
+    }
+
+    #[test]
+    fn message_flows_are_deterministic() {
+        let run = || {
+            let mut e = small_engine(cfg_small());
+            let n = e.num_fas() as u32;
+            for src in 0..n {
+                e.add_message(
+                    src,
+                    (src + 3) % n,
+                    0,
+                    0,
+                    40_000 + src as u64 * 1000,
+                    SimTime::from_nanos(src as u64 * 77),
+                );
+            }
+            e.run_until(SimTime::from_millis(10));
+            std::mem::replace(&mut e.stats.flows, FlowStats::new())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same-seed message runs diverged");
+        assert_eq!(a.completed(), a.len());
+    }
+
+    #[test]
+    fn discarded_message_packets_do_not_leak_tracking_entries() {
+        // Static-mode link failure blackholes a share of every burst, so
+        // reassembly timeouts discard the packets: the flow must stay
+        // unfinished and the PacketId → flow map must still drain fully.
+        let mut e = small_engine(cfg_small());
+        e.fail_link(e.fas[0].uplinks[0]);
+        let id = e.add_message(0, 8, 0, 0, 60_000, SimTime::ZERO);
+        e.run_until(SimTime::from_millis(10));
+        assert!(
+            e.stats().packets_discarded.get() > 0,
+            "bursts must time out"
+        );
+        assert!(e.stats().flows.records()[id as usize].fct().is_none());
+        assert!(
+            e.msg_of_packet.is_empty(),
+            "{} dead tracking entries leaked",
+            e.msg_of_packet.len()
+        );
+    }
+
+    #[test]
+    fn low_latency_message_skips_the_credit_round_trip() {
+        let fct_of = |ll: Option<u8>| {
+            let mut cfg = cfg_small();
+            cfg.low_latency_tc = ll;
+            let mut e = small_engine(cfg);
+            let id = e.add_message(0, 8, 0, ll.unwrap_or(0), 1_200, SimTime::ZERO);
+            e.run_until(SimTime::from_millis(1));
+            e.stats().flows.records()[id as usize]
+                .fct()
+                .expect("finished")
+        };
+        let normal = fct_of(None);
+        let low_lat = fct_of(Some(0));
+        assert!(
+            low_lat + SimDuration::from_nanos(1_500) < normal,
+            "low-latency {low_lat} vs normal {normal}"
+        );
+    }
+
+    #[test]
+    fn failed_link_direction_receives_zero_cells() {
+        // Regression for the reach → sprayer plumbing: once the protocol
+        // excludes a dead uplink, the spray permutation must shrink to the
+        // eligible set — the dead direction sees **zero** new cells (they
+        // would be counted in cells_dropped at push time otherwise).
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        cfg.reach_miss_threshold = 3;
+        let mut e = small_engine(cfg);
+        e.run_until(SimTime::from_micros(100));
+        let link = e.fas[0].uplinks[0];
+        let from_end = e.topo.link(link).end_of(e.fas[0].node);
+        e.fail_link(link);
+        e.run_until(SimTime::from_micros(300));
+        assert!(!e.fas[0].reach.port_up(0), "uplink must be excluded");
+        let dropped_before = e.stats().cells_dropped.get();
+        let t0 = e.now();
+        for i in 0..200u64 {
+            e.inject(t0 + SimDuration::from_nanos(i * 500), 0, 8, 0, 0, 2000);
+        }
+        e.run_until(t0 + SimDuration::from_millis(5));
+        assert_eq!(e.stats().packets_delivered.get(), 200);
+        assert_eq!(
+            e.stats().cells_dropped.get(),
+            dropped_before,
+            "cells were still routed at the failed direction"
+        );
+        assert_eq!(e.dir_depth(link, from_end), 0);
+        // The cached sprayer rebuilt against the shrunken eligible set.
+        let (_, sprayer) = &e.fas[0].sprayers[&8];
+        assert_eq!(sprayer.width(), e.fas[0].uplinks.len() - 1);
+        assert!(!sprayer.links().contains(&0), "dead port 0 still eligible");
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use event::{
 };
 pub use link::{LinkClock, LinkProfile};
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram, OnlineStats};
+pub use stats::{quantile_of_sorted, Counter, FlowRecord, FlowStats, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

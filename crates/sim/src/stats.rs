@@ -4,6 +4,7 @@
 //! Figure 9's latency and queue-size probability distributions, and the
 //! latency min/avg/max bands of §6.1.2.
 
+use crate::time::{SimDuration, SimTime};
 use std::fmt;
 
 /// A fixed-width-bin histogram over `u64` samples (e.g. queue depth in
@@ -278,6 +279,148 @@ impl OnlineStats {
     }
 }
 
+/// One finite flow (message) in a flow-completion-time experiment: who
+/// sent how much to whom, when it started and (if it did) when its last
+/// byte left the destination.
+///
+/// This is the engine-agnostic FCT surface shared by the transport-level
+/// fat-tree simulator and the cell-accurate fabric engine, so the Fig 10
+/// experiments can report both from one record type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Source node index (host or Fabric Adapter, engine-dependent).
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// When the flow was offered to the network.
+    pub start: SimTime,
+    /// When the last byte completed, if it did within the run.
+    pub finished: Option<SimTime>,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if finished.
+    pub fn fct(&self) -> Option<SimDuration> {
+        self.finished.map(|f| f.since(self.start))
+    }
+}
+
+/// Per-flow FCT table plus an FCT histogram.
+///
+/// Derives `PartialEq`/`Eq` so determinism suites can assert two
+/// same-seed runs produce **bit-identical** flow measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStats {
+    records: Vec<FlowRecord>,
+    fct_ns: Histogram,
+}
+
+impl Default for FlowStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowStats {
+    /// An empty table. The histogram uses 1 µs bins out to ~65 ms; exact
+    /// quantiles come from the per-flow table, the histogram serves
+    /// distribution plots and merge-across-runs summaries.
+    pub fn new() -> Self {
+        FlowStats {
+            records: Vec::new(),
+            fct_ns: Histogram::new(1_000, 65_536),
+        }
+    }
+
+    /// Register a flow; returns its index for [`FlowStats::finish`].
+    pub fn add(&mut self, src: u32, dst: u32, bytes: u64, start: SimTime) -> u32 {
+        self.records.push(FlowRecord {
+            src,
+            dst,
+            bytes,
+            start,
+            finished: None,
+        });
+        (self.records.len() - 1) as u32
+    }
+
+    /// Mark flow `idx` finished at `at` and record its FCT.
+    pub fn finish(&mut self, idx: u32, at: SimTime) {
+        let r = &mut self.records[idx as usize];
+        debug_assert!(r.finished.is_none(), "flow finished twice");
+        r.finished = Some(at);
+        self.fct_ns.record(at.since(r.start).as_nanos_f64() as u64);
+    }
+
+    /// The per-flow table, in registration order.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Number of registered flows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no flows were registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of completed flows.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.finished.is_some()).count()
+    }
+
+    /// FCT histogram (nanosecond samples, 1 µs bins).
+    pub fn fct_histogram_ns(&self) -> &Histogram {
+        &self.fct_ns
+    }
+
+    /// Completed FCTs, ascending.
+    pub fn fcts_sorted(&self) -> Vec<SimDuration> {
+        let mut v: Vec<SimDuration> = self.records.iter().filter_map(|r| r.fct()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Exact FCT quantile over completed flows (`None` when none
+    /// completed). `q = 0.0` is the minimum, `q = 1.0` the maximum.
+    /// Sorts on every call — when reading many quantiles, sort once with
+    /// [`FlowStats::fcts_sorted`] and index via [`quantile_of_sorted`].
+    pub fn fct_quantile(&self, q: f64) -> Option<SimDuration> {
+        quantile_of_sorted(&self.fcts_sorted(), q)
+    }
+
+    /// Mean FCT over completed flows (`None` when none completed).
+    pub fn fct_mean(&self) -> Option<SimDuration> {
+        let (mut n, mut sum) = (0u128, 0u128);
+        for d in self.records.iter().filter_map(|r| r.fct()) {
+            n += 1;
+            sum += d.as_ps() as u128;
+        }
+        if n == 0 {
+            return None;
+        }
+        Some(SimDuration::from_ps((sum / n) as u64))
+    }
+}
+
+/// Nearest-rank quantile over an ascending slice (`None` when empty):
+/// `q = 0.0` is the minimum, `q = 1.0` the maximum. The indexing
+/// behind [`FlowStats::fct_quantile`], exposed so callers reading many
+/// quantiles can sort once and index repeatedly.
+pub fn quantile_of_sorted(sorted: &[SimDuration], q: f64) -> Option<SimDuration> {
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    Some(sorted[idx])
+}
+
 /// Time-weighted average of a step function (e.g. queue occupancy over
 /// time). Feed it `(time, new_value)` transitions; it integrates value×dt.
 #[derive(Debug, Clone)]
@@ -445,6 +588,34 @@ mod tests {
                        // mean over [0,20] = (0*10 + 4*10)/20 = 2
         assert!((tw.mean_until(20, 0) - 2.0).abs() < 1e-12);
         assert_eq!(tw.peak(), 4);
+    }
+
+    #[test]
+    fn flow_stats_records_and_quantiles() {
+        let mut fs = FlowStats::new();
+        let a = fs.add(0, 1, 1_000, SimTime::ZERO);
+        let b = fs.add(2, 3, 2_000, SimTime::from_micros(5));
+        let c = fs.add(4, 5, 3_000, SimTime::ZERO);
+        fs.finish(a, SimTime::from_micros(10));
+        fs.finish(b, SimTime::from_micros(25)); // fct = 20µs
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs.completed(), 2);
+        assert_eq!(fs.records()[c as usize].fct(), None);
+        assert_eq!(fs.fct_quantile(0.0), Some(SimDuration::from_micros(10)));
+        assert_eq!(fs.fct_quantile(1.0), Some(SimDuration::from_micros(20)));
+        assert_eq!(fs.fct_mean(), Some(SimDuration::from_micros(15)));
+        assert_eq!(fs.fct_histogram_ns().count(), 2);
+        // Bit-identical comparison is what determinism suites rely on.
+        let clone = fs.clone();
+        assert_eq!(fs, clone);
+    }
+
+    #[test]
+    fn empty_flow_stats_yield_none() {
+        let fs = FlowStats::new();
+        assert!(fs.is_empty());
+        assert_eq!(fs.fct_quantile(0.5), None);
+        assert_eq!(fs.fct_mean(), None);
     }
 
     #[test]

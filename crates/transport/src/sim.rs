@@ -3,7 +3,7 @@
 use crate::config::{Protocol, TransportConfig};
 use stardust_sim::link::fiber_delay;
 use stardust_sim::units::serialization_time;
-use stardust_sim::{Counter, EventQueue, SimDuration, SimTime};
+use stardust_sim::{Counter, EventQueue, FlowStats, SimDuration, SimTime};
 use stardust_topo::builders::Kary;
 use stardust_topo::{NodeId, Topology};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -294,6 +294,27 @@ impl TransportSim {
     /// Statuses of all flows.
     pub fn flow_statuses(&self) -> impl Iterator<Item = &FlowStatus> {
         self.flows.iter().map(|f| &f.status)
+    }
+
+    /// The engine-agnostic FCT surface over all flows: the same
+    /// [`FlowStats`] record type the cell-accurate fabric engine fills,
+    /// so Fig 10 experiments report both engines through one table.
+    pub fn flow_stats(&self) -> FlowStats {
+        self.flow_stats_for((0..self.flows.len() as u32).map(FlowId))
+    }
+
+    /// [`FlowStats`] restricted to `ids` (e.g. a scenario's foreground
+    /// flows, excluding background load).
+    pub fn flow_stats_for(&self, ids: impl IntoIterator<Item = FlowId>) -> FlowStats {
+        let mut fs = FlowStats::new();
+        for id in ids {
+            let st = &self.flows[id.0 as usize].status;
+            let idx = fs.add(st.src_host, st.dst_host, st.size, st.start);
+            if let Some(f) = st.finished {
+                fs.finish(idx, f);
+            }
+        }
+        fs
     }
 
     /// Deterministic per-hop ECMP hash (splitmix64 avalanche — weak mixing
@@ -1168,6 +1189,26 @@ mod tests {
             (fcts, sim.counters.drops.get(), sim.counters.ecn_marks.get())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flow_stats_mirror_flow_statuses() {
+        let mut sim = TransportSim::new(k4(), cfg());
+        let a = sim.add_flow(Protocol::Tcp, 0, 5, 1_000_000, SimTime::ZERO);
+        let b = sim.add_flow(Protocol::Tcp, 1, 6, u64::MAX / 2, SimTime::ZERO);
+        sim.run_until(SimTime::from_millis(50));
+        let fs = sim.flow_stats();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(
+            fs.completed(),
+            1,
+            "the finite flow finishes, the long one runs on"
+        );
+        assert_eq!(fs.records()[a.0 as usize].fct(), sim.flow(a).fct());
+        assert!(fs.records()[b.0 as usize].fct().is_none());
+        // Restriction to foreground ids drops the background flow.
+        let only_a = sim.flow_stats_for([a]);
+        assert_eq!((only_a.len(), only_a.completed()), (1, 1));
     }
 
     #[test]

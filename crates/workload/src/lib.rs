@@ -9,11 +9,16 @@
 //!   replays the Facebook Web workload's flow sizes).
 //! * [`patterns`] — communication patterns: random permutations
 //!   (Fig 10(a)), incast groups (Fig 10(c)), all-to-all pairs (§6.2).
+//! * [`scenario`] — the shared scenario driver: one seeded spec expanded
+//!   into a flow list and offered to **both** the cell-accurate fabric
+//!   engine and the fat-tree transport simulator (Fig 10 a–c).
 
 pub mod flows;
 pub mod patterns;
+pub mod scenario;
 pub mod sizes;
 
 pub use flows::FlowSizeDist;
 pub use patterns::{all_to_all_pairs, incast_sources, permutation};
+pub use scenario::{FlowSpec, Scenario, ScenarioKind};
 pub use sizes::PacketMix;

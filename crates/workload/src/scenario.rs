@@ -1,0 +1,290 @@
+//! One workload spec, two engines — the shared scenario driver behind
+//! the Fig 10 a–c experiments.
+//!
+//! A [`Scenario`] expands deterministically (from its seed) into a list
+//! of [`FlowSpec`]s — *who sends how many bytes to whom, starting when* —
+//! and the same list can be offered to either simulator:
+//!
+//! * [`Scenario::run_fabric`] drives the cell-accurate
+//!   [`FabricEngine`] through [`FabricEngine::add_message`]: finite flows
+//!   with **no per-flow transport machinery**, paced purely by the
+//!   fabric's credit scheduler — the paper's central claim under test.
+//! * [`Scenario::run_transport`] drives the §6.3 fat-tree
+//!   [`TransportSim`] under any of its transports (TCP, DCTCP, MPTCP,
+//!   DCQCN, or the htsim-style Stardust model).
+//!
+//! Both return the engine-agnostic [`FlowStats`] table from
+//! `stardust-sim`, so FCT percentiles print side by side from one spec.
+
+use crate::flows::FlowSizeDist;
+use crate::patterns::{incast_sources, permutation};
+use stardust_fabric::FabricEngine;
+use stardust_sim::{CoreKind, DetRng, FlowStats, SimDuration, SimTime};
+use stardust_transport::{FlowId, Protocol, TransportSim};
+
+/// One finite flow of a scenario: `bytes` from `src` to `dst`, offered at
+/// `start`. Node indices are engine-relative (hosts for the transport
+/// simulator, Fabric Adapters for the fabric engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// Offered-to-the-network time.
+    pub start: SimTime,
+}
+
+/// The communication patterns of the paper's headline evaluation.
+#[derive(Debug, Clone)]
+pub enum ScenarioKind {
+    /// Fig 10(a): a random derangement — every node sends one
+    /// `flow_bytes` flow to its partner at t = 0, fully loading the
+    /// network. Per-flow goodput = bytes / FCT.
+    Permutation {
+        /// Bytes per flow.
+        flow_bytes: u64,
+    },
+    /// Fig 10(c): `backends` distinct sources all answer frontend node 0
+    /// with a `response_bytes` response at t = 0. First vs last FCT
+    /// measures both performance and fairness.
+    Incast {
+        /// Number of responding backends (clamped to the node count − 1).
+        backends: usize,
+        /// Response size in bytes.
+        response_bytes: u64,
+    },
+    /// Fig 10(b): `n_flows` flows drawn from a heavy-tailed size
+    /// distribution over uniformly random (src ≠ dst) pairs, arriving as
+    /// a Poisson process.
+    Mix {
+        /// Flow-size distribution (e.g. [`FlowSizeDist::fb_web`]).
+        dist: FlowSizeDist,
+        /// Number of flows to offer.
+        n_flows: usize,
+        /// Mean inter-arrival gap **per node**: the network-wide Poisson
+        /// process uses `node_gap / n_nodes`, so the offered per-node
+        /// load (`dist.mean() × 8 / node_gap`) is invariant across engine
+        /// populations — a 16-FA fabric and a 128-host fat-tree see the
+        /// same load per NIC from one spec.
+        node_gap: SimDuration,
+    },
+}
+
+/// A named, seeded workload scenario (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (labels experiment output).
+    pub name: &'static str,
+    /// Master seed; the flow list is a pure function of `(kind, seed,
+    /// n_nodes)`.
+    pub seed: u64,
+    /// The communication pattern.
+    pub kind: ScenarioKind,
+}
+
+impl Scenario {
+    /// Expand into the flow list for an `n_nodes`-node network. Pure and
+    /// deterministic: both engines are offered byte-identical workloads.
+    pub fn flows(&self, n_nodes: usize) -> Vec<FlowSpec> {
+        assert!(n_nodes >= 2, "a scenario needs at least two nodes");
+        let mut rng = DetRng::from_label(self.seed, self.name);
+        match &self.kind {
+            ScenarioKind::Permutation { flow_bytes } => {
+                let perm = permutation(n_nodes, &mut rng);
+                (0..n_nodes as u32)
+                    .map(|src| FlowSpec {
+                        src,
+                        dst: perm[src as usize],
+                        bytes: *flow_bytes,
+                        start: SimTime::ZERO,
+                    })
+                    .collect()
+            }
+            ScenarioKind::Incast {
+                backends,
+                response_bytes,
+            } => {
+                let frontend = 0u32;
+                let n_backends = (*backends).min(n_nodes - 1);
+                incast_sources(n_nodes, frontend, n_backends, &mut rng)
+                    .into_iter()
+                    .map(|src| FlowSpec {
+                        src,
+                        dst: frontend,
+                        bytes: *response_bytes,
+                        start: SimTime::ZERO,
+                    })
+                    .collect()
+            }
+            ScenarioKind::Mix {
+                dist,
+                n_flows,
+                node_gap,
+            } => {
+                let net_gap = node_gap.as_secs_f64() / n_nodes as f64;
+                let mut t = SimTime::ZERO;
+                (0..*n_flows)
+                    .map(|_| {
+                        t += SimDuration::from_secs_f64(rng.exponential(net_gap));
+                        let src = rng.below(n_nodes as u64) as u32;
+                        let mut dst = rng.below(n_nodes as u64) as u32;
+                        while dst == src {
+                            dst = rng.below(n_nodes as u64) as u32;
+                        }
+                        FlowSpec {
+                            src,
+                            dst,
+                            bytes: dist.sample(&mut rng).max(1),
+                            start: t,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Offer the scenario to the cell-accurate Stardust fabric as finite
+    /// message flows (destination port 0 — one host NIC per FA, matching
+    /// the transport topology's one-NIC hosts), run to `horizon` and
+    /// return the FCT table.
+    pub fn run_fabric<K: CoreKind>(
+        &self,
+        engine: &mut FabricEngine<K>,
+        horizon: SimTime,
+    ) -> FlowStats {
+        for f in self.flows(engine.num_fas()) {
+            engine.add_message(f.src, f.dst, 0, 0, f.bytes, f.start);
+        }
+        engine.run_until(horizon);
+        engine.stats().flows.clone()
+    }
+
+    /// Offer the scenario to the §6.3 fat-tree transport simulator under
+    /// `proto`, run to `horizon` and return the FCT table (restricted to
+    /// the scenario's own flows, in spec order — background flows added
+    /// beforehand are excluded).
+    pub fn run_transport(
+        &self,
+        sim: &mut TransportSim,
+        proto: Protocol,
+        horizon: SimTime,
+    ) -> FlowStats {
+        let ids: Vec<FlowId> = self
+            .flows(sim.num_hosts())
+            .into_iter()
+            .map(|f| sim.add_flow(proto, f.src, f.dst, f.bytes, f.start))
+            .collect();
+        sim.run_until(horizon);
+        sim.flow_stats_for(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stardust_fabric::FabricConfig;
+    use stardust_topo::builders::{kary, two_tier, KaryParams, TwoTierParams};
+
+    fn web_mix() -> Scenario {
+        Scenario {
+            name: "test-web-mix",
+            seed: 7,
+            kind: ScenarioKind::Mix {
+                dist: FlowSizeDist::fb_web(),
+                n_flows: 50,
+                node_gap: SimDuration::from_micros(320),
+            },
+        }
+    }
+
+    #[test]
+    fn flow_lists_are_deterministic_and_valid() {
+        for scn in [
+            Scenario {
+                name: "perm",
+                seed: 3,
+                kind: ScenarioKind::Permutation { flow_bytes: 1_000 },
+            },
+            Scenario {
+                name: "incast",
+                seed: 3,
+                kind: ScenarioKind::Incast {
+                    backends: 10,
+                    response_bytes: 450_000,
+                },
+            },
+            web_mix(),
+        ] {
+            let a = scn.flows(16);
+            let b = scn.flows(16);
+            assert_eq!(a, b, "{}: expansion must be pure", scn.name);
+            assert!(!a.is_empty());
+            assert!(a.iter().all(|f| f.src != f.dst && f.bytes > 0));
+            assert!(a.iter().all(|f| f.src < 16 && f.dst < 16));
+        }
+    }
+
+    #[test]
+    fn incast_backends_clamped_to_population() {
+        let scn = Scenario {
+            name: "incast-clamp",
+            seed: 1,
+            kind: ScenarioKind::Incast {
+                backends: 1_000,
+                response_bytes: 1_000,
+            },
+        };
+        let flows = scn.flows(8);
+        assert_eq!(flows.len(), 7);
+        assert!(flows.iter().all(|f| f.dst == 0 && f.src != 0));
+    }
+
+    #[test]
+    fn mix_arrivals_are_increasing_poisson() {
+        let flows = web_mix().flows(16);
+        assert!(flows.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(flows.last().unwrap().start > SimTime::ZERO);
+    }
+
+    #[test]
+    fn one_spec_drives_both_engines() {
+        let scn = web_mix();
+        // Fabric side.
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        let cfg = FabricConfig {
+            host_ports: 1,
+            host_port_bps: stardust_sim::units::gbps(40),
+            ..FabricConfig::default()
+        };
+        let mut e = FabricEngine::new(tt.topo, cfg);
+        let fab = scn.run_fabric(&mut e, SimTime::from_millis(20));
+        assert_eq!(fab.len(), 50);
+        assert_eq!(fab.completed(), 50, "lossless fabric must finish all");
+        // Transport side, same spec.
+        let ft = kary(KaryParams {
+            k: 4,
+            ..KaryParams::paper_6_3()
+        });
+        let mut sim = TransportSim::new(ft, stardust_transport::TransportConfig::default());
+        let tra = scn.run_transport(&mut sim, Protocol::Stardust, SimTime::from_millis(100));
+        assert_eq!(tra.len(), 50);
+        assert!(tra.completed() > 0);
+        // Both tables carry real FCTs.
+        assert!(fab.fct_quantile(0.5).unwrap() > SimDuration::ZERO);
+        assert!(tra.fct_quantile(0.5).unwrap() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fabric_scenario_runs_are_bit_identical() {
+        let run = || {
+            let scn = web_mix();
+            let tt = two_tier(TwoTierParams::paper_scaled(16));
+            let mut e = FabricEngine::new(tt.topo, FabricConfig::default());
+            scn.run_fabric(&mut e, SimTime::from_millis(20))
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -94,15 +94,22 @@ impl PacketMix {
     }
 
     /// Draw one packet size.
+    ///
+    /// The final entry absorbs the entire remaining probability mass
+    /// unconditionally: the `x -= w` subtractions accumulate
+    /// floating-point error, and a draw near `total` could otherwise skip
+    /// past the last comparison — the draw is effectively clamped to the
+    /// table.
     pub fn sample(&self, rng: &mut DetRng) -> u64 {
         let mut x = rng.unit() * self.total;
-        for &(s, w) in &self.entries {
+        let (last, head) = self.entries.split_last().expect("non-empty mix");
+        for &(s, w) in head {
             if x < w {
                 return s;
             }
             x -= w;
         }
-        self.entries.last().unwrap().0
+        last.0
     }
 
     /// Mean packet size in bytes (packet-weighted).
@@ -166,5 +173,36 @@ mod tests {
         }
         let frac = count_256 as f64 / n as f64;
         assert!((frac - 0.30).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn every_entry_frequency_matches_its_weight() {
+        // Regression for the sample() fallthrough: each entry of each mix
+        // — the final one included — must be drawn in proportion to its
+        // declared weight.
+        for m in PacketMix::fig8b() {
+            let mut rng = DetRng::from_label(17, m.name);
+            let n = 200_000u32;
+            let mut counts: Vec<u64> = vec![0; m.entries().len()];
+            for _ in 0..n {
+                let s = m.sample(&mut rng);
+                let idx = m
+                    .entries()
+                    .iter()
+                    .position(|&(e, _)| e == s)
+                    .expect("sample outside the table");
+                counts[idx] += 1;
+            }
+            let total: f64 = m.entries().iter().map(|&(_, w)| w).sum();
+            for (&(size, w), &c) in m.entries().iter().zip(&counts) {
+                let got = c as f64 / n as f64;
+                let want = w / total;
+                assert!(
+                    (got - want).abs() < 0.005,
+                    "{} size {size}: got {got}, want {want}",
+                    m.name
+                );
+            }
+        }
     }
 }

@@ -89,6 +89,50 @@ fn heap_and_calendar_cores_bit_identical() {
     assert!(heap.stats().packets_delivered.get() > 0);
 }
 
+/// The Fig 10(b) Web mix on the cell fabric, via the shared `Scenario`
+/// spec and the finite-flow message layer.
+fn web_mix_fct_run<K: CoreKind>() -> stardust::sim::FlowStats {
+    use stardust::sim::SimDuration;
+    use stardust::workload::{FlowSizeDist, Scenario, ScenarioKind};
+    let scn = Scenario {
+        name: "det-fct-web-mix",
+        seed: 11,
+        kind: ScenarioKind::Mix {
+            dist: FlowSizeDist::fb_web(),
+            n_flows: 80,
+            node_gap: SimDuration::from_micros(400),
+        },
+    };
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let cfg = FabricConfig {
+        host_ports: 1,
+        host_port_bps: stardust::sim::units::gbps(10),
+        ..FabricConfig::default()
+    };
+    let mut e = FabricEngine::<K>::with_core(tt.topo, cfg);
+    scn.run_fabric(&mut e, SimTime::from_millis(50))
+}
+
+#[test]
+fn same_seed_fabric_fct_runs_bit_identical() {
+    // The acceptance gate of the finite-flow layer: two same-seed Fig 10
+    // FCT runs on the fabric engine must produce **bit-identical**
+    // per-flow tables and FCT histograms — same starts, same finish
+    // timestamps to the picosecond, bin-for-bin equal histograms.
+    let a = web_mix_fct_run::<CalendarCore>();
+    let b = web_mix_fct_run::<CalendarCore>();
+    assert_eq!(a, b, "same-seed fabric FCT runs diverged");
+    // The run must have been a real FCT experiment, not a no-op: every
+    // offered flow completed on the lossless fabric.
+    assert_eq!(a.len(), 80);
+    assert_eq!(a.completed(), 80);
+    assert!(a.fct_quantile(0.5).unwrap() > stardust::sim::SimDuration::ZERO);
+    // And the event core must stay behavior-invisible for message flows
+    // exactly as it is for CBR/saturation workloads.
+    let h = web_mix_fct_run::<HeapCore>();
+    assert_eq!(a, h, "FCT results differ across event cores");
+}
+
 #[test]
 fn different_seed_diverges() {
     // Not a correctness requirement of the fabric, but a canary that the

@@ -140,7 +140,11 @@ fn voq_credit_conservation() {
         let mut granted = 0u64;
         let mut released = 0u64;
         let max_pkt = *pushes.iter().max().unwrap() as u64;
-        for _ in 0..200 {
+        // A queue of `total_in` bytes needs ⌈total_in / credit⌉ grants
+        // plus at most one per overshooting packet (a fixed iteration
+        // count under-drains when the credit is small and packets large).
+        let grant_budget = total_in / credit + pushes.len() as u64 + 2;
+        for _ in 0..grant_budget {
             let burst = v.grant(credit, credit as i64);
             granted += credit;
             released += burst.iter().map(|p| p.bytes as u64).sum::<u64>();
@@ -314,6 +318,125 @@ fn md1_distribution_valid() {
         assert!((sum - 1.0).abs() < 1e-6, "rho {rho}: sum {sum}");
         assert!((d[0] - (1.0 - rho)).abs() < 1e-6, "rho {rho}");
         assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)), "rho {rho}");
+    });
+}
+
+/// Generate a random piecewise log-linear flow-size CDF: 2–8 knots with
+/// strictly increasing sizes and CDF values; the first knot's CDF is 0
+/// half the time (continuous) and a positive atom otherwise.
+fn gen_flow_dist(rng: &mut DetRng) -> stardust::workload::FlowSizeDist {
+    let n_knots = 2 + rng.index(7);
+    let mut sizes: Vec<u64> = Vec::with_capacity(n_knots);
+    let mut s = gen_u64(rng, 64, 4_096);
+    for _ in 0..n_knots {
+        sizes.push(s);
+        s += gen_u64(rng, 1, s.max(2) * 4);
+    }
+    let mut cdfs: Vec<f64> = (0..n_knots - 1).map(|_| rng.unit()).collect();
+    cdfs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cdfs.push(1.0);
+    if rng.chance(0.5) {
+        cdfs[0] = 0.0;
+    }
+    // Enforce strict increase under f64 comparison.
+    for i in 1..cdfs.len() {
+        if cdfs[i] <= cdfs[i - 1] {
+            cdfs[i] = cdfs[i - 1] + 1e-6;
+        }
+    }
+    let last = *cdfs.last().unwrap();
+    for c in cdfs.iter_mut().take(n_knots - 1) {
+        *c /= last.max(1.0);
+    }
+    *cdfs.last_mut().unwrap() = 1.0;
+    stardust::workload::FlowSizeDist::new("prop", sizes.into_iter().zip(cdfs).collect())
+}
+
+/// `cdf` is the exact inverse of `quantile` (and hence of `sample`):
+/// above the first-knot atom, `cdf(quantile(u)) ≈ u` up to the integer
+/// rounding of sizes; at or below it, `quantile` lands on the atom whose
+/// CDF is the atom mass.
+#[test]
+fn flow_size_cdf_quantile_round_trip() {
+    for_each_case("flow_size_cdf_quantile_round_trip", |rng| {
+        let d = gen_flow_dist(rng);
+        let atom = d.cdf(d.quantile(0.0));
+        for _ in 0..64 {
+            let u = rng.unit();
+            let q = d.quantile(u);
+            let back = d.cdf(q);
+            if u <= atom {
+                assert_eq!(q, d.quantile(0.0), "u {u} must land on the atom");
+                assert!((back - atom).abs() < 1e-12);
+            } else {
+                // `quantile` rounds the continuous inverse to whole
+                // bytes, so the exact statement is a bracket: `u` must
+                // lie between the CDFs of the neighboring byte counts
+                // (tightly spaced knots can put a lot of mass on one
+                // byte, so a flat tolerance would be wrong).
+                let lo = d.cdf(q - 1);
+                let hi = d.cdf(q + 1);
+                assert!(
+                    lo - 1e-9 <= u && u <= hi + 1e-9,
+                    "u {u} → {q} B, but cdf brackets [{lo}, {hi}]"
+                );
+                assert!((back - u).abs() <= (hi - lo) + 1e-9);
+            }
+        }
+    });
+}
+
+/// The closed-form mean of a flow-size distribution matches a sampled
+/// estimate.
+#[test]
+fn flow_size_mean_matches_sampling() {
+    for_each_case("flow_size_mean_matches_sampling", |rng| {
+        let d = gen_flow_dist(rng);
+        let n = 20_000;
+        let sampled = (0..n).map(|_| d.sample(rng) as f64).sum::<f64>() / n as f64;
+        let exact = d.mean();
+        let rel = (sampled - exact).abs() / exact;
+        assert!(rel < 0.05, "sampled {sampled} vs exact {exact}");
+    });
+}
+
+/// `PacketMix::sample` frequencies match the declared weights for every
+/// entry — including the final one, which the clamped draw must be able
+/// to reach despite floating-point error in the subtraction scan.
+#[test]
+fn packet_mix_frequencies_match_weights() {
+    for_each_case("packet_mix_frequencies_match_weights", |rng| {
+        let n_entries = 2 + rng.index(7);
+        let mut size = 64u64;
+        let entries: Vec<(u64, f64)> = (0..n_entries)
+            .map(|_| {
+                let e = (size, 0.05 + rng.unit());
+                size += gen_u64(rng, 1, 512);
+                e
+            })
+            .collect();
+        let mix = stardust::workload::PacketMix::new("prop", entries.clone());
+        let total: f64 = entries.iter().map(|&(_, w)| w).sum();
+        let n = 20_000;
+        let mut counts = vec![0u64; n_entries];
+        for _ in 0..n {
+            let s = mix.sample(rng);
+            let idx = entries
+                .iter()
+                .position(|&(e, _)| e == s)
+                .expect("sample outside the table");
+            counts[idx] += 1;
+        }
+        for (&(sz, w), &c) in entries.iter().zip(&counts) {
+            let got = c as f64 / n as f64;
+            let want = w / total;
+            // 4-sigma binomial tolerance plus a floor for tiny weights.
+            let tol = 4.0 * (want * (1.0 - want) / n as f64).sqrt() + 0.004;
+            assert!(
+                (got - want).abs() < tol,
+                "size {sz}: got {got}, want {want}"
+            );
+        }
     });
 }
 
