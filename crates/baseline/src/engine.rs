@@ -188,6 +188,11 @@ pub struct PushEngine {
     /// Scratch buffer for batched same-timestamp dispatch in `run_until`.
     batch: Vec<ScheduledEvent<Ev>>,
     flows: Vec<CbrFlow>,
+    /// Per-flow jitter streams, split (not forked) off a labelled base so
+    /// each flow's jitter sequence is a pure function of `(seed, flow)` —
+    /// independent of registration order and of every other flow's
+    /// packet count.
+    flow_jitter: Vec<DetRng>,
     stats: PushStats,
     rng: DetRng,
     next_flow_id: u32,
@@ -244,6 +249,7 @@ impl PushEngine {
             events: EventQueue::new(),
             batch: Vec::new(),
             flows: Vec::new(),
+            flow_jitter: Vec::new(),
             stats,
             rng,
             next_flow_id: 0,
@@ -319,6 +325,8 @@ impl PushEngine {
             interval,
             stop,
         });
+        self.flow_jitter
+            .push(DetRng::from_label(self.cfg.seed, "push-flow-jitter").split_u64(id as u64));
         self.events.schedule(start, Ev::FlowTick { flow: id });
         flow
     }
@@ -383,7 +391,9 @@ impl PushEngine {
         // ±5% deterministic jitter breaks phase locking between equal-rate
         // flows (perfectly synchronized arrivals would otherwise bias which
         // flow's packets meet a full queue — an artifact, not a behaviour).
-        let jitter = 0.95 + 0.1 * self.rng.unit();
+        // Each flow draws from its own split stream, so the sequence is a
+        // pure function of (seed, flow id).
+        let jitter = 0.95 + 0.1 * self.flow_jitter[idx as usize].unit();
         let gap = SimDuration::from_ps((f.interval.as_ps() as f64 * jitter) as u64);
         self.events.schedule(now + gap, Ev::FlowTick { flow: idx });
     }

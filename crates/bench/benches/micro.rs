@@ -9,7 +9,7 @@
 
 use stardust_bench::corebench::{record_sec62_trace, replay};
 use stardust_bench::harness::Bench;
-use stardust_fabric::cell::{BurstId, Packet, PacketId};
+use stardust_fabric::cell::{BurstId, Packet, PacketId, NO_FLOW};
 use stardust_fabric::packing::pack_burst;
 use stardust_fabric::spray::Sprayer;
 use stardust_fabric::voq::Voq;
@@ -26,6 +26,7 @@ fn pkt(bytes: u32) -> Packet {
         dst_port: 0,
         tc: 0,
         bytes,
+        flow: NO_FLOW,
         injected_at: SimTime::ZERO,
     }
 }

@@ -11,9 +11,18 @@
 //! `--smoke` runs the smallest size only and fails (exit 1) if events/sec
 //! drops below a floor (`STARDUST_MIN_EVENTS_PER_SEC`, default 200,000),
 //! giving CI a loud regression gate on the event core.
+//!
+//! `--shards N` switches to the **sharded** engine: without `--smoke` it
+//! sweeps sizes comparing sequential vs N-shard events/sec; with
+//! `--smoke` it runs the 1024-FA size and fails (exit 1) unless the
+//! N-shard run beats sequential by `STARDUST_MIN_SHARD_SPEEDUP`
+//! (default 2×). The speedup gate needs real cores: when the host
+//! exposes fewer than N, it degrades to a conformance check (identical
+//! `FabricStats`) and exits 0 with a notice — parallel speedup cannot be
+//! demonstrated on hardware that cannot run the shards in parallel.
 
 use stardust_bench::{commas, header, Args};
-use stardust_fabric::{FabricConfig, FabricEngine};
+use stardust_fabric::{FabricConfig, FabricEngine, ShardedFabricEngine};
 use stardust_sim::units::gbps;
 use stardust_sim::{DetRng, SimDuration, SimTime};
 use stardust_topo::builders::{two_tier, TwoTierParams};
@@ -49,54 +58,189 @@ struct Sample {
     delivered: u64,
 }
 
-/// Build the fabric, attach the permutation CBR workload, simulate
-/// `sim_us` microseconds and measure wall-clock cost of the run loop
-/// (topology construction and flow setup stay untimed).
-fn run_size(num_fa: u32, sim_us: u64, seed: u64) -> Sample {
-    let tt = two_tier(params_for(num_fa));
-    let links = tt.topo.num_links();
-    let cfg = FabricConfig {
+/// The sweep's engine configuration (shared by the sequential and the
+/// sharded runs — the conformance check depends on them being identical).
+fn bench_cfg(seed: u64) -> FabricConfig {
+    FabricConfig {
         seed,
         host_ports: 2,
         host_port_bps: gbps(40),
         ctrl_latency: SimDuration::from_micros(1),
         ..FabricConfig::default()
-    };
-    let mut e = FabricEngine::new(tt.topo, cfg);
-    let mut rng = DetRng::from_label(seed, "fig2-fabric-scale");
-    let perm = permutation(num_fa as usize, &mut rng);
-    let stop = SimTime::from_micros(sim_us);
-    for src in 0..num_fa {
-        e.add_cbr_flow(
-            src,
-            perm[src as usize],
-            (src % 2) as u8,
-            0,
-            gbps(40),
-            1500,
-            SimTime::ZERO,
-            stop,
-        );
     }
+}
+
+/// Attach the permutation CBR workload to either engine flavor (both
+/// expose the same `add_cbr_flow` surface).
+macro_rules! attach_workload {
+    ($e:expr, $num_fa:expr, $sim_us:expr, $seed:expr) => {{
+        let mut rng = DetRng::from_label($seed, "fig2-fabric-scale");
+        let perm = permutation($num_fa as usize, &mut rng);
+        let stop = SimTime::from_micros($sim_us);
+        for src in 0..$num_fa {
+            $e.add_cbr_flow(
+                src,
+                perm[src as usize],
+                (src % 2) as u8,
+                0,
+                gbps(40),
+                1500,
+                SimTime::ZERO,
+                stop,
+            );
+        }
+        stop
+    }};
+}
+
+/// Build the fabric, attach the permutation CBR workload, simulate
+/// `sim_us` microseconds and measure wall-clock cost of the run loop
+/// (topology construction and flow setup stay untimed). Returns the
+/// sample plus the final stats (for conformance checks).
+fn run_size_full(num_fa: u32, sim_us: u64, seed: u64) -> (Sample, stardust_fabric::FabricStats) {
+    let tt = two_tier(params_for(num_fa));
+    let links = tt.topo.num_links();
+    let mut e = FabricEngine::new(tt.topo, bench_cfg(seed));
+    let stop = attach_workload!(e, num_fa, sim_us, seed);
     let t = Instant::now();
     e.run_until(stop);
     let wall_s = t.elapsed().as_secs_f64();
-    Sample {
+    let sample = Sample {
         num_fa,
         links,
         events: e.events_executed(),
         wall_s,
         delivered: e.stats().packets_delivered.get(),
-    }
+    };
+    (sample, e.stats().clone())
+}
+
+fn run_size(num_fa: u32, sim_us: u64, seed: u64) -> Sample {
+    run_size_full(num_fa, sim_us, seed).0
 }
 
 fn events_per_sec(s: &Sample) -> f64 {
     s.events as f64 / s.wall_s
 }
 
+/// As [`run_size_full`], on the sharded engine with `shards` OS threads.
+fn run_size_sharded(
+    num_fa: u32,
+    sim_us: u64,
+    seed: u64,
+    shards: u32,
+) -> (Sample, stardust_fabric::FabricStats) {
+    let tt = two_tier(params_for(num_fa));
+    let links = tt.topo.num_links();
+    let mut e = ShardedFabricEngine::new(tt.topo, bench_cfg(seed), shards);
+    let stop = attach_workload!(e, num_fa, sim_us, seed);
+    let t = Instant::now();
+    e.run_until(stop);
+    let wall_s = t.elapsed().as_secs_f64();
+    let stats = e.stats();
+    let sample = Sample {
+        num_fa,
+        links,
+        events: e.events_executed(),
+        wall_s,
+        delivered: stats.packets_delivered.get(),
+    };
+    (sample, stats)
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `--shards N --smoke`: the CI speedup gate at 1024 FAs. Below the
+/// speedup floor the sharded measurement is retried once (shared runners
+/// are noisy; the gate should catch regressions, not co-tenants) before
+/// failing.
+fn shard_smoke(shards: u32, sim_us: u64, seed: u64) {
+    let floor: f64 = std::env::var("STARDUST_MIN_SHARD_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let num_fa = 1024;
+    let (seq, seq_stats) = run_size_full(num_fa, sim_us, seed);
+    let (mut sh, sh_stats) = run_size_sharded(num_fa, sim_us, seed, shards);
+    let enough_cores = (host_cores() as u32) >= shards;
+    if enough_cores && events_per_sec(&sh) / events_per_sec(&seq) < floor {
+        // One retry, keeping the faster measurement.
+        let (retry, _) = run_size_sharded(num_fa, sim_us, seed, shards);
+        if events_per_sec(&retry) > events_per_sec(&sh) {
+            sh = retry;
+        }
+    }
+    let speedup = events_per_sec(&sh) / events_per_sec(&seq);
+    println!(
+        "shard smoke: {num_fa} FAs, sequential {}/s vs {shards} shards {}/s = {speedup:.2}x \
+         (floor {floor}x, host cores {})",
+        commas(events_per_sec(&seq) as u64),
+        commas(events_per_sec(&sh) as u64),
+        host_cores()
+    );
+    // The runs must agree bit-for-bit whatever the timing said.
+    assert_eq!(seq_stats, sh_stats, "sharded run diverged from sequential");
+    if !enough_cores {
+        println!(
+            "only {} core(s) available for {shards} shards — speedup gate skipped, \
+             conformance verified instead (stats bit-identical)",
+            host_cores()
+        );
+        return;
+    }
+    if speedup < floor {
+        eprintln!("sharded engine below the {floor}x speedup floor — parallel perf regression");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let seed = args.get_u64("seed", 42);
+    if let Some(shards) = args.get_str("shards").map(|s| {
+        s.parse::<u32>()
+            .expect("--shards takes a positive shard count")
+    }) {
+        assert!(shards >= 1);
+        if args.has("smoke") {
+            shard_smoke(shards, args.get_u64("us", 25), seed);
+            return;
+        }
+        // Sequential-vs-sharded sweep.
+        let sim_us = args.get_u64("us", if args.has("full") { 100 } else { 50 });
+        let sizes: &[u32] = if args.has("full") {
+            &[64, 256, 1024]
+        } else {
+            &[64, 256]
+        };
+        println!(
+            "two-tier sweep, sequential vs {shards} shards ({} host cores), \
+             {sim_us} µs simulated per size",
+            host_cores()
+        );
+        header(
+            "fig2_fabric_scale --shards: sequential vs sharded events/sec",
+            &format!(
+                "{:>8} {:>14} {:>14} {:>14} {:>9}",
+                "FAs", "events", "seq ev/s", "shard ev/s", "speedup"
+            ),
+        );
+        for &n in sizes {
+            let seq = run_size(n, sim_us, seed);
+            let (sh, _) = run_size_sharded(n, sim_us, seed, shards);
+            println!(
+                "{:>8} {:>14} {:>14} {:>14} {:>8.2}x",
+                n,
+                commas(sh.events),
+                commas(events_per_sec(&seq) as u64),
+                commas(events_per_sec(&sh) as u64),
+                events_per_sec(&sh) / events_per_sec(&seq)
+            );
+        }
+        return;
+    }
     if args.has("smoke") {
         // CI regression gate: one small size, hard events/sec floor.
         let floor: f64 = std::env::var("STARDUST_MIN_EVENTS_PER_SEC")

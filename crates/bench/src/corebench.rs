@@ -65,6 +65,11 @@ impl<E> EventCore<E> for RecordingQueue<E> {
         TRACE.with(|t| t.borrow_mut().push(TraceOp::Schedule(at.as_ps())));
         self.inner.schedule(at, payload);
     }
+    fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        // The replay cares about times and drain patterns, not keys.
+        TRACE.with(|t| t.borrow_mut().push(TraceOp::Schedule(at.as_ps())));
+        self.inner.schedule_keyed(at, key, payload);
+    }
     fn peek_time(&self) -> Option<SimTime> {
         self.inner.peek_time()
     }

@@ -17,6 +17,10 @@ use stardust_sim::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketId(pub u64);
 
+/// Sentinel for [`Packet::flow`]: the packet belongs to no finite message
+/// flow (single injections, CBR and saturation traffic).
+pub const NO_FLOW: u32 = u32::MAX;
+
 /// Globally unique burst identity (assigned at packing time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BurstId(pub u64);
@@ -38,6 +42,12 @@ pub struct Packet {
     pub tc: u8,
     /// Packet length in bytes.
     pub bytes: u32,
+    /// Finite message flow this packet belongs to ([`NO_FLOW`] if none).
+    /// Carried with the packet so flow completion is detected at the
+    /// destination without any shared source↔destination side table —
+    /// the property that lets source and destination live on different
+    /// engine shards.
+    pub flow: u32,
     /// Injection time at the source FA ingress.
     pub injected_at: SimTime,
 }
@@ -117,6 +127,7 @@ mod tests {
             dst_port: 0,
             tc: 0,
             bytes,
+            flow: NO_FLOW,
             injected_at: SimTime::ZERO,
         }
     }

@@ -11,9 +11,10 @@
 //! incast-absorption argument, the §5.2 push-vs-pull comparison and the
 //! §5.9 self-healing experiments.
 
-use crate::cell::{Burst, BurstId, Cell, Packet, PacketId};
+use crate::cell::{Burst, BurstId, Cell, Packet, PacketId, NO_FLOW};
 use crate::config::FabricConfig;
 use crate::packing::pack_burst;
+use crate::partition::ShardView;
 use crate::reach::ReachTable;
 use crate::sched::{PortScheduler, SchedVoq};
 use crate::spray::Sprayer;
@@ -26,7 +27,7 @@ use stardust_sim::{
 };
 use stardust_topo::{LinkId, NodeId, NodeKind, Topology};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Error rate above which a link self-declares faulty on its
 /// reachability cells (§5.10). Real silicon uses FEC/BER counters; any
@@ -35,7 +36,7 @@ const FAULTY_BER_THRESHOLD: f64 = 0.01;
 
 /// Which advertisement a reachability message carries (see `reach`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AdKind {
+pub(crate) enum AdKind {
     /// Downward reach, sent toward the spine.
     Up,
     /// Total reach via the sender, sent toward the edge.
@@ -51,8 +52,11 @@ type CellRef = u32;
 /// Engine events. Kept deliberately small (see `ev_stays_small` test):
 /// every event is moved several times through the calendar queue, so the
 /// large payloads (cells, packets) live out-of-line.
+///
+/// `pub(crate)` (not `pub`): the sharded driver in [`crate::shard`]
+/// transports these between shard engines.
 #[derive(Debug, Clone)]
-enum Ev {
+pub(crate) enum Ev {
     /// A cell finished serializing on a link direction.
     TxDone { dir: u32 },
     /// A cell arrived at the far end of a link direction.
@@ -83,15 +87,97 @@ enum Ev {
         node: NodeId,
         port: u16,
         kind: AdKind,
-        fas: Rc<Vec<u32>>,
+        fas: Arc<Vec<u32>>,
         faulty: bool,
     },
+    /// A burst's reassembly record arriving at the destination FA's
+    /// shard, sent at packing time one lookahead ahead of the burst's
+    /// first cell (cross-shard bursts only — a same-shard burst record is
+    /// installed directly at packing time, which is observably identical
+    /// because nothing reads the record before the first cell arrives).
+    BurstOpen { burst: Box<Burst> },
     /// Reassembly deadline for a burst.
     BurstTimeout { burst: BurstId },
     /// Next packet of a constant-bit-rate flow.
     FlowTick { flow: u32 },
     /// A finite message flow arriving at its source FA ingress.
     MsgStart { flow: u32 },
+}
+
+/// Pack a rank and a payload into one canonical ordering key.
+const fn key(rank: u64, payload: u64) -> u64 {
+    (rank << 56) | (payload & ((1u64 << 56) - 1))
+}
+
+/// The canonical same-timestamp ordering key of an event — a pure
+/// function of the event's **content**, never of scheduling order.
+///
+/// This is the heart of the deterministic sharded engine: all engine
+/// events go through [`EventCore::schedule_keyed`] with this key, so the
+/// dispatch order of simultaneous events is `(time, key)` in the
+/// sequential engine and in every shard alike, regardless of which order
+/// the events entered which calendar. The key is collision-safe by
+/// construction:
+///
+/// * events whose order *matters* (they touch the same entity) differ in
+///   key — per-direction events are unique per `(time, dir)` (a serial
+///   link emits at most one cell per instant), per-port timer events are
+///   unique per `(time, fa, port)`, and so on;
+/// * events that *can* collide (two `CtrlRequest`s from the same source
+///   VOQ in one instant) commute: the scheduler adds their byte counts
+///   either way, and same-key events keep sender-FIFO order besides.
+fn key_of(ev: &Ev) -> u64 {
+    match ev {
+        Ev::TxDone { dir } => key(0, *dir as u64),
+        Ev::CellArrive { dir, .. } => key(1, *dir as u64),
+        Ev::BurstOpen { burst } => key(2, burst.id.0),
+        Ev::CtrlRequest {
+            dst_fa,
+            port,
+            tc,
+            src_fa,
+            ..
+        } => key(
+            3,
+            ((*dst_fa as u64) << 36)
+                | ((*port as u64) << 28)
+                | ((*tc as u64) << 20)
+                | *src_fa as u64,
+        ),
+        Ev::CtrlCredit { src_fa, key: k } => key(
+            4,
+            ((*src_fa as u64) << 36)
+                | ((k.dst_fa as u64) << 16)
+                | ((k.dst_port as u64) << 8)
+                | k.tc as u64,
+        ),
+        Ev::CreditTick { fa, port } => key(5, ((*fa as u64) << 8) | *port as u64),
+        Ev::PortTxDone { fa, port } => key(6, ((*fa as u64) << 8) | *port as u64),
+        Ev::Inject { pkt } => key(7, pkt.id.0),
+        Ev::ReachTick { node } => key(8, node.0 as u64),
+        Ev::ReachMsg { node, port, .. } => key(9, ((node.0 as u64) << 16) | *port as u64),
+        Ev::BurstTimeout { burst } => key(10, burst.0),
+        Ev::FlowTick { flow } => key(11, *flow as u64),
+        Ev::MsgStart { flow } => key(12, *flow as u64),
+    }
+}
+
+/// A cross-shard event in transit: scheduled by one shard, delivered into
+/// another shard's calendar at a barrier. Cells travel by value (the cell
+/// slab is shard-local); everything else is the event itself.
+#[derive(Debug)]
+pub(crate) enum OutPayload {
+    /// A routable event (control messages, reachability, burst records).
+    Ev(Ev),
+    /// A cell arriving on `dir` at the destination shard.
+    Cell { dir: u32, cell: Cell },
+}
+
+/// One mailbox item: the absolute fire time plus the payload.
+#[derive(Debug)]
+pub(crate) struct OutItem {
+    pub(crate) at: SimTime,
+    pub(crate) payload: OutPayload,
 }
 
 /// A constant-bit-rate open-loop flow (used by the push-vs-pull and
@@ -193,6 +279,14 @@ struct FaState {
     reach: ReachTable,
     ports: Vec<PortState>,
     sat: Option<SatState>,
+    /// Per-FA counter behind runtime-minted [`PacketId`]s (CBR ticks,
+    /// message segmentation, saturation refill). Namespacing ids by
+    /// source FA keeps them globally unique **and** identical between the
+    /// sequential engine and any sharding, where a global counter would
+    /// depend on the interleaving of unrelated FAs.
+    next_packet: u64,
+    /// Per-FA counter behind [`BurstId`]s, namespaced for the same reason.
+    next_burst: u64,
 }
 
 /// Fabric Element runtime state.
@@ -209,8 +303,10 @@ struct FeState {
 /// Measurements collected by the engine.
 ///
 /// Derives `PartialEq`/`Eq` so determinism tests can assert that two runs
-/// with the same seed produce **bit-identical** measurements.
-#[derive(Debug, PartialEq, Eq)]
+/// with the same seed produce **bit-identical** measurements — including
+/// a sequential run against the merged per-shard measurements of a
+/// [`crate::shard::ShardedFabricEngine`] run (see [`FabricStats::merge`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FabricStats {
     /// Per-cell fabric traversal latency (uplink enqueue → dst FA), ns bins.
     pub cell_latency_ns: Histogram,
@@ -288,6 +384,52 @@ impl FabricStats {
             flows: FlowStats::new(),
         }
     }
+
+    /// Merge another engine's measurements into this one (the sharded
+    /// reduction). Every sample is recorded by exactly one shard —
+    /// histograms and counters add, peaks take the max, and the flow
+    /// table absorbs the other side's finishes — so folding the shards in
+    /// **ascending shard order** reproduces the sequential run's record
+    /// bit for bit.
+    pub fn merge(&mut self, other: &FabricStats) {
+        self.cell_latency_ns.merge(&other.cell_latency_ns);
+        self.packet_latency_ns.merge(&other.packet_latency_ns);
+        self.last_stage_queue.merge(&other.last_stage_queue);
+        self.fe_queue.merge(&other.fe_queue);
+        self.fa_uplink_queue.merge(&other.fa_uplink_queue);
+        self.cells_sent.add(other.cells_sent.get());
+        self.cells_delivered.add(other.cells_delivered.get());
+        self.cells_dropped.add(other.cells_dropped.get());
+        self.cells_corrupted.add(other.cells_corrupted.get());
+        self.ingress_drops.add(other.ingress_drops.get());
+        self.host_fc_pauses.add(other.host_fc_pauses.get());
+        self.fci_marks.add(other.fci_marks.get());
+        self.packets_injected.add(other.packets_injected.get());
+        self.packets_delivered.add(other.packets_delivered.get());
+        self.packets_discarded.add(other.packets_discarded.get());
+        self.bytes_delivered.add(other.bytes_delivered.get());
+        self.credits_sent.add(other.credits_sent.get());
+        assert_eq!(self.delivered_per_fa.len(), other.delivered_per_fa.len());
+        for (a, b) in self
+            .delivered_per_fa
+            .iter_mut()
+            .zip(&other.delivered_per_fa)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .delivered_per_port
+            .iter_mut()
+            .zip(&other.delivered_per_port)
+        {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        self.max_egress_bytes = self.max_egress_bytes.max(other.max_egress_bytes);
+        self.max_voq_bytes = self.max_voq_bytes.max(other.max_voq_bytes);
+        self.flows.absorb_finishes(&other.flows);
+    }
 }
 
 /// The Stardust fabric simulator. See the module docs for the data flow.
@@ -314,7 +456,9 @@ pub struct FabricEngine<K: CoreKind = CalendarCore> {
     cells: Vec<Cell>,
     free_cells: Vec<CellRef>,
     bursts: HashMap<u64, Burst>,
-    next_burst: u64,
+    /// Counter behind API-minted [`PacketId`]s ([`FabricEngine::inject`]).
+    /// Runtime packets use per-FA namespaced ids instead (see
+    /// [`FaState::next_packet`]); API ids stay below the namespace floor.
     next_packet: u64,
     stats: FabricStats,
     measure_from: SimTime,
@@ -323,15 +467,26 @@ pub struct FabricEngine<K: CoreKind = CalendarCore> {
     flows: Vec<CbrFlow>,
     /// Finite message flows, indexed by the id `add_message` returned.
     msgs: Vec<MsgFlow>,
-    /// Undelivered payload bytes per message flow (completion detection).
+    /// Undelivered payload bytes per message flow (completion detection,
+    /// maintained at the flow's destination FA — packets carry their flow
+    /// id, so no source↔destination side table is needed).
     msg_remaining: Vec<u64>,
-    /// PacketId → message-flow index for in-flight message packets.
-    /// Entries are removed as packets are delivered (or discarded by a
-    /// burst timeout), so the map stays proportional to the in-flight
-    /// packet population.
-    msg_of_packet: HashMap<u64, u32>,
-    /// Link-error draw stream (§5.10 failure injection).
-    err_rng: DetRng,
+    /// Per-link-direction error draw streams (§5.10 failure injection),
+    /// split off one labelled base stream so each direction's draw
+    /// sequence is independent of every other direction's traffic — and
+    /// therefore identical under any sharding.
+    err_rngs: Vec<DetRng>,
+    /// This engine's place in a sharded run (`None` = sequential: the
+    /// engine owns every node and routes nothing).
+    view: Option<ShardView>,
+    /// FA index → owning shard (empty when sequential).
+    shard_of_fa: Vec<u32>,
+    /// Direction index → shard owning the direction's destination node
+    /// (empty when sequential).
+    dir_dst_shard: Vec<u32>,
+    /// Outgoing cross-shard events, one batch per destination shard
+    /// (empty when sequential); drained by the shard driver at barriers.
+    outbox: Vec<Vec<OutItem>>,
 }
 
 /// A [`FabricEngine`] on the reference binary-heap event core, used by
@@ -352,6 +507,15 @@ impl<K: CoreKind> FabricEngine<K> {
     /// tables are seeded converged; if `cfg.reach_interval` is set the
     /// protocol runs and maintains them (and failures self-heal).
     pub fn with_core(topo: Topology, cfg: FabricConfig) -> Self {
+        Self::with_view(topo, cfg, None)
+    }
+
+    /// Build one shard of a partitioned run (or the sequential engine,
+    /// with `view = None`). A sharded engine holds the full topology but
+    /// only ever dispatches events for the nodes its view owns; events
+    /// targeting foreign nodes route to the per-shard outbox instead of
+    /// the local calendar.
+    pub(crate) fn with_view(topo: Topology, cfg: FabricConfig, view: Option<ShardView>) -> Self {
         cfg.validate();
         let fa_nodes = topo.nodes_of_kind(NodeKind::Edge);
         let fe_nodes = topo.nodes_of_kind(NodeKind::Fabric);
@@ -449,6 +613,8 @@ impl<K: CoreKind> FabricEngine<K> {
                 reach,
                 ports,
                 sat: None,
+                next_packet: 0,
+                next_burst: 0,
             });
         }
 
@@ -489,6 +655,28 @@ impl<K: CoreKind> FabricEngine<K> {
         let num_fa = fas.len();
         let host_ports = cfg.host_ports as usize;
         let seed = cfg.seed;
+        // Per-direction error streams: split (not forked) off one base so
+        // every direction's stream is a pure function of (seed, dir).
+        let err_base = DetRng::from_label(seed, "link-errors");
+        let err_rngs = (0..dirs.len())
+            .map(|d| err_base.split_u64(d as u64))
+            .collect();
+        // Shard routing tables (empty for the sequential engine).
+        let (shard_of_fa, dir_dst_shard, outbox) = match &view {
+            None => (Vec::new(), Vec::new(), Vec::new()),
+            Some(v) => {
+                let of_fa = fas
+                    .iter()
+                    .map(|f| v.shard_of_node[f.node.0 as usize])
+                    .collect();
+                let of_dir = dirs
+                    .iter()
+                    .map(|d: &DirState| v.shard_of_node[d.dst_node.0 as usize])
+                    .collect();
+                let outbox = (0..v.num_shards).map(|_| Vec::new()).collect();
+                (of_fa, of_dir, outbox)
+            }
+        };
         let mut engine: Self = FabricEngine {
             cfg,
             topo,
@@ -502,7 +690,6 @@ impl<K: CoreKind> FabricEngine<K> {
             cells: Vec::new(),
             free_cells: Vec::new(),
             bursts: HashMap::new(),
-            next_burst: 0,
             next_packet: 0,
             stats: FabricStats::new(num_fa, host_ports),
             measure_from: SimTime::ZERO,
@@ -511,12 +698,18 @@ impl<K: CoreKind> FabricEngine<K> {
             flows: Vec::new(),
             msgs: Vec::new(),
             msg_remaining: Vec::new(),
-            msg_of_packet: HashMap::new(),
-            err_rng: DetRng::from_label(seed, "link-errors"),
+            err_rngs,
+            view,
+            shard_of_fa,
+            dir_dst_shard,
+            outbox,
         };
         if dynamic_reach {
             let interval = engine.cfg.reach_interval.unwrap();
             // Stagger ticks across nodes to avoid a synchronized wave.
+            // The offsets index over **all** nodes even in a sharded
+            // engine (which only schedules the ticks of nodes it owns),
+            // so every node's phase is partition-invariant.
             let all_nodes: Vec<NodeId> = engine
                 .fas
                 .iter()
@@ -525,13 +718,107 @@ impl<K: CoreKind> FabricEngine<K> {
                 .collect();
             let n = all_nodes.len() as u64;
             for (i, node) in all_nodes.into_iter().enumerate() {
+                if !engine.owns_node(node) {
+                    continue;
+                }
                 let offset = SimDuration::from_ps(interval.as_ps() * i as u64 / n);
-                engine
-                    .events
-                    .schedule(SimTime::ZERO + offset, Ev::ReachTick { node });
+                engine.sched(SimTime::ZERO + offset, Ev::ReachTick { node });
             }
         }
         engine
+    }
+
+    // -- shard plumbing ----------------------------------------------------
+
+    /// This engine's shard id (0 when sequential).
+    fn my_shard(&self) -> u32 {
+        self.view.as_ref().map_or(0, |v| v.shard)
+    }
+
+    /// Does this engine own (dispatch events for) `node`?
+    fn owns_node(&self, node: NodeId) -> bool {
+        match &self.view {
+            None => true,
+            Some(v) => v.shard_of_node[node.0 as usize] == v.shard,
+        }
+    }
+
+    /// Does this engine own Fabric Adapter `fa`?
+    fn owns_fa(&self, fa: u32) -> bool {
+        match &self.view {
+            None => true,
+            Some(v) => self.shard_of_fa[fa as usize] == v.shard,
+        }
+    }
+
+    /// Schedule `ev` at `at` under its canonical content key, routing it
+    /// to the outbox when its target entity lives on another shard.
+    fn sched(&mut self, at: SimTime, ev: Ev) {
+        if self.view.is_some() {
+            if let Some(dst) = self.remote_target(&ev) {
+                self.outbox[dst as usize].push(OutItem {
+                    at,
+                    payload: OutPayload::Ev(ev),
+                });
+                return;
+            }
+        }
+        self.events.schedule_keyed(at, key_of(&ev), ev);
+    }
+
+    /// The shard owning `ev`'s target entity, when that is not this
+    /// shard. Only control messages, reachability messages and burst
+    /// records can target foreign entities — cells are routed separately
+    /// (see `on_tx_done`), and every other event is self-directed.
+    fn remote_target(&self, ev: &Ev) -> Option<u32> {
+        let s = match ev {
+            Ev::CtrlRequest { dst_fa, .. } => self.shard_of_fa[*dst_fa as usize],
+            Ev::CtrlCredit { src_fa, .. } => self.shard_of_fa[*src_fa as usize],
+            Ev::ReachMsg { node, .. } => {
+                self.view.as_ref().expect("sharded").shard_of_node[node.0 as usize]
+            }
+            Ev::BurstOpen { burst } => self.shard_of_fa[burst.dst_fa as usize],
+            _ => return None,
+        };
+        (s != self.my_shard()).then_some(s)
+    }
+
+    /// Drain this shard's outgoing cross-shard events (one batch per
+    /// destination shard). Called by the shard driver at every barrier.
+    pub(crate) fn take_outbox(&mut self) -> Vec<Vec<OutItem>> {
+        let fresh = (0..self.outbox.len()).map(|_| Vec::new()).collect();
+        std::mem::replace(&mut self.outbox, fresh)
+    }
+
+    /// Deliver mailbox items from a peer shard into the local calendar,
+    /// preserving the sender's order (same-key ties keep sender FIFO).
+    pub(crate) fn deliver(&mut self, items: Vec<OutItem>) {
+        for it in items {
+            match it.payload {
+                OutPayload::Ev(ev) => {
+                    debug_assert!(self.remote_target(&ev).is_none(), "misrouted event");
+                    self.events.schedule_keyed(it.at, key_of(&ev), ev);
+                }
+                OutPayload::Cell { dir, cell } => {
+                    let r = self.alloc_cell(cell);
+                    let ev = Ev::CellArrive { dir, cell: r };
+                    self.events.schedule_keyed(it.at, key_of(&ev), ev);
+                }
+            }
+        }
+    }
+
+    /// Timestamp of this engine's earliest pending event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Mint a runtime packet id, namespaced by the minting FA.
+    fn runtime_packet_id(&mut self, src_fa: u32) -> PacketId {
+        let fa = &mut self.fas[src_fa as usize];
+        let id = PacketId(((src_fa as u64 + 1) << 40) | fa.next_packet);
+        fa.next_packet += 1;
+        id
     }
 
     // -- public API --------------------------------------------------------
@@ -606,6 +893,10 @@ impl<K: CoreKind> FabricEngine<K> {
         assert!(bytes > 0);
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
+        debug_assert!(
+            id.0 < 1 << 40,
+            "API packet ids must stay below the per-FA namespace"
+        );
         let pkt = Packet {
             id,
             src_fa,
@@ -613,9 +904,12 @@ impl<K: CoreKind> FabricEngine<K> {
             dst_port,
             tc,
             bytes,
+            flow: NO_FLOW,
             injected_at: at,
         };
-        self.events.schedule(at, Ev::Inject { pkt: Box::new(pkt) });
+        if self.owns_fa(src_fa) {
+            self.sched(at, Ev::Inject { pkt: Box::new(pkt) });
+        }
         id
     }
 
@@ -647,7 +941,9 @@ impl<K: CoreKind> FabricEngine<K> {
             interval,
             stop,
         });
-        self.events.schedule(start, Ev::FlowTick { flow: id });
+        if self.owns_fa(src_fa) {
+            self.sched(start, Ev::FlowTick { flow: id });
+        }
     }
 
     /// Add a finite message flow: `bytes` of payload offered to
@@ -692,7 +988,11 @@ impl<K: CoreKind> FabricEngine<K> {
         self.msg_remaining.push(bytes);
         let idx = self.stats.flows.add(src_fa, dst_fa, bytes, start);
         debug_assert_eq!(idx, flow, "flow table out of sync");
-        self.events.schedule(start, Ev::MsgStart { flow });
+        // In a sharded run every shard registers the flow (so the tables
+        // merge index-wise) but only the source's shard starts it.
+        if self.owns_fa(src_fa) {
+            self.sched(start, Ev::MsgStart { flow });
+        }
         flow
     }
 
@@ -704,6 +1004,9 @@ impl<K: CoreKind> FabricEngine<K> {
         let n = self.fas.len() as u32;
         let ports = self.cfg.host_ports;
         for src in 0..n {
+            if !self.owns_fa(src) {
+                continue;
+            }
             let targets: Vec<(u32, u8, u8)> = (0..n)
                 .filter(|&d| d != src)
                 .map(|d| (d, ((src + d) % ports as u32) as u8, 0u8))
@@ -821,6 +1124,21 @@ impl<K: CoreKind> FabricEngine<K> {
         self.dirs[(link.0 * 2 + from_end as u32) as usize].depth()
     }
 
+    /// [`FabricEngine::fabric_utilization`] for an externally supplied
+    /// delivered-byte count — the sharded engine folds its shards' counts
+    /// and evaluates against this engine's capacity parameters.
+    pub fn payload_utilization_of(&self, delivered_bytes: u64, window: SimDuration) -> f64 {
+        let uplinks = self.fas.first().map_or(0, |fa| fa.uplinks.len());
+        payload_utilization(
+            self.fas.len(),
+            uplinks,
+            self.cfg.fabric_link_bps,
+            self.cfg.payload_fraction(),
+            delivered_bytes,
+            window,
+        )
+    }
+
     // -- internals ---------------------------------------------------------
 
     fn measuring(&self, now: SimTime) -> bool {
@@ -850,6 +1168,7 @@ impl<K: CoreKind> FabricEngine<K> {
                 fas,
                 faulty,
             } => self.on_reach_msg(now, node, port, kind, &fas, faulty),
+            Ev::BurstOpen { burst } => self.open_burst(*burst),
             Ev::BurstTimeout { burst } => self.on_burst_timeout(now, burst),
             Ev::FlowTick { flow } => self.on_flow_tick(now, flow),
             Ev::MsgStart { flow } => self.on_msg_start(now, flow),
@@ -877,8 +1196,7 @@ impl<K: CoreKind> FabricEngine<K> {
         while offered > 0 {
             let sz = offered.min(mtu) as u32;
             offered -= sz as u64;
-            let id = PacketId(self.next_packet);
-            self.next_packet += 1;
+            let id = self.runtime_packet_id(m.src_fa);
             let pkt = Packet {
                 id,
                 src_fa: m.src_fa,
@@ -886,21 +1204,17 @@ impl<K: CoreKind> FabricEngine<K> {
                 dst_port: m.dst_port,
                 tc: m.tc,
                 bytes: sz,
+                flow,
                 injected_at: now,
             };
             match self.admit_at_ingress(now, pkt) {
                 Ingress::Dropped => {}
-                Ingress::Bypassed => {
-                    self.msg_of_packet.insert(id.0, flow);
-                }
-                Ingress::Queued(delta) => {
-                    added += delta;
-                    self.msg_of_packet.insert(id.0, flow);
-                }
+                Ingress::Bypassed => {}
+                Ingress::Queued(delta) => added += delta,
             }
         }
         if added > 0 {
-            self.events.schedule(
+            self.sched(
                 now + self.cfg.ctrl_latency,
                 Ev::CtrlRequest {
                     dst_fa: key.dst_fa,
@@ -932,13 +1246,11 @@ impl<K: CoreKind> FabricEngine<K> {
                 .map_or(0, |v| v.bytes());
             if backlog + f.pkt_bytes as u64 > hi {
                 self.stats.host_fc_pauses.inc();
-                self.events
-                    .schedule(now + f.interval, Ev::FlowTick { flow });
+                self.sched(now + f.interval, Ev::FlowTick { flow });
                 return;
             }
         }
-        let id = PacketId(self.next_packet);
-        self.next_packet += 1;
+        let id = self.runtime_packet_id(f.src_fa);
         let pkt = Packet {
             id,
             src_fa: f.src_fa,
@@ -946,11 +1258,11 @@ impl<K: CoreKind> FabricEngine<K> {
             dst_port: f.dst_port,
             tc: f.tc,
             bytes: f.pkt_bytes,
+            flow: NO_FLOW,
             injected_at: now,
         };
         self.on_inject(now, pkt);
-        self.events
-            .schedule(now + f.interval, Ev::FlowTick { flow });
+        self.sched(now + f.interval, Ev::FlowTick { flow });
     }
 
     // --- cell transport ---
@@ -998,7 +1310,7 @@ impl<K: CoreKind> FabricEngine<K> {
         if d.in_service.is_none() {
             let t = serialization_time(wire_bytes as u64, d.rate_bps);
             d.in_service = Some(cell);
-            self.events.schedule(now + t, Ev::TxDone { dir: dir_idx });
+            self.sched(now + t, Ev::TxDone { dir: dir_idx });
         } else {
             d.queue.push_back(cell);
         }
@@ -1007,8 +1319,9 @@ impl<K: CoreKind> FabricEngine<K> {
     fn on_tx_done(&mut self, now: SimTime, dir_idx: u32) {
         let d = &mut self.dirs[dir_idx as usize];
         let cell = d.in_service.take().expect("TxDone without in-service cell");
-        let corrupted = d.error_rate > 0.0 && self.err_rng.chance(d.error_rate);
-        if !d.up {
+        let (up, prop, rate_bps, err) = (d.up, d.prop, d.rate_bps, d.error_rate);
+        let corrupted = err > 0.0 && self.err_rngs[dir_idx as usize].chance(err);
+        if !up {
             self.stats.cells_dropped.inc();
             self.free_cells.push(cell);
         } else if corrupted {
@@ -1017,13 +1330,35 @@ impl<K: CoreKind> FabricEngine<K> {
             self.stats.cells_corrupted.inc();
             self.free_cells.push(cell);
         } else {
-            self.events
-                .schedule(now + d.prop, Ev::CellArrive { dir: dir_idx, cell });
+            let at = now + prop;
+            // A cell bound for a foreign shard travels by value through
+            // the mailbox (the slab is shard-local); its propagation
+            // delay is at least the partition lookahead by construction.
+            let remote = self
+                .view
+                .as_ref()
+                .filter(|v| self.dir_dst_shard[dir_idx as usize] != v.shard)
+                .map(|_| self.dir_dst_shard[dir_idx as usize]);
+            match remote {
+                Some(dst) => {
+                    let c = self.cells[cell as usize];
+                    self.free_cells.push(cell);
+                    self.outbox[dst as usize].push(OutItem {
+                        at,
+                        payload: OutPayload::Cell {
+                            dir: dir_idx,
+                            cell: c,
+                        },
+                    });
+                }
+                None => self.sched(at, Ev::CellArrive { dir: dir_idx, cell }),
+            }
         }
+        let d = &mut self.dirs[dir_idx as usize];
         if let Some(next) = d.queue.pop_front() {
-            let t = serialization_time(self.cells[next as usize].wire_bytes as u64, d.rate_bps);
             d.in_service = Some(next);
-            self.events.schedule(now + t, Ev::TxDone { dir: dir_idx });
+            let t = serialization_time(self.cells[next as usize].wire_bytes as u64, rate_bps);
+            self.sched(now + t, Ev::TxDone { dir: dir_idx });
         }
     }
 
@@ -1120,19 +1455,25 @@ impl<K: CoreKind> FabricEngine<K> {
     fn egress_enqueue(&mut self, now: SimTime, fa: u32, port: u8, pkt: Packet) {
         let host_bps = self.cfg.host_port_bps;
         let hiwat = self.cfg.egress_hiwat_bytes;
-        let ps = &mut self.fas[fa as usize].ports[port as usize];
-        ps.egress_bytes += pkt.bytes as u64;
-        if ps.egress_bytes > self.stats.max_egress_bytes {
-            self.stats.max_egress_bytes = ps.egress_bytes;
-        }
-        ps.tx_queue.push_back(pkt);
-        if !ps.tx_busy {
-            ps.tx_busy = true;
+        let start_tx = {
+            let ps = &mut self.fas[fa as usize].ports[port as usize];
+            ps.egress_bytes += pkt.bytes as u64;
+            if ps.egress_bytes > self.stats.max_egress_bytes {
+                self.stats.max_egress_bytes = ps.egress_bytes;
+            }
+            ps.tx_queue.push_back(pkt);
+            let start = !ps.tx_busy;
+            if start {
+                ps.tx_busy = true;
+            }
+            if ps.egress_bytes >= hiwat && !ps.sched.is_paused() {
+                ps.sched.pause();
+            }
+            start
+        };
+        if start_tx {
             let t = serialization_time(pkt.bytes as u64, host_bps);
-            self.events.schedule(now + t, Ev::PortTxDone { fa, port });
-        }
-        if ps.egress_bytes >= hiwat && !ps.sched.is_paused() {
-            ps.sched.pause();
+            self.sched(now + t, Ev::PortTxDone { fa, port });
         }
     }
 
@@ -1143,12 +1484,15 @@ impl<K: CoreKind> FabricEngine<K> {
         let ps = &mut self.fas[fa as usize].ports[port as usize];
         let pkt = ps.tx_queue.pop_front().expect("PortTxDone without packet");
         ps.egress_bytes -= pkt.bytes as u64;
-        if let Some(next) = ps.tx_queue.front() {
-            let t = serialization_time(next.bytes as u64, host_bps);
-            self.events.schedule(now + t, Ev::PortTxDone { fa, port });
-        } else {
-            ps.tx_busy = false;
+        let next_tx = ps.tx_queue.front().map(|next| next.bytes);
+        match next_tx {
+            Some(bytes) => {
+                let t = serialization_time(bytes as u64, host_bps);
+                self.sched(now + t, Ev::PortTxDone { fa, port });
+            }
+            None => self.fas[fa as usize].ports[port as usize].tx_busy = false,
         }
+        let ps = &mut self.fas[fa as usize].ports[port as usize];
         let resume = ps.egress_bytes <= lowat && ps.sched.is_paused();
         if resume && ps.sched.resume() {
             self.arm_credit_timer(now, fa, port);
@@ -1162,15 +1506,13 @@ impl<K: CoreKind> FabricEngine<K> {
             self.stats.packet_latency_ns.record(lat);
         }
         // Finite-flow completion: the last byte of a message leaving the
-        // egress wire ends its FCT. The map is empty unless message flows
-        // are in play, so CBR/saturation runs skip the hash probe.
-        if !self.msg_of_packet.is_empty() {
-            if let Some(flow) = self.msg_of_packet.remove(&pkt.id.0) {
-                let rem = &mut self.msg_remaining[flow as usize];
-                *rem -= pkt.bytes as u64;
-                if *rem == 0 {
-                    self.stats.flows.finish(flow, now);
-                }
+        // egress wire ends its FCT. The flow id rides in the packet, so
+        // completion is detected purely from destination-side state.
+        if pkt.flow != NO_FLOW {
+            let rem = &mut self.msg_remaining[pkt.flow as usize];
+            *rem -= pkt.bytes as u64;
+            if *rem == 0 {
+                self.stats.flows.finish(pkt.flow, now);
             }
         }
     }
@@ -1226,7 +1568,7 @@ impl<K: CoreKind> FabricEngine<K> {
             },
         );
         if let Ingress::Queued(delta) = self.admit_at_ingress(now, pkt) {
-            self.events.schedule(
+            self.sched(
                 now + self.cfg.ctrl_latency,
                 Ev::CtrlRequest {
                     dst_fa: key.dst_fa,
@@ -1250,7 +1592,7 @@ impl<K: CoreKind> FabricEngine<K> {
         let ps = &mut self.fas[fa as usize].ports[port as usize];
         if !ps.sched.timer_armed {
             ps.sched.timer_armed = true;
-            self.events.schedule(now, Ev::CreditTick { fa, port });
+            self.sched(now, Ev::CreditTick { fa, port });
         }
     }
 
@@ -1269,7 +1611,7 @@ impl<K: CoreKind> FabricEngine<K> {
             Some(voq) => {
                 let interval = ps.sched.interval();
                 self.stats.credits_sent.inc();
-                self.events.schedule(
+                self.sched(
                     now + ctrl_latency,
                     Ev::CtrlCredit {
                         src_fa: voq.src_fa,
@@ -1280,8 +1622,7 @@ impl<K: CoreKind> FabricEngine<K> {
                         },
                     },
                 );
-                self.events
-                    .schedule(now + interval, Ev::CreditTick { fa, port });
+                self.sched(now + interval, Ev::CreditTick { fa, port });
             }
         }
     }
@@ -1311,8 +1652,12 @@ impl<K: CoreKind> FabricEngine<K> {
     /// Pack a dequeued burst into cells and spray them over the eligible
     /// uplinks (shared by the credit path and the §5.6 low-latency path).
     fn transmit_burst(&mut self, now: SimTime, src_fa: u32, key: VoqKey, packets: Vec<Packet>) {
-        let burst_id = BurstId(self.next_burst);
-        self.next_burst += 1;
+        let burst_id = {
+            let fa = &mut self.fas[src_fa as usize];
+            let id = BurstId(((src_fa as u64 + 1) << 40) | fa.next_burst);
+            fa.next_burst += 1;
+            id
+        };
         let pb = pack_burst(
             burst_id,
             packets,
@@ -1320,10 +1665,6 @@ impl<K: CoreKind> FabricEngine<K> {
             self.cfg.cell_header_bytes,
             self.cfg.packet_packing,
             now,
-        );
-        self.events.schedule(
-            now + self.cfg.reassembly_timeout,
-            Ev::BurstTimeout { burst: burst_id },
         );
 
         // Spray.
@@ -1333,38 +1674,68 @@ impl<K: CoreKind> FabricEngine<K> {
             self.fas[src_fa as usize].sprayers.get(&dst),
             Some((g, _)) if *g == generation
         );
+        let mut reachable = true;
         if needs_build {
             let eligible = self.fas[src_fa as usize].reach.eligible(dst);
             if eligible.is_empty() {
                 // Destination unreachable: the whole burst is lost; the
-                // timeout will count its packets as discarded.
-                self.bursts.insert(burst_id.0, pb.burst);
-                return;
+                // reassembly timeout will count its packets as discarded.
+                reachable = false;
+            } else {
+                let rng = DetRng::from_parts(self.seed, ((src_fa as u64) << 20) | dst as u64);
+                let sprayer = Sprayer::new(eligible, self.cfg.spray_rounds_per_shuffle, rng);
+                self.fas[src_fa as usize]
+                    .sprayers
+                    .insert(dst, (generation, sprayer));
             }
-            let rng = DetRng::from_parts(self.seed, ((src_fa as u64) << 20) | dst as u64);
-            let sprayer = Sprayer::new(eligible, self.cfg.spray_rounds_per_shuffle, rng);
-            self.fas[src_fa as usize]
-                .sprayers
-                .insert(dst, (generation, sprayer));
         }
-        let n_cells = pb.burst.n_cells;
-        for seq in 0..n_cells {
-            let port = {
-                let (_, s) = self.fas[src_fa as usize].sprayers.get_mut(&dst).unwrap();
-                s.next()
-            };
-            let out_dir = self.fas[src_fa as usize].out_dirs[port as usize];
-            let cell = self.alloc_cell(pb.cell(seq, now));
-            self.stats.cells_sent.inc();
-            self.push_cell(now, out_dir, cell);
+        if reachable {
+            let n_cells = pb.burst.n_cells;
+            for seq in 0..n_cells {
+                let port = {
+                    let (_, s) = self.fas[src_fa as usize].sprayers.get_mut(&dst).unwrap();
+                    s.next()
+                };
+                let out_dir = self.fas[src_fa as usize].out_dirs[port as usize];
+                let cell = self.alloc_cell(pb.cell(seq, now));
+                self.stats.cells_sent.inc();
+                self.push_cell(now, out_dir, cell);
+            }
         }
-        self.bursts.insert(burst_id.0, pb.burst);
+
+        // Hand the reassembly record to the destination FA's owner. On
+        // the same shard (always, when sequential) it is installed
+        // directly; otherwise it travels as a `BurstOpen` one lookahead
+        // ahead — provably before the burst's first cell, whose
+        // cross-shard path carries at least that much propagation plus a
+        // serialization. Nothing reads the record in between, so the two
+        // installs are observably identical.
+        if self.owns_fa(dst) {
+            self.open_burst(pb.burst);
+        } else {
+            let lookahead = self.view.as_ref().expect("sharded").lookahead;
+            self.sched(
+                now + lookahead,
+                Ev::BurstOpen {
+                    burst: Box::new(pb.burst),
+                },
+            );
+        }
+    }
+
+    /// Install a burst's reassembly record and arm its timeout (runs on
+    /// the shard owning the destination FA).
+    fn open_burst(&mut self, burst: Burst) {
+        let at = burst.packed_at + self.cfg.reassembly_timeout;
+        self.sched(at, Ev::BurstTimeout { burst: burst.id });
+        self.bursts.insert(burst.id.0, burst);
     }
 
     /// Refill a saturated VOQ to its backlog target with synthetic
-    /// packets, registering the new demand directly with the destination
-    /// scheduler (the control round-trip is irrelevant for a standing
-    /// backlog and skipping it keeps the event count down).
+    /// packets, announcing the new demand to the destination scheduler
+    /// with an ordinary request control message (one per refill — the
+    /// standing backlog keeps the scheduler's view positive across the
+    /// control latency).
     fn top_up_voq(&mut self, src_fa: u32, key: VoqKey) {
         // Only the two scalars are needed here; cloning the whole
         // `SatState` (with its targets Vec) per credit grant was one of
@@ -1379,11 +1750,14 @@ impl<K: CoreKind> FabricEngine<K> {
         let now = self.events.now();
         let mut added = 0u64;
         {
-            let fa = &mut self.fas[src_fa as usize];
-            let voq = fa.voqs.entry(key).or_default();
-            while voq.bytes() < backlog_bytes {
-                let id = PacketId(self.next_packet);
-                self.next_packet += 1;
+            while self.fas[src_fa as usize]
+                .voqs
+                .get(&key)
+                .is_none_or(|v| v.bytes() < backlog_bytes)
+            {
+                let id = self.runtime_packet_id(src_fa);
+                let fa = &mut self.fas[src_fa as usize];
+                let voq = fa.voqs.entry(key).or_default();
                 let pkt = Packet {
                     id,
                     src_fa,
@@ -1391,6 +1765,7 @@ impl<K: CoreKind> FabricEngine<K> {
                     dst_port: key.dst_port,
                     tc: key.tc,
                     bytes: packet_bytes,
+                    flow: NO_FLOW,
                     injected_at: now,
                 };
                 added += voq.push(pkt);
@@ -1398,10 +1773,21 @@ impl<K: CoreKind> FabricEngine<K> {
             }
         }
         if added > 0 {
-            let ps = &mut self.fas[key.dst_fa as usize].ports[key.dst_port as usize];
-            if ps.sched.request(SchedVoq { src_fa, tc: key.tc }, added) {
-                self.arm_credit_timer(now, key.dst_fa, key.dst_port);
-            }
+            // Announce the refilled demand through an ordinary request
+            // control message. (This used to poke the destination
+            // scheduler directly to save events; the message makes the
+            // path uniform — and shard-safe, since the destination may
+            // live on another shard.)
+            self.sched(
+                now + self.cfg.ctrl_latency,
+                Ev::CtrlRequest {
+                    dst_fa: key.dst_fa,
+                    port: key.dst_port,
+                    tc: key.tc,
+                    src_fa,
+                    bytes: added,
+                },
+            );
         }
     }
 
@@ -1410,15 +1796,10 @@ impl<K: CoreKind> FabricEngine<K> {
             if !b.complete() {
                 let b = self.bursts.remove(&burst.0).unwrap();
                 self.stats.packets_discarded.add(b.packets.len() as u64);
-                // Discarded packets can never be delivered: drop their
-                // message-flow tracking entries too, or a lossy run would
-                // leak one dead map entry per discarded packet (the flow
-                // itself stays unfinished — there is no retransmission).
-                if !self.msg_of_packet.is_empty() {
-                    for pkt in &b.packets {
-                        self.msg_of_packet.remove(&pkt.id.0);
-                    }
-                }
+                // Discarded message packets leave their flow unfinished
+                // forever (there is no retransmission — that is the
+                // experiment's point); nothing else to clean up, since
+                // flow membership rides in the packets themselves.
             } else {
                 self.bursts.remove(&burst.0);
             }
@@ -1444,7 +1825,7 @@ impl<K: CoreKind> FabricEngine<K> {
             }
             // Advertise self upward (indexing per port avoids cloning the
             // out_dirs Vec every tick).
-            let ad = Rc::new(vec![fa]);
+            let ad = Arc::new(vec![fa]);
             for p in 0..self.fas[fa as usize].out_dirs.len() {
                 let dir = self.fas[fa as usize].out_dirs[p];
                 self.send_reach(now, dir, AdKind::Up, ad.clone());
@@ -1457,14 +1838,14 @@ impl<K: CoreKind> FabricEngine<K> {
             // Downward reach: union over down-facing ports.
             let st = &self.fes[fe];
             let down_ports = (0..st.links.len()).filter(|&p| !st.up_facing[p]);
-            let down_reach = Rc::new(st.reach.union_over(down_ports));
+            let down_reach = Arc::new(st.reach.union_over(down_ports));
             // Total reach via me: downward ∪ what my up links advertise.
             let up_ports = (0..st.links.len()).filter(|&p| st.up_facing[p]);
             let mut total = st.reach.union_over(up_ports);
             total.extend_from_slice(&down_reach);
             total.sort_unstable();
             total.dedup();
-            let total = Rc::new(total);
+            let total = Arc::new(total);
             for p in 0..self.fes[fe].links.len() {
                 let (dir, upf) = {
                     let st = &self.fes[fe];
@@ -1478,26 +1859,28 @@ impl<K: CoreKind> FabricEngine<K> {
                 self.send_reach(now, dir, kind, ad);
             }
         }
-        self.events.schedule(now + interval, Ev::ReachTick { node });
+        self.sched(now + interval, Ev::ReachTick { node });
     }
 
-    fn send_reach(&mut self, now: SimTime, dir_idx: u32, kind: AdKind, fas: Rc<Vec<u32>>) {
+    fn send_reach(&mut self, now: SimTime, dir_idx: u32, kind: AdKind, fas: Arc<Vec<u32>>) {
         let d = &self.dirs[dir_idx as usize];
         if !d.up {
             return; // a failed link carries no reachability cells
         }
-        if d.error_rate > 0.0 && self.err_rng.chance(d.error_rate) {
+        let err = d.error_rate;
+        let (prop, dst_node, dst_port_index) = (d.prop, d.dst_node, d.dst_port_index);
+        if err > 0.0 && self.err_rngs[dir_idx as usize].chance(err) {
             return; // reachability cell lost to the error process
         }
         // §5.10: a link whose error rate crossed the threshold marks
         // itself faulty on its reachability cells, so the receiver
         // excludes it even when a cell does get through.
-        let faulty = d.error_rate > FAULTY_BER_THRESHOLD;
-        self.events.schedule(
-            now + d.prop,
+        let faulty = err > FAULTY_BER_THRESHOLD;
+        self.sched(
+            now + prop,
             Ev::ReachMsg {
-                node: d.dst_node,
-                port: d.dst_port_index,
+                node: dst_node,
+                port: dst_port_index,
                 kind,
                 fas,
                 faulty,
@@ -2166,8 +2549,8 @@ mod tests {
         assert_eq!(e.stats().packets_delivered.get(), 67);
         assert_eq!(e.stats().bytes_delivered.get(), 100_000);
         assert_eq!(e.stats().cells_dropped.get(), 0);
-        // The in-flight tracking map fully drained.
-        assert!(e.msg_of_packet.is_empty());
+        // Completion accounting fully drained.
+        assert_eq!(e.msg_remaining[id as usize], 0);
     }
 
     #[test]
@@ -2215,10 +2598,11 @@ mod tests {
     }
 
     #[test]
-    fn discarded_message_packets_do_not_leak_tracking_entries() {
+    fn discarded_message_packets_leave_the_flow_unfinished() {
         // Static-mode link failure blackholes a share of every burst, so
         // reassembly timeouts discard the packets: the flow must stay
-        // unfinished and the PacketId → flow map must still drain fully.
+        // unfinished (there is no retransmission) with undelivered bytes
+        // still outstanding in its completion accounting.
         let mut e = small_engine(cfg_small());
         e.fail_link(e.fas[0].uplinks[0]);
         let id = e.add_message(0, 8, 0, 0, 60_000, SimTime::ZERO);
@@ -2229,9 +2613,8 @@ mod tests {
         );
         assert!(e.stats().flows.records()[id as usize].fct().is_none());
         assert!(
-            e.msg_of_packet.is_empty(),
-            "{} dead tracking entries leaked",
-            e.msg_of_packet.len()
+            e.msg_remaining[id as usize] > 0,
+            "bytes must stay undelivered"
         );
     }
 

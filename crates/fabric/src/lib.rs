@@ -33,12 +33,18 @@ pub mod cell;
 pub mod config;
 pub mod engine;
 pub mod packing;
+pub mod partition;
 pub mod reach;
 pub mod sched;
+pub mod shard;
+#[cfg(test)]
+mod shard_tests;
 pub mod spray;
 pub mod voq;
 
 pub use cell::{Burst, BurstId, Cell, Packet, PacketId};
 pub use config::FabricConfig;
 pub use engine::{FabricEngine, FabricStats, HeapCoreFabricEngine};
+pub use partition::Partition;
+pub use shard::ShardedFabricEngine;
 pub use voq::VoqKey;

@@ -117,7 +117,7 @@ impl PackedBurst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::PacketId;
+    use crate::cell::{PacketId, NO_FLOW};
 
     fn pkt(bytes: u32) -> Packet {
         Packet {
@@ -127,6 +127,7 @@ mod tests {
             dst_port: 0,
             tc: 0,
             bytes,
+            flow: NO_FLOW,
             injected_at: SimTime::ZERO,
         }
     }

@@ -1,0 +1,233 @@
+//! Topology partitioning for the sharded fabric engine.
+//!
+//! The partitioner assigns every node of a fabric topology to one of `S`
+//! shards and derives the conservative-synchronization **lookahead**: the
+//! smallest latency any cross-shard interaction can carry. Two event
+//! families cross shards:
+//!
+//! * cells and reachability messages, delayed by the **fiber propagation**
+//!   of the link they traverse;
+//! * credit-loop control messages (request/credit), delayed by the
+//!   configured control-plane transit latency.
+//!
+//! The lookahead is therefore `min(ctrl_latency, min propagation over
+//! links whose endpoints land in different shards)`. Keeping topologically
+//! close nodes together directly buys simulation throughput: in the
+//! paper's two-tier shapes the FA↔aggregation fibers are short and the
+//! aggregation↔spine fibers long, so a pod-aligned partition is windowed
+//! by the long fibers instead of the short ones.
+//!
+//! The assignment itself is locality-greedy: Fabric Adapters split into
+//! `S` contiguous, balanced ranges (FA index order — pods are contiguous
+//! in every builder in `stardust-topo`); Fabric Elements join, level by
+//! level, the shard that owns **all** of their lower-tier neighbors (an
+//! aggregation element whose whole pod lives in one shard joins it), and
+//! elements whose children straddle shards — the spine — spread
+//! round-robin for balance.
+
+use stardust_sim::link::fiber_delay;
+use stardust_sim::SimDuration;
+use stardust_topo::{NodeKind, Topology};
+use std::sync::Arc;
+
+/// A shard assignment for every node of a topology, plus the lookahead it
+/// admits. Build with [`Partition::new`].
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Number of shards.
+    pub num_shards: u32,
+    /// NodeId → owning shard.
+    pub shard_of_node: Arc<Vec<u32>>,
+    /// The conservative-synchronization window: no cross-shard event
+    /// carries less latency than this.
+    pub lookahead: SimDuration,
+}
+
+/// One shard's view of a [`Partition`] — what a per-shard engine needs to
+/// route events: its own id, the global node assignment, and the
+/// lookahead used for cross-shard burst-record handoff.
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    /// This shard's id.
+    pub shard: u32,
+    /// Total shard count.
+    pub num_shards: u32,
+    /// NodeId → owning shard (shared with the partition).
+    pub shard_of_node: Arc<Vec<u32>>,
+    /// The partition's lookahead.
+    pub lookahead: SimDuration,
+}
+
+impl Partition {
+    /// Partition `topo` into `num_shards` shards (1 ≤ `num_shards` ≤
+    /// number of edge nodes). `ctrl_latency` is the control-plane transit
+    /// latency of the engine configuration that will run on it.
+    pub fn new(topo: &Topology, num_shards: u32, ctrl_latency: SimDuration) -> Self {
+        let fas = topo.nodes_of_kind(NodeKind::Edge);
+        assert!(num_shards >= 1, "at least one shard");
+        assert!(
+            (num_shards as usize) <= fas.len(),
+            "more shards ({num_shards}) than Fabric Adapters ({})",
+            fas.len()
+        );
+        let s = num_shards as u64;
+        let mut shard_of_node = vec![u32::MAX; topo.num_nodes()];
+        // Fabric Adapters: balanced contiguous ranges in FA-index order.
+        for (i, &n) in fas.iter().enumerate() {
+            shard_of_node[n.0 as usize] = (i as u64 * s / fas.len() as u64) as u32;
+        }
+        // Fabric Elements, level by level: adopt the shard owning all
+        // lower-level neighbors, else round-robin.
+        let mut fes = topo.nodes_of_kind(NodeKind::Fabric);
+        fes.sort_by_key(|&n| (topo.node(n).level, n.0));
+        let mut spread = 0u32;
+        for &fe in &fes {
+            let level = topo.node(fe).level;
+            let mut adopt: Option<u32> = None;
+            let mut unanimous = true;
+            for (_, peer) in topo.neighbors(fe) {
+                if topo.node(peer).level >= level {
+                    continue;
+                }
+                let ps = shard_of_node[peer.0 as usize];
+                debug_assert_ne!(ps, u32::MAX, "lower level not yet assigned");
+                match adopt {
+                    None => adopt = Some(ps),
+                    Some(a) if a == ps => {}
+                    Some(_) => {
+                        unanimous = false;
+                        break;
+                    }
+                }
+            }
+            shard_of_node[fe.0 as usize] = match (unanimous, adopt) {
+                (true, Some(a)) => a,
+                _ => {
+                    let a = spread % num_shards;
+                    spread += 1;
+                    a
+                }
+            };
+        }
+        // Any remaining kinds (the engine rejects Host nodes, but stay
+        // total): shard 0.
+        for sh in shard_of_node.iter_mut() {
+            if *sh == u32::MAX {
+                *sh = 0;
+            }
+        }
+
+        // Lookahead: ctrl latency vs the shortest cross-shard fiber.
+        let mut lookahead = ctrl_latency;
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            let (a, b) = (link.end(0), link.end(1));
+            if shard_of_node[a.0 as usize] != shard_of_node[b.0 as usize] {
+                lookahead = lookahead.min(fiber_delay(link.meters as u64));
+            }
+        }
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "zero-latency cross-shard link defeats conservative sync"
+        );
+        Partition {
+            num_shards,
+            shard_of_node: Arc::new(shard_of_node),
+            lookahead,
+        }
+    }
+
+    /// The view handed to shard `shard`'s engine.
+    pub fn view(&self, shard: u32) -> ShardView {
+        assert!(shard < self.num_shards);
+        ShardView {
+            shard,
+            num_shards: self.num_shards,
+            shard_of_node: self.shard_of_node.clone(),
+            lookahead: self.lookahead,
+        }
+    }
+
+    /// Number of edge nodes (Fabric Adapters) owned by each shard.
+    pub fn fa_counts(&self, topo: &Topology) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_shards as usize];
+        for n in topo.nodes_of_kind(NodeKind::Edge) {
+            counts[self.shard_of_node[n.0 as usize] as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stardust_topo::builders::{three_tier, two_tier, ThreeTierParams, TwoTierParams};
+
+    #[test]
+    fn two_tier_pod_aligned_partition_uses_long_fibers() {
+        // paper_scaled(4): 64 FAs, 4 pods of 16; near 100 m, far 100 m —
+        // use a custom shape with short near fibers to see the effect.
+        let mut p = TwoTierParams::paper_scaled(4);
+        p.near_meters = 10; // 50 ns
+        p.far_meters = 100; // 500 ns
+        let tt = two_tier(p);
+        let part = Partition::new(&tt.topo, 4, SimDuration::from_micros(2));
+        // 4 shards over 4 pods: every FA↔aggregation link stays inside
+        // one shard, so the lookahead is the far-fiber 500 ns.
+        assert_eq!(part.lookahead, SimDuration::from_nanos(500));
+        let counts = part.fa_counts(&tt.topo);
+        assert_eq!(counts, vec![16; 4]);
+        // Aggregation FEs adopted their pod's shard.
+        for (i, &fe) in tt.t1.iter().enumerate() {
+            let pod = i / (tt.t1.len() / 4);
+            assert_eq!(part.shard_of_node[fe.0 as usize], pod as u32);
+        }
+    }
+
+    #[test]
+    fn sub_pod_shards_fall_back_to_short_fibers() {
+        let mut p = TwoTierParams::paper_scaled(4);
+        p.near_meters = 10;
+        p.far_meters = 100;
+        let tt = two_tier(p);
+        // 8 shards over 4 pods: pods split, near links cross shards.
+        let part = Partition::new(&tt.topo, 8, SimDuration::from_micros(2));
+        assert_eq!(part.lookahead, SimDuration::from_nanos(50));
+        assert_eq!(part.fa_counts(&tt.topo), vec![8; 8]);
+    }
+
+    #[test]
+    fn ctrl_latency_caps_the_lookahead() {
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        let ctrl = SimDuration::from_nanos(80);
+        let part = Partition::new(&tt.topo, 2, ctrl);
+        assert_eq!(part.lookahead, ctrl);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let tt = three_tier(ThreeTierParams::small());
+        let part = Partition::new(&tt.topo, 1, SimDuration::from_micros(2));
+        assert!(part.shard_of_node.iter().all(|&s| s == 0));
+        assert_eq!(part.lookahead, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn three_tier_partition_is_balanced_and_total() {
+        let tt = three_tier(ThreeTierParams::small());
+        for shards in [2u32, 4] {
+            let part = Partition::new(&tt.topo, shards, SimDuration::from_micros(2));
+            assert!(part.shard_of_node.iter().all(|&s| s < shards));
+            let counts = part.fa_counts(&tt.topo);
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced FA split {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn too_many_shards_rejected() {
+        let tt = three_tier(ThreeTierParams::small());
+        let _ = Partition::new(&tt.topo, 17, SimDuration::from_micros(2));
+    }
+}

@@ -1,0 +1,360 @@
+//! The deterministic sharded fabric engine.
+//!
+//! [`ShardedFabricEngine`] runs one [`FabricEngine`] per shard of a
+//! [`Partition`], each on its own OS thread, and synchronizes them
+//! conservatively: execution proceeds in windows of the partition's
+//! **lookahead** (the smallest latency any cross-shard event can carry),
+//! with cross-shard events exchanged through [`Mailboxes`] at a barrier
+//! between windows. Because
+//!
+//! 1. every cross-shard event generated inside a window is timestamped at
+//!    or after the *next* window (the lookahead bound),
+//! 2. mailboxes drain in sender-shard order with per-sender FIFO, and
+//! 3. every engine event is scheduled under a canonical **content key**
+//!    (see `engine::key_of`), so simultaneous events dispatch in the same
+//!    order no matter which calendar they entered first,
+//!
+//! the simulation is a pure function of `(topology, config, workload,
+//! seed)` — independent of the shard count, of OS thread scheduling, and
+//! bit-identical to the sequential [`FabricEngine`]: the conformance
+//! suite asserts equal [`FabricStats`] (histograms, counters and per-flow
+//! FCT tables) for 1, 2, 4 and 8 shards against the sequential engine.
+//!
+//! The lookahead is physical: the fabric's FA↔FE wire latency (and the
+//! control-plane transit time) gives the classic null-message bound of
+//! parallel discrete-event simulation for free — Stardust's own
+//! divide-and-conquer argument, applied to its simulator.
+
+use crate::config::FabricConfig;
+use crate::engine::{FabricEngine, FabricStats, OutItem};
+use crate::partition::Partition;
+use stardust_sim::shard::window_end;
+use stardust_sim::{CalendarCore, CoreKind, Mailboxes, ShardClock, SimDuration, SimTime};
+use stardust_topo::{LinkId, Topology};
+
+/// How the shards execute (results are identical either way — the
+/// property suite runs both and compares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One OS thread per shard, barrier-synchronized (the default).
+    Threads,
+    /// All shards driven round-robin on the calling thread. Useful on
+    /// starved machines and for differential tests against the threaded
+    /// path; same window/exchange sequence, same results.
+    Inline,
+}
+
+/// A [`FabricEngine`] partitioned over OS threads. See the module docs.
+///
+/// The public surface mirrors the sequential engine's: workload calls are
+/// routed to the owning shard (or fanned out, where state is replicated),
+/// and [`ShardedFabricEngine::stats`] folds the per-shard measurements in
+/// shard order into the same [`FabricStats`] a sequential run records.
+pub struct ShardedFabricEngine<K: CoreKind = CalendarCore> {
+    shards: Vec<FabricEngine<K>>,
+    part: Partition,
+    /// FA index → owning shard (routing table for workload calls).
+    shard_of_fa: Vec<u32>,
+    mode: ExecMode,
+    now: SimTime,
+}
+
+impl ShardedFabricEngine {
+    /// Build a sharded engine on the default calendar-queue core.
+    pub fn new(topo: Topology, cfg: FabricConfig, num_shards: u32) -> Self {
+        Self::with_core(topo, cfg, num_shards)
+    }
+}
+
+impl<K: CoreKind> ShardedFabricEngine<K>
+where
+    FabricEngine<K>: Send,
+{
+    /// Build a sharded engine over `topo` with `num_shards` shards on
+    /// event core `K`. Partitioning is locality-greedy (see
+    /// [`Partition::new`]); every shard holds the full topology but only
+    /// simulates the nodes it owns.
+    pub fn with_core(topo: Topology, cfg: FabricConfig, num_shards: u32) -> Self {
+        let part = Partition::new(&topo, num_shards, cfg.ctrl_latency);
+        assert!(
+            part.lookahead < cfg.reassembly_timeout,
+            "lookahead must stay below the reassembly timeout"
+        );
+        let shards: Vec<FabricEngine<K>> = (0..num_shards)
+            .map(|s| FabricEngine::<K>::with_view(topo.clone(), cfg.clone(), Some(part.view(s))))
+            .collect();
+        let shard_of_fa = topo
+            .nodes_of_kind(stardust_topo::NodeKind::Edge)
+            .iter()
+            .map(|n| part.shard_of_node[n.0 as usize])
+            .collect();
+        ShardedFabricEngine {
+            shards,
+            part,
+            shard_of_fa,
+            mode: ExecMode::Threads,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Switch between threaded and inline execution (identical results).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.part.num_shards
+    }
+
+    /// The partition in force.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// The conservative-synchronization window width.
+    pub fn lookahead(&self) -> SimDuration {
+        self.part.lookahead
+    }
+
+    /// Number of Fabric Adapters.
+    pub fn num_fas(&self) -> usize {
+        self.shards[0].num_fas()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FabricConfig {
+        self.shards[0].config()
+    }
+
+    /// Current simulated time (the committed horizon, or the latest
+    /// event executed by any shard after a run to exhaustion).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events executed across all shards. With the same lookahead
+    /// this equals the sequential engine's count minus nothing — every
+    /// logical event runs on exactly one shard — plus one `BurstOpen`
+    /// per cross-shard burst (the record handoff the sequential engine
+    /// performs as a direct call).
+    pub fn events_executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_executed()).sum()
+    }
+
+    /// The merged measurements, folded in shard order — bit-identical to
+    /// a sequential run's [`FabricStats`] (the conformance suite's
+    /// subject).
+    pub fn stats(&self) -> FabricStats {
+        let mut merged = self.shards[0].stats().clone();
+        for s in &self.shards[1..] {
+            merged.merge(s.stats());
+        }
+        merged
+    }
+
+    /// Delivered-payload utilization over `window` (see
+    /// [`FabricEngine::fabric_utilization`]), from the merged stats.
+    pub fn fabric_utilization(&self, window: SimDuration) -> f64 {
+        let delivered: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.stats().bytes_delivered.get())
+            .sum();
+        self.shards[0].payload_utilization_of(delivered, window)
+    }
+
+    // -- workload wiring (mirrors `FabricEngine`) --------------------------
+
+    /// Inject one packet (see [`FabricEngine::inject`]); routed to the
+    /// source FA's shard.
+    pub fn inject(
+        &mut self,
+        at: SimTime,
+        src_fa: u32,
+        dst_fa: u32,
+        dst_port: u8,
+        tc: u8,
+        bytes: u32,
+    ) {
+        let s = self.shard_of_fa[src_fa as usize] as usize;
+        self.shards[s].inject(at, src_fa, dst_fa, dst_port, tc, bytes);
+    }
+
+    /// Add an open-loop CBR flow (see [`FabricEngine::add_cbr_flow`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_cbr_flow(
+        &mut self,
+        src_fa: u32,
+        dst_fa: u32,
+        dst_port: u8,
+        tc: u8,
+        rate_bps: u64,
+        pkt_bytes: u32,
+        start: SimTime,
+        stop: SimTime,
+    ) {
+        let s = self.shard_of_fa[src_fa as usize] as usize;
+        self.shards[s].add_cbr_flow(
+            src_fa, dst_fa, dst_port, tc, rate_bps, pkt_bytes, start, stop,
+        );
+    }
+
+    /// Add a finite message flow (see [`FabricEngine::add_message`]).
+    /// Registered on every shard (the flow tables must merge index-wise);
+    /// started on the source's shard, finished on the destination's.
+    pub fn add_message(
+        &mut self,
+        src_fa: u32,
+        dst_fa: u32,
+        dst_port: u8,
+        tc: u8,
+        bytes: u64,
+        start: SimTime,
+    ) -> u32 {
+        let mut id = 0;
+        for s in &mut self.shards {
+            id = s.add_message(src_fa, dst_fa, dst_port, tc, bytes, start);
+        }
+        id
+    }
+
+    /// Put every FA into §6.2 saturation mode (see
+    /// [`FabricEngine::saturate_all_to_all`]); each shard saturates the
+    /// FAs it owns.
+    pub fn saturate_all_to_all(&mut self, packet_bytes: u32, backlog_bytes: u64) {
+        for s in &mut self.shards {
+            s.saturate_all_to_all(packet_bytes, backlog_bytes);
+        }
+    }
+
+    /// Fail a link on every shard (owner drops its queued cells; the
+    /// destination side stops accepting arrivals).
+    pub fn fail_link(&mut self, link: LinkId) {
+        for s in &mut self.shards {
+            s.fail_link(link);
+        }
+    }
+
+    /// Restore a previously failed link on every shard.
+    pub fn restore_link(&mut self, link: LinkId) {
+        for s in &mut self.shards {
+            s.restore_link(link);
+        }
+    }
+
+    /// Inject a §5.10 bit-error process on a link, on every shard.
+    pub fn set_link_error_rate(&mut self, link: LinkId, rate: f64) {
+        for s in &mut self.shards {
+            s.set_link_error_rate(link, rate);
+        }
+    }
+
+    /// Exclude samples before `at` from distribution statistics.
+    pub fn begin_measurement(&mut self, at: SimTime) {
+        for s in &mut self.shards {
+            s.begin_measurement(at);
+        }
+    }
+
+    // -- execution ---------------------------------------------------------
+
+    /// Run until `horizon` (events at the horizon included), then commit
+    /// it to every shard clock — same semantics as
+    /// [`FabricEngine::run_until`], including `SimTime::MAX` = run to
+    /// exhaustion.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        if self.shards.len() == 1 {
+            self.shards[0].run_until(horizon);
+            self.now = if horizon < SimTime::MAX {
+                horizon
+            } else {
+                self.shards[0].now()
+            };
+            return;
+        }
+        let clock = ShardClock::new(self.shards.len(), self.part.lookahead);
+        let mail: Mailboxes<OutItem> = Mailboxes::new(self.shards.len());
+        match self.mode {
+            ExecMode::Threads => {
+                std::thread::scope(|scope| {
+                    for (i, eng) in self.shards.iter_mut().enumerate() {
+                        let clock = &clock;
+                        let mail = &mail;
+                        scope.spawn(move || shard_loop(i, eng, clock, mail, horizon));
+                    }
+                });
+            }
+            ExecMode::Inline => {
+                // The same window/exchange sequence, driven round-robin
+                // by one thread (no barriers needed: the loop *is* the
+                // barrier), with the window bound from the one shared
+                // `window_end` formula the ShardClock also uses —
+                // determinism does not depend on which mode ran.
+                loop {
+                    let next = self.shards.iter().filter_map(|s| s.next_event_time()).min();
+                    let Some(wend) = window_end(next, horizon, self.part.lookahead) else {
+                        break;
+                    };
+                    for (i, eng) in self.shards.iter_mut().enumerate() {
+                        eng.run_until(wend);
+                        mail.publish(i, eng.take_outbox());
+                    }
+                    for (i, eng) in self.shards.iter_mut().enumerate() {
+                        for batch in mail.take_to(i) {
+                            eng.deliver(batch);
+                        }
+                    }
+                }
+                if horizon < SimTime::MAX {
+                    for eng in &mut self.shards {
+                        eng.run_until(horizon);
+                    }
+                }
+            }
+        }
+        debug_assert!(mail.is_empty(), "mailboxes must drain by the final barrier");
+        self.now = if horizon < SimTime::MAX {
+            horizon
+        } else {
+            self.shards.iter().map(|s| s.now()).max().unwrap()
+        };
+    }
+
+    /// Run for `d` more simulated time (see [`FabricEngine::run_for`]).
+    pub fn run_for(&mut self, d: SimDuration) {
+        let h = self.now + d;
+        self.run_until(h);
+    }
+
+    /// Immutable access to one shard's engine (tests/diagnostics).
+    pub fn shard(&self, i: usize) -> &FabricEngine<K> {
+        &self.shards[i]
+    }
+}
+
+/// One shard thread's window loop: agree on a window, execute it, publish
+/// outgoing cross-shard events, barrier, deliver incoming ones, repeat.
+fn shard_loop<K: CoreKind>(
+    i: usize,
+    eng: &mut FabricEngine<K>,
+    clock: &ShardClock,
+    mail: &Mailboxes<OutItem>,
+    horizon: SimTime,
+) {
+    let mut round = 0u64;
+    while let Some(wend) = clock.next_window(round, eng.next_event_time(), horizon) {
+        eng.run_until(wend);
+        mail.publish(i, eng.take_outbox());
+        clock.finish_window();
+        for batch in mail.take_to(i) {
+            eng.deliver(batch);
+        }
+        round += 1;
+    }
+    // Commit the horizon so back-to-back `run_for` calls cover exactly
+    // their span (mirrors the sequential `run_until` contract).
+    if horizon < SimTime::MAX {
+        eng.run_until(horizon);
+    }
+}

@@ -1,0 +1,92 @@
+//! In-crate smoke tests for the sharded engine (the full conformance
+//! suite lives in the workspace `tests/shard_conformance.rs`).
+
+use crate::config::FabricConfig;
+use crate::engine::FabricEngine;
+use crate::shard::{ExecMode, ShardedFabricEngine};
+use stardust_sim::{SimDuration, SimTime};
+use stardust_topo::builders::{two_tier, TwoTierParams};
+
+fn cfg() -> FabricConfig {
+    FabricConfig {
+        host_ports: 2,
+        host_port_bps: stardust_sim::units::gbps(40),
+        ctrl_latency: SimDuration::from_micros(1),
+        ..FabricConfig::default()
+    }
+}
+
+fn drive_seq() -> FabricEngine {
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let mut e = FabricEngine::new(tt.topo, cfg());
+    let n = e.num_fas() as u32;
+    for src in 0..n {
+        e.inject(SimTime::ZERO, src, (src + 5) % n, 0, 0, 4000);
+        e.add_message(
+            src,
+            (src + 3) % n,
+            1,
+            1,
+            30_000,
+            SimTime::from_nanos(src as u64 * 97),
+        );
+    }
+    e.run_until(SimTime::from_millis(3));
+    e
+}
+
+fn drive_sharded(shards: u32, mode: ExecMode) -> ShardedFabricEngine {
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let mut e = ShardedFabricEngine::new(tt.topo, cfg(), shards);
+    e.set_exec_mode(mode);
+    let n = e.num_fas() as u32;
+    for src in 0..n {
+        e.inject(SimTime::ZERO, src, (src + 5) % n, 0, 0, 4000);
+        e.add_message(
+            src,
+            (src + 3) % n,
+            1,
+            1,
+            30_000,
+            SimTime::from_nanos(src as u64 * 97),
+        );
+    }
+    e.run_until(SimTime::from_millis(3));
+    e
+}
+
+#[test]
+fn sharded_runs_bit_identical_to_sequential_smoke() {
+    let seq = drive_seq();
+    assert!(seq.stats().packets_delivered.get() > 0);
+    assert_eq!(seq.stats().flows.completed(), 16);
+    for shards in [1u32, 2, 4] {
+        let sh = drive_sharded(shards, ExecMode::Threads);
+        assert_eq!(
+            seq.stats(),
+            &sh.stats(),
+            "{shards}-shard run diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn inline_and_threaded_execution_agree() {
+    let a = drive_sharded(4, ExecMode::Threads);
+    let b = drive_sharded(4, ExecMode::Inline);
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.events_executed(), b.events_executed());
+    assert_eq!(a.now(), b.now());
+}
+
+#[test]
+fn sharded_run_for_advances_by_full_duration() {
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let mut e = ShardedFabricEngine::new(tt.topo, cfg(), 2);
+    e.inject(SimTime::ZERO, 0, 8, 0, 0, 1500);
+    e.run_for(SimDuration::from_micros(100));
+    assert_eq!(e.now(), SimTime::from_micros(100));
+    e.run_for(SimDuration::from_micros(100));
+    assert_eq!(e.now(), SimTime::from_micros(200));
+    assert_eq!(e.stats().packets_delivered.get(), 1);
+}

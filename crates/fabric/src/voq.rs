@@ -122,7 +122,7 @@ impl Voq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::PacketId;
+    use crate::cell::{PacketId, NO_FLOW};
     use stardust_sim::SimTime;
 
     fn pkt(bytes: u32) -> Packet {
@@ -133,6 +133,7 @@ mod tests {
             dst_port: 0,
             tc: 0,
             bytes,
+            flow: NO_FLOW,
             injected_at: SimTime::ZERO,
         }
     }

@@ -1,10 +1,12 @@
 //! Deterministic event calendars.
 //!
-//! Two interchangeable discrete-event calendars live here, both keyed on
-//! `(time, sequence)` so the pop order of simultaneous events equals their
-//! push order — the property that makes every simulation in this workspace
-//! bit-reproducible for a given seed (the paper's own proprietary simulator
-//! relied on it when sweeping utilization levels):
+//! Two interchangeable discrete-event calendars live here, both ordered on
+//! `(time, key, sequence)` — `key` is an optional content-derived priority
+//! ([`EventCore::schedule_keyed`], 0 for plain `schedule`) and `sequence`
+//! the monotonic insertion index — so the pop order of simultaneous events
+//! is deterministic: push order for unkeyed users, canonical content order
+//! for keyed ones (what the sharded fabric engine relies on to make
+//! parallel execution bit-reproducible):
 //!
 //! * [`EventQueue`] — the production calendar: a bucketed **calendar queue**
 //!   (timing wheel with a sorted overflow level). Near-future events land in
@@ -32,7 +34,11 @@ use std::collections::BinaryHeap;
 pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub at: SimTime,
-    /// Monotonic insertion index; breaks ties deterministically (FIFO).
+    /// Content-derived priority within a timestamp (see
+    /// [`EventCore::schedule_keyed`]); plain [`EventCore::schedule`] uses 0.
+    pub key: u64,
+    /// Monotonic insertion index; breaks `(time, key)` ties
+    /// deterministically (FIFO).
     pub seq: u64,
     /// The simulator-defined payload.
     pub payload: E,
@@ -40,7 +46,7 @@ pub struct ScheduledEvent<E> {
 
 impl<E> PartialEq for ScheduledEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for ScheduledEvent<E> {}
@@ -52,10 +58,7 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        (other.at, other.key, other.seq).cmp(&(self.at, self.key, self.seq))
     }
 }
 
@@ -91,6 +94,18 @@ pub trait EventCore<E> {
     /// Scheduling in the past is a simulator bug; implementations panic
     /// (in debug and release) rather than silently reordering causality.
     fn schedule(&mut self, at: SimTime, payload: E);
+
+    /// Schedule `payload` at `at` with a **content-derived ordering key**.
+    ///
+    /// Events sharing a timestamp pop in ascending `(key, seq)` order.
+    /// Plain [`EventCore::schedule`] is `schedule_keyed(at, 0, payload)`,
+    /// so key-free users keep pure FIFO tie-breaking. Keyed scheduling is
+    /// what makes a sharded simulation reproducible: when the key is a
+    /// pure function of the event's *content* (not of insertion order),
+    /// the pop order of simultaneous events is independent of which
+    /// execution path scheduled them first — a sequential run and a
+    /// barrier-synchronized parallel run agree on it by construction.
+    fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E);
 
     /// Timestamp of the next event without removing it.
     fn peek_time(&self) -> Option<SimTime>;
@@ -181,9 +196,9 @@ const DEFAULT_NUM_BUCKETS: usize = 2048;
 ///    overflow event and migrates the next window's worth of events into
 ///    the buckets.
 ///
-/// Pop order is globally `(time, seq)` — bit-identical to
-/// [`HeapEventQueue`] — because `(time, seq)` is a unique total key and
-/// every level respects it.
+/// Pop order is globally `(time, key, seq)` — bit-identical to
+/// [`HeapEventQueue`] — because `(time, key, seq)` is a unique total key
+/// and every level respects it.
 ///
 /// ```
 /// use stardust_sim::{EventQueue, SimTime};
@@ -286,6 +301,12 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a simulator bug; this panics (in debug
     /// and release) rather than silently reordering causality.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
+        self.schedule_keyed(at, 0, payload);
+    }
+
+    /// Schedule with a content-derived same-timestamp ordering key (see
+    /// [`EventCore::schedule_keyed`]).
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: {at:?} < now {:?}",
@@ -301,12 +322,20 @@ impl<E> EventQueue<E> {
             self.win_end_tick = tick + self.buckets.len() as u64;
         }
         self.len += 1;
-        let ev = ScheduledEvent { at, seq, payload };
+        let ev = ScheduledEvent {
+            at,
+            key,
+            seq,
+            payload,
+        };
         if tick < self.cur_horizon_tick {
             // Belongs at or before the bucket being drained: merge into
-            // `cur`, keeping descending (at, seq) order. The new event has
-            // the largest seq, so among equal timestamps it sorts latest.
-            let pos = self.cur.partition_point(|e| (e.at, e.seq) > (at, seq));
+            // `cur`, keeping descending (at, key, seq) order. The new
+            // event has the largest seq, so among equal (at, key) it
+            // sorts latest.
+            let pos = self
+                .cur
+                .partition_point(|e| (e.at, e.key, e.seq) > (at, key, seq));
             self.cur.insert(pos, ev);
         } else if tick < self.win_end_tick {
             let slot = (tick as usize) & (self.buckets.len() - 1);
@@ -359,7 +388,8 @@ impl<E> EventQueue<E> {
                 let slot = (tick as usize) & (self.buckets.len() - 1);
                 std::mem::swap(&mut self.cur, &mut self.buckets[slot]);
                 self.occ[slot >> 6] &= !(1u64 << (slot & 63));
-                self.cur.sort_unstable_by_key(|e| Reverse((e.at, e.seq)));
+                self.cur
+                    .sort_unstable_by_key(|e| Reverse((e.at, e.key, e.seq)));
                 self.cur_horizon_tick = tick + 1;
                 return true;
             }
@@ -395,11 +425,7 @@ impl<E> EventQueue<E> {
         // overflow head. Wheel events always precede overflow events.
         if let Some(tick) = self.next_occupied_tick() {
             let slot = (tick as usize) & (self.buckets.len() - 1);
-            return self.buckets[slot]
-                .iter()
-                .map(|e| (e.at, e.seq))
-                .min()
-                .map(|(at, _)| at);
+            return self.buckets[slot].iter().map(|e| e.at).min();
         }
         self.overflow.peek().map(|e| e.at)
     }
@@ -497,6 +523,9 @@ impl<E> EventCore<E> for EventQueue<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
         EventQueue::schedule(self, at, payload);
     }
+    fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        EventQueue::schedule_keyed(self, at, key, payload);
+    }
     fn peek_time(&self) -> Option<SimTime> {
         EventQueue::peek_time(self)
     }
@@ -571,6 +600,12 @@ impl<E> HeapEventQueue<E> {
 
     /// Schedule `payload` at `at`; panics on past times (simulator bug).
     pub fn schedule(&mut self, at: SimTime, payload: E) {
+        self.schedule_keyed(at, 0, payload);
+    }
+
+    /// Schedule with a content-derived same-timestamp ordering key (see
+    /// [`EventCore::schedule_keyed`]).
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: {at:?} < now {:?}",
@@ -578,7 +613,12 @@ impl<E> HeapEventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, payload });
+        self.heap.push(ScheduledEvent {
+            at,
+            key,
+            seq,
+            payload,
+        });
     }
 
     /// Timestamp of the next event without removing it.
@@ -658,6 +698,9 @@ impl<E> EventCore<E> for HeapEventQueue<E> {
     }
     fn schedule(&mut self, at: SimTime, payload: E) {
         HeapEventQueue::schedule(self, at, payload);
+    }
+    fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        HeapEventQueue::schedule_keyed(self, at, key, payload);
     }
     fn peek_time(&self) -> Option<SimTime> {
         HeapEventQueue::peek_time(self)
@@ -872,6 +915,63 @@ mod tests {
                 _ => panic!("queues drained at different lengths"),
             }
         }
+    }
+
+    #[test]
+    fn keyed_events_order_by_key_within_a_timestamp() {
+        // Insertion order 3,1,2 — pop order must follow the keys, with
+        // seq breaking a key tie FIFO, on both calendars.
+        fn drive<Q: EventCore<&'static str>>(mut q: Q) {
+            let t = SimTime::from_nanos(10);
+            q.schedule_keyed(t, 3, "c");
+            q.schedule_keyed(t, 1, "a");
+            q.schedule_keyed(t, 2, "b1");
+            q.schedule_keyed(t, 2, "b2");
+            q.schedule_keyed(SimTime::from_nanos(5), 9, "early");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, vec!["early", "a", "b1", "b2", "c"]);
+        }
+        drive(EventQueue::new());
+        drive(HeapEventQueue::new());
+    }
+
+    #[test]
+    fn keyed_pop_order_is_insertion_order_independent() {
+        // Two queues fed the same keyed event set in different insertion
+        // orders must pop identically (the sharded-engine property: key
+        // is content-derived, so which shard path scheduled first cannot
+        // matter). Same-(time,key) events keep their relative FIFO order.
+        let t = SimTime::from_nanos(64);
+        let evs = [(7u64, "g"), (2, "b"), (5, "e"), (2, "b' "), (1, "a")];
+        let mut fwd: EventQueue<&'static str> = EventQueue::new();
+        for &(k, p) in &evs {
+            fwd.schedule_keyed(t, k, p);
+        }
+        let mut rev: EventQueue<&'static str> = EventQueue::new();
+        // Reversed insertion — except the (2, _) pair, which models two
+        // sends from one source and therefore keeps its FIFO order.
+        for &(k, p) in &[(1u64, "a"), (5, "e"), (2, "b"), (2, "b' "), (7, "g")] {
+            rev.schedule_keyed(t, k, p);
+        }
+        let a: Vec<&str> = std::iter::from_fn(|| fwd.pop().map(|e| e.payload)).collect();
+        let b: Vec<&str> = std::iter::from_fn(|| rev.pop().map(|e| e.payload)).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec!["a", "b", "b' ", "e", "g"]);
+    }
+
+    #[test]
+    fn keyed_merge_into_current_bucket_respects_keys() {
+        // Schedule-at-now while draining a timestamp: the keyed merge
+        // into `cur` must slot by (at, key, seq), not just append.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        q.schedule_keyed(t, 5, 50);
+        q.schedule_keyed(t, 1, 10);
+        assert_eq!(q.pop().unwrap().payload, 10);
+        q.schedule_keyed(t, 3, 30); // mid-drain, smaller key than pending 5
+        q.schedule_keyed(t, 9, 90);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![30, 50, 90]);
     }
 
     #[test]

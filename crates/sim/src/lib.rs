@@ -28,6 +28,7 @@
 pub mod event;
 pub mod link;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -37,5 +38,6 @@ pub use event::{
 };
 pub use link::{LinkClock, LinkProfile};
 pub use rng::DetRng;
+pub use shard::{window_end, Mailboxes, ShardClock};
 pub use stats::{quantile_of_sorted, Counter, FlowRecord, FlowStats, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,298 @@
+//! Conservative-synchronization primitives for sharded simulations.
+//!
+//! A deterministic parallel discrete-event simulation partitions its
+//! entities into `S` shards, gives each shard its own event calendar, and
+//! exchanges cross-shard events through **mailboxes** flushed at a
+//! **barrier** every `lookahead` of simulated time — the classic
+//! null-message bound: as long as every cross-shard interaction carries at
+//! least `lookahead` of latency (a cell's wire propagation, a control
+//! message's fabric transit), a shard can safely execute a whole window
+//! `[W, W + lookahead)` without hearing from its peers, because anything
+//! they might send it is timestamped at or after the window's end.
+//!
+//! Two pieces live here, both engine-agnostic:
+//!
+//! * [`ShardClock`] — the barrier protocol: every shard reports its next
+//!   pending event time, the clock agrees on the global minimum, and all
+//!   shards receive the same window to execute. Two [`std::sync::Barrier`]
+//!   crossings per window; the window bounds are a pure function of the
+//!   reported times, so every thread computes them identically.
+//! * [`Mailboxes`] — an `S × S` grid of cross-shard channels with a
+//!   **deterministic drain order**: a receiver always takes its inboxes in
+//!   sender-shard order, and each inbox preserves its sender's push order.
+//!   Together with content-keyed event scheduling
+//!   ([`crate::EventCore::schedule_keyed`]) this makes the merged event
+//!   order independent of OS thread scheduling.
+//!
+//! Determinism does not depend on the thread count: driving the same
+//! shards inline on one thread through the same window/exchange sequence
+//! produces the same state, which is exactly what the property suite
+//! asserts.
+
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Barrier-synchronized window agreement for `S` shard threads.
+///
+/// Per window, each thread calls [`ShardClock::next_window`] with the
+/// timestamp of its earliest pending event (or `None`); every thread
+/// receives the same answer: `Some(window_end)` — execute every event at
+/// or before `window_end` — or `None` — no shard has work at or before
+/// the horizon, stop. After executing and publishing its outgoing events
+/// the thread calls [`ShardClock::finish_window`]; mailbox deliveries
+/// happen after that barrier and before the next `next_window` call.
+///
+/// The two-barrier structure makes the shared-minimum registers race-free
+/// without locks: minima for window `r` accumulate in register `r % 2`
+/// before the first barrier; register `(r + 1) % 2` is reset between the
+/// two barriers, strictly before any thread (all of which are still
+/// between the same two barriers) can start accumulating window `r + 1`.
+#[derive(Debug)]
+pub struct ShardClock {
+    barrier: Barrier,
+    mins: [AtomicU64; 2],
+    lookahead: SimDuration,
+}
+
+impl ShardClock {
+    /// A clock for `shards` participating threads with the given
+    /// lookahead (must be positive — a zero lookahead means zero-latency
+    /// cross-shard interactions exist and conservative windows are
+    /// unsound).
+    pub fn new(shards: usize, lookahead: SimDuration) -> Self {
+        assert!(shards >= 1);
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative sync needs a positive lookahead"
+        );
+        ShardClock {
+            barrier: Barrier::new(shards),
+            mins: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+            lookahead,
+        }
+    }
+
+    /// The lookahead this clock windows by.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Agree on window `round`. `local_next` is this shard's earliest
+    /// pending event time (`None` when idle). Returns the window end
+    /// (inclusive — execute every event `≤` it, clamped to `horizon`),
+    /// or `None` when no shard has an event at or before `horizon`.
+    ///
+    /// Every thread must call this with the same `round` and `horizon`
+    /// sequence; all threads return the same value for a given round.
+    pub fn next_window(
+        &self,
+        round: u64,
+        local_next: Option<SimTime>,
+        horizon: SimTime,
+    ) -> Option<SimTime> {
+        let slot = (round % 2) as usize;
+        let t = local_next.map_or(u64::MAX, |t| t.as_ps());
+        self.mins[slot].fetch_min(t, Ordering::AcqRel);
+        self.barrier.wait();
+        let next = self.mins[slot].load(Ordering::Acquire);
+        // Reset the *other* register for the following round. Every
+        // thread stores the same value, and no thread can be past
+        // `finish_window` (the second barrier) yet, so nothing races.
+        self.mins[1 - slot].store(u64::MAX, Ordering::Release);
+        let next = (next != u64::MAX).then_some(SimTime(next));
+        window_end(next, horizon, self.lookahead)
+    }
+
+    /// The end-of-window barrier: cross after publishing this window's
+    /// outgoing events and before collecting the inbound ones.
+    pub fn finish_window(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// The conservative window bound both execution styles share: given the
+/// globally earliest pending event `next`, the end (inclusive) of the
+/// lookahead window starting there, clamped to `horizon` — or `None`
+/// when nothing is pending at or before the horizon.
+///
+/// [`ShardClock::next_window`] computes its agreed bound through this,
+/// and single-threaded (inline) shard drivers must use it too: the
+/// bit-identity of threaded and inline execution rests on both deriving
+/// window bounds from the one formula.
+pub fn window_end(
+    next: Option<SimTime>,
+    horizon: SimTime,
+    lookahead: SimDuration,
+) -> Option<SimTime> {
+    let next = next?;
+    if next > horizon {
+        return None;
+    }
+    Some(SimTime(
+        next.as_ps()
+            .saturating_add(lookahead.as_ps() - 1)
+            .min(horizon.as_ps()),
+    ))
+}
+
+/// An `S × S` grid of cross-shard mailboxes with deterministic exchange.
+///
+/// Senders [`Mailboxes::publish`] their per-destination batches during a
+/// window; receivers [`Mailboxes::take_to`] their inboxes after the
+/// window barrier, always in sender-shard order with per-sender FIFO
+/// preserved. The barrier protocol guarantees a slot is never written and
+/// read concurrently ([`ShardClock`] docs), so the mutexes are
+/// uncontended in steady state.
+#[derive(Debug)]
+pub struct Mailboxes<T> {
+    shards: usize,
+    /// Slot `src * shards + dst`.
+    slots: Vec<Mutex<Vec<T>>>,
+}
+
+impl<T> Mailboxes<T> {
+    /// An empty grid for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1);
+        Mailboxes {
+            shards,
+            slots: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards the grid serves.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Publish `src`'s outgoing batches, one `Vec` per destination shard
+    /// (index = destination). Items append behind anything already queued
+    /// for that destination, preserving the sender's send order.
+    pub fn publish(&self, src: usize, mut per_dst: Vec<Vec<T>>) {
+        assert_eq!(per_dst.len(), self.shards, "one batch per destination");
+        for (dst, batch) in per_dst.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut slot = self.slots[src * self.shards + dst]
+                .lock()
+                .expect("mailbox poisoned");
+            if slot.is_empty() {
+                *slot = std::mem::take(batch);
+            } else {
+                slot.append(batch);
+            }
+        }
+    }
+
+    /// Drain everything addressed to `dst`, as one `Vec` per source shard
+    /// in ascending source order (the deterministic drain order).
+    pub fn take_to(&self, dst: usize) -> Vec<Vec<T>> {
+        (0..self.shards)
+            .map(|src| {
+                std::mem::take(
+                    &mut *self.slots[src * self.shards + dst]
+                        .lock()
+                        .expect("mailbox poisoned"),
+                )
+            })
+            .collect()
+    }
+
+    /// True when every slot is empty (diagnostics / test invariant).
+    pub fn is_empty(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| s.lock().expect("mailbox poisoned").is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn mailboxes_drain_in_sender_order_with_fifo() {
+        let m: Mailboxes<u32> = Mailboxes::new(3);
+        m.publish(2, vec![vec![20, 21], vec![], vec![]]);
+        m.publish(0, vec![vec![1, 2], vec![3], vec![]]);
+        // A second publish from the same sender appends.
+        m.publish(0, vec![vec![4], vec![], vec![]]);
+        let to0 = m.take_to(0);
+        assert_eq!(to0, vec![vec![1, 2, 4], vec![], vec![20, 21]]);
+        let to1 = m.take_to(1);
+        assert_eq!(to1, vec![vec![3], vec![], vec![]]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn shard_clock_agrees_on_windows_across_threads() {
+        let shards = 4;
+        let clock = ShardClock::new(shards, SimDuration::from_nanos(100));
+        let mismatches = AtomicUsize::new(0);
+        // Each shard has events at i·1µs; every thread must see the same
+        // window sequence: min over shards, stepped by windows.
+        std::thread::scope(|scope| {
+            for i in 0..shards {
+                let clock = &clock;
+                let mismatches = &mismatches;
+                scope.spawn(move || {
+                    let mut expected = Vec::new();
+                    for t in [i as u64, 10 + i as u64] {
+                        expected.push(SimTime::from_micros(t));
+                    }
+                    let mut pending: Vec<SimTime> = expected;
+                    let horizon = SimTime::from_millis(1);
+                    let mut round = 0u64;
+                    let mut got = Vec::new();
+                    loop {
+                        let next = pending.first().copied();
+                        let Some(wend) = clock.next_window(round, next, horizon) else {
+                            break;
+                        };
+                        got.push(wend);
+                        pending.retain(|&t| t > wend);
+                        clock.finish_window();
+                        round += 1;
+                    }
+                    // Windows: min = 0µs (shard 0), then 1µs … 3µs, then
+                    // 10µs … 13µs — every shard must have recorded the
+                    // identical sequence ending with all queues drained.
+                    if !pending.is_empty() {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let want: Vec<SimTime> = [0u64, 1, 2, 3, 10, 11, 12, 13]
+                        .iter()
+                        .map(|&us| SimTime::from_micros(us) + SimDuration::from_ps(100_000 - 1))
+                        .collect();
+                    if got != want {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(mismatches.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn window_end_clamps_to_horizon() {
+        let clock = ShardClock::new(1, SimDuration::from_micros(1));
+        let h = SimTime::from_nanos(500);
+        let w = clock.next_window(0, Some(SimTime::from_nanos(100)), h);
+        assert_eq!(w, Some(h));
+        clock.finish_window();
+        // Next event past the horizon: no window.
+        let w = clock.next_window(1, Some(SimTime::from_nanos(600)), h);
+        assert_eq!(w, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_rejected() {
+        let _ = ShardClock::new(2, SimDuration::ZERO);
+    }
+}

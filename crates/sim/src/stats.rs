@@ -394,6 +394,37 @@ impl FlowStats {
         quantile_of_sorted(&self.fcts_sorted(), q)
     }
 
+    /// Merge the finishes of `other` into `self` (sharded-run reduction).
+    ///
+    /// Both tables must describe the same registered flow list (same
+    /// length, same `src`/`dst`/`bytes`/`start` per index — the sharded
+    /// fabric registers every flow on every shard, but each flow finishes
+    /// on exactly one). Finishes are taken index-wise; the FCT histograms
+    /// merge bin-wise, so the absorbed table is bit-identical to the one
+    /// a sequential run records.
+    pub fn absorb_finishes(&mut self, other: &FlowStats) {
+        assert_eq!(
+            self.records.len(),
+            other.records.len(),
+            "absorbing a different flow table"
+        );
+        for (mine, theirs) in self.records.iter_mut().zip(&other.records) {
+            debug_assert_eq!(
+                (mine.src, mine.dst, mine.bytes, mine.start),
+                (theirs.src, theirs.dst, theirs.bytes, theirs.start),
+                "absorbing a different flow table"
+            );
+            if let Some(f) = theirs.finished {
+                assert!(
+                    mine.finished.is_none() || mine.finished == Some(f),
+                    "flow finished on two shards"
+                );
+                mine.finished = Some(f);
+            }
+        }
+        self.fct_ns.merge(&other.fct_ns);
+    }
+
     /// Mean FCT over completed flows (`None` when none completed).
     pub fn fct_mean(&self) -> Option<SimDuration> {
         let (mut n, mut sum) = (0u128, 0u128);
@@ -608,6 +639,39 @@ mod tests {
         // Bit-identical comparison is what determinism suites rely on.
         let clone = fs.clone();
         assert_eq!(fs, clone);
+    }
+
+    #[test]
+    fn absorb_finishes_reduces_to_the_sequential_table() {
+        // One "sequential" table vs the same flows split over two
+        // "shards" (each finishing a disjoint subset): absorbing must be
+        // bit-identical, histogram included.
+        let add_all = |fs: &mut FlowStats| {
+            fs.add(0, 1, 1_000, SimTime::ZERO);
+            fs.add(1, 0, 2_000, SimTime::from_micros(1));
+            fs.add(2, 3, 3_000, SimTime::from_micros(2));
+        };
+        let mut seq = FlowStats::new();
+        add_all(&mut seq);
+        seq.finish(0, SimTime::from_micros(10));
+        seq.finish(2, SimTime::from_micros(30));
+        let mut a = FlowStats::new();
+        add_all(&mut a);
+        a.finish(0, SimTime::from_micros(10));
+        let mut b = FlowStats::new();
+        add_all(&mut b);
+        b.finish(2, SimTime::from_micros(30));
+        a.absorb_finishes(&b);
+        assert_eq!(a, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "different flow table")]
+    fn absorb_rejects_mismatched_tables() {
+        let mut a = FlowStats::new();
+        a.add(0, 1, 100, SimTime::ZERO);
+        let b = FlowStats::new();
+        a.absorb_finishes(&b);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::flows::FlowSizeDist;
 use crate::patterns::{incast_sources, permutation};
-use stardust_fabric::FabricEngine;
+use stardust_fabric::{FabricEngine, ShardedFabricEngine};
 use stardust_sim::{CoreKind, DetRng, FlowStats, SimDuration, SimTime};
 use stardust_transport::{FlowId, Protocol, TransportSim};
 
@@ -160,6 +160,26 @@ impl Scenario {
         }
         engine.run_until(horizon);
         engine.stats().flows.clone()
+    }
+
+    /// [`Scenario::run_fabric`] against the deterministic sharded fabric:
+    /// the identical flow list, offered through the same message layer,
+    /// run in parallel. Bit-identical to the sequential run by the
+    /// sharded engine's conformance guarantee — which the conformance
+    /// suite asserts through exactly this entry point.
+    pub fn run_fabric_sharded<K: CoreKind>(
+        &self,
+        engine: &mut ShardedFabricEngine<K>,
+        horizon: SimTime,
+    ) -> FlowStats
+    where
+        FabricEngine<K>: Send,
+    {
+        for f in self.flows(engine.num_fas()) {
+            engine.add_message(f.src, f.dst, 0, 0, f.bytes, f.start);
+        }
+        engine.run_until(horizon);
+        engine.stats().flows
     }
 
     /// Offer the scenario to the §6.3 fat-tree transport simulator under

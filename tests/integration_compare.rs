@@ -1,12 +1,15 @@
 //! Integration: Stardust vs the Ethernet push fabric on the paper's
-//! head-to-head scenarios (Fig 7, Fig 12, §5.4).
+//! head-to-head scenarios (Fig 7, Fig 12, §5.4), plus the
+//! sequential-vs-sharded differential sweep over every `Scenario`.
 
 use stardust::baseline::{LoadBalance, PushConfig, PushEngine};
-use stardust::fabric::{FabricConfig, FabricEngine};
+use stardust::fabric::shard::ExecMode;
+use stardust::fabric::{FabricConfig, FabricEngine, ShardedFabricEngine};
 use stardust::sim::units::gbps;
-use stardust::sim::SimTime;
+use stardust::sim::{SimDuration, SimTime};
 use stardust::topo::builders::{two_tier, TwoTierParams};
 use stardust::topo::{NodeKind, Topology};
+use stardust::workload::{FlowSizeDist, Scenario, ScenarioKind};
 
 fn fig7_topo() -> Topology {
     let mut t = Topology::new();
@@ -168,6 +171,93 @@ fn incast_absorbed_by_stardust_dropped_by_push() {
     // The incast parks at the sources, not the destination.
     assert!(sd.stats().max_voq_bytes > 100_000);
     assert!(sd.stats().max_egress_bytes < 1_000_000);
+}
+
+/// Every `Scenario` kind — Permutation, Incast, and Mix over both
+/// Facebook flow-size distributions — through the sequential and the
+/// sharded fabric at two seeds each: the **per-flow FCT tables** (every
+/// start and finish timestamp, to the picosecond) must be identical, not
+/// just the aggregates. This is the differential test behind the sharded
+/// engine's claim that parallelism is observably free.
+#[test]
+fn scenarios_sequential_vs_sharded_identical_flow_tables() {
+    let scenarios: Vec<(Scenario, SimTime)> = vec![
+        (
+            Scenario {
+                name: "diff-perm",
+                seed: 0, // overwritten per seed below
+                kind: ScenarioKind::Permutation {
+                    flow_bytes: 100_000,
+                },
+            },
+            SimTime::from_millis(5),
+        ),
+        (
+            Scenario {
+                name: "diff-incast",
+                seed: 0,
+                kind: ScenarioKind::Incast {
+                    backends: 8,
+                    response_bytes: 150_000,
+                },
+            },
+            SimTime::from_millis(8),
+        ),
+        (
+            Scenario {
+                name: "diff-mix-web",
+                seed: 0,
+                kind: ScenarioKind::Mix {
+                    dist: FlowSizeDist::fb_web(),
+                    n_flows: 30,
+                    node_gap: SimDuration::from_micros(400),
+                },
+            },
+            SimTime::from_millis(8),
+        ),
+        (
+            Scenario {
+                name: "diff-mix-hadoop",
+                seed: 0,
+                kind: ScenarioKind::Mix {
+                    dist: FlowSizeDist::fb_hadoop(),
+                    n_flows: 8,
+                    node_gap: SimDuration::from_micros(800),
+                },
+            },
+            SimTime::from_millis(20),
+        ),
+    ];
+    let cfg = || FabricConfig {
+        host_ports: 1,
+        host_port_bps: gbps(40),
+        ..FabricConfig::default()
+    };
+    for (scn, horizon) in &scenarios {
+        for seed in [41u64, 1234] {
+            let scn = Scenario {
+                seed,
+                ..scn.clone()
+            };
+            let tt = two_tier(TwoTierParams::paper_scaled(16));
+            let mut seq = FabricEngine::new(tt.topo, cfg());
+            let seq_flows = scn.run_fabric(&mut seq, *horizon);
+            assert!(
+                seq_flows.completed() > 0,
+                "{} seed {seed}: no flow completed",
+                scn.name
+            );
+            let tt = two_tier(TwoTierParams::paper_scaled(16));
+            let mut sh = ShardedFabricEngine::new(tt.topo, cfg(), 3);
+            sh.set_exec_mode(ExecMode::Inline);
+            let sh_flows = scn.run_fabric_sharded(&mut sh, *horizon);
+            assert_eq!(
+                seq_flows, sh_flows,
+                "{} seed {seed}: per-flow FCT tables diverged",
+                scn.name
+            );
+        }
+    }
 }
 
 #[test]

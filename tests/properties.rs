@@ -7,16 +7,20 @@
 //! case seed so a run is exactly reproducible.
 
 use stardust::fabric::cell::BurstId;
-use stardust::fabric::cell::{Packet, PacketId};
+use stardust::fabric::cell::{Packet, PacketId, NO_FLOW};
 use stardust::fabric::packing::pack_burst;
+use stardust::fabric::shard::ExecMode;
 use stardust::fabric::spray::Sprayer;
 use stardust::fabric::voq::Voq;
+use stardust::fabric::{FabricConfig, FabricEngine, ShardedFabricEngine};
 use stardust::model::fattree::FatTreeParams;
 use stardust::model::md1;
 use stardust::sim::event::HeapEventQueue;
 use stardust::sim::stats::Histogram;
 use stardust::sim::units::serialization_time;
-use stardust::sim::{DetRng, EventQueue, SimDuration, SimTime};
+use stardust::sim::{DetRng, EventQueue, Mailboxes, ShardClock, SimDuration, SimTime};
+use stardust::topo::builders::{single_tier, SingleTierParams};
+use stardust::topo::LinkId;
 
 /// Number of random cases per property (override with `PROPTEST_CASES`).
 fn cases() -> u64 {
@@ -77,6 +81,7 @@ fn pkt(bytes: u32) -> Packet {
         dst_port: 0,
         tc: 0,
         bytes,
+        flow: NO_FLOW,
         injected_at: SimTime::ZERO,
     }
 }
@@ -437,6 +442,300 @@ fn packet_mix_frequencies_match_weights() {
                 "size {sz}: got {got}, want {want}"
             );
         }
+    });
+}
+
+/// One randomized sharded-vs-sequential case: a single-tier fabric of
+/// `num_fa` FAs (uplinks spread over `fe_count` FEs), message + inject
+/// traffic, and a mid-run `fail_link`/`restore_link` on a random link.
+#[derive(Debug, Clone, Copy)]
+struct ShardCase {
+    num_fa: u32,
+    fe_count: u32,
+    shards: u32,
+    seed: u64,
+    /// Which link fails (index into the topology's links).
+    fail_link: u32,
+    /// Whether the failed link is restored mid-run.
+    restore: bool,
+}
+
+/// Run the case on both engines; `true` when they diverge (the property
+/// violation the shrinker minimizes).
+fn shard_case_diverges(c: &ShardCase) -> bool {
+    let build = || {
+        single_tier(SingleTierParams {
+            num_fa: c.num_fa,
+            fa_uplinks: c.fe_count * 2,
+            fe_count: c.fe_count,
+            meters: 20,
+        })
+    };
+    let cfg = FabricConfig {
+        seed: c.seed,
+        host_ports: 2,
+        host_port_bps: stardust::sim::units::gbps(40),
+        ..FabricConfig::default()
+    };
+    let fail = LinkId(c.fail_link % build().topo.num_links() as u32);
+    macro_rules! drive {
+        ($e:expr) => {{
+            let n = $e.num_fas() as u32;
+            let mut wl = DetRng::from_label(c.seed, "shard-prop-workload");
+            for src in 0..n {
+                $e.add_message(
+                    src,
+                    (src + 1) % n,
+                    0,
+                    0,
+                    10_000 + wl.below(20_000),
+                    SimTime::ZERO,
+                );
+                $e.inject(
+                    SimTime::from_nanos(wl.below(40_000)),
+                    src,
+                    (src + 2) % n,
+                    1,
+                    1,
+                    64 + wl.below(1400) as u32,
+                );
+            }
+            // Fail while messages and injections are mid-flight (static
+            // reach: the dead link blackholes its share of cells).
+            $e.run_until(SimTime::from_micros(8));
+            $e.fail_link(fail);
+            $e.run_until(SimTime::from_micros(30));
+            if c.restore {
+                $e.restore_link(fail);
+            }
+            $e.run_until(SimTime::from_micros(400));
+        }};
+    }
+    let mut seq = FabricEngine::new(build().topo, cfg.clone());
+    drive!(seq);
+    assert!(
+        seq.stats().packets_delivered.get() > 0,
+        "vacuous case: nothing delivered"
+    );
+    let mut sh = ShardedFabricEngine::new(build().topo, cfg, c.shards);
+    sh.set_exec_mode(ExecMode::Inline);
+    drive!(sh);
+    *seq.stats() != sh.stats()
+}
+
+/// Sharded and sequential runs stay `Eq` under random topology sizes,
+/// shard counts and mid-run link failures/restores. On a violation the
+/// test **shrinks** greedily — smaller fabric, fewer shards, simpler
+/// failure — and reports the smallest failing `(topo, shards, seed)`
+/// triple for reproduction.
+#[test]
+fn sharded_fabric_matches_sequential_under_link_failures() {
+    let fa_candidates = [4u32, 6, 8, 12, 16];
+    for_each_case("sharded_fabric_matches_sequential", |rng| {
+        let num_fa = fa_candidates[rng.index(fa_candidates.len())];
+        let mut c = ShardCase {
+            num_fa,
+            fe_count: if rng.chance(0.5) { 2 } else { 4 },
+            shards: 1 + rng.below(num_fa.min(6) as u64) as u32,
+            seed: rng.next_u64(),
+            fail_link: rng.next_u64() as u32,
+            restore: rng.chance(0.5),
+        };
+        if !shard_case_diverges(&c) {
+            return;
+        }
+        // Shrink: walk each dimension down while the divergence persists.
+        loop {
+            let mut shrunk = false;
+            let try_case = |cand: ShardCase, c: &mut ShardCase, shrunk: &mut bool| {
+                if shard_case_diverges(&cand) {
+                    *c = cand;
+                    *shrunk = true;
+                }
+            };
+            if let Some(&smaller) = fa_candidates.iter().rev().find(|&&f| f < c.num_fa) {
+                try_case(
+                    ShardCase {
+                        num_fa: smaller,
+                        shards: c.shards.min(smaller),
+                        ..c
+                    },
+                    &mut c,
+                    &mut shrunk,
+                );
+            }
+            if !shrunk && c.shards > 1 {
+                try_case(
+                    ShardCase {
+                        shards: c.shards - 1,
+                        ..c
+                    },
+                    &mut c,
+                    &mut shrunk,
+                );
+            }
+            if !shrunk && c.fe_count > 2 {
+                try_case(ShardCase { fe_count: 2, ..c }, &mut c, &mut shrunk);
+            }
+            if !shrunk && c.restore {
+                try_case(
+                    ShardCase {
+                        restore: false,
+                        ..c
+                    },
+                    &mut c,
+                    &mut shrunk,
+                );
+            }
+            if !shrunk {
+                break;
+            }
+        }
+        panic!(
+            "sharded run diverged from sequential; smallest failing triple: \
+             topo = single_tier({} FAs × {} FEs), shards = {}, seed = {:#x} \
+             (fail_link {}, restore {})",
+            c.num_fa, c.fe_count, c.shards, c.seed, c.fail_link, c.restore
+        );
+    });
+}
+
+/// A miniature multi-hop relay network driven directly on the
+/// [`ShardClock`]/[`Mailboxes`] primitives: every shard starts with
+/// random events; each processed event with hops left re-sends itself to
+/// a random peer with `lookahead + jitter` of latency. The conservative
+/// bound must hold (nothing is ever delivered at or before the window it
+/// was sent in), and the per-shard processing traces must be identical
+/// between the threaded run (S OS threads) and the inline run (one
+/// thread) — drain order independent of thread interleaving.
+#[test]
+fn mailbox_barrier_never_early_and_interleaving_free() {
+    for_each_case("mailbox_barrier_property", |rng| {
+        let shards = 2 + rng.index(5); // 2..=6
+        let lookahead = SimDuration::from_nanos(50 + rng.below(400));
+        let seeds: Vec<u64> = (0..shards).map(|_| rng.next_u64()).collect();
+
+        type Item = (
+            u64, /* at ps */
+            u32, /* id */
+            u8,  /* hops left */
+        );
+        type Trace = Vec<(u64, u32)>;
+
+        // Deterministic per-shard initial events.
+        let initial = |s: usize| -> Vec<Item> {
+            let mut r = DetRng::from_parts(seeds[s], 1);
+            (0..4 + r.index(6))
+                .map(|i| {
+                    (
+                        r.below(2_000_000),
+                        (s as u32) << 16 | i as u32,
+                        1 + r.below(3) as u8,
+                    )
+                })
+                .collect()
+        };
+        // The relay: where does a processed event send next, and when
+        // does the relay arrive? Pure in (shard, event) so both modes
+        // agree by construction.
+        let relay = |s: usize, it: &Item| -> (usize, Item) {
+            let mut r = DetRng::from_parts(seeds[s] ^ it.1 as u64, it.0);
+            let dst = r.index(shards);
+            let at = it.0 + lookahead.as_ps() + r.below(3 * lookahead.as_ps());
+            (dst, (at, it.1, it.2 - 1))
+        };
+
+        let run = |threaded: bool| -> (Vec<Trace>, bool) {
+            use std::collections::BinaryHeap;
+            let clock = ShardClock::new(shards, lookahead);
+            let mail: Mailboxes<Item> = Mailboxes::new(shards);
+            let horizon = SimTime::from_millis(100);
+            // Per-shard state: pending min-heap, trace, early-delivery flag.
+            struct Shard {
+                pending: BinaryHeap<std::cmp::Reverse<Item>>,
+                trace: Trace,
+                early: bool,
+            }
+            let mut states: Vec<Shard> = (0..shards)
+                .map(|s| Shard {
+                    pending: initial(s).into_iter().map(std::cmp::Reverse).collect(),
+                    trace: Vec::new(),
+                    early: false,
+                })
+                .collect();
+            let window_of = |st: &Shard| st.pending.peek().map(|r| SimTime(r.0 .0));
+            let exec_window = |s: usize, st: &mut Shard, wend: SimTime| -> Vec<Vec<Item>> {
+                let mut out: Vec<Vec<Item>> = (0..shards).map(|_| Vec::new()).collect();
+                while st.pending.peek().is_some_and(|r| r.0 .0 <= wend.as_ps()) {
+                    let it = st.pending.pop().unwrap().0;
+                    st.trace.push((it.0, it.1));
+                    if it.2 > 0 {
+                        let (dst, next) = relay(s, &it);
+                        out[dst].push(next);
+                    }
+                }
+                out
+            };
+            let deliver = |st: &mut Shard, wend: SimTime, batches: Vec<Vec<Item>>| {
+                for b in batches {
+                    for it in b {
+                        // The conservative bound: nothing arrives inside
+                        // (at or before) the window it was sent in.
+                        if it.0 <= wend.as_ps() {
+                            st.early = true;
+                        }
+                        st.pending.push(std::cmp::Reverse(it));
+                    }
+                }
+            };
+            if threaded {
+                std::thread::scope(|scope| {
+                    for (s, st) in states.iter_mut().enumerate() {
+                        let (clock, mail) = (&clock, &mail);
+                        scope.spawn(move || {
+                            let mut round = 0u64;
+                            while let Some(wend) = clock.next_window(round, window_of(st), horizon)
+                            {
+                                let out = exec_window(s, st, wend);
+                                mail.publish(s, out);
+                                clock.finish_window();
+                                deliver(st, wend, mail.take_to(s));
+                                round += 1;
+                            }
+                        });
+                    }
+                });
+            } else {
+                loop {
+                    let next = states.iter().filter_map(&window_of).min();
+                    let Some(wend) = stardust::sim::window_end(next, horizon, lookahead) else {
+                        break;
+                    };
+                    for (s, st) in states.iter_mut().enumerate() {
+                        let out = exec_window(s, st, wend);
+                        mail.publish(s, out);
+                    }
+                    for (s, st) in states.iter_mut().enumerate() {
+                        deliver(st, wend, mail.take_to(s));
+                    }
+                }
+            }
+            let early = states.iter().any(|st| st.early);
+            (states.into_iter().map(|st| st.trace).collect(), early)
+        };
+
+        let (threaded_traces, threaded_early) = run(true);
+        let (inline_traces, inline_early) = run(false);
+        assert!(!threaded_early, "item delivered within its send window");
+        assert!(!inline_early, "item delivered within its send window");
+        assert!(
+            threaded_traces.iter().all(|t| !t.is_empty()) && threaded_traces.len() == shards,
+            "degenerate case"
+        );
+        assert_eq!(
+            threaded_traces, inline_traces,
+            "drain order depended on thread interleaving ({shards} shards)"
+        );
     });
 }
 

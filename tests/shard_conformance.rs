@@ -1,0 +1,293 @@
+//! Sharded-engine conformance: `ShardedFabricEngine` must be
+//! **bit-identical** to the sequential `FabricEngine` — same
+//! `FabricStats` (every counter, every histogram bin) and same per-flow
+//! `FlowStats` tables — at 1, 2, 4 and 8 shards, on both event cores, on
+//! the paper's headline workloads:
+//!
+//! * the §6.2 permutation scenario (the determinism suite's workload),
+//! * the Fig 10 a–c finite-flow scenarios (permutation goodput, Web-mix
+//!   FCT, N-to-1 incast),
+//! * a fail-link run (static blackhole + §5.10 error process + dynamic
+//!   reachability healing).
+//!
+//! The conformance matrix runs the shards **inline** (single-threaded,
+//! same window/exchange algorithm) to keep the suite inside the slow
+//! fabric-test budget; `threaded_execution_matches_inline` (here) and
+//! the in-crate smoke tests pin the threaded path to the inline one, so
+//! equality is transitive to real parallel execution.
+//!
+//! `STARDUST_SHARDS` (comma-separated, e.g. `2,4`) narrows the shard set
+//! — the CI `test-shards` matrix drives one count per job.
+
+use stardust::fabric::shard::ExecMode;
+use stardust::fabric::{FabricConfig, FabricEngine, FabricStats, ShardedFabricEngine};
+use stardust::sim::{CalendarCore, CoreKind, DetRng, HeapCore, SimDuration, SimTime};
+use stardust::topo::builders::{two_tier, TwoTierParams};
+use stardust::workload::{permutation, FlowSizeDist, Scenario, ScenarioKind};
+
+/// Shard counts under test (override with `STARDUST_SHARDS=2,4`).
+fn shard_counts() -> Vec<u32> {
+    match std::env::var("STARDUST_SHARDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|x| x.trim().parse().expect("STARDUST_SHARDS: bad count"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn cfg(seed: u64) -> FabricConfig {
+    FabricConfig {
+        seed,
+        host_ports: 2,
+        host_port_bps: stardust::sim::units::gbps(40),
+        ..FabricConfig::default()
+    }
+}
+
+/// Apply the §6.2 permutation workload of `tests/determinism.rs` through
+/// either engine's identical API surface.
+macro_rules! sec62_workload {
+    ($e:expr, $seed:expr) => {{
+        let num_fa = $e.num_fas();
+        let mut rng = DetRng::from_label($seed, "det-regression-workload");
+        let perm = permutation(num_fa, &mut rng);
+        for src in 0..num_fa as u32 {
+            let mut t = 0u64;
+            for i in 0..40u32 {
+                t += rng.below(2_000);
+                let bytes = if i % 4 == 0 {
+                    9000
+                } else {
+                    64 + rng.below(1400) as u32
+                };
+                $e.inject(
+                    SimTime::from_nanos(t),
+                    src,
+                    perm[src as usize],
+                    (i % 2) as u8,
+                    0,
+                    bytes,
+                );
+            }
+        }
+        $e.run_until(SimTime::from_millis(1));
+    }};
+}
+
+fn sec62_sequential<K: CoreKind>(seed: u64) -> FabricStats {
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let mut e = FabricEngine::<K>::with_core(tt.topo, cfg(seed));
+    sec62_workload!(e, seed);
+    e.stats().clone()
+}
+
+fn sec62_sharded<K: CoreKind>(seed: u64, shards: u32, mode: ExecMode) -> FabricStats
+where
+    FabricEngine<K>: Send,
+{
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let mut e = ShardedFabricEngine::<K>::with_core(tt.topo, cfg(seed), shards);
+    e.set_exec_mode(mode);
+    sec62_workload!(e, seed);
+    e.stats()
+}
+
+#[test]
+fn sec62_permutation_conformance_calendar_core() {
+    let seq = sec62_sequential::<CalendarCore>(0xDC_FA_B0_05);
+    assert_eq!(seq.packets_delivered.get(), 16 * 40, "workload sanity");
+    assert_eq!(seq.cells_dropped.get(), 0);
+    for shards in shard_counts() {
+        let sh = sec62_sharded::<CalendarCore>(0xDC_FA_B0_05, shards, ExecMode::Inline);
+        assert_eq!(seq, sh, "{shards} shards diverged (calendar core)");
+    }
+}
+
+#[test]
+fn sec62_permutation_conformance_heap_core() {
+    let seq = sec62_sequential::<HeapCore>(0xDC_FA_B0_05);
+    for shards in shard_counts() {
+        let sh = sec62_sharded::<HeapCore>(0xDC_FA_B0_05, shards, ExecMode::Inline);
+        assert_eq!(seq, sh, "{shards} shards diverged (heap core)");
+    }
+    // And the two cores agree with each other, sharded or not.
+    assert_eq!(seq, sec62_sequential::<CalendarCore>(0xDC_FA_B0_05));
+}
+
+#[test]
+fn threaded_execution_matches_inline() {
+    // The conformance matrix runs inline for speed; this pins the real
+    // OS-thread path (barriers, mailbox publish/take under contention)
+    // to it, making the matrix's equality transitive to parallel runs.
+    for shards in [2u32, 4, 8] {
+        let a = sec62_sharded::<CalendarCore>(7, shards, ExecMode::Threads);
+        let b = sec62_sharded::<CalendarCore>(7, shards, ExecMode::Inline);
+        assert_eq!(a, b, "{shards}-shard threaded run diverged from inline");
+    }
+}
+
+// --- Fig 10 a–c scenario conformance -----------------------------------
+
+fn fig10_scenarios() -> Vec<(Scenario, SimTime)> {
+    vec![
+        (
+            Scenario {
+                name: "conf-fig10a-perm",
+                seed: 42,
+                kind: ScenarioKind::Permutation {
+                    flow_bytes: 100_000,
+                },
+            },
+            SimTime::from_millis(5),
+        ),
+        (
+            Scenario {
+                name: "conf-fig10b-web",
+                seed: 42,
+                kind: ScenarioKind::Mix {
+                    dist: FlowSizeDist::fb_web(),
+                    n_flows: 40,
+                    node_gap: SimDuration::from_micros(400),
+                },
+            },
+            SimTime::from_millis(8),
+        ),
+        (
+            Scenario {
+                name: "conf-fig10c-incast",
+                seed: 42,
+                kind: ScenarioKind::Incast {
+                    backends: 10,
+                    response_bytes: 150_000,
+                },
+            },
+            SimTime::from_millis(8),
+        ),
+    ]
+}
+
+fn fig10_conformance_on<K: CoreKind>()
+where
+    FabricEngine<K>: Send,
+{
+    for (scn, horizon) in fig10_scenarios() {
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        let mut seq_engine = FabricEngine::<K>::with_core(tt.topo, cfg(11));
+        let seq_flows = scn.run_fabric(&mut seq_engine, horizon);
+        assert!(
+            seq_flows.completed() > 0,
+            "{}: nothing completed — not a real experiment",
+            scn.name
+        );
+        for shards in shard_counts() {
+            let tt = two_tier(TwoTierParams::paper_scaled(16));
+            let mut sh = ShardedFabricEngine::<K>::with_core(tt.topo, cfg(11), shards);
+            sh.set_exec_mode(ExecMode::Inline);
+            let sh_flows = scn.run_fabric_sharded(&mut sh, horizon);
+            // Per-flow FCT tables first (sharper failure message)…
+            assert_eq!(
+                seq_flows, sh_flows,
+                "{}: {shards}-shard FCT table diverged",
+                scn.name
+            );
+            // …then the full measurement record.
+            assert_eq!(
+                seq_engine.stats(),
+                &sh.stats(),
+                "{}: {shards}-shard FabricStats diverged",
+                scn.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_scenarios_conformance_calendar_core() {
+    fig10_conformance_on::<CalendarCore>();
+}
+
+#[test]
+fn fig10_scenarios_conformance_heap_core() {
+    fig10_conformance_on::<HeapCore>();
+}
+
+// --- fail-link conformance ---------------------------------------------
+
+/// A failure-heavy run: dynamic reachability on, one uplink hard-failed
+/// mid-run and later restored, a second link degraded by a §5.10 error
+/// process — message flows and singleton injects riding through all of
+/// it. Exercises cross-shard reachability messages, per-direction error
+/// streams, burst discard and healing.
+macro_rules! fail_link_workload {
+    ($e:expr, $fail:expr, $noisy:expr) => {{
+        let n = $e.num_fas() as u32;
+        // First wave completes cleanly; the second is mid-flight when the
+        // link dies, so queued cells drop and some bursts time out.
+        for src in 0..n {
+            $e.add_message(src, (src + 5) % n, 0, 0, 40_000, SimTime::ZERO);
+            $e.add_message(src, (src + 7) % n, 0, 0, 60_000, SimTime::from_micros(95));
+        }
+        $e.run_until(SimTime::from_micros(100));
+        $e.fail_link($fail);
+        $e.set_link_error_rate($noisy, 0.3);
+        // Injections racing the failure detection: some cells die on the
+        // noisy link before the protocol excludes it.
+        for src in 0..n {
+            for i in 0..30u64 {
+                $e.inject(
+                    SimTime::from_micros(101) + SimDuration::from_nanos(i * 700),
+                    src,
+                    (src + 1) % n,
+                    1,
+                    1,
+                    1500,
+                );
+            }
+        }
+        $e.run_until(SimTime::from_micros(600));
+        $e.restore_link($fail);
+        $e.set_link_error_rate($noisy, 0.0);
+        $e.run_until(SimTime::from_millis(2));
+    }};
+}
+
+fn fail_link_conformance_on<K: CoreKind>()
+where
+    FabricEngine<K>: Send,
+{
+    let mut c = cfg(3);
+    c.reach_interval = Some(SimDuration::from_micros(10));
+    c.reach_miss_threshold = 3;
+    let tt = two_tier(TwoTierParams::paper_scaled(16));
+    let fail = tt.topo.up_links(tt.fas[0])[0];
+    let noisy = tt.topo.up_links(tt.fas[3])[1];
+    let mut seq = FabricEngine::<K>::with_core(tt.topo, c.clone());
+    fail_link_workload!(seq, fail, noisy);
+    let seq_stats = seq.stats().clone();
+    // The run must have actually hurt: cells died on the failed link or
+    // to the error process, and the protocol kept the fabric delivering.
+    assert!(seq_stats.cells_dropped.get() + seq_stats.cells_corrupted.get() > 0);
+    assert!(seq_stats.packets_delivered.get() > 0);
+    for shards in shard_counts() {
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        let mut sh = ShardedFabricEngine::<K>::with_core(tt.topo, c.clone(), shards);
+        sh.set_exec_mode(ExecMode::Inline);
+        fail_link_workload!(sh, fail, noisy);
+        assert_eq!(
+            seq_stats,
+            sh.stats(),
+            "{shards}-shard fail-link run diverged"
+        );
+    }
+}
+
+#[test]
+fn fail_link_conformance_calendar_core() {
+    fail_link_conformance_on::<CalendarCore>();
+}
+
+#[test]
+fn fail_link_conformance_heap_core() {
+    fail_link_conformance_on::<HeapCore>();
+}
