@@ -2,65 +2,41 @@
 //! side by side on the §6.3 fat-tree transports **and** the cell-accurate
 //! Stardust fabric.
 //!
-//! One [`Scenario`] expands into a random derangement of finite flows
-//! (each node sends `--bytes` to its partner); both engines are offered
-//! the same spec and per-flow goodput (bytes / FCT) prints by flow rank,
-//! the paper's x-axis. `--full` runs the 432-host k = 12 fat-tree;
-//! `--smoke` runs a small deterministic configuration with hard
-//! assertions (wired into CI).
+//! A thin shell over the declarative experiment pipeline: the
+//! [`presets::fig10a`] spec expands into a random derangement of finite
+//! flows (each node sends `--bytes` to its partner), the
+//! [`runner`] drives every engine from the one spec, and this binary
+//! adds the figure-specific goodput-by-flow-rank table, the paper's
+//! x-axis. `--full` runs the 432-host k = 12 fat-tree; `--smoke` runs
+//! the small deterministic CI configuration whose hard gates live in
+//! the spec's `[checks]` (completion, losslessness, goodput floor).
 
 use stardust_bench::fig10::{
-    fabric_fas, goodputs_gbps, kary_hosts, print_fct_summary, run_side_by_side, FABRIC_LABEL, PCTS,
+    fabric_fas, goodputs_gbps, kary_hosts, print_fct_summary, print_unfinished_notes, PCTS,
 };
-use stardust_bench::{header, Args};
-use stardust_sim::SimTime;
-use stardust_transport::Protocol;
-use stardust_workload::{Scenario, ScenarioKind};
+use stardust_bench::presets::{self, Fig10Params};
+use stardust_bench::{header, runner, Args};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
     let smoke = args.has("smoke");
-    let k = if args.has("full") {
-        12
-    } else if smoke {
-        4
-    } else {
-        args.get_u64("k", 8) as u32
-    };
-    let factor = if args.has("full") {
-        1
-    } else if smoke {
-        16
-    } else {
-        2
-    } as u32;
+    let p = Fig10Params::from_args(&args, 50, 100);
     let flow_bytes = args.get_u64("bytes", if smoke { 500_000 } else { 2_500_000 });
-    let ms = args.get_u64("ms", if smoke { 50 } else { 100 });
-    let seed = args.get_u64("seed", 42);
-    let scenario = Scenario {
-        name: "fig10a-permutation",
-        seed,
-        kind: ScenarioKind::Permutation { flow_bytes },
-    };
-    let protos: &[Protocol] = if smoke {
-        &[Protocol::Dctcp, Protocol::Stardust]
-    } else {
-        &[
-            Protocol::Mptcp,
-            Protocol::Dctcp,
-            Protocol::Dcqcn,
-            Protocol::Stardust,
-        ]
-    };
+    let spec = presets::fig10a(p, flow_bytes);
 
     println!(
-        "permutation of {flow_bytes} B flows: k = {k} fat-tree ({} hosts, 10G NICs) vs \
-         1/{factor}-scale Stardust fabric ({} FAs, 1×10G port each), {ms} ms horizon",
-        kary_hosts(k),
-        fabric_fas(factor)
+        "permutation of {flow_bytes} B flows: k = {} fat-tree ({} hosts, 10G NICs) vs \
+         1/{}-scale Stardust fabric ({} FAs, 1×10G port each), {} ms horizon",
+        p.k,
+        kary_hosts(p.k),
+        p.factor,
+        fabric_fas(p.factor),
+        p.ms
     );
 
-    let results = run_side_by_side(&scenario, protos, k, factor, SimTime::from_millis(ms));
+    let outcome = runner::run_spec(&spec);
+    let results = outcome.labeled();
 
     header(
         "Figure 10(a): goodput [Gbps] by flow rank",
@@ -115,47 +91,14 @@ fn main() {
         );
     }
     print_fct_summary(&results);
-    // Goodput = bytes / FCT exists only for completed flows, so the rank
-    // series above is survivor-biased for any engine that did not finish
-    // every flow within the horizon — call that out rather than letting
-    // a lossy transport's fast survivors read as its whole population.
-    for (label, fs) in &results {
-        let unfinished = fs.len() - fs.completed();
-        if unfinished > 0 {
-            println!(
-                "note: {label} left {unfinished}/{} flows unfinished at the horizon — its \
-                 goodput columns cover only the {} completed (faster) flows",
-                fs.len(),
-                fs.completed()
-            );
-        }
-    }
+    print_unfinished_notes(&results);
     println!(
         "\npaper (432 nodes): Stardust 9.44G on 96% of flows, mean util 94%; \
          MPTCP 90%; DCTCP 49%; DCQCN 47%"
     );
 
-    if smoke {
-        let (_, fab) = results
-            .iter()
-            .find(|(l, _)| l == FABRIC_LABEL)
-            .expect("fabric column");
-        assert_eq!(fab.completed(), fab.len(), "fabric left flows unfinished");
-        let fab_g = goodputs_gbps(fab);
-        assert!(
-            fab_g[0] > 5.0,
-            "fabric permutation goodput collapsed: min {} Gbps",
-            fab_g[0]
-        );
-        let (_, sd) = results
-            .iter()
-            .find(|(l, _)| l == Protocol::Stardust.label())
-            .expect("stardust transport column");
-        assert_eq!(
-            sd.completed(),
-            sd.len(),
-            "SD transport left flows unfinished"
-        );
-        println!("\nsmoke OK: both engines completed the permutation via one scenario spec");
-    }
+    runner::finish(
+        &outcome.check_failures,
+        smoke.then_some("smoke OK: both engines completed the permutation via one experiment spec"),
+    )
 }

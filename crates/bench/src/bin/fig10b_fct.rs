@@ -2,88 +2,55 @@
 //! flows, side by side on the §6.3 fat-tree transports **and** the
 //! cell-accurate Stardust fabric.
 //!
-//! One [`Scenario`] expands `--flows` Poisson-arriving flows drawn from
-//! the Facebook Web (or `--workload hadoop`) flow-size distribution over
-//! uniformly random pairs; both engines are driven from the same seeded
-//! spec — byte-identical flow lists when the two populations match (the
-//! default and `--smoke` configurations), equal per-node offered load
-//! otherwise — and the FCT percentile table prints per engine. `--smoke`
-//! runs a small deterministic configuration with hard assertions (wired
-//! into CI) — this is the acceptance gate for the finite-flow fabric layer:
+//! A thin shell over the declarative experiment pipeline: the
+//! [`presets::fig10b`] spec expands `--flows` Poisson-arriving flows
+//! drawn from the Facebook Web (or `--workload hadoop`) flow-size
+//! distribution over uniformly random pairs, and the [`runner`] drives
+//! every engine from the same seeded spec — byte-identical flow lists
+//! when the two populations match (the default and `--smoke`
+//! configurations), equal per-node offered load otherwise. `--smoke`
+//! runs the CI configuration whose hard gates live in the spec's
+//! `[checks]` — the acceptance gate for the finite-flow fabric layer:
 //! the paper's claim that cell spraying + VOQ scheduling give NDP-class
 //! FCTs *without per-flow transport machinery* is exercised on the
 //! detailed fabric model, not just the abstract transport one.
 
-use stardust_bench::fig10::{
-    fabric_fas, kary_hosts, print_fct_summary, print_fct_table, run_side_by_side, FABRIC_LABEL,
-};
-use stardust_bench::Args;
-use stardust_sim::{SimDuration, SimTime};
-use stardust_transport::Protocol;
-use stardust_workload::{FlowSizeDist, Scenario, ScenarioKind};
+use stardust_bench::fig10::{fabric_fas, kary_hosts, print_fct_summary, print_fct_table};
+use stardust_bench::presets::{self, Fig10Params};
+use stardust_bench::{runner, Args};
+use stardust_workload::ScenarioKind;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
     let smoke = args.has("smoke");
-    let k = if args.has("full") {
-        12
-    } else if smoke {
-        4
-    } else {
-        args.get_u64("k", 8) as u32
-    };
-    let factor = if args.has("full") {
-        1
-    } else if smoke {
-        16
-    } else {
-        2
-    } as u32;
+    let p = Fig10Params::from_args(&args, 100, 200);
     let n_flows = args.get_u64("flows", if smoke { 50 } else { 200 }) as usize;
     // Per-node mean inter-arrival gap; at the Web mix's ~97 KB mean flow,
     // 800 µs offers ~1 Gbps per 10G NIC (≈10% load) on either engine.
     let gap_us = args.get_u64("gap-us", 800);
-    let ms = args.get_u64("ms", if smoke { 100 } else { 200 });
-    let seed = args.get_u64("seed", 42);
     let hadoop = args
         .get_str("workload")
         .is_some_and(|w| w.eq_ignore_ascii_case("hadoop"));
-    let (dist, name) = if hadoop {
-        (FlowSizeDist::fb_hadoop(), "fig10b-hadoop-mix")
-    } else {
-        (FlowSizeDist::fb_web(), "fig10b-web-mix")
-    };
-    let mean_bytes = dist.mean();
-    let scenario = Scenario {
-        name,
-        seed,
-        kind: ScenarioKind::Mix {
-            dist,
-            n_flows,
-            node_gap: SimDuration::from_micros(gap_us),
-        },
-    };
-    let protos: &[Protocol] = if smoke {
-        &[Protocol::Dctcp, Protocol::Stardust]
-    } else {
-        &[
-            Protocol::Dctcp,
-            Protocol::Dcqcn,
-            Protocol::Mptcp,
-            Protocol::Stardust,
-        ]
+    let spec = presets::fig10b(p, n_flows, gap_us, hadoop);
+    let ScenarioKind::Mix { ref dist, .. } = spec.scenario else {
+        unreachable!("fig10b presets are mixes")
     };
 
     println!(
-        "{n_flows} {} flows (mean {:.0} B, Poisson per-node gap {gap_us} µs): k = {k} fat-tree \
-         ({} hosts) vs 1/{factor}-scale Stardust fabric ({} FAs), {ms} ms horizon",
+        "{n_flows} {} flows (mean {:.0} B, Poisson per-node gap {gap_us} µs): k = {} fat-tree \
+         ({} hosts) vs 1/{}-scale Stardust fabric ({} FAs), {} ms horizon",
         if hadoop { "Hadoop" } else { "Web" },
-        mean_bytes,
-        kary_hosts(k),
-        fabric_fas(factor)
+        dist.mean(),
+        p.k,
+        kary_hosts(p.k),
+        p.factor,
+        fabric_fas(p.factor),
+        p.ms
     );
 
-    let results = run_side_by_side(&scenario, protos, k, factor, SimTime::from_millis(ms));
+    let outcome = runner::run_spec(&spec);
+    let results = outcome.labeled();
     print_fct_table("Figure 10(b): FCT by percentile [ms]", &results);
     print_fct_summary(&results);
     println!(
@@ -91,41 +58,10 @@ fn main() {
          is scheduled. Even flows of 1MB have a FCT of less than a millisecond.\""
     );
 
-    if smoke {
-        let (_, fab) = results
-            .iter()
-            .find(|(l, _)| l == FABRIC_LABEL)
-            .expect("fabric column");
-        assert_eq!(
-            fab.completed(),
-            fab.len(),
-            "the lossless fabric must complete every flow"
-        );
-        // The paper's yardstick is serialization-bound FCTs ("even flows
-        // of 1MB have a FCT of less than a millisecond" on 10G): the
-        // fabric must stay within a small factor of the largest drawn
-        // flow's bare 10G serialization time, and the median must not be
-        // inflated by queueing delay. The bounds are per workload because
-        // the serialization floor is: the smoke Web mix tops out near
-        // 3 MB (2.4 ms at 10G), the Hadoop mix near 40 MB (~30 ms).
-        let (median_cap, p99_cap) = if hadoop {
-            (SimDuration::from_millis(2), SimDuration::from_millis(60))
-        } else {
-            (SimDuration::from_millis(1), SimDuration::from_millis(10))
-        };
-        let p99 = fab.fct_quantile(0.99).expect("fcts recorded");
-        assert!(
-            p99 < p99_cap,
-            "fabric p99 FCT {p99} is out of the NDP class (cap {p99_cap})"
-        );
-        let median = fab.fct_quantile(0.5).expect("fcts recorded");
-        assert!(
-            median < median_cap,
-            "fabric median FCT {median} is out of the NDP class (cap {median_cap})"
-        );
-        for (label, fs) in &results {
-            assert!(fs.completed() > 0, "{label}: no flow completed");
-        }
-        println!("\nsmoke OK: FCT percentiles reported from both engines via one scenario spec");
-    }
+    runner::finish(
+        &outcome.check_failures,
+        smoke.then_some(
+            "smoke OK: FCT percentiles reported from both engines via one experiment spec",
+        ),
+    )
 }

@@ -4,48 +4,29 @@
 //!
 //! A frontend fans out work to N backends which all answer with a 450 KB
 //! response; the figure reports the first and last flow completion time —
-//! "a measure both of performance and fairness". One [`Scenario`] per
-//! backend count drives every engine. DCQCN is omitted, as in the paper
-//! (its artifact lacked the incast configuration). The backend sweep is
+//! "a measure both of performance and fairness". The sweep is one
+//! [`presets::fig10c`] spec per backend count, each expanded by the
+//! [`runner`] over every engine. DCQCN is omitted, as in the paper (its
+//! artifact lacked the incast configuration). The backend sweep is
 //! clamped to each network's own population minus the frontend.
-//! `--smoke` runs a small deterministic sweep with hard assertions
-//! (wired into CI).
+//! `--smoke` runs the small deterministic sweep whose hard gates
+//! (completion, losslessness, last/first fairness bound) live in each
+//! spec's `[checks]`.
 
-use stardust_bench::fig10::{fabric_fas, kary_hosts, run_side_by_side, FABRIC_LABEL};
-use stardust_bench::{header, Args};
-use stardust_sim::SimTime;
-use stardust_transport::Protocol;
-use stardust_workload::{Scenario, ScenarioKind};
+use stardust_bench::fig10::{fabric_fas, kary_hosts};
+use stardust_bench::presets::{self, Fig10Params};
+use stardust_bench::{header, runner, Args};
+use std::process::ExitCode;
 
 const RESPONSE_BYTES: u64 = 450_000;
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
     let smoke = args.has("smoke");
-    let k = if args.has("full") {
-        12
-    } else if smoke {
-        4
-    } else {
-        args.get_u64("k", 8) as u32
-    };
-    let factor = if args.has("full") {
-        1
-    } else if smoke {
-        16
-    } else {
-        2
-    } as u32;
-    let ms = args.get_u64("ms", if smoke { 100 } else { 400 });
-    let seed = args.get_u64("seed", 42);
-    let protos: &[Protocol] = if smoke {
-        &[Protocol::Dctcp, Protocol::Stardust]
-    } else {
-        &[Protocol::Mptcp, Protocol::Dctcp, Protocol::Stardust]
-    };
+    let p = Fig10Params::from_args(&args, 100, 400);
 
-    let n_hosts = kary_hosts(k);
-    let n_fas = fabric_fas(factor);
+    let n_hosts = kary_hosts(p.k);
+    let n_fas = fabric_fas(p.factor);
     let max_backends = n_hosts.min(n_fas) - 1;
     let steps: Vec<usize> = if smoke {
         vec![5, 10, 15]
@@ -55,63 +36,67 @@ fn main() {
     .into_iter()
     .filter(|&b| b <= max_backends)
     .collect();
+    if steps.is_empty() {
+        eprintln!(
+            "no incast steps fit: the smaller population (min of {n_hosts} hosts, {n_fas} FAs) \
+             allows at most {max_backends} backends"
+        );
+        return ExitCode::FAILURE;
+    }
 
+    // One probe spec names the engine columns for the header.
+    let engine_labels: Vec<String> = presets::fig10c(p, steps[0], RESPONSE_BYTES)
+        .engines
+        .iter()
+        .map(|e| e.label())
+        .collect();
     println!(
-        "{RESPONSE_BYTES} B responses to one frontend: k = {k} fat-tree ({n_hosts} hosts) \
-         vs 1/{factor}-scale Stardust fabric ({n_fas} FAs); ideal last-FCT = N × 450KB / 10G"
+        "{RESPONSE_BYTES} B responses to one frontend: k = {} fat-tree ({n_hosts} hosts) \
+         vs 1/{}-scale Stardust fabric ({n_fas} FAs); ideal last-FCT = N × 450KB / 10G",
+        p.k, p.factor
     );
     header(
         "Figure 10(c): incast completion time [ms] (first / last per engine)",
         &format!(
             "{:>9} {} {:>12}",
             "backends",
-            protos
+            engine_labels
                 .iter()
-                .map(|p| p.label().to_string())
-                .chain([FABRIC_LABEL.to_string()])
                 .map(|l| format!("{:>14}-first {:>8}-last", l, ""))
                 .collect::<String>(),
             "ideal last"
         ),
     );
-    let mut fabric_fairness = Vec::new();
+    let mut failures = Vec::new();
     for &b in &steps {
-        let scenario = Scenario {
-            name: "fig10c-incast",
-            seed,
-            kind: ScenarioKind::Incast {
-                backends: b,
-                response_bytes: RESPONSE_BYTES,
-            },
-        };
-        let results = run_side_by_side(&scenario, protos, k, factor, SimTime::from_millis(ms));
+        let spec = presets::fig10c(p, b, RESPONSE_BYTES);
+        let outcome = runner::run_spec(&spec);
         print!("{b:>9}");
-        for (label, fs) in &results {
-            let first = fs.fct_quantile(0.0);
-            let last = fs.fct_quantile(1.0);
-            match (first, last, fs.completed() == fs.len()) {
-                (Some(f), Some(l), true) => {
+        for run in &outcome.runs {
+            let fs = &run.flows;
+            match (
+                fs.fct_quantile(0.0),
+                fs.fct_quantile(1.0),
+                fs.completed() == fs.len(),
+            ) {
+                (Some(first), Some(last), true) => {
                     print!(
                         " {:>19.2} {:>13.2}",
-                        f.as_secs_f64() * 1e3,
-                        l.as_secs_f64() * 1e3
+                        first.as_secs_f64() * 1e3,
+                        last.as_secs_f64() * 1e3
                     );
-                    if label == FABRIC_LABEL {
-                        fabric_fairness.push(l.as_secs_f64() / f.as_secs_f64());
-                    }
                 }
                 _ => print!(" {:>19} {:>13}", "unfinished", "-"),
-            }
-            if smoke {
-                assert_eq!(
-                    fs.completed(),
-                    fs.len(),
-                    "{label}: {b}-to-1 incast left flows unfinished"
-                );
             }
         }
         let ideal = b as f64 * RESPONSE_BYTES as f64 * 8.0 / 10e9 * 1e3;
         println!(" {:>12.2}", ideal);
+        failures.extend(
+            outcome
+                .check_failures
+                .into_iter()
+                .map(|f| format!("{b}-to-1: {f}")),
+        );
     }
     println!(
         "\npaper: \"Stardust's last FCT is the same as DCTCP and better than MPTCP, but \
@@ -119,14 +104,8 @@ fn main() {
          the Stardust fabric.\""
     );
 
-    if smoke {
-        assert_eq!(fabric_fairness.len(), steps.len());
-        for (b, r) in steps.iter().zip(&fabric_fairness) {
-            assert!(
-                *r < 1.5,
-                "{b}-to-1: fabric last/first FCT ratio {r:.2} — credits are not fair"
-            );
-        }
-        println!("\nsmoke OK: fabric incast complete, lossless and fair at every step");
-    }
+    runner::finish(
+        &failures,
+        smoke.then_some("smoke OK: fabric incast complete, lossless and fair at every step"),
+    )
 }

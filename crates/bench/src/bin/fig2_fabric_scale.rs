@@ -12,6 +12,12 @@
 //! drops below a floor (`STARDUST_MIN_EVENTS_PER_SEC`, default 200,000),
 //! giving CI a loud regression gate on the event core.
 //!
+//! `--json <path>` writes the measured points machine-readably (events/s
+//! per scale point) — CI runs `--smoke --json BENCH_fig2.json` and
+//! uploads the file as the bench-trajectory artifact. With `--smoke` the
+//! gate still applies to the smallest size only, but the JSON sweep also
+//! measures 128 and 256 FAs so the trajectory carries real scale points.
+//!
 //! `--shards N` switches to the **sharded** engine: without `--smoke` it
 //! sweeps sizes comparing sequential vs N-shard events/sec; with
 //! `--smoke` it runs the 1024-FA size and fails (exit 1) unless the
@@ -21,6 +27,7 @@
 //! `FabricStats`) and exits 0 with a notice — parallel speedup cannot be
 //! demonstrated on hardware that cannot run the shards in parallel.
 
+use stardust_bench::json::Json;
 use stardust_bench::{commas, header, Args};
 use stardust_fabric::{FabricConfig, FabricEngine, ShardedFabricEngine};
 use stardust_sim::units::gbps;
@@ -152,6 +159,42 @@ fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Write the measured samples as a `BENCH_fig2.json`-style document:
+/// events/s per scale point plus enough context to compare runs.
+fn write_json(path: &str, mode: &str, sim_us: u64, samples: &[Sample]) {
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("fig2_fabric_scale")),
+        ("mode".into(), Json::str(mode)),
+        ("sim_us".into(), Json::num(sim_us as f64)),
+        ("host_cores".into(), Json::num(host_cores() as f64)),
+        (
+            "points".into(),
+            Json::Arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("num_fa".into(), Json::num(s.num_fa as f64)),
+                            ("links".into(), Json::num(s.links as f64)),
+                            ("events".into(), Json::num(s.events as f64)),
+                            ("wall_s".into(), Json::Num(s.wall_s)),
+                            ("events_per_sec".into(), Json::Num(events_per_sec(s))),
+                            ("pkts_delivered".into(), Json::num(s.delivered as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match std::fs::write(path, doc.render() + "\n") {
+        Ok(()) => println!("wrote {path} ({} scale points)", samples.len()),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `--shards N --smoke`: the CI speedup gate at 1024 FAs. Below the
 /// speedup floor the sharded measurement is retried once (shared runners
 /// are noisy; the gate should catch regressions, not co-tenants) before
@@ -204,6 +247,12 @@ fn main() {
             .expect("--shards takes a positive shard count")
     }) {
         assert!(shards >= 1);
+        if args.get_str("json").is_some() {
+            eprintln!(
+                "warning: --json is only emitted on the sequential sweep/smoke paths; \
+                 ignoring it under --shards"
+            );
+        }
         if args.has("smoke") {
             shard_smoke(shards, args.get_u64("us", 25), seed);
             return;
@@ -247,7 +296,8 @@ fn main() {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(200_000.0);
-        let s = run_size(64, args.get_u64("us", 200), seed);
+        let sim_us = args.get_u64("us", 200);
+        let s = run_size(64, sim_us, seed);
         let eps = events_per_sec(&s);
         println!(
             "smoke: 64 FAs, {} events in {:.3}s = {} events/sec (floor {})",
@@ -256,6 +306,22 @@ fn main() {
             commas(eps as u64),
             commas(floor as u64)
         );
+        if let Some(path) = args.get_str("json") {
+            // Two larger sizes give the artifact a real scale trajectory;
+            // the hard floor still gates only the 64-FA point above.
+            let mut samples = vec![s];
+            for n in [128, 256] {
+                samples.push(run_size(n, sim_us, seed));
+            }
+            write_json(path, "smoke", sim_us, &samples);
+            for s in &samples[1..] {
+                println!(
+                    "       {} FAs: {} events/sec (unfenced trajectory point)",
+                    s.num_fa,
+                    commas(events_per_sec(s) as u64)
+                );
+            }
+        }
         if eps < floor {
             eprintln!("event core below the events/sec floor — perf regression");
             std::process::exit(1);
@@ -280,6 +346,7 @@ fn main() {
         ),
     );
     let mut first_eps = None;
+    let mut samples = Vec::with_capacity(sizes.len());
     for &n in sizes {
         let s = run_size(n, sim_us, seed);
         let eps = events_per_sec(&s);
@@ -293,6 +360,10 @@ fn main() {
             commas(eps as u64),
             commas(s.delivered)
         );
+        samples.push(s);
+    }
+    if let Some(path) = args.get_str("json") {
+        write_json(path, "sweep", sim_us, &samples);
     }
     if let Some(base) = first_eps {
         println!(

@@ -1,0 +1,211 @@
+//! `stardust` — the declarative experiment CLI.
+//!
+//! Expands [`ExperimentSpec`] TOML files into their engines × seeds run
+//! matrices over the generic `FlowEngine` surface, prints FCT tables,
+//! evaluates the specs' pass/fail checks, and optionally emits results
+//! as JSON for `BENCH_*.json` trajectories.
+//!
+//! ```text
+//! stardust run <spec.toml | dir>...  [--json out.json] [--quiet]
+//! stardust check <spec.toml | dir>...     # parse + validate only
+//! stardust preset <name>                  # print a built-in spec
+//! stardust presets                        # list built-in spec names
+//! ```
+//!
+//! `run` on a directory executes every `*.toml` inside (sorted by file
+//! name). The process exits non-zero if any spec fails to parse or any
+//! check fails — this is the single CI entry point that replaced the
+//! per-figure smoke steps (`stardust run specs/ci_smoke`).
+
+use stardust_bench::spec::ExperimentSpec;
+use stardust_bench::{json::Json, presets, runner};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  stardust run <spec.toml | dir>... [--json out.json] [--quiet]\n  \
+         stardust check <spec.toml | dir>...\n  stardust preset <name>\n  stardust presets"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("run") => run(&argv[1..], false),
+        Some("check") => run(&argv[1..], true),
+        Some("preset") => preset(&argv[1..]),
+        Some("presets") => {
+            for name in presets::names() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn preset(args: &[String]) -> ExitCode {
+    let [name] = args else { return usage() };
+    match presets::by_name(name) {
+        Some(spec) => {
+            print!("{}", spec.to_text());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "unknown preset {name:?}; available: {}",
+                presets::names().join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Expand file-or-directory arguments into the sorted spec file list.
+fn collect_specs(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut in_dir: Vec<PathBuf> = std::fs::read_dir(p)
+                .map_err(|e| format!("{}: {e}", p.display()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|f| f.extension().is_some_and(|x| x == "toml"))
+                .collect();
+            in_dir.sort();
+            if in_dir.is_empty() {
+                return Err(format!("{}: no *.toml specs inside", p.display()));
+            }
+            files.extend(in_dir);
+        } else if p.is_file() {
+            files.push(p.clone());
+        } else {
+            return Err(format!("{}: no such file or directory", p.display()));
+        }
+    }
+    if files.is_empty() {
+        return Err("no spec files given".into());
+    }
+    Ok(files)
+}
+
+fn load(path: &Path) -> Result<ExperimentSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    ExperimentSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn run(args: &[String], check_only: bool) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let Some(out) = args.get(i + 1) else {
+                    return usage();
+                };
+                json_out = Some(PathBuf::from(out));
+                i += 2;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => return usage(),
+            path => {
+                paths.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    let files = match collect_specs(&paths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("stardust: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut outcomes = Vec::new();
+    let mut failed = false;
+    for file in &files {
+        let spec = match load(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("stardust: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if check_only {
+            println!(
+                "{}: ok ({} engines × {} seeds, {} link events)",
+                file.display(),
+                spec.engines.len(),
+                spec.seeds.len(),
+                spec.failures.events().len()
+            );
+            continue;
+        }
+        if !quiet {
+            println!(
+                "\n### {} ({} engines × {} seeds, horizon {} µs)",
+                file.display(),
+                spec.engines.len(),
+                spec.seeds.len(),
+                spec.horizon_us
+            );
+        }
+        let outcome = runner::run_spec(&spec);
+        if quiet {
+            for f in &outcome.check_failures {
+                eprintln!("{}: CHECK FAILED: {f}", file.display());
+            }
+        } else {
+            outcome.print();
+        }
+        failed |= !outcome.check_failures.is_empty();
+        outcomes.push((file.clone(), outcome));
+    }
+
+    if let Some(out) = json_out {
+        let doc = Json::Arr(
+            outcomes
+                .iter()
+                .map(|(file, o)| {
+                    let Json::Obj(mut fields) = o.to_json() else {
+                        unreachable!("outcomes render as objects")
+                    };
+                    fields.insert(
+                        0,
+                        ("spec_file".into(), Json::str(file.display().to_string())),
+                    );
+                    Json::Obj(fields)
+                })
+                .collect(),
+        );
+        if let Err(e) = std::fs::write(&out, doc.render() + "\n") {
+            eprintln!("stardust: writing {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            println!(
+                "\nwrote {} ({} spec results)",
+                out.display(),
+                outcomes.len()
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("stardust: FAILED (spec errors or failed checks above)");
+        ExitCode::FAILURE
+    } else {
+        if !check_only && !quiet {
+            println!("\nstardust: all specs ran, all checks passed");
+        }
+        ExitCode::SUCCESS
+    }
+}

@@ -1,6 +1,5 @@
-//! Shared scaffolding for the Fig 10 a–c experiments: build the two
-//! engines, run one [`Scenario`] on both, and print FCT tables side by
-//! side.
+//! Shared scaffolding for the Fig 10 a–c experiments: the two engine
+//! presets and the FCT table printers.
 //!
 //! The fat-tree transport simulator models the paper's §6.3 htsim setup
 //! (k-ary fat-tree, one 10G NIC per host, per-protocol transports). The
@@ -9,13 +8,17 @@
 //! node it runs with a single 10G host port per Fabric Adapter. The two
 //! topologies differ — that is the point: the same workload spec lands on
 //! the paper's comparison network and on the Stardust fabric proper.
+//!
+//! The experiment driving itself lives in [`crate::runner`], which
+//! expands an [`ExperimentSpec`](crate::spec::ExperimentSpec) over the
+//! generic `FlowEngine` surface; the fig10 binaries are thin preset +
+//! figure-specific-printing shells over it.
 
 use crate::header;
 use stardust_fabric::{FabricConfig, FabricEngine};
-use stardust_sim::{quantile_of_sorted, units, FlowStats, SimTime};
+use stardust_sim::{quantile_of_sorted, units, FlowStats};
 use stardust_topo::builders::{kary, two_tier, KaryParams, TwoTierParams};
-use stardust_transport::{Protocol, TransportConfig, TransportSim};
-use stardust_workload::Scenario;
+use stardust_transport::{TransportConfig, TransportSim};
 
 /// Label used for the cell-accurate fabric column.
 pub const FABRIC_LABEL: &str = "SD-fabric";
@@ -37,18 +40,25 @@ pub fn kary_hosts(k: u32) -> usize {
     (k * k * k / 4) as usize
 }
 
+/// The Fig 10 fabric-engine configuration: one 10G host port per Fabric
+/// Adapter (one-NIC hosts, like the transport topology). Shared by
+/// [`fabric_engine`] and the experiment [`runner`](crate::runner), so a
+/// spec preset and a hand-built engine can never drift apart.
+pub fn fabric_config(seed: u64) -> FabricConfig {
+    FabricConfig {
+        host_ports: 1,
+        host_port_bps: units::gbps(10),
+        seed,
+        ..FabricConfig::default()
+    }
+}
+
 /// A scaled-down §6.2 two-tier Stardust fabric with one 10G host port
 /// per Fabric Adapter (`factor` divides the paper populations; 16 gives
 /// 16 FAs, 4 gives 64).
 pub fn fabric_engine(factor: u32, seed: u64) -> FabricEngine {
     let tt = two_tier(TwoTierParams::paper_scaled(factor));
-    let cfg = FabricConfig {
-        host_ports: 1,
-        host_port_bps: units::gbps(10),
-        seed,
-        ..FabricConfig::default()
-    };
-    FabricEngine::new(tt.topo, cfg)
+    FabricEngine::new(tt.topo, fabric_config(seed))
 }
 
 /// The §6.3 k-ary fat-tree transport simulator (k³/4 hosts, 10G links).
@@ -66,61 +76,52 @@ pub fn transport_sim(k: u32, seed: u64) -> TransportSim {
     )
 }
 
-/// Run `scenario` on the fat-tree under each of `protos`, then on the
-/// Stardust fabric, and return the labelled FCT tables (fabric last,
-/// labelled [`FABRIC_LABEL`]). Asserts the paper's losslessness claim:
-/// the scheduled fabric drops no cells.
-pub fn run_side_by_side(
-    scenario: &Scenario,
-    protos: &[Protocol],
-    k: u32,
-    factor: u32,
-    horizon: SimTime,
-) -> Vec<(String, FlowStats)> {
-    let mut out = Vec::with_capacity(protos.len() + 1);
-    for &p in protos {
-        let mut sim = transport_sim(k, scenario.seed);
-        out.push((
-            p.label().to_string(),
-            scenario.run_transport(&mut sim, p, horizon),
-        ));
-    }
-    let mut engine = fabric_engine(factor, scenario.seed);
-    let fs = scenario.run_fabric(&mut engine, horizon);
-    assert_eq!(
-        engine.stats().cells_dropped.get(),
-        0,
-        "the scheduled fabric must not drop cells"
-    );
-    out.push((FABRIC_LABEL.to_string(), fs));
-    out
-}
-
 /// Print an FCT-percentile table, one column per labelled result, in ms
 /// (each column's FCTs are sorted once, not per percentile).
 pub fn print_fct_table(title: &str, results: &[(String, FlowStats)]) {
-    let cols: String = results.iter().map(|(l, _)| format!("{l:>12}")).collect();
-    header(title, &format!("{:>6} {cols}", "pct"));
+    let w = column_width(results);
+    let cols: String = results
+        .iter()
+        .map(|(l, _)| format!(" {l:>width$}", width = w))
+        .collect();
+    header(title, &format!("{:>6}{cols}", "pct"));
     let sorted: Vec<_> = results.iter().map(|(_, fs)| fs.fcts_sorted()).collect();
     for &pct in &PCTS {
         print!("{pct:>6}");
         for fcts in &sorted {
             match quantile_of_sorted(fcts, pct as f64 / 100.0) {
-                Some(d) => print!(" {:>11.3}", d.as_secs_f64() * 1e3),
-                None => print!(" {:>11}", "-"),
+                Some(d) => print!(" {:>width$.3}", d.as_secs_f64() * 1e3, width = w),
+                None => print!(" {:>width$}", "-", width = w),
             }
         }
         println!();
     }
 }
 
+/// Column width that fits every result label (12 minimum).
+fn column_width(results: &[(String, FlowStats)]) -> usize {
+    results
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(0)
+        .max(12)
+}
+
 /// Print the completion/median/tail summary for each labelled result.
 pub fn print_fct_summary(results: &[(String, FlowStats)]) {
+    let w = column_width(results);
     header(
         "summary",
         &format!(
-            "{:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            "engine", "completed", "mean ms", "median ms", "p99 ms", "max ms"
+            "{:>w$} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "engine",
+            "completed",
+            "mean ms",
+            "median ms",
+            "p99 ms",
+            "max ms",
+            w = w
         ),
     );
     for (label, fs) in results {
@@ -129,13 +130,14 @@ pub fn print_fct_summary(results: &[(String, FlowStats)]) {
         };
         let fcts = fs.fcts_sorted();
         println!(
-            "{:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "{:>w$} {:>12} {:>12} {:>12} {:>12} {:>12}",
             label,
             format!("{}/{}", fs.completed(), fs.len()),
             ms(fs.fct_mean()),
             ms(quantile_of_sorted(&fcts, 0.5)),
             ms(quantile_of_sorted(&fcts, 0.99)),
             ms(quantile_of_sorted(&fcts, 1.0)),
+            w = w
         );
     }
 }
@@ -155,32 +157,51 @@ pub fn goodputs_gbps(fs: &FlowStats) -> Vec<f64> {
     v
 }
 
+/// Print the survivor-bias note for any engine that left flows
+/// unfinished at the horizon (goodput = bytes / FCT exists only for
+/// completed flows, so rank series cover only the faster survivors).
+pub fn print_unfinished_notes(results: &[(String, FlowStats)]) {
+    for (label, fs) in results {
+        let unfinished = fs.len() - fs.completed();
+        if unfinished > 0 {
+            println!(
+                "note: {label} left {unfinished}/{} flows unfinished at the horizon — its \
+                 goodput columns cover only the {} completed (faster) flows",
+                fs.len(),
+                fs.completed()
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stardust_workload::ScenarioKind;
+    use stardust_sim::{SimDuration, SimTime};
+    use stardust_workload::{FlowEngine, Scenario, ScenarioKind};
 
     #[test]
-    fn side_by_side_runs_one_spec_on_both_engines() {
+    fn engine_presets_drive_one_spec_side_by_side() {
         let scn = Scenario {
-            name: "fig10-helper-test",
+            name: "fig10-helper-test".into(),
             seed: 5,
             kind: ScenarioKind::Permutation {
                 flow_bytes: 200_000,
             },
         };
-        let results =
-            run_side_by_side(&scn, &[Protocol::Stardust], 4, 16, SimTime::from_millis(50));
-        assert_eq!(results.len(), 2);
-        assert_eq!(results[0].0, "Stardust");
-        assert_eq!(results[1].0, FABRIC_LABEL);
         // Both populations sized by their own engine: k=4 → 16 hosts,
         // factor=16 → 16 FAs.
-        assert_eq!(results[0].1.len(), 16);
-        assert_eq!(results[1].1.len(), 16);
-        assert_eq!(results[1].1.completed(), 16);
-        let g = goodputs_gbps(&results[1].1);
+        let mut fab = fabric_engine(16, scn.seed);
+        assert_eq!(FlowEngine::num_nodes(&fab), 16);
+        let fs = scn.run(&mut fab, SimTime::from_millis(50));
+        assert_eq!(fs.len(), 16);
+        assert_eq!(fs.completed(), 16);
+        assert_eq!(fab.stats().cells_dropped.get(), 0);
+        let g = goodputs_gbps(&fs);
         assert_eq!(g.len(), 16);
         assert!(g[0] > 0.0 && g[g.len() - 1] <= 10.5, "goodputs {g:?}");
+        assert!(fs.fct_quantile(0.5).unwrap() > SimDuration::ZERO);
+        assert_eq!(kary_hosts(4), 16);
+        assert_eq!(fabric_fas(16), 16);
     }
 }

@@ -1,0 +1,147 @@
+//! A hand-rolled JSON emitter (the workspace builds with no crates.io
+//! access), used for machine-readable experiment and benchmark output —
+//! the `BENCH_*.json` trajectory files CI archives.
+//!
+//! Emit-only: the pipeline writes JSON for external tooling to read;
+//! nothing in the workspace needs to parse it back.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree. Object keys keep insertion order, so emitted files
+//  are stable run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Non-finite values emit as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Serialize compactly (no insignificant whitespace, `", "` and
+    /// `": "` separators for light human readability).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::str("fig2")),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "points".into(),
+                Json::Arr(vec![
+                    Json::Obj(vec![
+                        ("fas".into(), Json::num(64u32)),
+                        ("eps".into(), Json::Num(2.5e6)),
+                    ]),
+                    Json::Num(1.5),
+                ]),
+            ),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name": "fig2", "ok": true, "none": null, "points": [{"fas": 64, "eps": 2500000}, 1.5]}"#
+        );
+    }
+
+    #[test]
+    fn integral_floats_render_without_decimal() {
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(-0.25).render(), "-0.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+}

@@ -16,6 +16,11 @@ use std::collections::HashMap;
 pub mod corebench;
 pub mod fig10;
 pub mod harness;
+pub mod json;
+pub mod presets;
+pub mod runner;
+pub mod spec;
+pub mod toml;
 
 /// Minimal `--key value` / `--flag` argument parser (no dependency).
 #[derive(Debug, Default)]

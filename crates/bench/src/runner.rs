@@ -1,0 +1,524 @@
+//! Expand an [`ExperimentSpec`] into its run matrix and drive it.
+//!
+//! One spec → engines × seeds runs, every engine driven through the
+//! generic [`FlowEngine`](stardust_workload::FlowEngine) surface —
+//! offer the expanded flow list, drive the
+//! [`FailureSchedule`](stardust_workload::FailureSchedule)
+//! (the body of
+//! [`Scenario::run_with_failures`](stardust_workload::Scenario::run_with_failures),
+//! with the applied-event count kept for reporting).
+//! The runner owns the concrete engine construction (the spec's topology
+//! presets), collects the engine-agnostic [`FlowStats`] plus the fabric
+//! drop/discard counters, evaluates the spec's [`Checks`], and renders
+//! results as text tables or machine-readable JSON.
+
+use crate::fig10::{
+    fabric_config, goodputs_gbps, print_fct_summary, print_fct_table, transport_sim,
+};
+use crate::json::Json;
+use crate::spec::{CompleteScope, CoreChoice, EngineSpec, ExperimentSpec};
+use stardust_fabric::shard::ExecMode;
+use stardust_fabric::{FabricEngine, ShardedFabricEngine};
+use stardust_sim::{quantile_of_sorted, CalendarCore, CoreKind, FlowStats, HeapCore, SimDuration};
+use stardust_topo::builders::{two_tier, TwoTierParams};
+use stardust_transport::Protocol;
+use stardust_workload::{Scenario, TransportFlowEngine};
+use std::time::Instant;
+
+/// One finished cell of the run matrix.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Which engine ran.
+    pub engine: EngineSpec,
+    /// Column label (engine label, `#seed`-suffixed when the spec has
+    /// several seeds).
+    pub label: String,
+    /// The seed of this run.
+    pub seed: u64,
+    /// The engine-agnostic FCT table of the scenario's flows.
+    pub flows: FlowStats,
+    /// Cells dropped inside the fabric (fabric-family engines only).
+    pub cells_dropped: Option<u64>,
+    /// Packets discarded at ingress/routing (fabric-family only).
+    pub packets_discarded: Option<u64>,
+    /// Simulation events executed (fabric-family only).
+    pub events: Option<u64>,
+    /// Link fail/restore events the engine applied.
+    pub failures_applied: usize,
+    /// Wall-clock seconds of the run (engine construction excluded).
+    pub wall_s: f64,
+}
+
+/// A spec's finished run matrix plus its check verdicts.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The spec that ran.
+    pub spec: ExperimentSpec,
+    /// One record per engine × seed, seeds outermost, in spec order.
+    pub runs: Vec<RunRecord>,
+    /// Human-readable descriptions of every failed check (empty = pass).
+    pub check_failures: Vec<String>,
+}
+
+impl Outcome {
+    /// `(label, FlowStats)` pairs for the table printers.
+    pub fn labeled(&self) -> Vec<(String, FlowStats)> {
+        self.runs
+            .iter()
+            .map(|r| (r.label.clone(), r.flows.clone()))
+            .collect()
+    }
+
+    /// The machine-readable form of this outcome (one JSON object).
+    pub fn to_json(&self) -> Json {
+        let ms =
+            |d: Option<SimDuration>| d.map_or(Json::Null, |d| Json::Num(d.as_secs_f64() * 1e3));
+        Json::Obj(vec![
+            ("experiment".into(), Json::str(&self.spec.name)),
+            ("horizon_us".into(), Json::num(self.spec.horizon_us as f64)),
+            (
+                "runs".into(),
+                Json::Arr(
+                    self.runs
+                        .iter()
+                        .map(|r| {
+                            let fcts = r.flows.fcts_sorted();
+                            let opt =
+                                |v: Option<u64>| v.map_or(Json::Null, |n| Json::num(n as f64));
+                            Json::Obj(vec![
+                                ("engine".into(), Json::str(r.engine.to_spec_string())),
+                                ("label".into(), Json::str(&r.label)),
+                                ("seed".into(), Json::num(r.seed as f64)),
+                                ("flows".into(), Json::num(r.flows.len() as f64)),
+                                ("completed".into(), Json::num(r.flows.completed() as f64)),
+                                ("fct_ms_mean".into(), ms(r.flows.fct_mean())),
+                                ("fct_ms_p50".into(), ms(quantile_of_sorted(&fcts, 0.5))),
+                                ("fct_ms_p99".into(), ms(quantile_of_sorted(&fcts, 0.99))),
+                                ("fct_ms_max".into(), ms(quantile_of_sorted(&fcts, 1.0))),
+                                ("cells_dropped".into(), opt(r.cells_dropped)),
+                                ("packets_discarded".into(), opt(r.packets_discarded)),
+                                ("events".into(), opt(r.events)),
+                                (
+                                    "failures_applied".into(),
+                                    Json::num(r.failures_applied as f64),
+                                ),
+                                ("wall_s".into(), Json::Num(r.wall_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "checks_failed".into(),
+                Json::Arr(self.check_failures.iter().map(Json::str).collect()),
+            ),
+            ("pass".into(), Json::Bool(self.check_failures.is_empty())),
+        ])
+    }
+
+    /// Print FCT percentile table + completion summary + check verdicts.
+    pub fn print(&self) {
+        let labeled = self.labeled();
+        print_fct_table(
+            &format!("{}: FCT by percentile [ms]", self.spec.name),
+            &labeled,
+        );
+        print_fct_summary(&labeled);
+        if !self.spec.failures.is_empty() {
+            let scheduled = self
+                .spec
+                .failures
+                .events()
+                .iter()
+                .filter(|e| e.at < self.spec.horizon())
+                .count();
+            for r in &self.runs {
+                if r.failures_applied < scheduled {
+                    println!(
+                        "note: {} applied {}/{} link events (engine has no link state)",
+                        r.label, r.failures_applied, scheduled
+                    );
+                }
+            }
+        }
+        for f in &self.check_failures {
+            println!("CHECK FAILED: {f}");
+        }
+        if !self.spec.checks.is_empty() && self.check_failures.is_empty() {
+            println!("checks: all passed");
+        }
+    }
+}
+
+/// Print any failed checks and convert them to a process exit code;
+/// on success, print `success_note` (e.g. a binary's "smoke OK" line)
+/// if one is given. The shared epilogue of the fig binaries.
+pub fn finish(check_failures: &[String], success_note: Option<&str>) -> std::process::ExitCode {
+    for f in check_failures {
+        eprintln!("CHECK FAILED: {f}");
+    }
+    if !check_failures.is_empty() {
+        return std::process::ExitCode::FAILURE;
+    }
+    if let Some(note) = success_note {
+        println!("\n{note}");
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+/// Run the full engines × seeds matrix of `spec` and evaluate its
+/// checks. Engine construction is untimed; each run's wall clock covers
+/// flow offering + simulation only.
+pub fn run_spec(spec: &ExperimentSpec) -> Outcome {
+    let mut runs = Vec::with_capacity(spec.seeds.len() * spec.engines.len());
+    for &seed in &spec.seeds {
+        let scenario = spec.scenario_for(seed);
+        for &engine in &spec.engines {
+            let mut record = run_one(spec, &scenario, engine, seed);
+            if spec.seeds.len() > 1 {
+                record.label = format!("{}#{}", record.label, seed);
+            }
+            runs.push(record);
+        }
+    }
+    let check_failures = eval_checks(spec, &runs);
+    Outcome {
+        spec: spec.clone(),
+        runs,
+        check_failures,
+    }
+}
+
+/// Offer, drive the failure schedule, and collect the FCT table — the
+/// body of `Scenario::run_with_failures`, with the applied-event count
+/// kept (the runner reports it per run).
+fn drive<E: stardust_workload::FlowEngine>(
+    scenario: &Scenario,
+    spec: &ExperimentSpec,
+    e: &mut E,
+) -> (FlowStats, usize) {
+    e.offer(&scenario.flows(e.num_nodes()));
+    let applied = spec.failures.drive(e, spec.horizon());
+    (e.flow_stats(), applied)
+}
+
+fn run_one(spec: &ExperimentSpec, scenario: &Scenario, engine: EngineSpec, seed: u64) -> RunRecord {
+    match engine {
+        EngineSpec::Fabric { core } => match core {
+            CoreChoice::Calendar => run_fabric_seq::<CalendarCore>(spec, scenario, engine, seed),
+            CoreChoice::Heap => run_fabric_seq::<HeapCore>(spec, scenario, engine, seed),
+        },
+        EngineSpec::Sharded { core, .. } => match core {
+            CoreChoice::Calendar => {
+                run_fabric_sharded::<CalendarCore>(spec, scenario, engine, seed)
+            }
+            CoreChoice::Heap => run_fabric_sharded::<HeapCore>(spec, scenario, engine, seed),
+        },
+        EngineSpec::Transport { proto } => {
+            let sim = transport_sim(spec.topology.kary_k, seed);
+            let mut e = TransportFlowEngine::new(sim, proto);
+            let t0 = Instant::now();
+            let (flows, applied) = drive(scenario, spec, &mut e);
+            RunRecord {
+                engine,
+                label: engine.label(),
+                seed,
+                flows,
+                cells_dropped: None,
+                packets_discarded: None,
+                events: None,
+                failures_applied: applied,
+                wall_s: t0.elapsed().as_secs_f64(),
+            }
+        }
+    }
+}
+
+fn run_fabric_seq<K: CoreKind>(
+    spec: &ExperimentSpec,
+    scenario: &Scenario,
+    engine: EngineSpec,
+    seed: u64,
+) -> RunRecord {
+    let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
+    let mut e = FabricEngine::<K>::with_core(tt.topo, fabric_config(seed));
+    let t0 = Instant::now();
+    let (flows, applied) = drive(scenario, spec, &mut e);
+    let wall_s = t0.elapsed().as_secs_f64();
+    RunRecord {
+        engine,
+        label: engine.label(),
+        seed,
+        flows,
+        cells_dropped: Some(e.stats().cells_dropped.get()),
+        packets_discarded: Some(e.stats().packets_discarded.get()),
+        events: Some(e.events_executed()),
+        failures_applied: applied,
+        wall_s,
+    }
+}
+
+fn run_fabric_sharded<K: CoreKind>(
+    spec: &ExperimentSpec,
+    scenario: &Scenario,
+    engine: EngineSpec,
+    seed: u64,
+) -> RunRecord
+where
+    FabricEngine<K>: Send,
+{
+    let EngineSpec::Sharded { shards, .. } = engine else {
+        unreachable!("caller matched Sharded")
+    };
+    let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
+    let mut e = ShardedFabricEngine::<K>::with_core(tt.topo, fabric_config(seed), shards);
+    // On hosts with fewer cores than shards, OS threads only add barrier
+    // context switches; the inline mode is bit-identical (pinned by the
+    // conformance suite) and fast.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u32;
+    if cores < shards {
+        e.set_exec_mode(ExecMode::Inline);
+    }
+    let t0 = Instant::now();
+    let (flows, applied) = drive(scenario, spec, &mut e);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = e.stats();
+    RunRecord {
+        engine,
+        label: engine.label(),
+        seed,
+        flows,
+        cells_dropped: Some(stats.cells_dropped.get()),
+        packets_discarded: Some(stats.packets_discarded.get()),
+        events: Some(e.events_executed()),
+        failures_applied: applied,
+        wall_s,
+    }
+}
+
+fn eval_checks(spec: &ExperimentSpec, runs: &[RunRecord]) -> Vec<String> {
+    let c = &spec.checks;
+    let mut fails = Vec::new();
+    let in_complete_scope = |r: &RunRecord| match c.complete {
+        CompleteScope::None => false,
+        CompleteScope::Fabric => r.engine.is_fabric(),
+        CompleteScope::Stardust => {
+            r.engine.is_fabric()
+                || matches!(
+                    r.engine,
+                    EngineSpec::Transport {
+                        proto: Protocol::Stardust
+                    }
+                )
+        }
+        CompleteScope::All => true,
+    };
+    for r in runs {
+        let (done, total) = (r.flows.completed(), r.flows.len());
+        if in_complete_scope(r) && done != total {
+            fails.push(format!(
+                "{}: {}/{} flows completed (complete = \"{:?}\")",
+                r.label, done, total, c.complete
+            ));
+        }
+        if c.some_complete && done == 0 {
+            fails.push(format!("{}: no flow completed", r.label));
+        }
+        if !r.engine.is_fabric() {
+            continue;
+        }
+        if c.zero_drops && r.cells_dropped != Some(0) {
+            fails.push(format!(
+                "{}: {} cells dropped — the scheduled fabric must be lossless",
+                r.label,
+                r.cells_dropped.unwrap_or(0)
+            ));
+        }
+        let fct_ms = |q: f64| {
+            let fcts = r.flows.fcts_sorted();
+            quantile_of_sorted(&fcts, q).map(|d| d.as_secs_f64() * 1e3)
+        };
+        if let Some(cap) = c.fct_p99_ms_max {
+            match fct_ms(0.99) {
+                Some(p99) if p99 < cap => {}
+                got => fails.push(format!(
+                    "{}: p99 FCT {got:?} ms out of the NDP class (cap {cap} ms)",
+                    r.label
+                )),
+            }
+        }
+        if let Some(cap) = c.fct_median_ms_max {
+            match fct_ms(0.5) {
+                Some(med) if med < cap => {}
+                got => fails.push(format!(
+                    "{}: median FCT {got:?} ms above cap {cap} ms",
+                    r.label
+                )),
+            }
+        }
+        if let Some(floor) = c.min_goodput_gbps {
+            let g = goodputs_gbps(&r.flows);
+            match g.first() {
+                Some(&min) if min > floor => {}
+                got => fails.push(format!(
+                    "{}: min goodput {got:?} Gbps below floor {floor} Gbps",
+                    r.label
+                )),
+            }
+        }
+        if let Some(cap) = c.last_first_ratio_max {
+            match (r.flows.fct_quantile(0.0), r.flows.fct_quantile(1.0)) {
+                (Some(first), Some(last)) if last.as_secs_f64() / first.as_secs_f64() < cap => {}
+                (Some(first), Some(last)) => fails.push(format!(
+                    "{}: last/first FCT ratio {:.2} above cap {cap} — credits are not fair",
+                    r.label,
+                    last.as_secs_f64() / first.as_secs_f64()
+                )),
+                _ => fails.push(format!("{}: no FCTs to judge fairness on", r.label)),
+            }
+        }
+    }
+    if c.sharded_identical {
+        for &seed in &spec.seeds {
+            let fabric: Vec<&RunRecord> = runs
+                .iter()
+                .filter(|r| r.seed == seed && r.engine.is_fabric())
+                .collect();
+            if fabric.len() < 2 {
+                fails.push(format!(
+                    "seed {seed}: sharded_identical needs ≥ 2 fabric-family engines, got {}",
+                    fabric.len()
+                ));
+                continue;
+            }
+            for pair in fabric.windows(2) {
+                // Per-flow tables plus the drop/discard counters; event
+                // counts are excluded (the sharded engine legitimately
+                // executes extra barrier/handoff events).
+                let view = |r: &RunRecord| (r.flows.clone(), r.cells_dropped, r.packets_discarded);
+                if view(pair[0]) != view(pair[1]) {
+                    fails.push(format!(
+                        "seed {seed}: {} and {} diverged (FlowStats or drop/discard \
+                         counters) — shard conformance broken",
+                        pair[0].label, pair[1].label
+                    ));
+                }
+            }
+        }
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Checks;
+    use stardust_sim::SimTime;
+    use stardust_topo::LinkId;
+    use stardust_workload::ScenarioKind;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "runner-unit".into(),
+            horizon_us: 5_000,
+            seeds: vec![42],
+            engines: vec![
+                EngineSpec::Transport {
+                    proto: Protocol::Stardust,
+                },
+                EngineSpec::Fabric {
+                    core: CoreChoice::Calendar,
+                },
+            ],
+            topology: crate::spec::TopoSpec {
+                two_tier_factor: 16,
+                kary_k: 4,
+            },
+            scenario: ScenarioKind::Permutation {
+                flow_bytes: 100_000,
+            },
+            failures: Default::default(),
+            checks: Checks {
+                complete: CompleteScope::Fabric,
+                zero_drops: true,
+                ..Checks::default()
+            },
+        }
+    }
+
+    #[test]
+    fn matrix_runs_and_checks_pass() {
+        let out = run_spec(&tiny_spec());
+        assert_eq!(out.runs.len(), 2);
+        assert_eq!(out.runs[0].label, "Stardust");
+        assert_eq!(out.runs[1].label, crate::fig10::FABRIC_LABEL);
+        assert_eq!(out.runs[1].cells_dropped, Some(0));
+        assert!(out.runs[1].events.unwrap() > 0);
+        assert_eq!(out.runs[1].flows.len(), 16);
+        assert!(
+            out.check_failures.is_empty(),
+            "unexpected failures: {:?}",
+            out.check_failures
+        );
+        let json = out.to_json().render();
+        assert!(json.contains("\"experiment\": \"runner-unit\""));
+        assert!(json.contains("\"pass\": true"));
+    }
+
+    #[test]
+    fn failed_checks_are_reported() {
+        let mut spec = tiny_spec();
+        // An impossible cap: every FCT is above 0 ms.
+        spec.checks.fct_median_ms_max = Some(1e-9);
+        let out = run_spec(&spec);
+        assert!(
+            out.check_failures.iter().any(|f| f.contains("median")),
+            "{:?}",
+            out.check_failures
+        );
+        assert!(out.to_json().render().contains("\"pass\": false"));
+    }
+
+    #[test]
+    fn failure_schedule_applies_on_fabric_not_transport() {
+        let mut spec = tiny_spec();
+        spec.checks = Checks::default();
+        spec.failures = Default::default();
+        spec.failures = stardust_workload::FailureSchedule::new()
+            .fail_at(SimTime::from_micros(500), LinkId(0))
+            .restore_at(SimTime::from_micros(2_000), LinkId(0));
+        let out = run_spec(&spec);
+        assert_eq!(out.runs[0].failures_applied, 0, "transport has no links");
+        assert_eq!(out.runs[1].failures_applied, 2, "fabric applies both");
+    }
+
+    #[test]
+    fn sharded_identical_check_compares_engines() {
+        let mut spec = tiny_spec();
+        spec.engines = vec![
+            EngineSpec::Fabric {
+                core: CoreChoice::Calendar,
+            },
+            EngineSpec::Sharded {
+                shards: 2,
+                core: CoreChoice::Calendar,
+            },
+        ];
+        spec.checks = Checks {
+            sharded_identical: true,
+            ..Checks::default()
+        };
+        let out = run_spec(&spec);
+        assert!(
+            out.check_failures.is_empty(),
+            "sharded diverged: {:?}",
+            out.check_failures
+        );
+
+        // And the check actually bites when there is nothing to compare.
+        spec.engines.truncate(1);
+        let out = run_spec(&spec);
+        assert_eq!(out.check_failures.len(), 1);
+        assert!(out.check_failures[0].contains("needs ≥ 2"));
+    }
+}

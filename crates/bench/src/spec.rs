@@ -1,0 +1,873 @@
+//! Declarative experiment specs — the management plane of the
+//! evaluation matrix.
+//!
+//! An [`ExperimentSpec`] names everything one experiment needs:
+//! topology preset + scale, the engines to drive (sequential fabric,
+//! sharded fabric with a shard count and event core, or a fat-tree
+//! transport protocol), the workload [`ScenarioKind`], a
+//! [`FailureSchedule`] of timed link fail/restore events, the horizon,
+//! the seeds, and the pass/fail [`Checks`] CI gates on. The
+//! [`runner`](crate::runner) expands it into the run matrix
+//! (engines × seeds) over the generic
+//! [`FlowEngine`](stardust_workload::FlowEngine) surface.
+//!
+//! Specs parse from the TOML subset of [`crate::toml`] (see `specs/` at
+//! the repo root) and format back losslessly — `parse ∘ format ∘ parse`
+//! is pinned by tests. The shape:
+//!
+//! ```toml
+//! [experiment]
+//! name = "fig10b-web-mix"
+//! horizon_us = 100000
+//! seeds = [42]
+//! engines = ["transport:dctcp", "transport:stardust", "fabric"]
+//!
+//! [topology]
+//! two_tier_factor = 16
+//! kary_k = 4
+//!
+//! [scenario]
+//! kind = "mix"          # permutation | incast | mix | shuffle
+//! dist = "web"          # web | hadoop
+//! flows = 50
+//! node_gap_us = 800
+//!
+//! [checks]
+//! complete = "fabric"   # none | fabric | stardust | all
+//! zero_drops = true
+//! fct_p99_ms_max = 10.0
+//!
+//! [[failure]]
+//! at_us = 2000
+//! link = 0
+//! action = "fail"       # fail | restore
+//! ```
+
+use crate::toml::{self, Table, Value};
+use stardust_sim::{SimDuration, SimTime};
+use stardust_topo::LinkId;
+use stardust_transport::Protocol;
+use stardust_workload::{FailureSchedule, FlowSizeDist, LinkAction, ScenarioKind};
+use std::fmt;
+
+/// A spec-layer error (parse or validation), with context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<toml::TomlError> for SpecError {
+    fn from(e: toml::TomlError) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+fn bad<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(msg.into()))
+}
+
+/// Which event core a fabric engine runs on (see `stardust-sim`'s
+/// `CalendarCore` / `HeapCore`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreChoice {
+    /// The bucketed calendar queue (the default, faster core).
+    #[default]
+    Calendar,
+    /// The binary-heap core (kept for differential testing).
+    Heap,
+}
+
+impl CoreChoice {
+    fn parse(s: &str) -> Result<Self, SpecError> {
+        match s {
+            "calendar" => Ok(CoreChoice::Calendar),
+            "heap" => Ok(CoreChoice::Heap),
+            other => bad(format!("unknown event core {other:?} (calendar | heap)")),
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            CoreChoice::Calendar => "calendar",
+            CoreChoice::Heap => "heap",
+        }
+    }
+}
+
+/// One engine of a spec's run matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// The sequential cell-accurate fabric engine.
+    Fabric {
+        /// Event core to run on.
+        core: CoreChoice,
+    },
+    /// The sharded fabric engine (bit-identical to sequential).
+    Sharded {
+        /// Shard (thread) count, ≥ 1.
+        shards: u32,
+        /// Event core to run on.
+        core: CoreChoice,
+    },
+    /// The §6.3 fat-tree transport simulator under one protocol.
+    Transport {
+        /// The transport protocol every offered flow uses.
+        proto: Protocol,
+    },
+}
+
+impl EngineSpec {
+    /// Parse the spec-file syntax: `fabric[:core]`, `sharded:N[:core]`,
+    /// `transport:PROTO`.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        match (kind, rest.as_slice()) {
+            ("fabric", []) => Ok(EngineSpec::Fabric {
+                core: CoreChoice::default(),
+            }),
+            ("fabric", [core]) => Ok(EngineSpec::Fabric {
+                core: CoreChoice::parse(core)?,
+            }),
+            ("sharded", [n]) | ("sharded", [n, _]) => {
+                let shards: u32 = n
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| SpecError(format!("bad shard count in {s:?}")))?;
+                let core = match rest.as_slice() {
+                    [_, core] => CoreChoice::parse(core)?,
+                    _ => CoreChoice::default(),
+                };
+                Ok(EngineSpec::Sharded { shards, core })
+            }
+            ("transport", [proto]) => Ok(EngineSpec::Transport {
+                proto: parse_proto(proto)?,
+            }),
+            _ => bad(format!(
+                "unknown engine {s:?} (fabric[:core] | sharded:N[:core] | transport:proto)"
+            )),
+        }
+    }
+
+    /// The spec-file syntax this parses back from.
+    pub fn to_spec_string(self) -> String {
+        match self {
+            EngineSpec::Fabric {
+                core: CoreChoice::Calendar,
+            } => "fabric".into(),
+            EngineSpec::Fabric { core } => format!("fabric:{}", core.as_str()),
+            EngineSpec::Sharded {
+                shards,
+                core: CoreChoice::Calendar,
+            } => format!("sharded:{shards}"),
+            EngineSpec::Sharded { shards, core } => {
+                format!("sharded:{shards}:{}", core.as_str())
+            }
+            EngineSpec::Transport { proto } => {
+                format!("transport:{}", proto.label().to_ascii_lowercase())
+            }
+        }
+    }
+
+    /// Column label in printed and JSON output.
+    pub fn label(self) -> String {
+        match self {
+            EngineSpec::Fabric {
+                core: CoreChoice::Calendar,
+            } => crate::fig10::FABRIC_LABEL.to_string(),
+            EngineSpec::Fabric { core } => {
+                format!("{}:{}", crate::fig10::FABRIC_LABEL, core.as_str())
+            }
+            EngineSpec::Sharded { shards, core } => {
+                let base = format!("{}/{shards}sh", crate::fig10::FABRIC_LABEL);
+                match core {
+                    CoreChoice::Calendar => base,
+                    CoreChoice::Heap => format!("{base}:heap"),
+                }
+            }
+            EngineSpec::Transport { proto } => proto.label().to_string(),
+        }
+    }
+
+    /// Whether this is a fabric-family engine (cell-accurate model,
+    /// supports link failure and drop accounting).
+    pub fn is_fabric(self) -> bool {
+        !matches!(self, EngineSpec::Transport { .. })
+    }
+}
+
+fn parse_proto(s: &str) -> Result<Protocol, SpecError> {
+    match s.to_ascii_lowercase().as_str() {
+        "tcp" => Ok(Protocol::Tcp),
+        "dctcp" => Ok(Protocol::Dctcp),
+        "mptcp" => Ok(Protocol::Mptcp),
+        "dcqcn" => Ok(Protocol::Dcqcn),
+        "stardust" => Ok(Protocol::Stardust),
+        other => bad(format!("unknown transport protocol {other:?}")),
+    }
+}
+
+/// Topology presets for the two engine families: the fabric engines run
+/// a `1/two_tier_factor`-scale §6.2 two-tier Stardust fabric (one 10G
+/// host port per FA), the transport engines a §6.3 k-ary fat-tree
+/// (k³/4 hosts, 10G links). Both are present so one spec can land the
+/// same workload on the paper's comparison network and on the Stardust
+/// fabric proper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// Divisor of the paper's two-tier population (16 → 16 FAs).
+    pub two_tier_factor: u32,
+    /// Fat-tree arity (4 → 16 hosts).
+    pub kary_k: u32,
+}
+
+/// Which runs a completion gate covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompleteScope {
+    /// No completion requirement.
+    #[default]
+    None,
+    /// Every fabric-family run must finish all flows.
+    Fabric,
+    /// Fabric-family runs plus `transport:stardust` must finish all.
+    Stardust,
+    /// Every run must finish all flows.
+    All,
+}
+
+impl CompleteScope {
+    fn parse(s: &str) -> Result<Self, SpecError> {
+        match s {
+            "none" => Ok(CompleteScope::None),
+            "fabric" => Ok(CompleteScope::Fabric),
+            "stardust" => Ok(CompleteScope::Stardust),
+            "all" => Ok(CompleteScope::All),
+            other => bad(format!(
+                "unknown complete scope {other:?} (none | fabric | stardust | all)"
+            )),
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            CompleteScope::None => "none",
+            CompleteScope::Fabric => "fabric",
+            CompleteScope::Stardust => "stardust",
+            CompleteScope::All => "all",
+        }
+    }
+}
+
+/// Pass/fail gates evaluated over a spec's finished run matrix — the
+/// machine-readable form of what the fig10 `--smoke` binaries used to
+/// hard-code.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Checks {
+    /// Completion requirement (see [`CompleteScope`]).
+    pub complete: CompleteScope,
+    /// Every run must complete at least one flow.
+    pub some_complete: bool,
+    /// Fabric-family runs must drop zero cells (the paper's
+    /// losslessness claim).
+    pub zero_drops: bool,
+    /// Cap on fabric p99 FCT, in milliseconds.
+    pub fct_p99_ms_max: Option<f64>,
+    /// Cap on fabric median FCT, in milliseconds.
+    pub fct_median_ms_max: Option<f64>,
+    /// Floor on the slowest completed fabric flow's goodput, in Gbps.
+    pub min_goodput_gbps: Option<f64>,
+    /// Cap on fabric last/first FCT ratio (incast fairness).
+    pub last_first_ratio_max: Option<f64>,
+    /// All fabric-family runs of one seed must produce bit-identical
+    /// `FlowStats` (the sharded-conformance gate as a spec line).
+    pub sharded_identical: bool,
+}
+
+impl Checks {
+    /// Whether no gate is configured.
+    pub fn is_empty(&self) -> bool {
+        *self == Checks::default()
+    }
+}
+
+/// One declarative experiment: everything the runner needs to expand
+/// and drive the engines × seeds matrix. See the module docs for the
+/// file format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name; also names the [`Scenario`] (and thereby salts
+    /// its flow-list RNG).
+    ///
+    /// [`Scenario`]: stardust_workload::Scenario
+    pub name: String,
+    /// Simulated horizon, in microseconds.
+    pub horizon_us: u64,
+    /// Master seeds; the matrix runs every engine under every seed.
+    pub seeds: Vec<u64>,
+    /// Engines to drive.
+    pub engines: Vec<EngineSpec>,
+    /// Topology presets (see [`TopoSpec`]).
+    pub topology: TopoSpec,
+    /// The workload pattern.
+    pub scenario: ScenarioKind,
+    /// Timed link fail/restore events (applied to engines that model
+    /// link state; reported as skipped on those that don't).
+    pub failures: FailureSchedule,
+    /// Pass/fail gates.
+    pub checks: Checks,
+}
+
+impl ExperimentSpec {
+    /// The horizon as a [`SimTime`].
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_micros(self.horizon_us)
+    }
+
+    /// Parse a spec from TOML text.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        Self::from_table(&toml::parse(text)?)
+    }
+
+    /// Parse a spec from an already-parsed TOML document.
+    pub fn from_table(doc: &Table) -> Result<Self, SpecError> {
+        let exp = get_table(doc, "experiment")?;
+        let name = get_str(exp, "experiment", "name")?.to_string();
+        if name.is_empty() {
+            return bad("[experiment] name must be non-empty");
+        }
+        let horizon_us = get_u64(exp, "experiment", "horizon_us")?;
+        if horizon_us == 0 {
+            return bad("[experiment] horizon_us must be positive");
+        }
+        let seeds = match exp.get("seeds") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_int()
+                        .filter(|&n| n >= 0)
+                        .map(|n| n as u64)
+                        .ok_or_else(|| SpecError("seeds must be non-negative integers".into()))
+                })
+                .collect::<Result<Vec<u64>, _>>()?,
+            Some(_) => return bad("[experiment] seeds must be an array of integers"),
+            None => vec![42],
+        };
+        if seeds.is_empty() {
+            return bad("[experiment] seeds must be non-empty");
+        }
+        let engines = match exp.get("engines") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .ok_or_else(|| SpecError("engines must be strings".into()))
+                        .and_then(EngineSpec::parse)
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return bad("[experiment] engines must be an array of engine strings"),
+        };
+        if engines.is_empty() {
+            return bad("[experiment] engines must be non-empty");
+        }
+
+        let topo = get_table(doc, "topology")?;
+        let topology = TopoSpec {
+            two_tier_factor: get_u64(topo, "topology", "two_tier_factor")? as u32,
+            kary_k: get_u64(topo, "topology", "kary_k")? as u32,
+        };
+        if topology.two_tier_factor == 0 || topology.kary_k == 0 {
+            return bad("[topology] factors must be positive");
+        }
+
+        let scenario = parse_scenario(get_table(doc, "scenario")?)?;
+        let failures = parse_failures(doc)?;
+        let checks = match doc.get("checks") {
+            Some(Value::Table(t)) => parse_checks(t)?,
+            Some(_) => return bad("[checks] must be a table"),
+            None => Checks::default(),
+        };
+
+        Ok(ExperimentSpec {
+            name,
+            horizon_us,
+            seeds,
+            engines,
+            topology,
+            scenario,
+            failures,
+            checks,
+        })
+    }
+
+    /// Render back to a TOML document; `parse(format(to_table()))`
+    /// reproduces the spec exactly (pinned by round-trip tests).
+    ///
+    /// # Panics
+    /// If the scenario uses a flow-size distribution other than the
+    /// built-in `web` / `hadoop` ones (nothing a parsed spec can hold).
+    pub fn to_table(&self) -> Table {
+        let mut exp = Table::new();
+        exp.insert("name".into(), Value::Str(self.name.clone()));
+        exp.insert("horizon_us".into(), Value::Int(self.horizon_us as i64));
+        exp.insert(
+            "seeds".into(),
+            Value::Array(self.seeds.iter().map(|&s| Value::Int(s as i64)).collect()),
+        );
+        exp.insert(
+            "engines".into(),
+            Value::Array(
+                self.engines
+                    .iter()
+                    .map(|e| Value::Str(e.to_spec_string()))
+                    .collect(),
+            ),
+        );
+
+        let mut topo = Table::new();
+        topo.insert(
+            "two_tier_factor".into(),
+            Value::Int(self.topology.two_tier_factor as i64),
+        );
+        topo.insert("kary_k".into(), Value::Int(self.topology.kary_k as i64));
+
+        let mut doc = Table::new();
+        doc.insert("experiment".into(), Value::Table(exp));
+        doc.insert("topology".into(), Value::Table(topo));
+        doc.insert(
+            "scenario".into(),
+            Value::Table(scenario_table(&self.scenario)),
+        );
+        if !self.failures.is_empty() {
+            doc.insert(
+                "failure".into(),
+                Value::Array(
+                    self.failures
+                        .events()
+                        .iter()
+                        .map(|ev| {
+                            let mut t = Table::new();
+                            t.insert(
+                                "at_us".into(),
+                                Value::Int((ev.at.as_ps() / stardust_sim::time::PS_PER_US) as i64),
+                            );
+                            t.insert("link".into(), Value::Int(ev.link.0 as i64));
+                            t.insert(
+                                "action".into(),
+                                Value::Str(
+                                    match ev.action {
+                                        LinkAction::Fail => "fail",
+                                        LinkAction::Restore => "restore",
+                                    }
+                                    .into(),
+                                ),
+                            );
+                            Value::Table(t)
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if !self.checks.is_empty() {
+            doc.insert("checks".into(), Value::Table(checks_table(&self.checks)));
+        }
+        doc
+    }
+
+    /// Render to TOML text.
+    pub fn to_text(&self) -> String {
+        toml::format(&self.to_table())
+    }
+
+    /// The scenario this spec runs under `seed`.
+    pub fn scenario_for(&self, seed: u64) -> stardust_workload::Scenario {
+        stardust_workload::Scenario {
+            name: self.name.clone(),
+            seed,
+            kind: self.scenario.clone(),
+        }
+    }
+}
+
+fn get_table<'a>(doc: &'a Table, key: &str) -> Result<&'a Table, SpecError> {
+    match doc.get(key) {
+        Some(Value::Table(t)) => Ok(t),
+        Some(_) => bad(format!("[{key}] must be a table")),
+        None => bad(format!("missing [{key}] section")),
+    }
+}
+
+fn get_str<'a>(t: &'a Table, section: &str, key: &str) -> Result<&'a str, SpecError> {
+    t.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| SpecError(format!("[{section}] needs a string {key:?}")))
+}
+
+fn get_u64(t: &Table, section: &str, key: &str) -> Result<u64, SpecError> {
+    t.get(key)
+        .and_then(Value::as_int)
+        .filter(|&n| n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| SpecError(format!("[{section}] needs a non-negative integer {key:?}")))
+}
+
+fn parse_dist(s: &str) -> Result<FlowSizeDist, SpecError> {
+    match s {
+        "web" => Ok(FlowSizeDist::fb_web()),
+        "hadoop" => Ok(FlowSizeDist::fb_hadoop()),
+        other => bad(format!("unknown flow-size dist {other:?} (web | hadoop)")),
+    }
+}
+
+fn dist_name(d: &FlowSizeDist) -> &'static str {
+    if *d == FlowSizeDist::fb_web() {
+        "web"
+    } else if *d == FlowSizeDist::fb_hadoop() {
+        "hadoop"
+    } else {
+        panic!("only the built-in web/hadoop dists are spec-serializable")
+    }
+}
+
+fn parse_scenario(t: &Table) -> Result<ScenarioKind, SpecError> {
+    match get_str(t, "scenario", "kind")? {
+        "permutation" => Ok(ScenarioKind::Permutation {
+            flow_bytes: get_u64(t, "scenario", "flow_bytes")?,
+        }),
+        "incast" => Ok(ScenarioKind::Incast {
+            backends: get_u64(t, "scenario", "backends")? as usize,
+            response_bytes: get_u64(t, "scenario", "response_bytes")?,
+        }),
+        "mix" => Ok(ScenarioKind::Mix {
+            dist: parse_dist(get_str(t, "scenario", "dist")?)?,
+            n_flows: get_u64(t, "scenario", "flows")? as usize,
+            node_gap: SimDuration::from_micros(get_u64(t, "scenario", "node_gap_us")?),
+        }),
+        "shuffle" => Ok(ScenarioKind::Shuffle {
+            bytes_per_pair: get_u64(t, "scenario", "bytes_per_pair")?,
+            node_gap: SimDuration::from_micros(get_u64(t, "scenario", "node_gap_us")?),
+        }),
+        other => bad(format!(
+            "unknown scenario kind {other:?} (permutation | incast | mix | shuffle)"
+        )),
+    }
+}
+
+fn scenario_table(kind: &ScenarioKind) -> Table {
+    let mut t = Table::new();
+    match kind {
+        ScenarioKind::Permutation { flow_bytes } => {
+            t.insert("kind".into(), Value::Str("permutation".into()));
+            t.insert("flow_bytes".into(), Value::Int(*flow_bytes as i64));
+        }
+        ScenarioKind::Incast {
+            backends,
+            response_bytes,
+        } => {
+            t.insert("kind".into(), Value::Str("incast".into()));
+            t.insert("backends".into(), Value::Int(*backends as i64));
+            t.insert("response_bytes".into(), Value::Int(*response_bytes as i64));
+        }
+        ScenarioKind::Mix {
+            dist,
+            n_flows,
+            node_gap,
+        } => {
+            t.insert("kind".into(), Value::Str("mix".into()));
+            t.insert("dist".into(), Value::Str(dist_name(dist).into()));
+            t.insert("flows".into(), Value::Int(*n_flows as i64));
+            t.insert(
+                "node_gap_us".into(),
+                Value::Int((node_gap.0 / stardust_sim::time::PS_PER_US) as i64),
+            );
+        }
+        ScenarioKind::Shuffle {
+            bytes_per_pair,
+            node_gap,
+        } => {
+            t.insert("kind".into(), Value::Str("shuffle".into()));
+            t.insert("bytes_per_pair".into(), Value::Int(*bytes_per_pair as i64));
+            t.insert(
+                "node_gap_us".into(),
+                Value::Int((node_gap.0 / stardust_sim::time::PS_PER_US) as i64),
+            );
+        }
+    }
+    t
+}
+
+fn parse_failures(doc: &Table) -> Result<FailureSchedule, SpecError> {
+    let mut schedule = FailureSchedule::new();
+    match doc.get("failure") {
+        None => {}
+        Some(Value::Array(items)) => {
+            for item in items {
+                let Some(t) = item.as_table() else {
+                    return bad("[[failure]] entries must be tables");
+                };
+                let at = SimTime::from_micros(get_u64(t, "failure", "at_us")?);
+                let link = LinkId(get_u64(t, "failure", "link")? as u32);
+                schedule = match get_str(t, "failure", "action")? {
+                    "fail" => schedule.fail_at(at, link),
+                    "restore" => schedule.restore_at(at, link),
+                    other => return bad(format!("unknown failure action {other:?}")),
+                };
+            }
+        }
+        Some(_) => return bad("failure must be an array of tables ([[failure]])"),
+    }
+    Ok(schedule)
+}
+
+fn parse_checks(t: &Table) -> Result<Checks, SpecError> {
+    let mut c = Checks::default();
+    for (key, v) in t {
+        match key.as_str() {
+            "complete" => {
+                c.complete = CompleteScope::parse(
+                    v.as_str()
+                        .ok_or_else(|| SpecError("checks.complete must be a string".into()))?,
+                )?
+            }
+            "some_complete" => c.some_complete = check_bool(key, v)?,
+            "zero_drops" => c.zero_drops = check_bool(key, v)?,
+            "sharded_identical" => c.sharded_identical = check_bool(key, v)?,
+            "fct_p99_ms_max" => c.fct_p99_ms_max = Some(check_f64(key, v)?),
+            "fct_median_ms_max" => c.fct_median_ms_max = Some(check_f64(key, v)?),
+            "min_goodput_gbps" => c.min_goodput_gbps = Some(check_f64(key, v)?),
+            "last_first_ratio_max" => c.last_first_ratio_max = Some(check_f64(key, v)?),
+            other => return bad(format!("unknown check {other:?}")),
+        }
+    }
+    Ok(c)
+}
+
+fn check_bool(key: &str, v: &Value) -> Result<bool, SpecError> {
+    v.as_bool()
+        .ok_or_else(|| SpecError(format!("checks.{key} must be a boolean")))
+}
+
+fn check_f64(key: &str, v: &Value) -> Result<f64, SpecError> {
+    v.as_float()
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .ok_or_else(|| SpecError(format!("checks.{key} must be a positive number")))
+}
+
+fn checks_table(c: &Checks) -> Table {
+    let mut t = Table::new();
+    if c.complete != CompleteScope::None {
+        t.insert("complete".into(), Value::Str(c.complete.as_str().into()));
+    }
+    if c.some_complete {
+        t.insert("some_complete".into(), Value::Bool(true));
+    }
+    if c.zero_drops {
+        t.insert("zero_drops".into(), Value::Bool(true));
+    }
+    if c.sharded_identical {
+        t.insert("sharded_identical".into(), Value::Bool(true));
+    }
+    if let Some(x) = c.fct_p99_ms_max {
+        t.insert("fct_p99_ms_max".into(), Value::Float(x));
+    }
+    if let Some(x) = c.fct_median_ms_max {
+        t.insert("fct_median_ms_max".into(), Value::Float(x));
+    }
+    if let Some(x) = c.min_goodput_gbps {
+        t.insert("min_goodput_gbps".into(), Value::Float(x));
+    }
+    if let Some(x) = c.last_first_ratio_max {
+        t.insert("last_first_ratio_max".into(), Value::Float(x));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+[experiment]
+name = "unit-spec"
+horizon_us = 50000
+seeds = [42, 7]
+engines = ["transport:dctcp", "transport:stardust", "fabric", "sharded:2", "fabric:heap"]
+
+[topology]
+two_tier_factor = 16
+kary_k = 4
+
+[scenario]
+kind = "mix"
+dist = "web"
+flows = 50
+node_gap_us = 800
+
+[checks]
+complete = "fabric"
+some_complete = true
+zero_drops = true
+fct_p99_ms_max = 10.0
+sharded_identical = true
+
+[[failure]]
+at_us = 2000
+link = 0
+action = "fail"
+
+[[failure]]
+at_us = 6000
+link = 0
+action = "restore"
+"#;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = ExperimentSpec::parse(FULL).expect("parse");
+        assert_eq!(spec.name, "unit-spec");
+        assert_eq!(spec.horizon(), SimTime::from_millis(50));
+        assert_eq!(spec.seeds, vec![42, 7]);
+        assert_eq!(spec.engines.len(), 5);
+        assert_eq!(
+            spec.engines[3],
+            EngineSpec::Sharded {
+                shards: 2,
+                core: CoreChoice::Calendar
+            }
+        );
+        assert_eq!(
+            spec.engines[4],
+            EngineSpec::Fabric {
+                core: CoreChoice::Heap
+            }
+        );
+        assert!(matches!(
+            spec.scenario,
+            ScenarioKind::Mix { n_flows: 50, .. }
+        ));
+        assert_eq!(spec.failures.events().len(), 2);
+        assert_eq!(spec.checks.complete, CompleteScope::Fabric);
+        assert_eq!(spec.checks.fct_p99_ms_max, Some(10.0));
+        assert!(spec.checks.sharded_identical);
+        assert_eq!(spec.checks.last_first_ratio_max, None);
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        let spec = ExperimentSpec::parse(FULL).unwrap();
+        let text = spec.to_text();
+        let again = ExperimentSpec::parse(&text).expect("formatted spec re-parses");
+        assert_eq!(spec, again, "round trip changed the spec:\n{text}");
+        // Formatting is a fixpoint.
+        assert_eq!(text, again.to_text());
+    }
+
+    #[test]
+    fn engine_strings_round_trip() {
+        for s in [
+            "fabric",
+            "fabric:heap",
+            "sharded:2",
+            "sharded:4:heap",
+            "transport:tcp",
+            "transport:dctcp",
+            "transport:mptcp",
+            "transport:dcqcn",
+            "transport:stardust",
+        ] {
+            let e = EngineSpec::parse(s).expect(s);
+            assert_eq!(e.to_spec_string(), s);
+            assert_eq!(EngineSpec::parse(&e.to_spec_string()).unwrap(), e);
+        }
+        for bad in [
+            "",
+            "fabric:quantum",
+            "sharded:0",
+            "sharded:x",
+            "transport:udp",
+        ] {
+            assert!(EngineSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn scenario_kinds_round_trip() {
+        for kind in [
+            ScenarioKind::Permutation { flow_bytes: 1000 },
+            ScenarioKind::Incast {
+                backends: 10,
+                response_bytes: 450_000,
+            },
+            ScenarioKind::Mix {
+                dist: FlowSizeDist::fb_hadoop(),
+                n_flows: 9,
+                node_gap: SimDuration::from_micros(123),
+            },
+            ScenarioKind::Shuffle {
+                bytes_per_pair: 4096,
+                node_gap: SimDuration::from_micros(55),
+            },
+        ] {
+            let t = scenario_table(&kind);
+            assert_eq!(parse_scenario(&t).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (mutation, needle) in [
+            ("name = \"\"", "non-empty"),
+            ("horizon_us = 0", "positive"),
+            ("engines = []", "non-empty"),
+            ("seeds = [-1]", "non-negative"),
+        ] {
+            let text = FULL
+                .replace("name = \"unit-spec\"", mutation)
+                .replace("horizon_us = 50000", mutation)
+                .replace(
+                    "engines = [\"transport:dctcp\", \"transport:stardust\", \"fabric\", \"sharded:2\", \"fabric:heap\"]",
+                    mutation,
+                )
+                .replace("seeds = [42, 7]", mutation);
+            // Each replace() collapses several keys onto `mutation`; any
+            // resulting document must fail to validate (duplicate keys or
+            // the targeted validation error).
+            let e = ExperimentSpec::parse(&text).expect_err(needle);
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(ExperimentSpec::parse("[experiment]\nname = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let spec = ExperimentSpec::parse(
+            r#"
+[experiment]
+name = "min"
+horizon_us = 1000
+engines = ["fabric"]
+
+[topology]
+two_tier_factor = 16
+kary_k = 4
+
+[scenario]
+kind = "permutation"
+flow_bytes = 1000
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seeds, vec![42]);
+        assert!(spec.failures.is_empty());
+        assert!(spec.checks.is_empty());
+        assert_eq!(spec.scenario_for(9).seed, 9);
+        assert_eq!(spec.scenario_for(9).name, "min");
+    }
+}

@@ -1,0 +1,226 @@
+//! Integration tests of the declarative experiment pipeline — the
+//! refactor seam between the spec layer and the engines.
+//!
+//! Three pins:
+//!
+//! 1. **Spec files == presets.** The TOML files under `specs/ci_smoke/`
+//!    are the in-code presets rendered to disk; parsing them back must
+//!    reproduce the presets exactly (and survive a format → parse round
+//!    trip), so the CI entry point (`stardust run specs/ci_smoke`) and
+//!    the fig binaries can never drift apart.
+//! 2. **Golden equivalence.** The fig10 a–c spec presets, expanded by
+//!    the runner over the generic `FlowEngine` surface, must produce
+//!    **bit-identical** `FlowStats` to direct `Scenario` + engine calls
+//!    (the pre-refactor driving style: `add_message` / `add_flow` loops
+//!    by hand).
+//! 3. **Failure churn conformance.** A spec with a mid-run
+//!    `FailureSchedule` runs on both the sequential and the sharded
+//!    fabric engine, sharded output bit-identical to sequential.
+
+use stardust_bench::fig10::{fabric_engine, transport_sim};
+use stardust_bench::presets::{self, Fig10Params};
+use stardust_bench::runner::run_spec;
+use stardust_bench::spec::{EngineSpec, ExperimentSpec};
+use stardust_fabric::shard::ExecMode;
+use stardust_fabric::ShardedFabricEngine;
+use stardust_sim::FlowStats;
+use stardust_topo::builders::{two_tier, TwoTierParams};
+use stardust_transport::Protocol;
+use stardust_workload::TransportFlowEngine;
+use std::path::PathBuf;
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs/ci_smoke")
+}
+
+#[test]
+fn ci_smoke_spec_files_match_presets() {
+    let dir = specs_dir();
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("specs/ci_smoke exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".toml"))
+        .collect();
+    on_disk.sort();
+    let presets = presets::ci_smoke();
+    let mut expected: Vec<String> = presets
+        .iter()
+        .map(|(stem, _)| format!("{stem}.toml"))
+        .collect();
+    expected.sort();
+    assert_eq!(
+        on_disk, expected,
+        "specs/ci_smoke file set drifted from presets::ci_smoke()"
+    );
+    for (stem, preset) in &presets {
+        let path = dir.join(format!("{stem}.toml"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = ExperimentSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("{stem}.toml failed to parse: {e}"));
+        assert_eq!(
+            &parsed, preset,
+            "{stem}.toml drifted from its preset — regenerate with \
+             `stardust preset {stem} > specs/ci_smoke/{stem}.toml`"
+        );
+        // Round trip: parse → format → parse is the identity.
+        let reparsed = ExperimentSpec::parse(&parsed.to_text()).unwrap();
+        assert_eq!(reparsed, parsed, "{stem}.toml did not round-trip");
+    }
+}
+
+/// The pre-refactor fabric driving style: build the engine, offer the
+/// expanded flow list through `add_message` by hand, run, read
+/// `stats().flows`.
+fn direct_fabric(spec: &ExperimentSpec, seed: u64) -> FlowStats {
+    let scn = spec.scenario_for(seed);
+    let mut e = fabric_engine(spec.topology.two_tier_factor, seed);
+    for f in scn.flows(e.num_fas()) {
+        e.add_message(f.src, f.dst, 0, 0, f.bytes, f.start);
+    }
+    stardust_fabric::FabricEngine::run_until(&mut e, spec.horizon());
+    e.stats().flows.clone()
+}
+
+/// The pre-refactor transport driving style: `add_flow` per spec flow,
+/// run, read `flow_stats_for` over the recorded ids.
+fn direct_transport(spec: &ExperimentSpec, proto: Protocol, seed: u64) -> FlowStats {
+    let scn = spec.scenario_for(seed);
+    let mut sim = transport_sim(spec.topology.kary_k, seed);
+    let ids: Vec<_> = scn
+        .flows(sim.num_hosts())
+        .into_iter()
+        .map(|f| sim.add_flow(proto, f.src, f.dst, f.bytes, f.start))
+        .collect();
+    sim.run_until(spec.horizon());
+    sim.flow_stats_for(ids)
+}
+
+#[test]
+fn fig10_presets_bit_identical_to_direct_engine_calls() {
+    // Short horizons keep the debug-profile suite fast; equivalence is
+    // horizon-independent, so 5–8 simulated ms pin it as well as 100.
+    let specs = [
+        presets::fig10a(Fig10Params::smoke(5), 100_000),
+        presets::fig10b(Fig10Params::smoke(8), 40, 400, false),
+        presets::fig10c(Fig10Params::smoke(8), 10, 150_000),
+    ];
+    for spec in specs {
+        let outcome = run_spec(&spec);
+        assert_eq!(outcome.runs.len(), spec.engines.len());
+        for run in &outcome.runs {
+            let golden = match run.engine {
+                EngineSpec::Fabric { .. } => direct_fabric(&spec, run.seed),
+                EngineSpec::Transport { proto } => direct_transport(&spec, proto, run.seed),
+                EngineSpec::Sharded { .. } => continue,
+            };
+            assert_eq!(
+                run.flows, golden,
+                "{} / {}: spec-driven FlowStats diverged from the direct engine path",
+                spec.name, run.label
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_schedule_spec_sharded_bit_identical_to_sequential() {
+    // The acceptance gate: a mid-run FailureSchedule spec on both fabric
+    // engine flavors, bit-identical output. Smoke scale (16 FAs).
+    let spec = presets::failure_churn(16, 12, 7, 3);
+    let scn = spec.scenario_for(7);
+
+    let mut seq = fabric_engine(spec.topology.two_tier_factor, 7);
+    let seq_flows = scn.run_with_failures(&mut seq, &spec.failures, spec.horizon());
+    assert!(seq_flows.completed() > 0, "churn run must do real work");
+
+    let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
+    let mut sh = ShardedFabricEngine::new(tt.topo, stardust_bench::fig10::fabric_config(7), 3);
+    sh.set_exec_mode(ExecMode::Inline);
+    let sh_flows = scn.run_with_failures(&mut sh, &spec.failures, spec.horizon());
+
+    assert_eq!(
+        seq_flows, sh_flows,
+        "sharded FCT table diverged from sequential under the failure schedule"
+    );
+    assert_eq!(
+        seq.stats(),
+        &sh.stats(),
+        "sharded FabricStats diverged from sequential under the failure schedule"
+    );
+
+    // And the runner path agrees with the hand-driven path above.
+    let outcome = run_spec(&spec);
+    assert!(
+        outcome.check_failures.is_empty(),
+        "churn spec checks failed: {:?}",
+        outcome.check_failures
+    );
+    for run in &outcome.runs {
+        assert_eq!(
+            run.flows, seq_flows,
+            "{}: runner output diverged from the direct churn run",
+            run.label
+        );
+        assert_eq!(
+            run.failures_applied, 2,
+            "{}: both link events apply",
+            run.label
+        );
+    }
+}
+
+#[test]
+fn transport_wrapper_reports_only_its_own_flows() {
+    // Background flows added directly on the inner sim stay out of the
+    // wrapper's FlowStats — the contract run_transport used to provide.
+    let spec = presets::fig10b(Fig10Params::smoke(8), 20, 400, false);
+    let scn = spec.scenario_for(42);
+    let mut sim = transport_sim(spec.topology.kary_k, 42);
+    sim.add_flow(
+        Protocol::Dctcp,
+        0,
+        1,
+        1_000_000,
+        stardust_sim::SimTime::ZERO,
+    );
+    let mut wrapped = TransportFlowEngine::new(sim, Protocol::Stardust);
+    let fs = scn.run(&mut wrapped, spec.horizon());
+    assert_eq!(fs.len(), 20, "background flow leaked into the FCT table");
+}
+
+#[test]
+fn shuffle_spec_runs_end_to_end_from_toml() {
+    // A runtime-parsed spec (not a preset) with the new Shuffle kind:
+    // the String scenario name and the full parse → run path in one go.
+    let spec = ExperimentSpec::parse(
+        r#"
+[experiment]
+name = "shuffle-e2e"
+horizon_us = 10000
+seeds = [3]
+engines = ["fabric"]
+
+[topology]
+two_tier_factor = 16
+kary_k = 4
+
+[scenario]
+kind = "shuffle"
+bytes_per_pair = 4096
+node_gap_us = 200
+
+[checks]
+complete = "fabric"
+zero_drops = true
+"#,
+    )
+    .expect("inline spec parses");
+    let outcome = run_spec(&spec);
+    assert_eq!(outcome.runs[0].flows.len(), 16 * 15);
+    assert!(
+        outcome.check_failures.is_empty(),
+        "shuffle spec failed: {:?}",
+        outcome.check_failures
+    );
+}

@@ -18,7 +18,7 @@ use stardust_sim::DetRng;
 /// [`FlowSizeDist::cdf`] and [`FlowSizeDist::mean`] all share this one
 /// definition, so `cdf` is the exact inverse of `quantile` (up to integer
 /// rounding of sizes) — the property `tests/properties.rs` pins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSizeDist {
     /// Distribution name (e.g. the trace it was digitized from).
     pub name: &'static str,

@@ -10,14 +10,18 @@
 //! * [`patterns`] — communication patterns: random permutations
 //!   (Fig 10(a)), incast groups (Fig 10(c)), all-to-all pairs (§6.2).
 //! * [`scenario`] — the shared scenario driver: one seeded spec expanded
-//!   into a flow list and offered to **both** the cell-accurate fabric
-//!   engine and the fat-tree transport simulator (Fig 10 a–c).
+//!   into a flow list and offered to any engine (Fig 10 a–c).
+//! * [`engine`] — the [`FlowEngine`] trait every simulator stands
+//!   behind (cell-accurate fabric, sharded fabric, fat-tree transports),
+//!   plus the [`FailureSchedule`] of timed link fail/restore events.
 
+pub mod engine;
 pub mod flows;
 pub mod patterns;
 pub mod scenario;
 pub mod sizes;
 
+pub use engine::{FailureSchedule, FlowEngine, LinkAction, LinkEvent, TransportFlowEngine};
 pub use flows::FlowSizeDist;
 pub use patterns::{all_to_all_pairs, incast_sources, permutation};
 pub use scenario::{FlowSpec, Scenario, ScenarioKind};

@@ -1,26 +1,29 @@
-//! One workload spec, two engines — the shared scenario driver behind
-//! the Fig 10 a–c experiments.
+//! One workload spec, any engine — the shared scenario driver behind
+//! the Fig 10 a–c experiments and the declarative experiment pipeline.
 //!
 //! A [`Scenario`] expands deterministically (from its seed) into a list
 //! of [`FlowSpec`]s — *who sends how many bytes to whom, starting when* —
-//! and the same list can be offered to either simulator:
+//! and the same list can be offered to any [`FlowEngine`] through one
+//! generic entry point, [`Scenario::run`]:
 //!
-//! * [`Scenario::run_fabric`] drives the cell-accurate
-//!   [`FabricEngine`] through [`FabricEngine::add_message`]: finite flows
-//!   with **no per-flow transport machinery**, paced purely by the
-//!   fabric's credit scheduler — the paper's central claim under test.
-//! * [`Scenario::run_transport`] drives the §6.3 fat-tree
-//!   [`TransportSim`] under any of its transports (TCP, DCTCP, MPTCP,
-//!   DCQCN, or the htsim-style Stardust model).
+//! * the cell-accurate [`FabricEngine`](stardust_fabric::FabricEngine)
+//!   (finite flows with **no per-flow transport machinery**, paced
+//!   purely by the fabric's credit scheduler — the paper's central
+//!   claim under test), sequential or sharded;
+//! * the §6.3 fat-tree transport simulator under any of its transports
+//!   (TCP, DCTCP, MPTCP, DCQCN, or the htsim-style Stardust model),
+//!   via [`TransportFlowEngine`](crate::TransportFlowEngine).
 //!
-//! Both return the engine-agnostic [`FlowStats`] table from
+//! Every engine returns the engine-agnostic [`FlowStats`] table from
 //! `stardust-sim`, so FCT percentiles print side by side from one spec.
+//! [`Scenario::run_with_failures`] additionally threads a
+//! [`FailureSchedule`] of timed link fail/restore events through the
+//! run — Appendix-E-style churn against finite-flow FCT workloads.
 
+use crate::engine::{FailureSchedule, FlowEngine};
 use crate::flows::FlowSizeDist;
-use crate::patterns::{incast_sources, permutation};
-use stardust_fabric::{FabricEngine, ShardedFabricEngine};
-use stardust_sim::{CoreKind, DetRng, FlowStats, SimDuration, SimTime};
-use stardust_transport::{FlowId, Protocol, TransportSim};
+use crate::patterns::{all_to_all_pairs, incast_sources, permutation};
+use stardust_sim::{DetRng, FlowStats, SimDuration, SimTime};
 
 /// One finite flow of a scenario: `bytes` from `src` to `dst`, offered at
 /// `start`. Node indices are engine-relative (hosts for the transport
@@ -38,7 +41,7 @@ pub struct FlowSpec {
 }
 
 /// The communication patterns of the paper's headline evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioKind {
     /// Fig 10(a): a random derangement — every node sends one
     /// `flow_bytes` flow to its partner at t = 0, fully loading the
@@ -71,13 +74,28 @@ pub enum ScenarioKind {
         /// same load per NIC from one spec.
         node_gap: SimDuration,
     },
+    /// All-to-all shuffle (map-reduce style): every ordered (src, dst)
+    /// pair carries one `bytes_per_pair` transfer, so each node sends —
+    /// and receives — exactly `n_nodes − 1` flows. Transfers start as a
+    /// Poisson process in a seed-shuffled pair order, with the same
+    /// per-node load normalization as [`ScenarioKind::Mix`]: the
+    /// network-wide gap is `node_gap / n_nodes`, keeping the offered
+    /// per-NIC load invariant across engine populations.
+    Shuffle {
+        /// Bytes for each src→dst pair transfer.
+        bytes_per_pair: u64,
+        /// Mean per-node inter-arrival gap of the Poisson start process.
+        node_gap: SimDuration,
+    },
 }
 
 /// A named, seeded workload scenario (see the module docs).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Scenario name (labels experiment output).
-    pub name: &'static str,
+    /// Scenario name (labels experiment output and salts the flow-list
+    /// RNG). Owned, so scenarios parsed from experiment specs at runtime
+    /// can carry their own names.
+    pub name: String,
     /// Master seed; the flow list is a pure function of `(kind, seed,
     /// n_nodes)`.
     pub seed: u64,
@@ -87,10 +105,10 @@ pub struct Scenario {
 
 impl Scenario {
     /// Expand into the flow list for an `n_nodes`-node network. Pure and
-    /// deterministic: both engines are offered byte-identical workloads.
+    /// deterministic: every engine is offered byte-identical workloads.
     pub fn flows(&self, n_nodes: usize) -> Vec<FlowSpec> {
         assert!(n_nodes >= 2, "a scenario needs at least two nodes");
-        let mut rng = DetRng::from_label(self.seed, self.name);
+        let mut rng = DetRng::from_label(self.seed, &self.name);
         match &self.kind {
             ScenarioKind::Permutation { flow_bytes } => {
                 let perm = permutation(n_nodes, &mut rng);
@@ -143,74 +161,65 @@ impl Scenario {
                     })
                     .collect()
             }
+            ScenarioKind::Shuffle {
+                bytes_per_pair,
+                node_gap,
+            } => {
+                let mut pairs = all_to_all_pairs(n_nodes);
+                rng.shuffle(&mut pairs);
+                let net_gap = node_gap.as_secs_f64() / n_nodes as f64;
+                let mut t = SimTime::ZERO;
+                pairs
+                    .into_iter()
+                    .map(|(src, dst)| {
+                        t += SimDuration::from_secs_f64(rng.exponential(net_gap));
+                        FlowSpec {
+                            src,
+                            dst,
+                            bytes: (*bytes_per_pair).max(1),
+                            start: t,
+                        }
+                    })
+                    .collect()
+            }
         }
     }
 
-    /// Offer the scenario to the cell-accurate Stardust fabric as finite
-    /// message flows (destination port 0 — one host NIC per FA, matching
-    /// the transport topology's one-NIC hosts), run to `horizon` and
-    /// return the FCT table.
-    pub fn run_fabric<K: CoreKind>(
+    /// Offer the scenario to any [`FlowEngine`] — the cell-accurate
+    /// fabric (sequential or sharded), the fat-tree transport simulator
+    /// behind [`TransportFlowEngine`](crate::TransportFlowEngine), or
+    /// anything else implementing the trait — run to `horizon` and
+    /// return the FCT table of the scenario's own flows.
+    pub fn run(&self, engine: &mut impl FlowEngine, horizon: SimTime) -> FlowStats {
+        self.run_with_failures(engine, &FailureSchedule::default(), horizon)
+    }
+
+    /// As [`Scenario::run`], threading a [`FailureSchedule`] of timed
+    /// link fail/restore events through the run: the engine runs to each
+    /// event's time, the event is applied (engines without link state
+    /// skip it), and the run continues to `horizon`.
+    pub fn run_with_failures(
         &self,
-        engine: &mut FabricEngine<K>,
+        engine: &mut impl FlowEngine,
+        failures: &FailureSchedule,
         horizon: SimTime,
     ) -> FlowStats {
-        for f in self.flows(engine.num_fas()) {
-            engine.add_message(f.src, f.dst, 0, 0, f.bytes, f.start);
-        }
-        engine.run_until(horizon);
-        engine.stats().flows.clone()
-    }
-
-    /// [`Scenario::run_fabric`] against the deterministic sharded fabric:
-    /// the identical flow list, offered through the same message layer,
-    /// run in parallel. Bit-identical to the sequential run by the
-    /// sharded engine's conformance guarantee — which the conformance
-    /// suite asserts through exactly this entry point.
-    pub fn run_fabric_sharded<K: CoreKind>(
-        &self,
-        engine: &mut ShardedFabricEngine<K>,
-        horizon: SimTime,
-    ) -> FlowStats
-    where
-        FabricEngine<K>: Send,
-    {
-        for f in self.flows(engine.num_fas()) {
-            engine.add_message(f.src, f.dst, 0, 0, f.bytes, f.start);
-        }
-        engine.run_until(horizon);
-        engine.stats().flows
-    }
-
-    /// Offer the scenario to the §6.3 fat-tree transport simulator under
-    /// `proto`, run to `horizon` and return the FCT table (restricted to
-    /// the scenario's own flows, in spec order — background flows added
-    /// beforehand are excluded).
-    pub fn run_transport(
-        &self,
-        sim: &mut TransportSim,
-        proto: Protocol,
-        horizon: SimTime,
-    ) -> FlowStats {
-        let ids: Vec<FlowId> = self
-            .flows(sim.num_hosts())
-            .into_iter()
-            .map(|f| sim.add_flow(proto, f.src, f.dst, f.bytes, f.start))
-            .collect();
-        sim.run_until(horizon);
-        sim.flow_stats_for(ids)
+        engine.offer(&self.flows(engine.num_nodes()));
+        failures.drive(engine, horizon);
+        engine.flow_stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stardust_fabric::FabricConfig;
+    use stardust_fabric::{FabricConfig, FabricEngine};
     use stardust_topo::builders::{kary, two_tier, KaryParams, TwoTierParams};
+    use stardust_transport::{Protocol, TransportSim};
 
     fn web_mix() -> Scenario {
         Scenario {
-            name: "test-web-mix",
+            name: "test-web-mix".into(),
             seed: 7,
             kind: ScenarioKind::Mix {
                 dist: FlowSizeDist::fb_web(),
@@ -224,16 +233,24 @@ mod tests {
     fn flow_lists_are_deterministic_and_valid() {
         for scn in [
             Scenario {
-                name: "perm",
+                name: "perm".into(),
                 seed: 3,
                 kind: ScenarioKind::Permutation { flow_bytes: 1_000 },
             },
             Scenario {
-                name: "incast",
+                name: "incast".into(),
                 seed: 3,
                 kind: ScenarioKind::Incast {
                     backends: 10,
                     response_bytes: 450_000,
+                },
+            },
+            Scenario {
+                name: "shuffle".into(),
+                seed: 3,
+                kind: ScenarioKind::Shuffle {
+                    bytes_per_pair: 10_000,
+                    node_gap: SimDuration::from_micros(100),
                 },
             },
             web_mix(),
@@ -250,7 +267,7 @@ mod tests {
     #[test]
     fn incast_backends_clamped_to_population() {
         let scn = Scenario {
-            name: "incast-clamp",
+            name: "incast-clamp".into(),
             seed: 1,
             kind: ScenarioKind::Incast {
                 backends: 1_000,
@@ -270,6 +287,57 @@ mod tests {
     }
 
     #[test]
+    fn shuffle_covers_every_ordered_pair_exactly_once() {
+        let n = 12usize;
+        let scn = Scenario {
+            name: "shuffle-cover".into(),
+            seed: 9,
+            kind: ScenarioKind::Shuffle {
+                bytes_per_pair: 4_096,
+                node_gap: SimDuration::from_micros(50),
+            },
+        };
+        let flows = scn.flows(n);
+        assert_eq!(flows.len(), n * (n - 1));
+        // Every ordered pair appears exactly once…
+        let mut pairs: Vec<(u32, u32)> = flows.iter().map(|f| (f.src, f.dst)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), n * (n - 1));
+        // …so per-node load is normalized: each node sends and receives
+        // exactly n−1 flows of equal size (the Mix-style invariant).
+        for node in 0..n as u32 {
+            assert_eq!(flows.iter().filter(|f| f.src == node).count(), n - 1);
+            assert_eq!(flows.iter().filter(|f| f.dst == node).count(), n - 1);
+        }
+        assert!(flows.iter().all(|f| f.bytes == 4_096));
+        // Poisson starts: non-decreasing, strictly past zero by the end.
+        assert!(flows.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(flows.last().unwrap().start > SimTime::ZERO);
+    }
+
+    #[test]
+    fn shuffle_order_is_seeded() {
+        let kind = ScenarioKind::Shuffle {
+            bytes_per_pair: 1_000,
+            node_gap: SimDuration::from_micros(50),
+        };
+        let a = Scenario {
+            name: "shuffle-seed".into(),
+            seed: 1,
+            kind: kind.clone(),
+        }
+        .flows(8);
+        let b = Scenario {
+            name: "shuffle-seed".into(),
+            seed: 2,
+            kind,
+        }
+        .flows(8);
+        assert_ne!(a, b, "different seeds must shuffle the pair order");
+    }
+
+    #[test]
     fn one_spec_drives_both_engines() {
         let scn = web_mix();
         // Fabric side.
@@ -280,16 +348,17 @@ mod tests {
             ..FabricConfig::default()
         };
         let mut e = FabricEngine::new(tt.topo, cfg);
-        let fab = scn.run_fabric(&mut e, SimTime::from_millis(20));
+        let fab = scn.run(&mut e, SimTime::from_millis(20));
         assert_eq!(fab.len(), 50);
         assert_eq!(fab.completed(), 50, "lossless fabric must finish all");
-        // Transport side, same spec.
+        // Transport side, same spec, through the protocol wrapper.
         let ft = kary(KaryParams {
             k: 4,
             ..KaryParams::paper_6_3()
         });
-        let mut sim = TransportSim::new(ft, stardust_transport::TransportConfig::default());
-        let tra = scn.run_transport(&mut sim, Protocol::Stardust, SimTime::from_millis(100));
+        let sim = TransportSim::new(ft, stardust_transport::TransportConfig::default());
+        let mut wrapped = crate::TransportFlowEngine::new(sim, Protocol::Stardust);
+        let tra = scn.run(&mut wrapped, SimTime::from_millis(100));
         assert_eq!(tra.len(), 50);
         assert!(tra.completed() > 0);
         // Both tables carry real FCTs.
@@ -303,7 +372,7 @@ mod tests {
             let scn = web_mix();
             let tt = two_tier(TwoTierParams::paper_scaled(16));
             let mut e = FabricEngine::new(tt.topo, FabricConfig::default());
-            scn.run_fabric(&mut e, SimTime::from_millis(20))
+            scn.run(&mut e, SimTime::from_millis(20))
         };
         assert_eq!(run(), run());
     }

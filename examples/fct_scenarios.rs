@@ -16,11 +16,11 @@ use stardust::sim::units::gbps;
 use stardust::sim::{SimDuration, SimTime};
 use stardust::topo::builders::{kary, two_tier, KaryParams, TwoTierParams};
 use stardust::transport::{Protocol, TransportConfig, TransportSim};
-use stardust::workload::{FlowSizeDist, Scenario, ScenarioKind};
+use stardust::workload::{FlowSizeDist, Scenario, ScenarioKind, TransportFlowEngine};
 
 fn main() {
     let scenario = Scenario {
-        name: "example-web-mix",
+        name: "example-web-mix".into(),
         seed: 42,
         kind: ScenarioKind::Mix {
             dist: FlowSizeDist::fb_web(),
@@ -39,7 +39,7 @@ fn main() {
         ..FabricConfig::default()
     };
     let mut engine = FabricEngine::new(tt.topo, cfg);
-    let fabric = scenario.run_fabric(&mut engine, horizon);
+    let fabric = scenario.run(&mut engine, horizon);
     assert_eq!(engine.stats().cells_dropped.get(), 0);
 
     // The fat-tree transport model: k = 4, 16 hosts, TCP-over-Stardust.
@@ -47,8 +47,9 @@ fn main() {
         k: 4,
         ..KaryParams::paper_6_3()
     });
-    let mut sim = TransportSim::new(ft, TransportConfig::default());
-    let transport = scenario.run_transport(&mut sim, Protocol::Stardust, horizon);
+    let sim = TransportSim::new(ft, TransportConfig::default());
+    let mut wrapped = TransportFlowEngine::new(sim, Protocol::Stardust);
+    let transport = scenario.run(&mut wrapped, horizon);
 
     println!("100 Web-mix flows, 16 nodes, one spec on two engines:\n");
     println!("{:>22} {:>12} {:>12}", "", "SD-fabric", "SD-transport");

@@ -95,7 +95,7 @@ fn web_mix_fct_run<K: CoreKind>() -> stardust::sim::FlowStats {
     use stardust::sim::SimDuration;
     use stardust::workload::{FlowSizeDist, Scenario, ScenarioKind};
     let scn = Scenario {
-        name: "det-fct-web-mix",
+        name: "det-fct-web-mix".into(),
         seed: 11,
         kind: ScenarioKind::Mix {
             dist: FlowSizeDist::fb_web(),
@@ -110,7 +110,7 @@ fn web_mix_fct_run<K: CoreKind>() -> stardust::sim::FlowStats {
         ..FabricConfig::default()
     };
     let mut e = FabricEngine::<K>::with_core(tt.topo, cfg);
-    scn.run_fabric(&mut e, SimTime::from_millis(50))
+    scn.run(&mut e, SimTime::from_millis(50))
 }
 
 #[test]

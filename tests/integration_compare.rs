@@ -184,7 +184,7 @@ fn scenarios_sequential_vs_sharded_identical_flow_tables() {
     let scenarios: Vec<(Scenario, SimTime)> = vec![
         (
             Scenario {
-                name: "diff-perm",
+                name: "diff-perm".into(),
                 seed: 0, // overwritten per seed below
                 kind: ScenarioKind::Permutation {
                     flow_bytes: 100_000,
@@ -194,7 +194,7 @@ fn scenarios_sequential_vs_sharded_identical_flow_tables() {
         ),
         (
             Scenario {
-                name: "diff-incast",
+                name: "diff-incast".into(),
                 seed: 0,
                 kind: ScenarioKind::Incast {
                     backends: 8,
@@ -205,7 +205,7 @@ fn scenarios_sequential_vs_sharded_identical_flow_tables() {
         ),
         (
             Scenario {
-                name: "diff-mix-web",
+                name: "diff-mix-web".into(),
                 seed: 0,
                 kind: ScenarioKind::Mix {
                     dist: FlowSizeDist::fb_web(),
@@ -217,7 +217,7 @@ fn scenarios_sequential_vs_sharded_identical_flow_tables() {
         ),
         (
             Scenario {
-                name: "diff-mix-hadoop",
+                name: "diff-mix-hadoop".into(),
                 seed: 0,
                 kind: ScenarioKind::Mix {
                     dist: FlowSizeDist::fb_hadoop(),
@@ -241,7 +241,7 @@ fn scenarios_sequential_vs_sharded_identical_flow_tables() {
             };
             let tt = two_tier(TwoTierParams::paper_scaled(16));
             let mut seq = FabricEngine::new(tt.topo, cfg());
-            let seq_flows = scn.run_fabric(&mut seq, *horizon);
+            let seq_flows = scn.run(&mut seq, *horizon);
             assert!(
                 seq_flows.completed() > 0,
                 "{} seed {seed}: no flow completed",
@@ -250,7 +250,7 @@ fn scenarios_sequential_vs_sharded_identical_flow_tables() {
             let tt = two_tier(TwoTierParams::paper_scaled(16));
             let mut sh = ShardedFabricEngine::new(tt.topo, cfg(), 3);
             sh.set_exec_mode(ExecMode::Inline);
-            let sh_flows = scn.run_fabric_sharded(&mut sh, *horizon);
+            let sh_flows = scn.run(&mut sh, *horizon);
             assert_eq!(
                 seq_flows, sh_flows,
                 "{} seed {seed}: per-flow FCT tables diverged",

@@ -133,7 +133,7 @@ fn fig10_scenarios() -> Vec<(Scenario, SimTime)> {
     vec![
         (
             Scenario {
-                name: "conf-fig10a-perm",
+                name: "conf-fig10a-perm".into(),
                 seed: 42,
                 kind: ScenarioKind::Permutation {
                     flow_bytes: 100_000,
@@ -143,7 +143,7 @@ fn fig10_scenarios() -> Vec<(Scenario, SimTime)> {
         ),
         (
             Scenario {
-                name: "conf-fig10b-web",
+                name: "conf-fig10b-web".into(),
                 seed: 42,
                 kind: ScenarioKind::Mix {
                     dist: FlowSizeDist::fb_web(),
@@ -155,7 +155,7 @@ fn fig10_scenarios() -> Vec<(Scenario, SimTime)> {
         ),
         (
             Scenario {
-                name: "conf-fig10c-incast",
+                name: "conf-fig10c-incast".into(),
                 seed: 42,
                 kind: ScenarioKind::Incast {
                     backends: 10,
@@ -174,7 +174,7 @@ where
     for (scn, horizon) in fig10_scenarios() {
         let tt = two_tier(TwoTierParams::paper_scaled(16));
         let mut seq_engine = FabricEngine::<K>::with_core(tt.topo, cfg(11));
-        let seq_flows = scn.run_fabric(&mut seq_engine, horizon);
+        let seq_flows = scn.run(&mut seq_engine, horizon);
         assert!(
             seq_flows.completed() > 0,
             "{}: nothing completed — not a real experiment",
@@ -184,7 +184,7 @@ where
             let tt = two_tier(TwoTierParams::paper_scaled(16));
             let mut sh = ShardedFabricEngine::<K>::with_core(tt.topo, cfg(11), shards);
             sh.set_exec_mode(ExecMode::Inline);
-            let sh_flows = scn.run_fabric_sharded(&mut sh, horizon);
+            let sh_flows = scn.run(&mut sh, horizon);
             // Per-flow FCT tables first (sharper failure message)…
             assert_eq!(
                 seq_flows, sh_flows,
