@@ -74,11 +74,9 @@ fn main() -> ExitCode {
         print!("{b:>9}");
         for run in &outcome.runs {
             let fs = &run.flows;
-            match (
-                fs.fct_quantile(0.0),
-                fs.fct_quantile(1.0),
-                fs.completed() == fs.len(),
-            ) {
+            // One call → one sort of the per-flow table for both ends.
+            let qs = fs.fct_quantiles(&[0.0, 1.0]);
+            match (qs[0], qs[1], fs.completed() == fs.len()) {
                 (Some(first), Some(last), true) => {
                     print!(
                         " {:>19.2} {:>13.2}",

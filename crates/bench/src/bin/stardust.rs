@@ -24,10 +24,25 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  stardust run <spec.toml | dir>... [--json out.json] [--quiet]\n  \
+        "usage:\n  stardust run <spec.toml | dir>... [--json out.json] [--quiet] \
+         [--max-rss-mb N]\n  \
          stardust check <spec.toml | dir>...\n  stardust preset <name>\n  stardust presets"
     );
     ExitCode::FAILURE
+}
+
+/// Peak resident-set size of this process in MB, from Linux's
+/// `VmHWM` line in `/proc/self/status` (`None` where unavailable).
+fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb / 1024)
 }
 
 fn main() -> ExitCode {
@@ -99,6 +114,7 @@ fn run(args: &[String], check_only: bool) -> ExitCode {
     let mut paths = Vec::new();
     let mut json_out: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut max_rss_mb: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -107,6 +123,13 @@ fn run(args: &[String], check_only: bool) -> ExitCode {
                     return usage();
                 };
                 json_out = Some(PathBuf::from(out));
+                i += 2;
+            }
+            "--max-rss-mb" => {
+                let Some(cap) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_rss_mb = Some(cap);
                 i += 2;
             }
             "--quiet" => {
@@ -196,6 +219,26 @@ fn run(args: &[String], check_only: bool) -> ExitCode {
                 out.display(),
                 outcomes.len()
             );
+        }
+    }
+
+    // The memory gate covers the whole invocation: VmHWM is the
+    // process-wide high-water mark, so running a directory of specs
+    // under one cap bounds every run in it.
+    if let Some(cap) = max_rss_mb {
+        match peak_rss_mb() {
+            Some(peak) => {
+                if !quiet {
+                    println!("peak RSS: {peak} MB (cap {cap} MB)");
+                }
+                if peak > cap {
+                    eprintln!("stardust: peak RSS {peak} MB exceeds the {cap} MB cap");
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!("stardust: --max-rss-mb ignored — /proc/self/status has no VmHWM here")
+            }
         }
     }
 

@@ -16,7 +16,7 @@
 
 use crate::header;
 use stardust_fabric::{FabricConfig, FabricEngine};
-use stardust_sim::{quantile_of_sorted, units, FlowStats};
+use stardust_sim::{units, FlowStats};
 use stardust_topo::builders::{kary, two_tier, KaryParams, TwoTierParams};
 use stardust_transport::{TransportConfig, TransportSim};
 
@@ -76,8 +76,11 @@ pub fn transport_sim(k: u32, seed: u64) -> TransportSim {
     )
 }
 
-/// Print an FCT-percentile table, one column per labelled result, in ms
-/// (each column's FCTs are sorted once, not per percentile).
+/// Print an FCT-percentile table, one column per labelled result, in ms.
+/// Each column's quantiles come from one
+/// [`FlowStats::fct_quantiles`] call — the per-flow table is sorted
+/// once, not per percentile, and sketch-mode stats (which keep no
+/// table) print their sketch quantiles.
 pub fn print_fct_table(title: &str, results: &[(String, FlowStats)]) {
     let w = column_width(results);
     let cols: String = results
@@ -85,11 +88,15 @@ pub fn print_fct_table(title: &str, results: &[(String, FlowStats)]) {
         .map(|(l, _)| format!(" {l:>width$}", width = w))
         .collect();
     header(title, &format!("{:>6}{cols}", "pct"));
-    let sorted: Vec<_> = results.iter().map(|(_, fs)| fs.fcts_sorted()).collect();
-    for &pct in &PCTS {
+    let qs: Vec<f64> = PCTS.iter().map(|&p| p as f64 / 100.0).collect();
+    let columns: Vec<_> = results
+        .iter()
+        .map(|(_, fs)| fs.fct_quantiles(&qs))
+        .collect();
+    for (i, &pct) in PCTS.iter().enumerate() {
         print!("{pct:>6}");
-        for fcts in &sorted {
-            match quantile_of_sorted(fcts, pct as f64 / 100.0) {
+        for col in &columns {
+            match col[i] {
                 Some(d) => print!(" {:>width$.3}", d.as_secs_f64() * 1e3, width = w),
                 None => print!(" {:>width$}", "-", width = w),
             }
@@ -128,15 +135,15 @@ pub fn print_fct_summary(results: &[(String, FlowStats)]) {
         let ms = |d: Option<stardust_sim::SimDuration>| {
             d.map_or("-".to_string(), |d| format!("{:.3}", d.as_secs_f64() * 1e3))
         };
-        let fcts = fs.fcts_sorted();
+        let qs = fs.fct_quantiles(&[0.5, 0.99, 1.0]);
         println!(
             "{:>w$} {:>12} {:>12} {:>12} {:>12} {:>12}",
             label,
             format!("{}/{}", fs.completed(), fs.len()),
             ms(fs.fct_mean()),
-            ms(quantile_of_sorted(&fcts, 0.5)),
-            ms(quantile_of_sorted(&fcts, 0.99)),
-            ms(quantile_of_sorted(&fcts, 1.0)),
+            ms(qs[0]),
+            ms(qs[1]),
+            ms(qs[2]),
             w = w
         );
     }

@@ -16,10 +16,10 @@ use crate::fig10::{
     fabric_config, goodputs_gbps, print_fct_summary, print_fct_table, transport_sim,
 };
 use crate::json::Json;
-use crate::spec::{CompleteScope, CoreChoice, EngineSpec, ExperimentSpec};
+use crate::spec::{CompleteScope, CoreChoice, EngineSpec, ExperimentSpec, StatsMode};
 use stardust_fabric::shard::ExecMode;
 use stardust_fabric::{FabricEngine, ShardedFabricEngine};
-use stardust_sim::{quantile_of_sorted, CalendarCore, CoreKind, FlowStats, HeapCore, SimDuration};
+use stardust_sim::{CalendarCore, CoreKind, FlowStats, HeapCore, SimDuration};
 use stardust_topo::builders::{two_tier, TwoTierParams};
 use stardust_transport::Protocol;
 use stardust_workload::{Scenario, TransportFlowEngine};
@@ -82,7 +82,9 @@ impl Outcome {
                     self.runs
                         .iter()
                         .map(|r| {
-                            let fcts = r.flows.fcts_sorted();
+                            // One fct_quantiles call: sorts the table
+                            // once (or reads the sketch in sketch mode).
+                            let qs = r.flows.fct_quantiles(&[0.5, 0.99, 1.0]);
                             let opt =
                                 |v: Option<u64>| v.map_or(Json::Null, |n| Json::num(n as f64));
                             Json::Obj(vec![
@@ -92,9 +94,9 @@ impl Outcome {
                                 ("flows".into(), Json::num(r.flows.len() as f64)),
                                 ("completed".into(), Json::num(r.flows.completed() as f64)),
                                 ("fct_ms_mean".into(), ms(r.flows.fct_mean())),
-                                ("fct_ms_p50".into(), ms(quantile_of_sorted(&fcts, 0.5))),
-                                ("fct_ms_p99".into(), ms(quantile_of_sorted(&fcts, 0.99))),
-                                ("fct_ms_max".into(), ms(quantile_of_sorted(&fcts, 1.0))),
+                                ("fct_ms_p50".into(), ms(qs[0])),
+                                ("fct_ms_p99".into(), ms(qs[1])),
+                                ("fct_ms_max".into(), ms(qs[2])),
                                 ("cells_dropped".into(), opt(r.cells_dropped)),
                                 ("packets_discarded".into(), opt(r.packets_discarded)),
                                 ("events".into(), opt(r.events)),
@@ -189,17 +191,45 @@ pub fn run_spec(spec: &ExperimentSpec) -> Outcome {
     }
 }
 
-/// Offer, drive the failure schedule, and collect the FCT table — the
-/// body of `Scenario::run_with_failures`, with the applied-event count
-/// kept (the runner reports it per run).
+/// Offer, drive the failure schedule, and collect the FCT stats.
+///
+/// Table mode is the body of `Scenario::run_with_failures`, with the
+/// applied-event count kept (the runner reports it per run). Sketch
+/// mode streams: flows are drawn lazily and admitted in
+/// `spec.admit_window()`-sized slices (`Scenario::run_streamed`), and
+/// engines that still produced a per-flow table (the transports, which
+/// have no bounded mode) are converted to the same sketch form so every
+/// run of the matrix reports comparable books.
 fn drive<E: stardust_workload::FlowEngine>(
     scenario: &Scenario,
     spec: &ExperimentSpec,
     e: &mut E,
 ) -> (FlowStats, usize) {
-    e.offer(&scenario.flows(e.num_nodes()));
-    let applied = spec.failures.drive(e, spec.horizon());
-    (e.flow_stats(), applied)
+    match spec.stats {
+        StatsMode::Table => {
+            e.offer(&scenario.flows(e.num_nodes()));
+            let applied = spec.failures.drive(e, spec.horizon());
+            (e.flow_stats(), applied)
+        }
+        StatsMode::Sketch => {
+            let (flows, applied) =
+                scenario.run_streamed(e, &spec.failures, spec.horizon(), spec.admit_window());
+            let flows = if flows.is_sketched() {
+                flows
+            } else {
+                flows.sketched()
+            };
+            (flows, applied)
+        }
+    }
+}
+
+/// The fig10 fabric config, with the spec's stats mode applied: sketch
+/// mode runs the fabric engines with bounded per-message state.
+fn spec_fabric_config(spec: &ExperimentSpec, seed: u64) -> stardust_fabric::FabricConfig {
+    let mut cfg = fabric_config(seed);
+    cfg.bounded_flows = spec.stats == StatsMode::Sketch;
+    cfg
 }
 
 fn run_one(spec: &ExperimentSpec, scenario: &Scenario, engine: EngineSpec, seed: u64) -> RunRecord {
@@ -241,7 +271,7 @@ fn run_fabric_seq<K: CoreKind>(
     seed: u64,
 ) -> RunRecord {
     let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
-    let mut e = FabricEngine::<K>::with_core(tt.topo, fabric_config(seed));
+    let mut e = FabricEngine::<K>::with_core(tt.topo, spec_fabric_config(spec, seed));
     let t0 = Instant::now();
     let (flows, applied) = drive(scenario, spec, &mut e);
     let wall_s = t0.elapsed().as_secs_f64();
@@ -271,7 +301,8 @@ where
         unreachable!("caller matched Sharded")
     };
     let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
-    let mut e = ShardedFabricEngine::<K>::with_core(tt.topo, fabric_config(seed), shards);
+    let mut e =
+        ShardedFabricEngine::<K>::with_core(tt.topo, spec_fabric_config(spec, seed), shards);
     // On hosts with fewer cores than shards, OS threads only add barrier
     // context switches; the inline mode is bit-identical (pinned by the
     // conformance suite) and fast.
@@ -334,12 +365,13 @@ fn eval_checks(spec: &ExperimentSpec, runs: &[RunRecord]) -> Vec<String> {
                 r.cells_dropped.unwrap_or(0)
             ));
         }
-        let fct_ms = |q: f64| {
-            let fcts = r.flows.fcts_sorted();
-            quantile_of_sorted(&fcts, q).map(|d| d.as_secs_f64() * 1e3)
-        };
+        // Every quantile gate reads this one call: the per-flow table is
+        // sorted once per run (not once per gate), and in sketch mode the
+        // quantiles come from the sketch, where no table exists.
+        let qs = r.flows.fct_quantiles(&[0.0, 0.5, 0.99, 1.0]);
+        let fct_ms = |d: Option<SimDuration>| d.map(|d| d.as_secs_f64() * 1e3);
         if let Some(cap) = c.fct_p99_ms_max {
-            match fct_ms(0.99) {
+            match fct_ms(qs[2]) {
                 Some(p99) if p99 < cap => {}
                 got => fails.push(format!(
                     "{}: p99 FCT {got:?} ms out of the NDP class (cap {cap} ms)",
@@ -348,7 +380,7 @@ fn eval_checks(spec: &ExperimentSpec, runs: &[RunRecord]) -> Vec<String> {
             }
         }
         if let Some(cap) = c.fct_median_ms_max {
-            match fct_ms(0.5) {
+            match fct_ms(qs[1]) {
                 Some(med) if med < cap => {}
                 got => fails.push(format!(
                     "{}: median FCT {got:?} ms above cap {cap} ms",
@@ -367,7 +399,7 @@ fn eval_checks(spec: &ExperimentSpec, runs: &[RunRecord]) -> Vec<String> {
             }
         }
         if let Some(cap) = c.last_first_ratio_max {
-            match (r.flows.fct_quantile(0.0), r.flows.fct_quantile(1.0)) {
+            match (qs[0], qs[3]) {
                 (Some(first), Some(last)) if last.as_secs_f64() / first.as_secs_f64() < cap => {}
                 (Some(first), Some(last)) => fails.push(format!(
                     "{}: last/first FCT ratio {:.2} above cap {cap} — credits are not fair",
@@ -438,6 +470,8 @@ mod tests {
                 flow_bytes: 100_000,
             },
             failures: Default::default(),
+            stats: StatsMode::Table,
+            admit_window_us: crate::spec::DEFAULT_ADMIT_WINDOW_US,
             checks: Checks {
                 complete: CompleteScope::Fabric,
                 zero_drops: true,
@@ -490,6 +524,52 @@ mod tests {
         let out = run_spec(&spec);
         assert_eq!(out.runs[0].failures_applied, 0, "transport has no links");
         assert_eq!(out.runs[1].failures_applied, 2, "fabric applies both");
+    }
+
+    #[test]
+    fn sketch_mode_streams_and_reports_sketch_quantiles() {
+        let mut spec = tiny_spec();
+        spec.stats = StatsMode::Sketch;
+        spec.engines = vec![
+            EngineSpec::Fabric {
+                core: CoreChoice::Calendar,
+            },
+            EngineSpec::Sharded {
+                shards: 2,
+                core: CoreChoice::Calendar,
+            },
+            EngineSpec::Transport {
+                proto: Protocol::Stardust,
+            },
+        ];
+        spec.checks = Checks {
+            some_complete: true,
+            zero_drops: true,
+            sharded_identical: true,
+            ..Checks::default()
+        };
+        let out = run_spec(&spec);
+        assert!(
+            out.check_failures.is_empty(),
+            "sketch-mode failures: {:?}",
+            out.check_failures
+        );
+        for r in &out.runs {
+            assert!(r.flows.is_sketched(), "{} kept a table", r.label);
+            assert!(r.flows.records().is_empty());
+            assert!(r.flows.fct_quantile(0.5).is_some(), "{}", r.label);
+        }
+        // JSON quantiles are populated from the sketch, not null.
+        let json = out.to_json().render();
+        assert!(!json.contains("\"fct_ms_p50\": null"), "{json}");
+
+        // The sketch books of the sequential and sharded fabric runs are
+        // bit-identical — the sharded_identical gate verified it above,
+        // and the records agree with an eager table run's sketched form.
+        let table_out = run_spec(&tiny_spec());
+        let eager_fabric = &table_out.runs[1];
+        let sketch_fabric = &out.runs[0];
+        assert_eq!(eager_fabric.flows.sketched(), sketch_fabric.flows);
     }
 
     #[test]

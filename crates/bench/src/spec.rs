@@ -21,13 +21,15 @@
 //! horizon_us = 100000
 //! seeds = [42]
 //! engines = ["transport:dctcp", "transport:stardust", "fabric"]
+//! stats = "table"       # table | sketch (bounded memory, streamed)
+//! admit_window_us = 1000
 //!
 //! [topology]
 //! two_tier_factor = 16
 //! kary_k = 4
 //!
 //! [scenario]
-//! kind = "mix"          # permutation | incast | mix | shuffle
+//! kind = "mix"          # permutation | incast | mix | shuffle | service
 //! dist = "web"          # web | hadoop
 //! flows = 50
 //! node_gap_us = 800
@@ -215,6 +217,38 @@ fn parse_proto(s: &str) -> Result<Protocol, SpecError> {
     }
 }
 
+/// How a run keeps its FCT accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsMode {
+    /// Exact per-flow record tables (the default). Memory grows with
+    /// the offered flow count.
+    #[default]
+    Table,
+    /// Bounded memory: flows are admitted in streaming windows
+    /// ([`Scenario::run_streamed`](stardust_workload::Scenario::run_streamed)),
+    /// fabric engines run with `FabricConfig::bounded_flows`, and every
+    /// run reports counts + a mergeable quantile sketch instead of
+    /// per-flow records. Required for million-flow scenarios.
+    Sketch,
+}
+
+impl StatsMode {
+    fn parse(s: &str) -> Result<Self, SpecError> {
+        match s {
+            "table" => Ok(StatsMode::Table),
+            "sketch" => Ok(StatsMode::Sketch),
+            other => bad(format!("unknown stats mode {other:?} (table | sketch)")),
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            StatsMode::Table => "table",
+            StatsMode::Sketch => "sketch",
+        }
+    }
+}
+
 /// Topology presets for the two engine families: the fabric engines run
 /// a `1/two_tier_factor`-scale §6.2 two-tier Stardust fabric (one 10G
 /// host port per FA), the transport engines a §6.3 k-ary fat-tree
@@ -321,14 +355,27 @@ pub struct ExperimentSpec {
     /// Timed link fail/restore events (applied to engines that model
     /// link state; reported as skipped on those that don't).
     pub failures: FailureSchedule,
+    /// FCT accounting mode (see [`StatsMode`]).
+    pub stats: StatsMode,
+    /// Streaming admission window in microseconds (sketch mode only):
+    /// flows are offered at most this far ahead of the engine clock.
+    pub admit_window_us: u64,
     /// Pass/fail gates.
     pub checks: Checks,
 }
+
+/// Default streaming admission window (µs) when a spec does not set one.
+pub const DEFAULT_ADMIT_WINDOW_US: u64 = 1_000;
 
 impl ExperimentSpec {
     /// The horizon as a [`SimTime`].
     pub fn horizon(&self) -> SimTime {
         SimTime::from_micros(self.horizon_us)
+    }
+
+    /// The streaming admission window as a [`SimDuration`].
+    pub fn admit_window(&self) -> SimDuration {
+        SimDuration::from_micros(self.admit_window_us)
     }
 
     /// Parse a spec from TOML text.
@@ -377,6 +424,20 @@ impl ExperimentSpec {
         if engines.is_empty() {
             return bad("[experiment] engines must be non-empty");
         }
+        let stats = match exp.get("stats") {
+            Some(v) => StatsMode::parse(
+                v.as_str()
+                    .ok_or_else(|| SpecError("[experiment] stats must be a string".into()))?,
+            )?,
+            None => StatsMode::default(),
+        };
+        let admit_window_us = match exp.get("admit_window_us") {
+            Some(_) => get_u64(exp, "experiment", "admit_window_us")?,
+            None => DEFAULT_ADMIT_WINDOW_US,
+        };
+        if admit_window_us == 0 {
+            return bad("[experiment] admit_window_us must be positive");
+        }
 
         let topo = get_table(doc, "topology")?;
         let topology = TopoSpec {
@@ -395,7 +456,7 @@ impl ExperimentSpec {
             None => Checks::default(),
         };
 
-        Ok(ExperimentSpec {
+        let spec = ExperimentSpec {
             name,
             horizon_us,
             seeds,
@@ -403,8 +464,35 @@ impl ExperimentSpec {
             topology,
             scenario,
             failures,
+            stats,
+            admit_window_us,
             checks,
-        })
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Cross-field validation a flat parse cannot catch: checks that
+    /// need per-flow records are rejected in sketch mode, and the
+    /// scenario must fit the population of **every** engine it will run
+    /// on (surfacing what used to be a silent incast backend clamp).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.stats == StatsMode::Sketch && self.checks.min_goodput_gbps.is_some() {
+            return bad("checks.min_goodput_gbps needs per-flow records, which \
+                 stats = \"sketch\" does not keep");
+        }
+        let scenario = self.scenario_for(self.seeds.first().copied().unwrap_or(0));
+        for &engine in &self.engines {
+            let n_nodes = if engine.is_fabric() {
+                crate::fig10::fabric_fas(self.topology.two_tier_factor)
+            } else {
+                crate::fig10::kary_hosts(self.topology.kary_k)
+            };
+            scenario
+                .validate_for(n_nodes)
+                .map_err(|e| SpecError(format!("engine {:?}: {e}", engine.to_spec_string())))?;
+        }
+        Ok(())
     }
 
     /// Render back to a TOML document; `parse(format(to_table()))`
@@ -430,6 +518,15 @@ impl ExperimentSpec {
                     .collect(),
             ),
         );
+        if self.stats != StatsMode::default() {
+            exp.insert("stats".into(), Value::Str(self.stats.as_str().into()));
+        }
+        if self.admit_window_us != DEFAULT_ADMIT_WINDOW_US {
+            exp.insert(
+                "admit_window_us".into(),
+                Value::Int(self.admit_window_us as i64),
+            );
+        }
 
         let mut topo = Table::new();
         topo.insert(
@@ -518,6 +615,13 @@ fn get_u64(t: &Table, section: &str, key: &str) -> Result<u64, SpecError> {
         .ok_or_else(|| SpecError(format!("[{section}] needs a non-negative integer {key:?}")))
 }
 
+fn get_f64(t: &Table, section: &str, key: &str) -> Result<f64, SpecError> {
+    t.get(key)
+        .and_then(Value::as_float)
+        .filter(|f| f.is_finite())
+        .ok_or_else(|| SpecError(format!("[{section}] needs a finite number {key:?}")))
+}
+
 fn parse_dist(s: &str) -> Result<FlowSizeDist, SpecError> {
     match s {
         "web" => Ok(FlowSizeDist::fb_web()),
@@ -554,8 +658,36 @@ fn parse_scenario(t: &Table) -> Result<ScenarioKind, SpecError> {
             bytes_per_pair: get_u64(t, "scenario", "bytes_per_pair")?,
             node_gap: SimDuration::from_micros(get_u64(t, "scenario", "node_gap_us")?),
         }),
+        "service" => {
+            let us = |key| get_u64(t, "scenario", key).map(SimDuration::from_micros);
+            let hadoop_share = get_f64(t, "scenario", "hadoop_share")?;
+            if !(0.0..=1.0).contains(&hadoop_share) {
+                return bad("[scenario] hadoop_share must be within [0, 1]");
+            }
+            let diurnal_min = get_f64(t, "scenario", "diurnal_min")?;
+            if !(diurnal_min > 0.0 && diurnal_min <= 1.0) {
+                return bad("[scenario] diurnal_min must be within (0, 1]");
+            }
+            for key in ["diurnal_period_us", "shuffle_period_us", "incast_period_us"] {
+                if get_u64(t, "scenario", key)? == 0 {
+                    return bad(format!("[scenario] {key} must be positive"));
+                }
+            }
+            Ok(ScenarioKind::Service {
+                n_flows: get_u64(t, "scenario", "flows")? as usize,
+                node_gap: us("node_gap_us")?,
+                hadoop_share,
+                diurnal_period: us("diurnal_period_us")?,
+                diurnal_min,
+                shuffle_bytes: get_u64(t, "scenario", "shuffle_bytes")?,
+                shuffle_period: us("shuffle_period_us")?,
+                incast_backends: get_u64(t, "scenario", "incast_backends")? as usize,
+                incast_bytes: get_u64(t, "scenario", "incast_bytes")?,
+                incast_period: us("incast_period_us")?,
+            })
+        }
         other => bad(format!(
-            "unknown scenario kind {other:?} (permutation | incast | mix | shuffle)"
+            "unknown scenario kind {other:?} (permutation | incast | mix | shuffle | service)"
         )),
     }
 }
@@ -598,6 +730,34 @@ fn scenario_table(kind: &ScenarioKind) -> Table {
                 "node_gap_us".into(),
                 Value::Int((node_gap.0 / stardust_sim::time::PS_PER_US) as i64),
             );
+        }
+        ScenarioKind::Service {
+            n_flows,
+            node_gap,
+            hadoop_share,
+            diurnal_period,
+            diurnal_min,
+            shuffle_bytes,
+            shuffle_period,
+            incast_backends,
+            incast_bytes,
+            incast_period,
+        } => {
+            let us = |d: &SimDuration| Value::Int((d.0 / stardust_sim::time::PS_PER_US) as i64);
+            t.insert("kind".into(), Value::Str("service".into()));
+            t.insert("flows".into(), Value::Int(*n_flows as i64));
+            t.insert("node_gap_us".into(), us(node_gap));
+            t.insert("hadoop_share".into(), Value::Float(*hadoop_share));
+            t.insert("diurnal_period_us".into(), us(diurnal_period));
+            t.insert("diurnal_min".into(), Value::Float(*diurnal_min));
+            t.insert("shuffle_bytes".into(), Value::Int(*shuffle_bytes as i64));
+            t.insert("shuffle_period_us".into(), us(shuffle_period));
+            t.insert(
+                "incast_backends".into(),
+                Value::Int(*incast_backends as i64),
+            );
+            t.insert("incast_bytes".into(), Value::Int(*incast_bytes as i64));
+            t.insert("incast_period_us".into(), us(incast_period));
         }
     }
     t
@@ -814,10 +974,67 @@ action = "restore"
                 bytes_per_pair: 4096,
                 node_gap: SimDuration::from_micros(55),
             },
+            ScenarioKind::Service {
+                n_flows: 100_000,
+                node_gap: SimDuration::from_micros(200),
+                hadoop_share: 0.25,
+                diurnal_period: SimDuration::from_millis(5),
+                diurnal_min: 0.5,
+                shuffle_bytes: 40_000,
+                shuffle_period: SimDuration::from_micros(300),
+                incast_backends: 6,
+                incast_bytes: 40_000,
+                incast_period: SimDuration::from_micros(900),
+            },
         ] {
             let t = scenario_table(&kind);
             assert_eq!(parse_scenario(&t).unwrap(), kind);
         }
+    }
+
+    #[test]
+    fn stats_mode_and_admit_window_round_trip() {
+        let text = FULL.replace("seeds = [42, 7]", "seeds = [42, 7]\nstats = \"sketch\"");
+        let spec = ExperimentSpec::parse(&text).expect("sketch spec parses");
+        assert_eq!(spec.stats, StatsMode::Sketch);
+        assert_eq!(spec.admit_window_us, DEFAULT_ADMIT_WINDOW_US);
+        let again = ExperimentSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(spec, again);
+
+        let mut spec = spec;
+        spec.admit_window_us = 250;
+        let again = ExperimentSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(again.admit_window_us, 250);
+
+        // The default mode stays omitted from the rendered form.
+        let table_spec = ExperimentSpec::parse(FULL).unwrap();
+        assert!(!table_spec.to_text().contains("stats"));
+        assert!(!table_spec.to_text().contains("admit_window_us"));
+    }
+
+    #[test]
+    fn sketch_mode_rejects_record_only_checks() {
+        let text = FULL
+            .replace("seeds = [42, 7]", "seeds = [42, 7]\nstats = \"sketch\"")
+            .replace("fct_p99_ms_max = 10.0", "min_goodput_gbps = 5.0");
+        let e = ExperimentSpec::parse(&text).expect_err("goodput needs records");
+        assert!(e.to_string().contains("min_goodput_gbps"), "{e}");
+    }
+
+    #[test]
+    fn oversized_incast_is_a_spec_error_not_a_silent_clamp() {
+        // 16 fat-tree hosts and 16 fabric FAs: 15 backends fit, 16 don't.
+        let mk = |backends: u64| {
+            format!(
+                "[experiment]\nname = \"incast-check\"\nhorizon_us = 1000\n\
+                 engines = [\"fabric\", \"transport:stardust\"]\n\n\
+                 [topology]\ntwo_tier_factor = 16\nkary_k = 4\n\n\
+                 [scenario]\nkind = \"incast\"\nbackends = {backends}\nresponse_bytes = 1000\n"
+            )
+        };
+        assert!(ExperimentSpec::parse(&mk(15)).is_ok());
+        let e = ExperimentSpec::parse(&mk(16)).expect_err("16-into-16 incast");
+        assert!(e.to_string().contains("backends"), "{e}");
     }
 
     #[test]

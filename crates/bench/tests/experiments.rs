@@ -190,6 +190,32 @@ fn transport_wrapper_reports_only_its_own_flows() {
 }
 
 #[test]
+fn service_preset_streams_both_fabric_engines_bit_identically() {
+    // A scaled-down service preset: lazy generation, streaming
+    // admission, sketch accounting — and the sharded engine's merged
+    // sketch book must equal the sequential one bit-for-bit (the
+    // preset's own sharded_identical gate).
+    let spec = presets::service(16, 120, 8, 42, 2, 300, 2_000);
+    let outcome = run_spec(&spec);
+    assert!(
+        outcome.check_failures.is_empty(),
+        "service spec failed: {:?}",
+        outcome.check_failures
+    );
+    assert_eq!(outcome.runs.len(), 2);
+    for run in &outcome.runs {
+        assert!(
+            run.flows.is_sketched(),
+            "{} kept per-flow records",
+            run.label
+        );
+        assert!(run.flows.completed() > 0);
+        assert!(run.flows.fct_quantile(0.9).is_some());
+    }
+    assert_eq!(outcome.runs[0].flows, outcome.runs[1].flows);
+}
+
+#[test]
 fn shuffle_spec_runs_end_to_end_from_toml() {
     // A runtime-parsed spec (not a preset) with the new Shuffle kind:
     // the String scenario name and the full parse → run path in one go.

@@ -82,6 +82,13 @@ pub struct FabricConfig {
     /// packet-agnostic — this only shapes the synthetic host traffic the
     /// Fig 10 FCT scenarios offer.
     pub msg_mtu_bytes: u32,
+    /// Bounded-memory flow accounting: per-message state lives only while
+    /// a message is in flight (hash maps keyed by flow id instead of
+    /// O(offered-flows) tables), and [`stardust_sim::FlowStats`] runs in
+    /// its sketch mode — counts + a mergeable quantile sketch, no
+    /// per-flow records. Required for streaming million-flow scenarios;
+    /// the default keeps the exact per-flow table.
+    pub bounded_flows: bool,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -127,6 +134,7 @@ impl Default for FabricConfig {
             low_latency_tc: None,
             sched_policy: SchedPolicy::Strict,
             msg_mtu_bytes: 1_500,
+            bounded_flows: false,
             seed: 0xDC_FA_B0_05,
         }
     }

@@ -219,6 +219,43 @@ struct MsgFlow {
     bytes: u64,
 }
 
+/// Destination-side countdown of one in-flight streamed message.
+#[derive(Debug)]
+struct StreamMsg {
+    remaining: u64,
+    start: SimTime,
+}
+
+/// Bookkeeping behind [`FabricEngine::add_message`], in one of two modes.
+#[derive(Debug)]
+enum MsgBook {
+    /// Default: O(offered-flows) indexed tables, pairing with
+    /// [`FlowStats`]'s exact per-flow table.
+    Table {
+        msgs: Vec<MsgFlow>,
+        /// Undelivered payload bytes per flow (completion detection,
+        /// maintained at the flow's destination FA — packets carry their
+        /// flow id, so no source↔destination side table is needed).
+        remaining: Vec<u64>,
+    },
+    /// `cfg.bounded_flows`: per-message state lives only while the
+    /// message is in flight. The source side holds a `pending`
+    /// descriptor from offer until `MsgStart`'s one-shot segmentation
+    /// frees it; the destination side counts `active` remaining bytes
+    /// until the last byte leaves the egress wire. Both maps are keyed
+    /// by flow id and **never iterated**, so hash order cannot leak into
+    /// event order — determinism is untouched. (A message clipped by a
+    /// VOQ-cap drop never completes and its `active` entry persists,
+    /// matching the table mode's forever-unfinished record.)
+    Stream {
+        /// Next flow id. Every shard counts every offer, so ids agree
+        /// across shards without any shared table.
+        next_id: u32,
+        pending: HashMap<u32, MsgFlow>,
+        active: HashMap<u32, StreamMsg>,
+    },
+}
+
 /// One direction of a fabric link: a FIFO of cells plus the serializer.
 #[derive(Debug)]
 struct DirState {
@@ -358,7 +395,7 @@ pub struct FabricStats {
 }
 
 impl FabricStats {
-    fn new(num_fa: usize, ports: usize) -> Self {
+    fn new(num_fa: usize, ports: usize, bounded_flows: bool) -> Self {
         FabricStats {
             cell_latency_ns: Histogram::new(100, 4_000), // 100ns bins to 400µs
             packet_latency_ns: Histogram::new(100, 10_000),
@@ -381,7 +418,11 @@ impl FabricStats {
             delivered_per_port: vec![vec![0; ports]; num_fa],
             max_egress_bytes: 0,
             max_voq_bytes: 0,
-            flows: FlowStats::new(),
+            flows: if bounded_flows {
+                FlowStats::new_sketched()
+            } else {
+                FlowStats::new()
+            },
         }
     }
 
@@ -465,12 +506,10 @@ pub struct FabricEngine<K: CoreKind = CalendarCore> {
     seed: u64,
     dynamic_reach: bool,
     flows: Vec<CbrFlow>,
-    /// Finite message flows, indexed by the id `add_message` returned.
-    msgs: Vec<MsgFlow>,
-    /// Undelivered payload bytes per message flow (completion detection,
-    /// maintained at the flow's destination FA — packets carry their flow
-    /// id, so no source↔destination side table is needed).
-    msg_remaining: Vec<u64>,
+    /// Finite message flows, keyed by the id `add_message` returned:
+    /// indexed tables by default, in-flight-only maps under
+    /// `cfg.bounded_flows`.
+    msg_book: MsgBook,
     /// Per-link-direction error draw streams (§5.10 failure injection),
     /// split off one labelled base stream so each direction's draw
     /// sequence is independent of every other direction's traffic — and
@@ -677,6 +716,7 @@ impl<K: CoreKind> FabricEngine<K> {
                 (of_fa, of_dir, outbox)
             }
         };
+        let bounded_flows = cfg.bounded_flows;
         let mut engine: Self = FabricEngine {
             cfg,
             topo,
@@ -691,13 +731,23 @@ impl<K: CoreKind> FabricEngine<K> {
             free_cells: Vec::new(),
             bursts: HashMap::new(),
             next_packet: 0,
-            stats: FabricStats::new(num_fa, host_ports),
+            stats: FabricStats::new(num_fa, host_ports, bounded_flows),
             measure_from: SimTime::ZERO,
             seed,
             dynamic_reach,
             flows: Vec::new(),
-            msgs: Vec::new(),
-            msg_remaining: Vec::new(),
+            msg_book: if bounded_flows {
+                MsgBook::Stream {
+                    next_id: 0,
+                    pending: HashMap::new(),
+                    active: HashMap::new(),
+                }
+            } else {
+                MsgBook::Table {
+                    msgs: Vec::new(),
+                    remaining: Vec::new(),
+                }
+            },
             err_rngs,
             view,
             shard_of_fa,
@@ -953,8 +1003,9 @@ impl<K: CoreKind> FabricEngine<K> {
     /// path (or the §5.6 low-latency bypass if `tc` is configured for
     /// it); its flow-completion time — recorded in
     /// [`FabricStats::flows`] — ends when the last byte leaves the
-    /// destination egress wire. Returns the flow's index into
-    /// [`FlowStats::records`].
+    /// destination egress wire. Returns the flow's id (its index into
+    /// [`FlowStats::records`] in the default table mode; under
+    /// `cfg.bounded_flows` there is no record table, only the id).
     ///
     /// This is the fabric-side workload of the paper's Fig 10 a–c
     /// experiments: finite flows with no per-flow transport machinery,
@@ -977,23 +1028,77 @@ impl<K: CoreKind> FabricEngine<K> {
         assert!(dst_port < self.cfg.host_ports);
         assert!(tc < self.cfg.num_tcs);
         assert!(bytes > 0);
-        let flow = self.msgs.len() as u32;
-        self.msgs.push(MsgFlow {
+        let (owns_src, owns_dst) = (self.owns_fa(src_fa), self.owns_fa(dst_fa));
+        let m = MsgFlow {
             src_fa,
             dst_fa,
             dst_port,
             tc,
             bytes,
-        });
-        self.msg_remaining.push(bytes);
-        let idx = self.stats.flows.add(src_fa, dst_fa, bytes, start);
-        debug_assert_eq!(idx, flow, "flow table out of sync");
-        // In a sharded run every shard registers the flow (so the tables
-        // merge index-wise) but only the source's shard starts it.
-        if self.owns_fa(src_fa) {
+        };
+        let flow = match &mut self.msg_book {
+            // Table mode: in a sharded run every shard registers every
+            // flow (so the stats tables merge index-wise).
+            MsgBook::Table { msgs, remaining } => {
+                let flow = msgs.len() as u32;
+                msgs.push(m);
+                remaining.push(bytes);
+                flow
+            }
+            // Stream mode: ids come from counting offers (identical on
+            // every shard); per-flow state is split by ownership — the
+            // source shard holds the descriptor until segmentation, the
+            // destination shard the completion countdown.
+            MsgBook::Stream {
+                next_id,
+                pending,
+                active,
+            } => {
+                let flow = *next_id;
+                *next_id += 1;
+                if owns_src {
+                    pending.insert(flow, m);
+                }
+                if owns_dst {
+                    active.insert(
+                        flow,
+                        StreamMsg {
+                            remaining: bytes,
+                            start,
+                        },
+                    );
+                }
+                flow
+            }
+        };
+        match &self.msg_book {
+            MsgBook::Table { .. } => {
+                let idx = self.stats.flows.add(src_fa, dst_fa, bytes, start);
+                debug_assert_eq!(idx, flow, "flow table out of sync");
+            }
+            // Sketch books hold partial, summable counts: exactly one
+            // shard (the destination's) counts each offer.
+            MsgBook::Stream { .. } => {
+                if owns_dst {
+                    self.stats.flows.add(src_fa, dst_fa, bytes, start);
+                }
+            }
+        }
+        // Only the source's shard starts the flow.
+        if owns_src {
             self.sched(start, Ev::MsgStart { flow });
         }
         flow
+    }
+
+    /// Undelivered payload bytes of message `flow` (diagnostic/test
+    /// surface). Under `cfg.bounded_flows` a completed flow has no entry
+    /// left, which reads as 0.
+    pub fn msg_remaining_of(&self, flow: u32) -> u64 {
+        match &self.msg_book {
+            MsgBook::Table { remaining, .. } => remaining[flow as usize],
+            MsgBook::Stream { active, .. } => active.get(&flow).map_or(0, |m| m.remaining),
+        }
     }
 
     /// Put every FA into saturation mode: each FA keeps `backlog_bytes`
@@ -1184,7 +1289,14 @@ impl<K: CoreKind> FabricEngine<K> {
     /// completes (there is no transport to retransmit — that is the
     /// experiment's point).
     fn on_msg_start(&mut self, now: SimTime, flow: u32) {
-        let m = self.msgs[flow as usize];
+        let m = match &mut self.msg_book {
+            MsgBook::Table { msgs, .. } => msgs[flow as usize],
+            // One-shot segmentation: the source-side descriptor is done
+            // after this handler, so bounded mode reclaims it here.
+            MsgBook::Stream { pending, .. } => pending
+                .remove(&flow)
+                .expect("MsgStart without a pending message"),
+        };
         let mtu = self.cfg.msg_mtu_bytes as u64;
         let key = VoqKey {
             dst_fa: m.dst_fa,
@@ -1509,10 +1621,24 @@ impl<K: CoreKind> FabricEngine<K> {
         // egress wire ends its FCT. The flow id rides in the packet, so
         // completion is detected purely from destination-side state.
         if pkt.flow != NO_FLOW {
-            let rem = &mut self.msg_remaining[pkt.flow as usize];
-            *rem -= pkt.bytes as u64;
-            if *rem == 0 {
-                self.stats.flows.finish(pkt.flow, now);
+            match &mut self.msg_book {
+                MsgBook::Table { remaining, .. } => {
+                    let rem = &mut remaining[pkt.flow as usize];
+                    *rem -= pkt.bytes as u64;
+                    if *rem == 0 {
+                        self.stats.flows.finish(pkt.flow, now);
+                    }
+                }
+                MsgBook::Stream { active, .. } => {
+                    let sm = active
+                        .get_mut(&pkt.flow)
+                        .expect("delivery for an unknown streamed flow");
+                    sm.remaining -= pkt.bytes as u64;
+                    if sm.remaining == 0 {
+                        let start = active.remove(&pkt.flow).expect("just seen").start;
+                        self.stats.flows.record_fct(now.since(start));
+                    }
+                }
             }
         }
     }
@@ -2521,7 +2647,7 @@ mod tests {
                 );
             }
             e.run_until(SimTime::from_millis(2));
-            std::mem::replace(&mut e.stats, FabricStats::new(0, 0))
+            std::mem::replace(&mut e.stats, FabricStats::new(0, 0, false))
         }
         let heap = run::<stardust_sim::HeapCore>();
         let cal = run::<stardust_sim::CalendarCore>();
@@ -2550,7 +2676,53 @@ mod tests {
         assert_eq!(e.stats().bytes_delivered.get(), 100_000);
         assert_eq!(e.stats().cells_dropped.get(), 0);
         // Completion accounting fully drained.
-        assert_eq!(e.msg_remaining[id as usize], 0);
+        assert_eq!(e.msg_remaining_of(id), 0);
+    }
+
+    #[test]
+    fn bounded_flows_match_the_exact_table_sketched() {
+        // The same message workload in bounded (sketch) mode must produce
+        // exactly the stats the table-mode run collapses to via
+        // `FlowStats::sketched()` — every sketch-book operation commutes,
+        // so even though the two modes record finishes in different
+        // bookkeeping, the end state is bit-identical.
+        let offer = |e: &mut FabricEngine| {
+            let n = e.num_fas() as u32;
+            for src in 0..n {
+                e.add_message(
+                    src,
+                    (src + 3) % n,
+                    0,
+                    0,
+                    30_000 + src as u64 * 500,
+                    SimTime::from_nanos(src as u64 * 113),
+                );
+            }
+            e.run_until(SimTime::from_millis(10));
+        };
+        let mut table = small_engine(cfg_small());
+        offer(&mut table);
+        let mut cfg = cfg_small();
+        cfg.bounded_flows = true;
+        let mut bounded = small_engine(cfg);
+        offer(&mut bounded);
+        let b = &bounded.stats().flows;
+        assert!(b.is_sketched());
+        assert!(
+            b.records().is_empty(),
+            "bounded mode keeps no per-flow rows"
+        );
+        assert_eq!(*b, table.stats().flows.sketched());
+        assert_eq!(b.completed(), b.len());
+        // In-flight state fully reclaimed once every flow finished.
+        match &bounded.msg_book {
+            MsgBook::Stream {
+                pending, active, ..
+            } => {
+                assert!(pending.is_empty() && active.is_empty());
+            }
+            MsgBook::Table { .. } => panic!("bounded_flows must use the stream book"),
+        }
     }
 
     #[test]
@@ -2612,10 +2784,7 @@ mod tests {
             "bursts must time out"
         );
         assert!(e.stats().flows.records()[id as usize].fct().is_none());
-        assert!(
-            e.msg_remaining[id as usize] > 0,
-            "bytes must stay undelivered"
-        );
+        assert!(e.msg_remaining_of(id) > 0, "bytes must stay undelivered");
     }
 
     #[test]

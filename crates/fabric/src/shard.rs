@@ -201,8 +201,11 @@ where
     }
 
     /// Add a finite message flow (see [`FabricEngine::add_message`]).
-    /// Registered on every shard (the flow tables must merge index-wise);
-    /// started on the source's shard, finished on the destination's.
+    /// Offered to every shard — in table mode each registers a record
+    /// (the flow tables merge index-wise); in `bounded_flows` mode each
+    /// only counts the id and the destination's shard keeps the
+    /// in-flight state. Started on the source's shard, finished on the
+    /// destination's.
     pub fn add_message(
         &mut self,
         src_fa: u32,

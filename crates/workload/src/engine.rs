@@ -33,6 +33,35 @@ use stardust_sim::{CoreKind, FlowStats, SimTime};
 use stardust_topo::LinkId;
 use stardust_transport::{FlowId, Protocol, TransportSim};
 
+/// A lazily generated, time-ordered stream of flows — the pull side of
+/// streaming admission ([`FlowEngine::offer_until`]). Any
+/// `Peekable<Iterator<Item = FlowSpec>>` is a `FlowSource` (notably
+/// [`Scenario::flow_source`](crate::Scenario::flow_source)`.peekable()`),
+/// so scenario generation never has to materialize its flow list.
+pub trait FlowSource {
+    /// Start time of the next flow, without consuming it (`None` when
+    /// the stream is exhausted).
+    fn peek_start(&mut self) -> Option<SimTime>;
+
+    /// Pull the next flow.
+    fn next_flow(&mut self) -> Option<FlowSpec>;
+}
+
+impl<I: Iterator<Item = FlowSpec>> FlowSource for std::iter::Peekable<I> {
+    fn peek_start(&mut self) -> Option<SimTime> {
+        self.peek().map(|f| f.start)
+    }
+
+    fn next_flow(&mut self) -> Option<FlowSpec> {
+        self.next()
+    }
+}
+
+/// Flows pulled per [`FlowEngine::offer`] call inside
+/// [`FlowEngine::offer_until`] — bounds the admission scratch buffer
+/// regardless of how many arrivals one window covers.
+const OFFER_BATCH: usize = 4_096;
+
 /// A simulator that can be offered finite flows, run to a horizon, and
 /// report the engine-agnostic FCT table. See the module docs.
 pub trait FlowEngine {
@@ -44,6 +73,32 @@ pub trait FlowEngine {
     /// Offer finite flows to the engine. May be called repeatedly; flows
     /// whose `start` has already passed begin immediately.
     fn offer(&mut self, flows: &[FlowSpec]);
+
+    /// Streaming admission: pull every flow with `start ≤ until` from
+    /// `source` and offer it, in stream order, batching through
+    /// [`FlowEngine::offer`] in bounded slices. With a time-ordered
+    /// source the result is byte-identical to offering the whole list
+    /// eagerly — engines schedule flow starts under content-derived
+    /// event keys, so *when* a future flow was offered never affects
+    /// event order. The default implementation suits every engine;
+    /// it exists on the trait so engines with native admission queues
+    /// can override it.
+    fn offer_until(&mut self, source: &mut dyn FlowSource, until: SimTime) {
+        let mut batch: Vec<FlowSpec> = Vec::new();
+        while let Some(start) = source.peek_start() {
+            if start > until {
+                break;
+            }
+            batch.push(source.next_flow().expect("peeked a flow"));
+            if batch.len() == OFFER_BATCH {
+                self.offer(&batch);
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            self.offer(&batch);
+        }
+    }
 
     /// Advance simulated time to `horizon` (and commit the clock there,
     /// so back-to-back windowed runs cover exactly their spans).

@@ -20,10 +20,13 @@
 //! [`FailureSchedule`] of timed link fail/restore events through the
 //! run — Appendix-E-style churn against finite-flow FCT workloads.
 
-use crate::engine::{FailureSchedule, FlowEngine};
+use crate::engine::{FailureSchedule, FlowEngine, FlowSource};
 use crate::flows::FlowSizeDist;
 use crate::patterns::{all_to_all_pairs, incast_sources, permutation};
 use stardust_sim::{DetRng, FlowStats, SimDuration, SimTime};
+
+/// Nanoseconds per second, as f64 (arrival-gap conversion).
+const NS_PER_SEC: f64 = 1e9;
 
 /// One finite flow of a scenario: `bytes` from `src` to `dst`, offered at
 /// `start`. Node indices are engine-relative (hosts for the transport
@@ -87,6 +90,54 @@ pub enum ScenarioKind {
         /// Mean per-node inter-arrival gap of the Poisson start process.
         node_gap: SimDuration,
     },
+    /// A long-horizon, datacenter-in-the-small service workload: three
+    /// concurrent tenants merged into one time-ordered arrival stream,
+    /// capped at `n_flows` flows total.
+    ///
+    /// * **Request mix** — a Poisson process at mean per-node gap
+    ///   `node_gap` (network-wide `node_gap / n_nodes`, the
+    ///   [`ScenarioKind::Mix`] normalization), thinned by a diurnal load
+    ///   curve: an arrival at time `t` survives with probability
+    ///   `diurnal_min + (1 − diurnal_min) · (½ − ½·cos(2π t / diurnal_period))`,
+    ///   so offered load swings sinusoidally between `diurnal_min` of
+    ///   peak (at `t = 0`) and peak (at half a period). Each surviving
+    ///   flow draws its size from [`FlowSizeDist::fb_hadoop`] with
+    ///   probability `hadoop_share`, else [`FlowSizeDist::fb_web`].
+    /// * **Background shuffle** — one `shuffle_bytes` transfer every
+    ///   `shuffle_period`, walking the ordered (src, dst) pairs
+    ///   round-robin (transfer *k* starts at `(k+1) · shuffle_period`).
+    ///   Disabled when `shuffle_bytes = 0`.
+    /// * **Periodic incast** — every `incast_period`, a rotating
+    ///   frontend (`wave mod n_nodes`) receives `incast_bytes` responses
+    ///   from each of the `incast_backends` nodes after it. Disabled
+    ///   when `incast_backends = 0`; requires
+    ///   `incast_backends ≤ n_nodes − 1` (see [`Scenario::validate_for`]).
+    ///
+    /// Designed for the streaming path ([`Scenario::flow_source`] +
+    /// [`Scenario::run_streamed`]): generation is O(1) memory, so
+    /// million-flow, hour-horizon runs never materialize a list.
+    Service {
+        /// Total flows across all tenants (the stream's length).
+        n_flows: usize,
+        /// Mean per-node inter-arrival gap of the request mix at peak.
+        node_gap: SimDuration,
+        /// Probability a mix flow draws the Hadoop size distribution.
+        hadoop_share: f64,
+        /// Period of the diurnal load curve.
+        diurnal_period: SimDuration,
+        /// Trough-to-peak load ratio in (0, 1].
+        diurnal_min: f64,
+        /// Bytes per background shuffle transfer (0 = tenant off).
+        shuffle_bytes: u64,
+        /// Gap between consecutive shuffle transfers.
+        shuffle_period: SimDuration,
+        /// Responding backends per incast wave (0 = tenant off).
+        incast_backends: usize,
+        /// Bytes per incast response.
+        incast_bytes: u64,
+        /// Gap between incast waves.
+        incast_period: SimDuration,
+    },
 }
 
 /// A named, seeded workload scenario (see the module docs).
@@ -106,20 +157,37 @@ pub struct Scenario {
 impl Scenario {
     /// Expand into the flow list for an `n_nodes`-node network. Pure and
     /// deterministic: every engine is offered byte-identical workloads.
+    /// Materializes [`Scenario::flow_source`] — the two are pinned
+    /// bit-identical by test, so eager and streaming paths cannot
+    /// diverge.
     pub fn flows(&self, n_nodes: usize) -> Vec<FlowSpec> {
+        self.flow_source(n_nodes).collect()
+    }
+
+    /// The scenario as a lazy, time-ordered [`FlowSpec`] iterator: flows
+    /// come out in non-decreasing `start` order without materializing
+    /// the list, so streaming admission ([`FlowEngine::offer_until`] /
+    /// [`Scenario::run_streamed`]) holds only in-flight state.
+    /// Per-flow generation cost is O(1); construction is O(n_nodes) for
+    /// [`ScenarioKind::Permutation`] / [`ScenarioKind::Incast`] and
+    /// O(n_nodes²) for [`ScenarioKind::Shuffle`] (inherent to those
+    /// patterns); [`ScenarioKind::Mix`] and [`ScenarioKind::Service`]
+    /// are O(1) throughout.
+    pub fn flow_source(&self, n_nodes: usize) -> ScenarioFlows {
         assert!(n_nodes >= 2, "a scenario needs at least two nodes");
         let mut rng = DetRng::from_label(self.seed, &self.name);
-        match &self.kind {
+        let gen = match &self.kind {
             ScenarioKind::Permutation { flow_bytes } => {
                 let perm = permutation(n_nodes, &mut rng);
-                (0..n_nodes as u32)
+                let list: Vec<FlowSpec> = (0..n_nodes as u32)
                     .map(|src| FlowSpec {
                         src,
                         dst: perm[src as usize],
                         bytes: *flow_bytes,
                         start: SimTime::ZERO,
                     })
-                    .collect()
+                    .collect();
+                FlowGen::List(list.into_iter())
             }
             ScenarioKind::Incast {
                 backends,
@@ -127,7 +195,7 @@ impl Scenario {
             } => {
                 let frontend = 0u32;
                 let n_backends = (*backends).min(n_nodes - 1);
-                incast_sources(n_nodes, frontend, n_backends, &mut rng)
+                let list: Vec<FlowSpec> = incast_sources(n_nodes, frontend, n_backends, &mut rng)
                     .into_iter()
                     .map(|src| FlowSpec {
                         src,
@@ -135,53 +203,121 @@ impl Scenario {
                         bytes: *response_bytes,
                         start: SimTime::ZERO,
                     })
-                    .collect()
+                    .collect();
+                FlowGen::List(list.into_iter())
             }
             ScenarioKind::Mix {
                 dist,
                 n_flows,
                 node_gap,
-            } => {
-                let net_gap = node_gap.as_secs_f64() / n_nodes as f64;
-                let mut t = SimTime::ZERO;
-                (0..*n_flows)
-                    .map(|_| {
-                        t += SimDuration::from_secs_f64(rng.exponential(net_gap));
-                        let src = rng.below(n_nodes as u64) as u32;
-                        let mut dst = rng.below(n_nodes as u64) as u32;
-                        while dst == src {
-                            dst = rng.below(n_nodes as u64) as u32;
-                        }
-                        FlowSpec {
-                            src,
-                            dst,
-                            bytes: dist.sample(&mut rng).max(1),
-                            start: t,
-                        }
-                    })
-                    .collect()
-            }
+            } => FlowGen::Mix {
+                rng,
+                dist: dist.clone(),
+                remaining: *n_flows,
+                n_nodes: n_nodes as u64,
+                gap_secs: node_gap.as_secs_f64() / n_nodes as f64,
+                t_ns: 0,
+            },
             ScenarioKind::Shuffle {
                 bytes_per_pair,
                 node_gap,
             } => {
                 let mut pairs = all_to_all_pairs(n_nodes);
                 rng.shuffle(&mut pairs);
-                let net_gap = node_gap.as_secs_f64() / n_nodes as f64;
-                let mut t = SimTime::ZERO;
-                pairs
-                    .into_iter()
-                    .map(|(src, dst)| {
-                        t += SimDuration::from_secs_f64(rng.exponential(net_gap));
-                        FlowSpec {
-                            src,
-                            dst,
-                            bytes: (*bytes_per_pair).max(1),
-                            start: t,
-                        }
-                    })
-                    .collect()
+                FlowGen::Shuffle {
+                    rng,
+                    pairs: pairs.into_iter(),
+                    bytes: (*bytes_per_pair).max(1),
+                    gap_secs: node_gap.as_secs_f64() / n_nodes as f64,
+                    t_ns: 0,
+                }
             }
+            ScenarioKind::Service {
+                n_flows,
+                node_gap,
+                hadoop_share,
+                diurnal_period,
+                diurnal_min,
+                shuffle_bytes,
+                shuffle_period,
+                incast_backends,
+                incast_bytes,
+                incast_period,
+            } => {
+                if let Err(e) = self.validate_for(n_nodes) {
+                    panic!("{e}");
+                }
+                assert!(
+                    (0.0..=1.0).contains(hadoop_share),
+                    "hadoop_share out of [0,1]"
+                );
+                assert!(
+                    *diurnal_min > 0.0 && *diurnal_min <= 1.0,
+                    "diurnal_min out of (0,1]"
+                );
+                assert!(node_gap.as_ps() > 0 && diurnal_period.as_ps() > 0);
+                assert!(*shuffle_bytes == 0 || shuffle_period.as_ps() > 0);
+                assert!(*incast_backends == 0 || incast_period.as_ps() > 0);
+                let mut g = ServiceGen {
+                    n_nodes: n_nodes as u64,
+                    remaining: *n_flows,
+                    rng,
+                    web: FlowSizeDist::fb_web(),
+                    hadoop: FlowSizeDist::fb_hadoop(),
+                    hadoop_share: *hadoop_share,
+                    gap_secs: node_gap.as_secs_f64() / n_nodes as f64,
+                    diurnal_period_ns: (diurnal_period.as_secs_f64() * NS_PER_SEC).round() as u64,
+                    diurnal_min: *diurnal_min,
+                    mix_t_ns: 0,
+                    mix_next: None,
+                    shuffle_bytes: *shuffle_bytes,
+                    shuffle_period_ns: (shuffle_period.as_secs_f64() * NS_PER_SEC).round() as u64,
+                    shuffle_k: 0,
+                    shuffle_next: None,
+                    incast_backends: *incast_backends as u64,
+                    incast_bytes: (*incast_bytes).max(1),
+                    incast_period_ns: (incast_period.as_secs_f64() * NS_PER_SEC).round() as u64,
+                    incast_wave: 1,
+                    incast_i: 0,
+                    incast_next: None,
+                };
+                g.advance_mix();
+                if g.shuffle_bytes > 0 {
+                    g.advance_shuffle();
+                }
+                if g.incast_backends > 0 {
+                    g.advance_incast();
+                }
+                FlowGen::Service(Box::new(g))
+            }
+        };
+        ScenarioFlows { gen }
+    }
+
+    /// Check the scenario against an engine population. Unlike the
+    /// silent clamp [`Scenario::flows`] historically applied (and keeps,
+    /// for direct API use), this surfaces an impossible spec — e.g. an
+    /// incast asking for more backends than the network has nodes — as
+    /// an error the experiment pipeline can report.
+    pub fn validate_for(&self, n_nodes: usize) -> Result<(), String> {
+        let check_incast = |what: &str, backends: usize| {
+            if backends > n_nodes.saturating_sub(1) {
+                Err(format!(
+                    "scenario '{}': {what} wants {backends} backends but an \
+                     {n_nodes}-node engine has only {} possible sources",
+                    self.name,
+                    n_nodes.saturating_sub(1),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match &self.kind {
+            ScenarioKind::Incast { backends, .. } => check_incast("incast", *backends),
+            ScenarioKind::Service {
+                incast_backends, ..
+            } => check_incast("the incast tenant", *incast_backends),
+            _ => Ok(()),
         }
     }
 
@@ -207,6 +343,305 @@ impl Scenario {
         engine.offer(&self.flows(engine.num_nodes()));
         failures.drive(engine, horizon);
         engine.flow_stats()
+    }
+
+    /// As [`Scenario::run_with_failures`], but **streaming**: flows are
+    /// drawn lazily from [`Scenario::flow_source`] and admitted in
+    /// `window`-sized slices just ahead of the engine's clock, so the
+    /// scenario never materializes its flow list — with a
+    /// bounded-memory engine (`FabricConfig::bounded_flows`), total
+    /// memory is in-flight state only, independent of flow count.
+    ///
+    /// Bit-identical to the eager path for every flow admitted: arrival
+    /// order equals generation order, flow ids match, and newly offered
+    /// flows always start at or after the engine's committed clock, so
+    /// the content-keyed event order is unchanged. The one semantic
+    /// difference: flows starting **after** `horizon` are never offered
+    /// (an eager run registers them as offered-but-unfinished).
+    ///
+    /// Returns the stats plus how many link events the engine applied
+    /// (as [`FailureSchedule::drive`] reports for the eager path).
+    pub fn run_streamed(
+        &self,
+        engine: &mut impl FlowEngine,
+        failures: &FailureSchedule,
+        horizon: SimTime,
+        window: SimDuration,
+    ) -> (FlowStats, usize) {
+        assert!(window > SimDuration::ZERO, "zero admission window");
+        assert!(horizon < SimTime::MAX, "streaming needs a finite horizon");
+        // Advance to `target` in admission windows. Runs at least once
+        // even for target == now, so flows starting exactly at a
+        // boundary are offered before the engine executes it — the same
+        // offer-before-run order the eager path guarantees globally.
+        fn advance_to<E: FlowEngine>(
+            engine: &mut E,
+            source: &mut dyn FlowSource,
+            now: &mut SimTime,
+            target: SimTime,
+            window: SimDuration,
+        ) {
+            loop {
+                let wend = if target.since(*now) <= window {
+                    target
+                } else {
+                    *now + window
+                };
+                engine.offer_until(source, wend);
+                engine.run_until(wend);
+                *now = wend;
+                if *now >= target {
+                    break;
+                }
+            }
+        }
+        let mut source = self.flow_source(engine.num_nodes()).peekable();
+        let mut now = SimTime::ZERO;
+        let mut applied = 0;
+        for ev in failures.events() {
+            if ev.at >= horizon {
+                break;
+            }
+            advance_to(engine, &mut source, &mut now, ev.at, window);
+            let ok = match ev.action {
+                crate::engine::LinkAction::Fail => engine.fail_link(ev.link),
+                crate::engine::LinkAction::Restore => engine.restore_link(ev.link),
+            };
+            applied += usize::from(ok);
+        }
+        advance_to(engine, &mut source, &mut now, horizon, window);
+        (engine.flow_stats(), applied)
+    }
+}
+
+/// The lazy flow stream behind [`Scenario::flow_source`]: an
+/// `Iterator<Item = FlowSpec>` yielding arrivals in non-decreasing start
+/// order. Wrap it in [`Iterator::peekable`] to use it as a
+/// [`FlowSource`] for streaming admission.
+pub struct ScenarioFlows {
+    gen: FlowGen,
+}
+
+enum FlowGen {
+    /// Pre-expanded t = 0 burst patterns (Permutation, Incast).
+    List(std::vec::IntoIter<FlowSpec>),
+    /// Poisson mix, generated on demand. Arrival times accumulate in
+    /// **integer nanoseconds** — the old `SimTime += from_secs_f64(gap)`
+    /// accumulation mixed float rounding into every step, drifting over
+    /// long horizons.
+    Mix {
+        rng: DetRng,
+        dist: FlowSizeDist,
+        remaining: usize,
+        n_nodes: u64,
+        gap_secs: f64,
+        t_ns: u64,
+    },
+    /// Seed-shuffled all-to-all pairs with Poisson starts.
+    Shuffle {
+        rng: DetRng,
+        pairs: std::vec::IntoIter<(u32, u32)>,
+        bytes: u64,
+        gap_secs: f64,
+        t_ns: u64,
+    },
+    /// The three-tenant service stream.
+    Service(Box<ServiceGen>),
+}
+
+impl Iterator for ScenarioFlows {
+    type Item = FlowSpec;
+
+    fn next(&mut self) -> Option<FlowSpec> {
+        match &mut self.gen {
+            FlowGen::List(list) => list.next(),
+            FlowGen::Mix {
+                rng,
+                dist,
+                remaining,
+                n_nodes,
+                gap_secs,
+                t_ns,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                *t_ns += (rng.exponential(*gap_secs) * NS_PER_SEC).round() as u64;
+                let src = rng.below(*n_nodes) as u32;
+                let mut dst = rng.below(*n_nodes) as u32;
+                while dst == src {
+                    dst = rng.below(*n_nodes) as u32;
+                }
+                Some(FlowSpec {
+                    src,
+                    dst,
+                    bytes: dist.sample(rng).max(1),
+                    start: SimTime::from_nanos(*t_ns),
+                })
+            }
+            FlowGen::Shuffle {
+                rng,
+                pairs,
+                bytes,
+                gap_secs,
+                t_ns,
+            } => {
+                let (src, dst) = pairs.next()?;
+                *t_ns += (rng.exponential(*gap_secs) * NS_PER_SEC).round() as u64;
+                Some(FlowSpec {
+                    src,
+                    dst,
+                    bytes: *bytes,
+                    start: SimTime::from_nanos(*t_ns),
+                })
+            }
+            FlowGen::Service(g) => g.next_flow(),
+        }
+    }
+}
+
+/// Generator state of [`ScenarioKind::Service`]: one slot of lookahead
+/// per tenant, merged by (start time, tenant index) — O(1) memory.
+struct ServiceGen {
+    n_nodes: u64,
+    remaining: usize,
+    // Request-mix tenant.
+    rng: DetRng,
+    web: FlowSizeDist,
+    hadoop: FlowSizeDist,
+    hadoop_share: f64,
+    gap_secs: f64,
+    diurnal_period_ns: u64,
+    diurnal_min: f64,
+    mix_t_ns: u64,
+    mix_next: Option<FlowSpec>,
+    // Background-shuffle tenant.
+    shuffle_bytes: u64,
+    shuffle_period_ns: u64,
+    shuffle_k: u64,
+    shuffle_next: Option<FlowSpec>,
+    // Periodic-incast tenant.
+    incast_backends: u64,
+    incast_bytes: u64,
+    incast_period_ns: u64,
+    incast_wave: u64,
+    incast_i: u64,
+    incast_next: Option<FlowSpec>,
+}
+
+impl ServiceGen {
+    /// Draw the mix tenant's next surviving arrival (diurnal thinning:
+    /// rejected candidates advance time but emit nothing).
+    fn advance_mix(&mut self) {
+        loop {
+            self.mix_t_ns += (self.rng.exponential(self.gap_secs) * NS_PER_SEC).round() as u64;
+            let phase =
+                (self.mix_t_ns % self.diurnal_period_ns) as f64 / self.diurnal_period_ns as f64;
+            let p = self.diurnal_min
+                + (1.0 - self.diurnal_min) * (0.5 - 0.5 * (std::f64::consts::TAU * phase).cos());
+            if !self.rng.chance(p) {
+                continue;
+            }
+            let src = self.rng.below(self.n_nodes) as u32;
+            let mut dst = self.rng.below(self.n_nodes) as u32;
+            while dst == src {
+                dst = self.rng.below(self.n_nodes) as u32;
+            }
+            let hadoop = self.rng.chance(self.hadoop_share);
+            let bytes = if hadoop {
+                self.hadoop.sample(&mut self.rng)
+            } else {
+                self.web.sample(&mut self.rng)
+            }
+            .max(1);
+            self.mix_next = Some(FlowSpec {
+                src,
+                dst,
+                bytes,
+                start: SimTime::from_nanos(self.mix_t_ns),
+            });
+            return;
+        }
+    }
+
+    /// The shuffle tenant walks ordered pairs round-robin: transfer `k`
+    /// covers pair `k mod n(n−1)` (canonical order: src-major, dst
+    /// skipping src) at time `(k+1)·period`.
+    fn advance_shuffle(&mut self) {
+        let k = self.shuffle_k;
+        self.shuffle_k += 1;
+        let n = self.n_nodes;
+        let idx = k % (n * (n - 1));
+        let src = idx / (n - 1);
+        let mut dst = idx % (n - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        self.shuffle_next = Some(FlowSpec {
+            src: src as u32,
+            dst: dst as u32,
+            bytes: self.shuffle_bytes,
+            start: SimTime::from_nanos((k + 1) * self.shuffle_period_ns),
+        });
+    }
+
+    /// Wave `w` (from 1) of the incast tenant: frontend `w mod n_nodes`
+    /// receives one response from each of the `incast_backends` nodes
+    /// after it, all offered at `w·period`.
+    fn advance_incast(&mut self) {
+        if self.incast_i == self.incast_backends {
+            self.incast_wave += 1;
+            self.incast_i = 0;
+        }
+        let w = self.incast_wave;
+        let frontend = w % self.n_nodes;
+        let src = (frontend + 1 + self.incast_i) % self.n_nodes;
+        self.incast_i += 1;
+        self.incast_next = Some(FlowSpec {
+            src: src as u32,
+            dst: frontend as u32,
+            bytes: self.incast_bytes,
+            start: SimTime::from_nanos(w * self.incast_period_ns),
+        });
+    }
+
+    /// Pop the earliest tenant's flow (ties break by tenant index: mix,
+    /// then shuffle, then incast) and refill that tenant's slot.
+    fn next_flow(&mut self) -> Option<FlowSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let slots = [
+            self.mix_next.map(|f| f.start),
+            self.shuffle_next.map(|f| f.start),
+            self.incast_next.map(|f| f.start),
+        ];
+        let winner = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|t| (t, i)))
+            .min()
+            .expect("the mix tenant never runs dry")
+            .1;
+        match winner {
+            0 => {
+                let f = self.mix_next.take();
+                self.advance_mix();
+                f
+            }
+            1 => {
+                let f = self.shuffle_next.take();
+                self.advance_shuffle();
+                f
+            }
+            _ => {
+                let f = self.incast_next.take();
+                self.advance_incast();
+                f
+            }
+        }
     }
 }
 
@@ -375,5 +810,243 @@ mod tests {
             scn.run(&mut e, SimTime::from_millis(20))
         };
         assert_eq!(run(), run());
+    }
+
+    fn service() -> Scenario {
+        Scenario {
+            name: "test-service".into(),
+            seed: 11,
+            kind: ScenarioKind::Service {
+                n_flows: 400,
+                node_gap: SimDuration::from_micros(400),
+                hadoop_share: 0.25,
+                diurnal_period: SimDuration::from_millis(2),
+                diurnal_min: 0.25,
+                shuffle_bytes: 20_000,
+                shuffle_period: SimDuration::from_micros(150),
+                incast_backends: 6,
+                incast_bytes: 30_000,
+                incast_period: SimDuration::from_micros(500),
+            },
+        }
+    }
+
+    #[test]
+    fn lazy_source_reproduces_eager_list_bit_identically() {
+        // The tentpole invariant: `flows()` IS the collected
+        // `flow_source()` — pin it for every kind, plus time order.
+        for scn in [
+            Scenario {
+                name: "perm".into(),
+                seed: 3,
+                kind: ScenarioKind::Permutation { flow_bytes: 1_000 },
+            },
+            Scenario {
+                name: "incast".into(),
+                seed: 3,
+                kind: ScenarioKind::Incast {
+                    backends: 10,
+                    response_bytes: 450_000,
+                },
+            },
+            Scenario {
+                name: "shuffle".into(),
+                seed: 3,
+                kind: ScenarioKind::Shuffle {
+                    bytes_per_pair: 10_000,
+                    node_gap: SimDuration::from_micros(100),
+                },
+            },
+            web_mix(),
+            service(),
+        ] {
+            let eager = scn.flows(16);
+            let lazy: Vec<FlowSpec> = scn.flow_source(16).collect();
+            assert_eq!(eager, lazy, "{}: lazy must equal eager", scn.name);
+            assert!(
+                eager.windows(2).all(|w| w[0].start <= w[1].start),
+                "{}: arrivals must come out in time order",
+                scn.name
+            );
+        }
+    }
+
+    #[test]
+    fn mix_arrivals_accumulate_in_whole_nanoseconds() {
+        // The drift fix: every start time is an integer nanosecond count,
+        // so long-horizon accumulation is exact integer arithmetic.
+        for f in web_mix().flows(16) {
+            assert_eq!(f.start.as_ps() % 1_000, 0, "start {:?}", f.start);
+        }
+    }
+
+    #[test]
+    fn service_merges_all_three_tenants_in_time_order() {
+        let scn = service();
+        let flows = scn.flows(16);
+        assert_eq!(flows.len(), 400);
+        assert!(flows.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(flows
+            .iter()
+            .all(|f| f.src != f.dst && f.src < 16 && f.dst < 16));
+        assert!(flows.iter().all(|f| f.bytes > 0));
+        // Shuffle transfers are recognizable by their fixed size…
+        let shuffles = flows.iter().filter(|f| f.bytes == 20_000).count();
+        assert!(shuffles > 10, "shuffle tenant missing ({shuffles})");
+        // …incast waves by their many-to-one bursts at one instant.
+        let incasts = flows.iter().filter(|f| f.bytes == 30_000).count();
+        assert!(incasts >= 6, "incast tenant missing ({incasts})");
+        // And the mix tenant must reach into Hadoop-sized flows.
+        assert!(
+            flows.iter().any(|f| f.bytes > 10_485_760),
+            "hadoop share missing from the mix"
+        );
+        // Purity.
+        assert_eq!(flows, scn.flows(16));
+    }
+
+    #[test]
+    fn service_diurnal_curve_thins_the_trough() {
+        // With a period spanning the whole run, early arrivals (trough,
+        // p ≈ diurnal_min) must be sparser than arrivals near the peak
+        // (half a period in). Compare mix-tenant counts in the first and
+        // second quarters of the half-period.
+        let scn = Scenario {
+            name: "diurnal".into(),
+            seed: 5,
+            kind: ScenarioKind::Service {
+                n_flows: 2_000,
+                node_gap: SimDuration::from_micros(100),
+                hadoop_share: 0.0,
+                diurnal_period: SimDuration::from_millis(40),
+                diurnal_min: 0.1,
+                shuffle_bytes: 0,
+                shuffle_period: SimDuration::from_micros(100),
+                incast_backends: 0,
+                incast_bytes: 1,
+                incast_period: SimDuration::from_micros(100),
+            },
+        };
+        let flows = scn.flows(16);
+        let q = SimDuration::from_millis(10);
+        let first = flows.iter().filter(|f| f.start < SimTime::ZERO + q).count();
+        let second = flows
+            .iter()
+            .filter(|f| f.start >= SimTime::ZERO + q && f.start < SimTime::ZERO + q + q)
+            .count();
+        assert!(
+            second as f64 > 2.0 * first as f64,
+            "peak quarter ({second}) must out-arrive trough quarter ({first})"
+        );
+    }
+
+    #[test]
+    fn validate_for_surfaces_impossible_incasts() {
+        let scn = Scenario {
+            name: "too-big".into(),
+            seed: 1,
+            kind: ScenarioKind::Incast {
+                backends: 1_000,
+                response_bytes: 1_000,
+            },
+        };
+        let err = scn.validate_for(8).unwrap_err();
+        assert!(err.contains("1000 backends"), "got: {err}");
+        assert!(err.contains("7 possible sources"), "got: {err}");
+        // A service with an oversized incast tenant fails too — and its
+        // expansion panics rather than silently clamping.
+        let mut svc = service();
+        if let ScenarioKind::Service {
+            incast_backends, ..
+        } = &mut svc.kind
+        {
+            *incast_backends = 16;
+        }
+        assert!(svc.validate_for(16).is_err());
+        assert!(svc.validate_for(17).is_ok());
+        // Within-population incasts pass.
+        assert!(service().validate_for(16).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "backends")]
+    fn service_expansion_rejects_oversized_incast() {
+        let mut svc = service();
+        if let ScenarioKind::Service {
+            incast_backends, ..
+        } = &mut svc.kind
+        {
+            *incast_backends = 99;
+        }
+        svc.flows(16);
+    }
+
+    #[test]
+    fn streamed_run_matches_eager_on_the_fabric() {
+        let scn = web_mix();
+        let mk = || {
+            let tt = two_tier(TwoTierParams::paper_scaled(16));
+            FabricEngine::new(tt.topo, FabricConfig::default())
+        };
+        // Horizon past every arrival, so both paths offer all 50 flows.
+        let horizon = SimTime::from_millis(20);
+        let eager = scn.run(&mut mk(), horizon);
+        for window_us in [5, 100, 50_000] {
+            let mut e = mk();
+            let streamed = scn.run_streamed(
+                &mut e,
+                &FailureSchedule::default(),
+                horizon,
+                SimDuration::from_micros(window_us),
+            );
+            assert_eq!(streamed.0, eager, "window {window_us}µs diverged");
+        }
+    }
+
+    #[test]
+    fn streamed_run_matches_eager_under_failures() {
+        let scn = web_mix();
+        let fail_link = stardust_topo::LinkId(0);
+        let schedule = FailureSchedule::new()
+            .fail_at(SimTime::from_micros(300), fail_link)
+            .restore_at(SimTime::from_micros(900), fail_link);
+        let horizon = SimTime::from_millis(20);
+        let mk = || {
+            let cfg = FabricConfig {
+                reach_interval: Some(SimDuration::from_micros(50)),
+                ..FabricConfig::default()
+            };
+            FabricEngine::new(two_tier(TwoTierParams::paper_scaled(16)).topo, cfg)
+        };
+        let mut a = mk();
+        let eager = scn.run_with_failures(&mut a, &schedule, horizon);
+        let mut b = mk();
+        let (streamed, applied) =
+            scn.run_streamed(&mut b, &schedule, horizon, SimDuration::from_micros(40));
+        assert_eq!(applied, 2, "both link events apply on the fabric");
+        assert_eq!(streamed, eager, "failure interleaving diverged");
+    }
+
+    #[test]
+    fn streamed_run_matches_eager_on_the_transport() {
+        let scn = web_mix();
+        let mk = || {
+            let ft = kary(KaryParams {
+                k: 4,
+                ..KaryParams::paper_6_3()
+            });
+            let sim = TransportSim::new(ft, stardust_transport::TransportConfig::default());
+            crate::TransportFlowEngine::new(sim, Protocol::Stardust)
+        };
+        let horizon = SimTime::from_millis(100);
+        let eager = scn.run(&mut mk(), horizon);
+        let mut e = mk();
+        let streamed = scn.run_streamed(
+            &mut e,
+            &FailureSchedule::default(),
+            horizon,
+            SimDuration::from_micros(200),
+        );
+        assert_eq!(streamed.0, eager);
     }
 }
