@@ -251,7 +251,9 @@ enum MsgBook {
         /// Next flow id. Every shard counts every offer, so ids agree
         /// across shards without any shared table.
         next_id: u32,
+        // det-lint: allow(unordered-iter, keyed by flow id via get/entry/remove only; never iterated)
         pending: HashMap<u32, MsgFlow>,
+        // det-lint: allow(unordered-iter, keyed by flow id via get/entry/remove only; never iterated)
         active: HashMap<u32, StreamMsg>,
     },
 }
@@ -309,9 +311,11 @@ struct FaState {
     uplinks: Vec<LinkId>,
     /// Outgoing direction index per uplink port.
     out_dirs: Vec<u32>,
+    // det-lint: allow(unordered-iter, keyed access only; the scheduler walks VOQs via its own sorted SchedVoq book, never this map)
     voqs: HashMap<VoqKey, Voq>,
     /// Cached sprayers per destination FA, tagged with the reach table
     /// generation they were built against.
+    // det-lint: allow(unordered-iter, per-destination cache hit by key at spray time; never iterated)
     sprayers: HashMap<u32, (u64, Sprayer)>,
     reach: ReachTable,
     ports: Vec<PortState>,
@@ -333,6 +337,7 @@ struct FeState {
     out_dirs: Vec<u32>,
     /// Per-port: does this port face a higher tier?
     up_facing: Vec<bool>,
+    // det-lint: allow(unordered-iter, per-destination cache hit by key at forward time; never iterated)
     sprayers: HashMap<u32, (u64, Sprayer)>,
     reach: ReachTable,
 }
@@ -496,6 +501,7 @@ pub struct FabricEngine<K: CoreKind = CalendarCore> {
     /// indices into it. Freed slots are recycled LIFO.
     cells: Vec<Cell>,
     free_cells: Vec<CellRef>,
+    // det-lint: allow(unordered-iter, reassembly book keyed by burst id via entry/remove only; never iterated)
     bursts: HashMap<u64, Burst>,
     /// Counter behind API-minted [`PacketId`]s ([`FabricEngine::inject`]).
     /// Runtime packets use per-FA namespaced ids instead (see

@@ -44,6 +44,7 @@ pub struct PortScheduler {
     rings: Vec<VecDeque<u32>>,
     /// Outstanding requested-minus-granted bytes per VOQ. A VOQ is in a
     /// ring iff its pending entry exists.
+    // det-lint: allow(unordered-iter, keyed access only; grant order is driven by the rings, never by this map)
     pending: HashMap<SchedVoq, i64>,
     /// Egress-buffer backpressure (§4.1).
     paused: bool,

@@ -1,0 +1,184 @@
+//! `det-lint` allow-directives.
+//!
+//! A finding is suppressed by an explicit, **reason-carrying** directive:
+//!
+//! ```text
+//! // det-lint: allow(unordered-iter, keyed access only; never iterated)
+//! voqs: HashMap<VoqKey, Voq>,
+//! ```
+//!
+//! The directive covers the line it sits on (trailing-comment form) or,
+//! when the line holds nothing but the comment, the **next line that
+//! carries code** — doc comments and blank lines in between are skipped,
+//! so the directive can sit above a documented field.
+//!
+//! The reason is mandatory: an allow without a written justification is
+//! itself a diagnostic (`D0(bad-directive)`), as is a rule name the
+//! auditor does not know. "We silenced it" must never be cheaper than
+//! "we explained it".
+
+use crate::rules::Rule;
+use crate::Diagnostic;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The marker that introduces a directive inside a `//` comment.
+const MARKER: &str = "det-lint:";
+
+/// Parsed allow-directives for one file: the set of `(line, rule)` pairs
+/// that are excused, plus the diagnostics for malformed directives.
+#[derive(Debug, Default)]
+pub struct Directives {
+    allowed: BTreeSet<(u32, Rule)>,
+    /// Malformed-directive diagnostics (never themselves allowable).
+    pub errors: Vec<Diagnostic>,
+}
+
+impl Directives {
+    /// Is a finding of `rule` on `line` excused?
+    pub fn allows(&self, line: u32, rule: Rule) -> bool {
+        self.allowed.contains(&(line, rule))
+    }
+}
+
+/// Scan `src` for directives. `code_lines` must hold the 1-based numbers
+/// of every line that carries at least one token (the tokenizer's view),
+/// so a comment-line directive can find the declaration it covers.
+pub fn parse(path: &Path, src: &str, code_lines: &BTreeSet<u32>) -> Directives {
+    let mut out = Directives::default();
+    let last_line = src.lines().count() as u32;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        // The directive must live in a `//` comment.
+        let Some(comment_at) = raw.find("//") else {
+            continue;
+        };
+        let comment = &raw[comment_at..];
+        let Some(m) = comment.find(MARKER) else {
+            continue;
+        };
+        let body = comment[m + MARKER.len()..].trim();
+        let Some(args) = body
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+            .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+        else {
+            out.errors.push(Diagnostic::bad_directive(
+                path,
+                lineno,
+                "expected `det-lint: allow(<rule>, <reason>)`".into(),
+            ));
+            continue;
+        };
+        let (rule_name, reason) = match args.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (args.trim(), ""),
+        };
+        let Some(rule) = Rule::by_name(rule_name) else {
+            out.errors.push(Diagnostic::bad_directive(
+                path,
+                lineno,
+                format!(
+                    "unknown rule {rule_name:?}; known: {}",
+                    Rule::ALL
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+            continue;
+        };
+        if reason.is_empty() {
+            out.errors.push(Diagnostic::bad_directive(
+                path,
+                lineno,
+                format!(
+                    "allow({}) needs a reason: `det-lint: allow({}, <why this cannot break determinism>)`",
+                    rule.name(),
+                    rule.name()
+                ),
+            ));
+            continue;
+        }
+        // Trailing-comment form covers its own line; a comment-only line
+        // covers the next line that carries code.
+        let has_code_before = !raw[..comment_at].trim().is_empty();
+        let target = if has_code_before {
+            Some(lineno)
+        } else {
+            (lineno + 1..=last_line).find(|l| code_lines.contains(l))
+        };
+        if let Some(t) = target {
+            out.allowed.insert((t, rule));
+        }
+        // A directive at EOF with nothing after it covers nothing; that
+        // is harmless (it suppresses nothing), so it is not an error.
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lines_of(src: &str) -> BTreeSet<u32> {
+        crate::token::tokenize(src).iter().map(|t| t.line).collect()
+    }
+
+    fn parse_src(src: &str) -> Directives {
+        parse(&PathBuf::from("x.rs"), src, &lines_of(src))
+    }
+
+    #[test]
+    fn trailing_comment_covers_own_line() {
+        let src = "let m: u32 = 1; // det-lint: allow(unordered-iter, keyed only)\n";
+        let d = parse_src(src);
+        assert!(d.errors.is_empty());
+        assert!(d.allows(1, Rule::UnorderedIter));
+        assert!(!d.allows(2, Rule::UnorderedIter));
+    }
+
+    #[test]
+    fn comment_line_covers_next_code_line_through_docs() {
+        let src = "\
+// det-lint: allow(float-time-accum, test fixture)
+/// A doc comment in between.
+
+let x = 1;
+";
+        let d = parse_src(src);
+        assert!(d.errors.is_empty());
+        assert!(d.allows(4, Rule::FloatTimeAccum));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let d = parse_src("// det-lint: allow(unordered-iter)\nlet x = 1;\n");
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.errors[0].message.contains("needs a reason"));
+        assert!(!d.allows(2, Rule::UnorderedIter));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let d = parse_src("// det-lint: allow(no-such-rule, because)\nlet x = 1;\n");
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.errors[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn rule_ids_work_as_aliases() {
+        let d = parse_src("// det-lint: allow(D1, keyed only)\nlet x = 1;\n");
+        assert!(d.errors.is_empty());
+        assert!(d.allows(2, Rule::UnorderedIter));
+    }
+
+    #[test]
+    fn malformed_shape_is_an_error() {
+        let d = parse_src("// det-lint: deny(unordered-iter, x)\nlet x = 1;\n");
+        assert_eq!(d.errors.len(), 1);
+    }
+}

@@ -1,0 +1,444 @@
+//! A minimal Rust tokenizer — just enough lexical fidelity for the
+//! determinism rules.
+//!
+//! The workspace builds with no crates.io access, so `syn` is not an
+//! option. The rules in [`crate::rules`] need identifiers, literals and
+//! punctuation with **correct line numbers**, and they need comments and
+//! string contents to never masquerade as code. That is exactly what this
+//! lexer provides; it does not attempt full Rust grammar (no token trees,
+//! no keyword table beyond what the rules match on by name).
+//!
+//! Handled faithfully:
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any
+//!   `#` count), byte strings (`b"…"`, `br#"…"#`),
+//! * char literals (including escapes) vs. lifetimes (`'a`),
+//! * numeric literals (hex/octal/binary, underscores, floats, exponents,
+//!   type suffixes) — with the `0..n` range ambiguity resolved the same
+//!   way rustc does (a `.` only joins the number when a digit follows),
+//! * multi-char operators the rules care about (`::`, `+=`, `-=`, `->`,
+//!   `=>`), everything else as single-character punctuation.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules match keywords by text).
+    Ident,
+    /// String literal (cooked or raw; `text` is the **contents**, without
+    /// quotes or raw-string hashes).
+    Str,
+    /// Char literal (contents without quotes).
+    Char,
+    /// Numeric literal (verbatim, underscores and suffix included).
+    Num,
+    /// Lifetime (`text` is the name without the leading `'`).
+    Lifetime,
+    /// Punctuation: single character, or one of `::`, `+=`, `-=`, `->`,
+    /// `=>`.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Lexeme text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this token the exact punctuation `p`?
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Is this token the exact identifier/keyword `id`?
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// Tokenize `src`. Unterminated constructs (running off the end of the
+/// file inside a string or comment) terminate the token stream quietly —
+/// the linter's job is pattern matching, not syntax validation; rustc
+/// reports the real error.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    // Advance over `b[i]`, tracking newlines. Returns the consumed char.
+    macro_rules! bump {
+        () => {{
+            let c = b[i];
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            c
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        let tok_line = line;
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    bump!();
+                }
+                continue;
+            }
+            if b[i + 1] == '*' {
+                bump!();
+                bump!();
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        bump!();
+                        bump!();
+                        depth += 1;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        bump!();
+                        bump!();
+                        depth -= 1;
+                    } else {
+                        bump!();
+                    }
+                }
+                continue;
+            }
+        }
+        // Raw / byte strings: r"…", r#"…"#, b"…", br#"…"#, rb not valid.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            let mut k = j + 1;
+            while k < n && b[k] == '#' {
+                k += 1;
+            }
+            (b[j] == 'r' && k < n && b[k] == '"') || (j == i && b[j] == 'b' && b[j + 1] == '"')
+        } {
+            // Re-parse the prefix precisely.
+            let mut raw = false;
+            if b[i] == 'b' {
+                bump!();
+            }
+            if i < n && b[i] == 'r' {
+                raw = true;
+                bump!();
+            }
+            let mut hashes = 0usize;
+            while raw && i < n && b[i] == '#' {
+                hashes += 1;
+                bump!();
+            }
+            debug_assert!(i < n && b[i] == '"');
+            bump!(); // opening quote
+            let mut text = String::new();
+            while i < n {
+                if raw {
+                    if b[i] == '"' {
+                        // Need `hashes` trailing #s to close.
+                        let mut k = i + 1;
+                        let mut seen = 0usize;
+                        while k < n && b[k] == '#' && seen < hashes {
+                            k += 1;
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            bump!(); // closing quote
+                            for _ in 0..hashes {
+                                bump!();
+                            }
+                            break;
+                        }
+                    }
+                    text.push(bump!());
+                } else if b[i] == '\\' && i + 1 < n {
+                    bump!();
+                    text.push(bump!());
+                } else if b[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    text.push(bump!());
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Cooked strings.
+        if c == '"' {
+            bump!();
+            let mut text = String::new();
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    bump!();
+                    text.push(bump!());
+                } else if b[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    text.push(bump!());
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // A char literal is '<one char or escape>' — anything else
+            // after the quote is a lifetime.
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true // escape sequence: always a char literal
+            } else {
+                i + 2 < n && b[i + 2] == '\''
+            };
+            if is_char {
+                bump!(); // '
+                let mut text = String::new();
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        bump!();
+                        text.push(bump!());
+                        // \u{…}: consume through the closing brace.
+                        if text.ends_with('u') && i < n && b[i] == '{' {
+                            while i < n && b[i] != '}' {
+                                text.push(bump!());
+                            }
+                            if i < n {
+                                text.push(bump!());
+                            }
+                        }
+                    } else if b[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        text.push(bump!());
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line: tok_line,
+                });
+            } else {
+                bump!(); // '
+                let mut text = String::new();
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    text.push(bump!());
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: tok_line,
+                });
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            text.push(bump!());
+            // Hex/octal/binary prefix consumes alphanumerics wholesale.
+            let radix_prefixed =
+                text == "0" && i < n && matches!(b[i], 'x' | 'X' | 'o' | 'O' | 'b' | 'B');
+            while i < n {
+                let d = b[i];
+                if d.is_alphanumeric() || d == '_' {
+                    // Exponent sign: 1e-12 / 2.5E+6.
+                    if !radix_prefixed
+                        && (d == 'e' || d == 'E')
+                        && i + 1 < n
+                        && (b[i + 1] == '+' || b[i + 1] == '-')
+                        && i + 2 < n
+                        && b[i + 2].is_ascii_digit()
+                    {
+                        text.push(bump!()); // e
+                        text.push(bump!()); // sign
+                        continue;
+                    }
+                    text.push(bump!());
+                } else if d == '.' && i + 1 < n && b[i + 1].is_ascii_digit() && !radix_prefixed {
+                    // 1.5 joins; 0..n does not (next char is '.').
+                    if !text.contains('.') {
+                        text.push(bump!());
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                text.push(bump!());
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Punctuation, joining the few multi-char operators the rules use.
+        let two: Option<&str> = if i + 1 < n {
+            match (c, b[i + 1]) {
+                (':', ':') => Some("::"),
+                ('+', '=') => Some("+="),
+                ('-', '=') => Some("-="),
+                ('-', '>') => Some("->"),
+                ('=', '>') => Some("=>"),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(op) = two {
+            bump!();
+            bump!();
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: op.to_string(),
+                line: tok_line,
+            });
+        } else {
+            bump!();
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line: tok_line,
+            });
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_disappear_and_lines_advance() {
+        let toks = tokenize("// top\nlet x = 1; /* a /* nested */ b */\nlet y;");
+        assert_eq!(toks[0].text, "let");
+        assert_eq!(toks[0].line, 2);
+        let y = toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = texts(r#"let s = "for x in &map // not code";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("for x in")));
+        // Nothing inside the string leaks as an identifier.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "map"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = texts(r##"let s = r#"quote " inside"#; let b = b"bytes";"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == r#"quote " inside"#));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t == "bytes"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = texts(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            3,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn numbers_ranges_and_exponents() {
+        let toks = texts("0..n 1.5 2.5e-6 0xDC_FA 1e12 4096f64");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0", "1.5", "2.5e-6", "0xDC_FA", "1e12", "4096f64"]
+        );
+    }
+
+    #[test]
+    fn compound_operators_join() {
+        let toks = texts("a += b; c::d; e -> f; g => h; i -= j;");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"-="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&"=>"));
+    }
+
+    #[test]
+    fn shift_right_stays_split_for_generics() {
+        // Vec<Vec<u64>> must not lex `>>` as one token, or nothing —
+        // the rules scan `HashMap` followed by `<`, and depth tracking
+        // would desync.
+        let toks = texts("x: Vec<Vec<u64>>");
+        let gt = toks.iter().filter(|(_, t)| t == ">").count();
+        assert_eq!(gt, 2);
+    }
+}

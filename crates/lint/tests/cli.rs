@@ -1,0 +1,102 @@
+//! CI-style negative test: a seeded violation must make the binary exit
+//! non-zero, with the rule ID and line in its output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Build a throwaway fake workspace containing one engine source file.
+fn fake_workspace(tag: &str, src: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("lint-cli-{tag}"));
+    let dir = root.join("crates/sim/src");
+    std::fs::create_dir_all(&dir).expect("mkdir fake workspace");
+    std::fs::write(dir.join("lib.rs"), src).expect("write fixture");
+    root
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stardust-lint"))
+        .args(args)
+        .output()
+        .expect("spawn stardust-lint");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn seeded_violation_exits_nonzero_with_rule_and_line() {
+    let root = fake_workspace(
+        "bad",
+        "use std::collections::HashMap;\npub struct S { m: HashMap<u32, u32> }\n",
+    );
+    let (code, stdout, stderr) = run(&["--root", root.to_str().unwrap()]);
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("lib.rs:2: D1(unordered-iter)"),
+        "missing rule/line in: {stdout}"
+    );
+}
+
+#[test]
+fn annotated_workspace_exits_zero() {
+    let root = fake_workspace(
+        "ok",
+        "use std::collections::HashMap;\n\
+         pub struct S {\n\
+         \x20   // det-lint: allow(unordered-iter, keyed access only)\n\
+         \x20   m: HashMap<u32, u32>,\n\
+         }\n",
+    );
+    let (code, stdout, _) = run(&["--root", root.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout: {stdout}");
+    assert!(stdout.contains("clean"));
+}
+
+#[test]
+fn reasonless_allow_still_fails() {
+    let root = fake_workspace(
+        "noreason",
+        "use std::collections::HashMap;\n\
+         // det-lint: allow(unordered-iter)\n\
+         pub struct S { m: HashMap<u32, u32> }\n",
+    );
+    let (code, stdout, _) = run(&["--root", root.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("D0(bad-directive)"), "stdout: {stdout}");
+    assert!(stdout.contains("D1(unordered-iter)"), "stdout: {stdout}");
+}
+
+#[test]
+fn json_output_carries_findings_and_clean_flag() {
+    let root = fake_workspace(
+        "json",
+        "use std::collections::HashMap;\npub struct S { m: HashMap<u32, u32> }\n",
+    );
+    let (code, stdout, _) = run(&["--root", root.to_str().unwrap(), "--json"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"tool\":\"stardust-lint\""));
+    assert!(stdout.contains("\"rule\":\"D1\""));
+    assert!(stdout.contains("\"line\":2"));
+    assert!(stdout.contains("\"clean\":false"));
+}
+
+#[test]
+fn bad_root_exits_two() {
+    let empty = fake_workspace("empty", "");
+    // Point --root below the fake workspace: no engine roots there.
+    let (code, _, stderr) = run(&["--root", empty.join("crates").to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("no engine source roots"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let (code, _, stderr) = run(&["--frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("USAGE"));
+}

@@ -1,0 +1,89 @@
+//! Fixture corpus: one known-bad and one allow-annotated snippet per
+//! rule, asserting exact rule IDs and line numbers.
+
+use std::path::{Path, PathBuf};
+
+use stardust_lint::lint_source;
+
+/// Lint a fixture, returning `(rule_id, line)` pairs in report order.
+fn lint_fixture(name: &str) -> Vec<(&'static str, u32)> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+    lint_source(Path::new(name), &src)
+        .into_iter()
+        .map(|d| (d.rule.id(), d.line))
+        .collect()
+}
+
+#[test]
+fn d1_bad_flags_declaration_and_both_iteration_forms() {
+    assert_eq!(
+        lint_fixture("d1_bad.rs"),
+        vec![("D1", 5), ("D1", 10), ("D1", 13)]
+    );
+}
+
+#[test]
+fn d1_allowed_is_clean() {
+    assert_eq!(lint_fixture("d1_allowed.rs"), vec![]);
+}
+
+#[test]
+fn d2_bad_flags_float_time_accumulation() {
+    assert_eq!(lint_fixture("d2_bad.rs"), vec![("D2", 5)]);
+}
+
+#[test]
+fn d2_allowed_is_clean() {
+    assert_eq!(lint_fixture("d2_allowed.rs"), vec![]);
+}
+
+#[test]
+fn d3_bad_flags_wall_clock_and_env() {
+    assert_eq!(lint_fixture("d3_bad.rs"), vec![("D3", 3), ("D3", 8)]);
+}
+
+#[test]
+fn d3_allowed_is_clean() {
+    assert_eq!(lint_fixture("d3_allowed.rs"), vec![]);
+}
+
+#[test]
+fn d4_bad_flags_each_duplicated_label_form() {
+    assert_eq!(
+        lint_fixture("d4_bad.rs"),
+        vec![("D4", 4), ("D4", 6), ("D4", 9)]
+    );
+}
+
+#[test]
+fn d4_allowed_is_clean() {
+    assert_eq!(lint_fixture("d4_allowed.rs"), vec![]);
+}
+
+#[test]
+fn d5_bad_flags_float_field_behind_eq() {
+    assert_eq!(lint_fixture("d5_bad.rs"), vec![("D5", 5)]);
+}
+
+#[test]
+fn d5_allowed_is_clean() {
+    assert_eq!(lint_fixture("d5_allowed.rs"), vec![]);
+}
+
+/// The auditor's reason for existing: the real workspace must stay clean.
+/// This is the same check CI gates on, reachable from plain `cargo test`.
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = stardust_lint::lint_workspace(&root).expect("walk workspace");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        report.clean(),
+        "determinism findings in the workspace:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.files_scanned > 20, "suspiciously few files scanned");
+}

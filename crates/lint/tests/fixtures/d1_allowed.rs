@@ -1,0 +1,7 @@
+//! D1 fixture: same container, excused with a reason-carrying directive.
+use std::collections::HashMap;
+
+pub struct Book {
+    // det-lint: allow(unordered-iter, keyed access only; never iterated)
+    voqs: HashMap<u32, u64>,
+}

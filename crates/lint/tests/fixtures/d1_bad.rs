@@ -1,0 +1,17 @@
+//! D1 fixture: hash-ordered container declared and iterated, no allows.
+use std::collections::HashMap;
+
+pub struct Book {
+    voqs: HashMap<u32, u64>,
+}
+
+pub fn total(b: &Book) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in &b.voqs {
+        sum += v;
+    }
+    for v in b.voqs.values() {
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,8 @@
+//! D2 fixture: the same accumulation, excused with a written reason.
+pub fn schedule(gaps: &[f64]) -> f64 {
+    let mut arrival_time_s = 0.0;
+    for g in gaps {
+        arrival_time_s += g; // det-lint: allow(float-time-accum, display-only aggregate; never fed back into event times)
+    }
+    arrival_time_s
+}

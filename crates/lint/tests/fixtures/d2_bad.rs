@@ -1,0 +1,8 @@
+//! D2 fixture: f64 accumulation of a simulated-time variable.
+pub fn schedule(gaps: &[f64]) -> f64 {
+    let mut arrival_time_s = 0.0;
+    for g in gaps {
+        arrival_time_s += g;
+    }
+    arrival_time_s
+}

@@ -1,0 +1,5 @@
+//! D3 fixture: ambient read, excused (e.g. a debug-only trace path).
+pub fn seed_override() -> Option<String> {
+    // det-lint: allow(ambient-nondet, debug tracing knob; never read on the simulation path)
+    std::env::var("STARDUST_TRACE").ok()
+}

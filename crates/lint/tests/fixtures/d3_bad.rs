@@ -1,0 +1,9 @@
+//! D3 fixture: wall clock and process environment in engine code.
+pub fn profile() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}
+
+pub fn seed_override() -> Option<String> {
+    std::env::var("STARDUST_SEED").ok()
+}

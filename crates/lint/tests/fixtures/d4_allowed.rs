@@ -1,0 +1,7 @@
+//! D4 fixture: duplicate label, excused (intentional stream equality).
+pub fn prove_equal(rng: &DetRng) -> (DetRng, DetRng) {
+    let a = rng.split("flows");
+    // det-lint: allow(rng-label-dup, intentionally equal streams to assert split() is order-independent)
+    let b = rng.split("flows");
+    (a, b)
+}

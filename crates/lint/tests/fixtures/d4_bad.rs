@@ -1,0 +1,11 @@
+//! D4 fixture: duplicated DetRng stream labels in one scope.
+pub fn build(rng: &mut DetRng, seed: u64) -> (DetRng, DetRng, DetRng) {
+    let a = rng.split("flows");
+    let b = rng.split("flows");
+    let c = DetRng::from_label(seed, "flows-v2");
+    let d = DetRng::from_label(seed, "flows-v2");
+    let _ = (c, d);
+    let e = rng.split_u64(7);
+    let f = rng.split_u64(7);
+    (a, b, e.mix(f))
+}

@@ -1,0 +1,7 @@
+//! D5 fixture: the same field, excused with a written reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricStats {
+    pub cells_delivered: u64,
+    // det-lint: allow(float-eq-field, derived from integer counters at the end of the run; equality is exact)
+    pub mean_occupancy: f64,
+}

@@ -1,0 +1,6 @@
+//! D5 fixture: a float field on an Eq-deriving bit-identity type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricStats {
+    pub cells_delivered: u64,
+    pub mean_occupancy: f64,
+}

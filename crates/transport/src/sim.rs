@@ -104,8 +104,10 @@ struct Sub {
     rto: SimDuration,
     rto_gen: u64,
     // RTT estimation (one timed segment at a time, Karn's rule).
-    srtt_s: f64,
-    rttvar_s: f64,
+    // Integer picoseconds: the estimator is an accumulator over the whole
+    // flow lifetime, and f64 EWMAs drift (det-lint rule D2).
+    srtt_ps: u64,
+    rttvar_ps: u64,
     rtt_pending: bool,
     rtt_seq: u64,
     rtt_sent: SimTime,
@@ -178,6 +180,7 @@ struct SdVoq {
 #[derive(Debug)]
 struct SdPort {
     ring: VecDeque<u32>,
+    // det-lint: allow(unordered-iter, keyed access only; grant order is driven by the ring, never by this map)
     pending: HashMap<u32, i64>,
     armed: bool,
     interval: SimDuration,
@@ -214,6 +217,7 @@ pub struct TransportSim {
     events: EventQueue<Ev>,
     /// Scratch buffer for batched same-timestamp dispatch in `run_until`.
     batch: Vec<stardust_sim::ScheduledEvent<Ev>>,
+    // det-lint: allow(unordered-iter, keyed by flow id via entry/get_mut only; drain order comes from SdPort rings)
     voqs: HashMap<u32, SdVoq>,
     sd_ports: Vec<SdPort>,
     /// Aggregate drop/mark counters for the run.
@@ -414,8 +418,8 @@ impl TransportSim {
                 recover: 0,
                 rto: self.cfg.min_rto,
                 rto_gen: 0,
-                srtt_s: 0.0,
-                rttvar_s: 0.0,
+                srtt_ps: 0,
+                rttvar_ps: 0,
                 rtt_pending: false,
                 rtt_seq: 0,
                 rtt_sent: SimTime::ZERO,
@@ -695,18 +699,21 @@ impl TransportSim {
                 // min_rto. Essential for TCP-over-Stardust, where a deep
                 // ingress VOQ legitimately stretches the RTT.
                 if s.rtt_pending && ackno >= s.rtt_seq {
-                    let sample = now.since(s.rtt_sent).as_secs_f64();
-                    if s.srtt_s == 0.0 {
-                        s.srtt_s = sample;
-                        s.rttvar_s = sample / 2.0;
+                    let sample_ps = now.since(s.rtt_sent).as_ps();
+                    if s.srtt_ps == 0 {
+                        s.srtt_ps = sample_ps;
+                        s.rttvar_ps = sample_ps / 2;
                     } else {
-                        let err = sample - s.srtt_s;
-                        s.srtt_s += 0.125 * err;
-                        s.rttvar_s += 0.25 * (err.abs() - s.rttvar_s);
+                        // RFC 6298 gains (1/8, 1/4) in integer ps: exact,
+                        // drift-free, and identical on every platform.
+                        let err = sample_ps as i64 - s.srtt_ps as i64;
+                        s.srtt_ps = (s.srtt_ps as i64 + err / 8).max(0) as u64;
+                        s.rttvar_ps = (s.rttvar_ps as i64 + (err.abs() - s.rttvar_ps as i64) / 4)
+                            .max(0) as u64;
                     }
                     s.rtt_pending = false;
                 }
-                let adaptive = SimDuration::from_secs_f64(s.srtt_s + 4.0 * s.rttvar_s);
+                let adaptive = SimDuration::from_ps(s.srtt_ps.saturating_add(4 * s.rttvar_ps));
                 s.rto = adaptive.max(self.cfg.min_rto);
                 // Invalidate the pending RTO; after_progress / the send
                 // path re-arms it if data remains outstanding.
