@@ -8,7 +8,7 @@
 //! cannot drift.
 
 use crate::spec::{
-    Checks, CompleteScope, CoreChoice, EngineSpec, ExperimentSpec, StatsMode, TopoSpec,
+    Checks, CompleteScope, CoreChoice, EngineSpec, ExperimentSpec, StatsMode, TopoKind, TopoSpec,
     DEFAULT_ADMIT_WINDOW_US,
 };
 use stardust_sim::{SimDuration, SimTime};
@@ -101,6 +101,7 @@ pub fn fig10a(p: Fig10Params, flow_bytes: u64) -> ExperimentSpec {
         seeds: vec![p.seed],
         engines: with_fabric(transports(protos)),
         topology: TopoSpec {
+            kind: TopoKind::TwoTier,
             two_tier_factor: p.factor,
             kary_k: p.k,
         },
@@ -158,6 +159,7 @@ pub fn fig10b(p: Fig10Params, n_flows: usize, gap_us: u64, hadoop: bool) -> Expe
         seeds: vec![p.seed],
         engines: with_fabric(transports(protos)),
         topology: TopoSpec {
+            kind: TopoKind::TwoTier,
             two_tier_factor: p.factor,
             kary_k: p.k,
         },
@@ -202,6 +204,7 @@ pub fn fig10c(p: Fig10Params, backends: usize, response_bytes: u64) -> Experimen
         seeds: vec![p.seed],
         engines: with_fabric(transports(protos)),
         topology: TopoSpec {
+            kind: TopoKind::TwoTier,
             two_tier_factor: p.factor,
             kary_k: p.k,
         },
@@ -248,6 +251,7 @@ pub fn failure_churn(factor: u32, ms: u64, seed: u64, shards: u32) -> Experiment
             },
         ],
         topology: TopoSpec {
+            kind: TopoKind::TwoTier,
             two_tier_factor: factor,
             kary_k: 4,
         },
@@ -306,6 +310,7 @@ pub fn service(
             },
         ],
         topology: TopoSpec {
+            kind: TopoKind::TwoTier,
             two_tier_factor: factor,
             kary_k: 4,
         },
@@ -339,13 +344,83 @@ pub fn service(
     }
 }
 
+/// A topology-zoo CI gate: the fig10a-style permutation on a zoo fabric,
+/// driven by the sequential engine on both event cores plus 2- and
+/// 4-way sharding, gated on completion, losslessness and sharded
+/// bit-identity. The route-plan layer is what makes the same spec
+/// machinery run unmodified on Clos and non-Clos fabrics alike.
+pub fn zoo(name: &str, kind: TopoKind) -> ExperimentSpec {
+    ExperimentSpec {
+        name: name.into(),
+        horizon_us: 50_000,
+        seeds: vec![42],
+        engines: vec![
+            EngineSpec::Fabric {
+                core: CoreChoice::Calendar,
+            },
+            EngineSpec::Fabric {
+                core: CoreChoice::Heap,
+            },
+            EngineSpec::Sharded {
+                shards: 2,
+                core: CoreChoice::Calendar,
+            },
+            EngineSpec::Sharded {
+                shards: 4,
+                core: CoreChoice::Calendar,
+            },
+        ],
+        topology: TopoSpec {
+            kind,
+            two_tier_factor: 16,
+            kary_k: 4,
+        },
+        scenario: ScenarioKind::Permutation {
+            flow_bytes: 500_000,
+        },
+        failures: FailureSchedule::new(),
+        stats: StatsMode::Table,
+        admit_window_us: DEFAULT_ADMIT_WINDOW_US,
+        checks: Checks {
+            complete: CompleteScope::Fabric,
+            zero_drops: true,
+            sharded_identical: true,
+            ..Checks::default()
+        },
+    }
+}
+
+/// The three zoo topologies the CI smoke set covers, with their preset
+/// stems — shared by [`ci_smoke`] and the docs/CI tables.
+pub fn zoo_kinds() -> Vec<(&'static str, TopoKind)> {
+    vec![
+        ("zoo_dragonfly", TopoKind::Dragonfly { a: 4, h: 1, p: 1 }),
+        (
+            "zoo_space_shuffle",
+            TopoKind::SpaceShuffle {
+                switches: 16,
+                spaces: 3,
+                fas_per_switch: 1,
+            },
+        ),
+        (
+            "zoo_expander",
+            TopoKind::Expander {
+                switches: 16,
+                degree: 4,
+                fas_per_switch: 1,
+            },
+        ),
+    ]
+}
+
 /// The CI smoke set: what `stardust run specs/ci_smoke` executes — the
 /// three fig10 gates plus the failure-schedule gate. Returned as
 /// `(file_stem, spec)` pairs; the files under `specs/ci_smoke/` are
 /// these specs rendered by [`ExperimentSpec::to_text`] (pinned by a
 /// test).
 pub fn ci_smoke() -> Vec<(&'static str, ExperimentSpec)> {
-    vec![
+    let mut v = vec![
         ("fig10a", fig10a(Fig10Params::smoke(50), 500_000)),
         ("fig10b", fig10b(Fig10Params::smoke(100), 50, 800, false)),
         ("fig10c_05", fig10c(Fig10Params::smoke(100), 5, 450_000)),
@@ -355,7 +430,11 @@ pub fn ci_smoke() -> Vec<(&'static str, ExperimentSpec)> {
         // ~800 streamed flows over 40 ms: small enough for CI, long
         // enough to cover several diurnal/shuffle/incast periods.
         ("service", service(16, 800, 40, 42, 2, 300, 10_000)),
-    ]
+    ];
+    for (stem, kind) in zoo_kinds() {
+        v.push((stem, zoo(stem, kind)));
+    }
+    v
 }
 
 /// Look up a preset by its CI-set stem (plus the non-smoke fig10

@@ -20,7 +20,6 @@ use crate::spec::{CompleteScope, CoreChoice, EngineSpec, ExperimentSpec, StatsMo
 use stardust_fabric::shard::ExecMode;
 use stardust_fabric::{FabricEngine, ShardedFabricEngine};
 use stardust_sim::{CalendarCore, CoreKind, FlowStats, HeapCore, SimDuration};
-use stardust_topo::builders::{two_tier, TwoTierParams};
 use stardust_transport::Protocol;
 use stardust_workload::{Scenario, TransportFlowEngine};
 use std::time::Instant;
@@ -270,8 +269,9 @@ fn run_fabric_seq<K: CoreKind>(
     engine: EngineSpec,
     seed: u64,
 ) -> RunRecord {
-    let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
-    let mut e = FabricEngine::<K>::with_core(tt.topo, spec_fabric_config(spec, seed));
+    let built = spec.topology.build_fabric(seed);
+    let mut e =
+        FabricEngine::<K>::with_plan(built.topo, spec_fabric_config(spec, seed), built.plan);
     let t0 = Instant::now();
     let (flows, applied) = drive(scenario, spec, &mut e);
     let wall_s = t0.elapsed().as_secs_f64();
@@ -300,9 +300,13 @@ where
     let EngineSpec::Sharded { shards, .. } = engine else {
         unreachable!("caller matched Sharded")
     };
-    let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
-    let mut e =
-        ShardedFabricEngine::<K>::with_core(tt.topo, spec_fabric_config(spec, seed), shards);
+    let built = spec.topology.build_fabric(seed);
+    let mut e = ShardedFabricEngine::<K>::with_plan(
+        built.topo,
+        spec_fabric_config(spec, seed),
+        built.plan,
+        shards,
+    );
     // On hosts with fewer cores than shards, OS threads only add barrier
     // context switches; the inline mode is bit-identical (pinned by the
     // conformance suite) and fast.
@@ -463,6 +467,7 @@ mod tests {
                 },
             ],
             topology: crate::spec::TopoSpec {
+                kind: crate::spec::TopoKind::TwoTier,
                 two_tier_factor: 16,
                 kary_k: 4,
             },

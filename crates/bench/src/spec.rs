@@ -249,18 +249,327 @@ impl StatsMode {
     }
 }
 
+/// Which fabric the fabric-family engines run — the route-plan layer
+/// makes every kind interchangeable under the same scenarios, failure
+/// schedules and checks. The default is the paper's §6.2-style two-tier
+/// Clos (scaled by `two_tier_factor`); the "topology zoo" kinds swap in
+/// structurally different fabrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopoKind {
+    /// `1/two_tier_factor`-scale §6.2 two-tier folded Clos.
+    #[default]
+    TwoTier,
+    /// The compact three-tier folded Clos (16 FAs, 8+8+4 FEs).
+    ThreeTier,
+    /// The §6.1.2 single-tier chassis (24 FAs, 12 FEs).
+    SingleTier,
+    /// Balanced dragonfly: groups of `a` fully-meshed routers, `h`
+    /// global links per router, `p` FAs per router, `g = a·h + 1`.
+    Dragonfly {
+        /// Routers per group.
+        a: u32,
+        /// Global links per router.
+        h: u32,
+        /// FAs per router.
+        p: u32,
+    },
+    /// Space Shuffle (arXiv:1405.4697): seeded ring coordinate spaces
+    /// with greedy next-hop candidate sets.
+    SpaceShuffle {
+        /// Switch count (≥ 3).
+        switches: u32,
+        /// Independent ring spaces.
+        spaces: u32,
+        /// FAs per switch.
+        fas_per_switch: u32,
+    },
+    /// Random regular expander from seeded superposed Hamiltonian cycles.
+    Expander {
+        /// Switch count (≥ 3).
+        switches: u32,
+        /// Switch degree (even, < switches).
+        degree: u32,
+        /// FAs per switch.
+        fas_per_switch: u32,
+    },
+}
+
+impl TopoKind {
+    /// The `[topology] kind` string this renders to / parses from.
+    pub fn as_spec_str(self) -> &'static str {
+        match self {
+            TopoKind::TwoTier => "two_tier",
+            TopoKind::ThreeTier => "three_tier",
+            TopoKind::SingleTier => "single_tier",
+            TopoKind::Dragonfly { .. } => "dragonfly",
+            TopoKind::SpaceShuffle { .. } => "space_shuffle",
+            TopoKind::Expander { .. } => "expander",
+        }
+    }
+}
+
+/// Every key `[topology]` accepts, with the kind (if any) that key
+/// belongs to. One table drives unknown-key errors, wrong-kind errors
+/// and rendering, so they cannot drift apart.
+const TOPOLOGY_KEYS: [(&str, Option<&str>); 12] = [
+    ("kind", None),
+    ("two_tier_factor", None),
+    ("kary_k", None),
+    ("dragonfly_a", Some("dragonfly")),
+    ("dragonfly_h", Some("dragonfly")),
+    ("dragonfly_p", Some("dragonfly")),
+    ("ss_switches", Some("space_shuffle")),
+    ("ss_spaces", Some("space_shuffle")),
+    ("ss_fas_per_switch", Some("space_shuffle")),
+    ("exp_switches", Some("expander")),
+    ("exp_degree", Some("expander")),
+    ("exp_fas_per_switch", Some("expander")),
+];
+
 /// Topology presets for the two engine families: the fabric engines run
-/// a `1/two_tier_factor`-scale §6.2 two-tier Stardust fabric (one 10G
-/// host port per FA), the transport engines a §6.3 k-ary fat-tree
-/// (k³/4 hosts, 10G links). Both are present so one spec can land the
-/// same workload on the paper's comparison network and on the Stardust
-/// fabric proper.
+/// the fabric described by [`TopoKind`], the transport engines a §6.3
+/// k-ary fat-tree (k³/4 hosts, 10G links). Both are present so one spec
+/// can land the same workload on the paper's comparison network and on
+/// the Stardust fabric proper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TopoSpec {
+    /// Which fabric the fabric-family engines run.
+    pub kind: TopoKind,
     /// Divisor of the paper's two-tier population (16 → 16 FAs).
     pub two_tier_factor: u32,
     /// Fat-tree arity (4 → 16 hosts).
     pub kary_k: u32,
+}
+
+impl TopoSpec {
+    /// Parse the `[topology]` section. Unknown keys, kind/parameter
+    /// mismatches and out-of-range parameters each get a distinct,
+    /// actionable error.
+    pub fn from_table(t: &Table) -> Result<Self, SpecError> {
+        for key in t.keys() {
+            if !TOPOLOGY_KEYS.iter().any(|(k, _)| k == key) {
+                let expected: Vec<&str> = TOPOLOGY_KEYS.iter().map(|(k, _)| *k).collect();
+                return bad(format!(
+                    "unknown [topology] key {key:?} (expected one of: {})",
+                    expected.join(", ")
+                ));
+            }
+        }
+        let kind_name = match t.get("kind") {
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| SpecError("[topology] kind must be a string".into()))?,
+            None => "two_tier",
+        };
+        for (key, owner) in TOPOLOGY_KEYS {
+            if let Some(owner) = owner {
+                if t.get(key).is_some() && owner != kind_name {
+                    return bad(format!(
+                        "[topology] key {key:?} requires kind = {owner:?} \
+                         (this spec has kind = {kind_name:?})"
+                    ));
+                }
+            }
+        }
+        let opt = |key: &str, default: u32| -> Result<u32, SpecError> {
+            match t.get(key) {
+                Some(_) => get_u64(t, "topology", key).map(|n| n as u32),
+                None => Ok(default),
+            }
+        };
+        let kind = match kind_name {
+            "two_tier" => TopoKind::TwoTier,
+            "three_tier" => TopoKind::ThreeTier,
+            "single_tier" => TopoKind::SingleTier,
+            "dragonfly" => {
+                let k = TopoKind::Dragonfly {
+                    a: opt("dragonfly_a", 4)?,
+                    h: opt("dragonfly_h", 1)?,
+                    p: opt("dragonfly_p", 1)?,
+                };
+                let TopoKind::Dragonfly { a, h, p } = k else {
+                    unreachable!()
+                };
+                if a == 0 || h == 0 || p == 0 {
+                    return bad(
+                        "[topology] dragonfly_a, dragonfly_h and dragonfly_p must all be ≥ 1",
+                    );
+                }
+                k
+            }
+            "space_shuffle" => {
+                let switches = opt("ss_switches", 16)?;
+                let spaces = opt("ss_spaces", 3)?;
+                let fas_per_switch = opt("ss_fas_per_switch", 1)?;
+                if switches < 3 {
+                    return bad("[topology] ss_switches must be ≥ 3 (a ring needs a triangle)");
+                }
+                if spaces == 0 || fas_per_switch == 0 {
+                    return bad("[topology] ss_spaces and ss_fas_per_switch must be ≥ 1");
+                }
+                TopoKind::SpaceShuffle {
+                    switches,
+                    spaces,
+                    fas_per_switch,
+                }
+            }
+            "expander" => {
+                let switches = opt("exp_switches", 16)?;
+                let degree = opt("exp_degree", 4)?;
+                let fas_per_switch = opt("exp_fas_per_switch", 1)?;
+                if switches < 3 {
+                    return bad("[topology] exp_switches must be ≥ 3");
+                }
+                if degree == 0 || degree % 2 != 0 {
+                    return bad(format!(
+                        "[topology] exp_degree must be a positive even number \
+                         (superposed Hamiltonian cycles add 2 each), got {degree}"
+                    ));
+                }
+                if degree >= switches {
+                    return bad(format!(
+                        "[topology] exp_degree ({degree}) must be below exp_switches ({switches})"
+                    ));
+                }
+                if fas_per_switch == 0 {
+                    return bad("[topology] exp_fas_per_switch must be ≥ 1");
+                }
+                TopoKind::Expander {
+                    switches,
+                    degree,
+                    fas_per_switch,
+                }
+            }
+            other => {
+                return bad(format!(
+                    "unknown topology kind {other:?} (two_tier | three_tier | \
+                     single_tier | dragonfly | space_shuffle | expander)"
+                ))
+            }
+        };
+        let spec = TopoSpec {
+            kind,
+            two_tier_factor: get_u64(t, "topology", "two_tier_factor")? as u32,
+            kary_k: get_u64(t, "topology", "kary_k")? as u32,
+        };
+        if spec.two_tier_factor == 0 || spec.kary_k == 0 {
+            return bad("[topology] factors must be positive");
+        }
+        Ok(spec)
+    }
+
+    /// Render back to a `[topology]` table (defaulted kind omitted, so
+    /// pre-zoo spec files round-trip unchanged).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new();
+        if self.kind != TopoKind::default() {
+            t.insert("kind".into(), Value::Str(self.kind.as_spec_str().into()));
+        }
+        t.insert(
+            "two_tier_factor".into(),
+            Value::Int(self.two_tier_factor as i64),
+        );
+        t.insert("kary_k".into(), Value::Int(self.kary_k as i64));
+        match self.kind {
+            TopoKind::TwoTier | TopoKind::ThreeTier | TopoKind::SingleTier => {}
+            TopoKind::Dragonfly { a, h, p } => {
+                t.insert("dragonfly_a".into(), Value::Int(a as i64));
+                t.insert("dragonfly_h".into(), Value::Int(h as i64));
+                t.insert("dragonfly_p".into(), Value::Int(p as i64));
+            }
+            TopoKind::SpaceShuffle {
+                switches,
+                spaces,
+                fas_per_switch,
+            } => {
+                t.insert("ss_switches".into(), Value::Int(switches as i64));
+                t.insert("ss_spaces".into(), Value::Int(spaces as i64));
+                t.insert(
+                    "ss_fas_per_switch".into(),
+                    Value::Int(fas_per_switch as i64),
+                );
+            }
+            TopoKind::Expander {
+                switches,
+                degree,
+                fas_per_switch,
+            } => {
+                t.insert("exp_switches".into(), Value::Int(switches as i64));
+                t.insert("exp_degree".into(), Value::Int(degree as i64));
+                t.insert(
+                    "exp_fas_per_switch".into(),
+                    Value::Int(fas_per_switch as i64),
+                );
+            }
+        }
+        t
+    }
+
+    /// Fabric Adapter population of [`Self::build_fabric`] — one source
+    /// of truth with the builders, so backend clamps and printed
+    /// populations can never drift from the topology actually built.
+    pub fn fabric_endpoints(&self) -> usize {
+        match self.kind {
+            TopoKind::TwoTier => crate::fig10::fabric_fas(self.two_tier_factor),
+            TopoKind::ThreeTier => stardust_topo::ThreeTierParams::small().num_fa as usize,
+            TopoKind::SingleTier => stardust_topo::SingleTierParams::paper_6_1().num_fa as usize,
+            TopoKind::Dragonfly { a, h, p } => ((a * h + 1) * a * p) as usize,
+            TopoKind::SpaceShuffle {
+                switches,
+                fas_per_switch,
+                ..
+            }
+            | TopoKind::Expander {
+                switches,
+                fas_per_switch,
+                ..
+            } => (switches * fas_per_switch) as usize,
+        }
+    }
+
+    /// Build the fabric topology plus its route plan. `seed` feeds the
+    /// randomized builders (Space Shuffle rings, expander cycles), so
+    /// each spec seed draws its own wiring — the deterministic builders
+    /// ignore it.
+    pub fn build_fabric(&self, seed: u64) -> stardust_topo::Built {
+        use stardust_topo::TopologyBuilder as _;
+        match self.kind {
+            TopoKind::TwoTier => {
+                stardust_topo::TwoTierParams::paper_scaled(self.two_tier_factor).build_fabric()
+            }
+            TopoKind::ThreeTier => stardust_topo::ThreeTierParams::small().build_fabric(),
+            TopoKind::SingleTier => stardust_topo::SingleTierParams::paper_6_1().build_fabric(),
+            TopoKind::Dragonfly { a, h, p } => {
+                let mut params = stardust_topo::DragonflyParams::zoo();
+                params.routers_per_group = a;
+                params.globals_per_router = h;
+                params.fas_per_router = p;
+                params.build_fabric()
+            }
+            TopoKind::SpaceShuffle {
+                switches,
+                spaces,
+                fas_per_switch,
+            } => {
+                let mut params = stardust_topo::SpaceShuffleParams::zoo(seed);
+                params.switches = switches;
+                params.spaces = spaces;
+                params.fas_per_switch = fas_per_switch;
+                params.build_fabric()
+            }
+            TopoKind::Expander {
+                switches,
+                degree,
+                fas_per_switch,
+            } => {
+                let mut params = stardust_topo::ExpanderParams::zoo(seed);
+                params.switches = switches;
+                params.degree = degree;
+                params.fas_per_switch = fas_per_switch;
+                params.build_fabric()
+            }
+        }
+    }
 }
 
 /// Which runs a completion gate covers.
@@ -439,14 +748,7 @@ impl ExperimentSpec {
             return bad("[experiment] admit_window_us must be positive");
         }
 
-        let topo = get_table(doc, "topology")?;
-        let topology = TopoSpec {
-            two_tier_factor: get_u64(topo, "topology", "two_tier_factor")? as u32,
-            kary_k: get_u64(topo, "topology", "kary_k")? as u32,
-        };
-        if topology.two_tier_factor == 0 || topology.kary_k == 0 {
-            return bad("[topology] factors must be positive");
-        }
+        let topology = TopoSpec::from_table(get_table(doc, "topology")?)?;
 
         let scenario = parse_scenario(get_table(doc, "scenario")?)?;
         let failures = parse_failures(doc)?;
@@ -484,7 +786,7 @@ impl ExperimentSpec {
         let scenario = self.scenario_for(self.seeds.first().copied().unwrap_or(0));
         for &engine in &self.engines {
             let n_nodes = if engine.is_fabric() {
-                crate::fig10::fabric_fas(self.topology.two_tier_factor)
+                self.topology.fabric_endpoints()
             } else {
                 crate::fig10::kary_hosts(self.topology.kary_k)
             };
@@ -528,16 +830,9 @@ impl ExperimentSpec {
             );
         }
 
-        let mut topo = Table::new();
-        topo.insert(
-            "two_tier_factor".into(),
-            Value::Int(self.topology.two_tier_factor as i64),
-        );
-        topo.insert("kary_k".into(), Value::Int(self.topology.kary_k as i64));
-
         let mut doc = Table::new();
         doc.insert("experiment".into(), Value::Table(exp));
-        doc.insert("topology".into(), Value::Table(topo));
+        doc.insert("topology".into(), Value::Table(self.topology.to_table()));
         doc.insert(
             "scenario".into(),
             Value::Table(scenario_table(&self.scenario)),
@@ -1035,6 +1330,113 @@ action = "restore"
         assert!(ExperimentSpec::parse(&mk(15)).is_ok());
         let e = ExperimentSpec::parse(&mk(16)).expect_err("16-into-16 incast");
         assert!(e.to_string().contains("backends"), "{e}");
+    }
+
+    fn topo_spec(body: &str) -> Result<ExperimentSpec, SpecError> {
+        ExperimentSpec::parse(&format!(
+            "[experiment]\nname = \"topo-check\"\nhorizon_us = 1000\nengines = [\"fabric\"]\n\n\
+             [topology]\n{body}\n\n\
+             [scenario]\nkind = \"permutation\"\nflow_bytes = 1000\n"
+        ))
+    }
+
+    #[test]
+    fn topology_kinds_parse_round_trip_and_size() {
+        let base = "two_tier_factor = 16\nkary_k = 4\n";
+        for (body, kind, endpoints) in [
+            (String::new(), TopoKind::TwoTier, 16),
+            ("kind = \"three_tier\"".into(), TopoKind::ThreeTier, 16),
+            ("kind = \"single_tier\"".into(), TopoKind::SingleTier, 24),
+            (
+                "kind = \"dragonfly\"\ndragonfly_a = 4\ndragonfly_h = 1\ndragonfly_p = 2".into(),
+                TopoKind::Dragonfly { a: 4, h: 1, p: 2 },
+                40,
+            ),
+            (
+                "kind = \"space_shuffle\"".into(),
+                TopoKind::SpaceShuffle {
+                    switches: 16,
+                    spaces: 3,
+                    fas_per_switch: 1,
+                },
+                16,
+            ),
+            (
+                "kind = \"expander\"\nexp_switches = 12\nexp_degree = 6".into(),
+                TopoKind::Expander {
+                    switches: 12,
+                    degree: 6,
+                    fas_per_switch: 1,
+                },
+                12,
+            ),
+        ] {
+            let spec =
+                topo_spec(&format!("{base}{body}")).unwrap_or_else(|e| panic!("{body}: {e}"));
+            assert_eq!(spec.topology.kind, kind, "{body}");
+            assert_eq!(spec.topology.fabric_endpoints(), endpoints, "{body}");
+            let again = ExperimentSpec::parse(&spec.to_text()).expect("round trip parses");
+            assert_eq!(spec, again, "{body} round trip");
+            // The built fabric matches the declared population.
+            let built = spec.topology.build_fabric(42);
+            assert_eq!(built.plan.num_endpoints, endpoints, "{body} build");
+        }
+    }
+
+    #[test]
+    fn default_kind_stays_omitted_from_rendered_form() {
+        let spec = ExperimentSpec::parse(FULL).unwrap();
+        assert_eq!(spec.topology.kind, TopoKind::TwoTier);
+        assert!(!spec.to_text().contains("kind = \"two_tier\""));
+    }
+
+    #[test]
+    fn unknown_topology_key_is_a_distinct_error() {
+        let e = topo_spec("two_tier_factor = 16\nkary_k = 4\nradix = 8").expect_err("radix");
+        let msg = e.to_string();
+        assert!(msg.contains("unknown [topology] key \"radix\""), "{msg}");
+        assert!(msg.contains("expected one of"), "{msg}");
+        assert!(msg.contains("dragonfly_a"), "error lists valid keys: {msg}");
+    }
+
+    #[test]
+    fn kind_parameter_mismatch_is_a_distinct_error() {
+        let e = topo_spec("two_tier_factor = 16\nkary_k = 4\ndragonfly_a = 4")
+            .expect_err("dragonfly key without dragonfly kind");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("\"dragonfly_a\" requires kind = \"dragonfly\""),
+            "{msg}"
+        );
+        assert!(
+            msg.contains("kind = \"two_tier\""),
+            "names the actual kind: {msg}"
+        );
+
+        let e = topo_spec("kind = \"dragonfly\"\ntwo_tier_factor = 16\nkary_k = 4\nss_spaces = 2")
+            .expect_err("space-shuffle key under dragonfly kind");
+        assert!(
+            e.to_string().contains("requires kind = \"space_shuffle\""),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn bad_topology_parameters_get_actionable_errors() {
+        let base = "two_tier_factor = 16\nkary_k = 4\n";
+        for (body, needle) in [
+            ("kind = \"hypercube\"", "unknown topology kind"),
+            ("kind = \"dragonfly\"\ndragonfly_a = 0", "must all be ≥ 1"),
+            ("kind = \"space_shuffle\"\nss_switches = 2", "must be ≥ 3"),
+            ("kind = \"expander\"\nexp_degree = 3", "even"),
+            (
+                "kind = \"expander\"\nexp_switches = 4\nexp_degree = 4",
+                "below exp_switches",
+            ),
+        ] {
+            let e = topo_spec(&format!("{base}{body}")).expect_err(body);
+            assert!(e.to_string().contains(needle), "{body}: {e}");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use stardust_sim::{
     CalendarCore, CoreKind, Counter, DetRng, EventCore, FlowStats, Histogram, ScheduledEvent,
     SimDuration, SimTime,
 };
-use stardust_topo::{LinkId, NodeId, NodeKind, Topology};
+use stardust_topo::{LinkId, NodeId, NodeKind, RoutePlan, Topology};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -33,15 +33,6 @@ use std::sync::Arc;
 /// reachability cells (§5.10). Real silicon uses FEC/BER counters; any
 /// injected error process above this is treated as a faulty link.
 const FAULTY_BER_THRESHOLD: f64 = 0.01;
-
-/// Which advertisement a reachability message carries (see `reach`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum AdKind {
-    /// Downward reach, sent toward the spine.
-    Up,
-    /// Total reach via the sender, sent toward the edge.
-    Down,
-}
 
 /// Index of an in-flight cell in the engine's cell slab. Cells travel
 /// through the event queue and link FIFOs by reference so the hot
@@ -82,11 +73,12 @@ pub(crate) enum Ev {
     /// Periodic reachability advertisement + expiry at a node.
     ReachTick { node: NodeId },
     /// A reachability advertisement arriving at `node` on local `port`.
-    /// `faulty` carries the sender's self-assessment of the link (§5.10).
+    /// Carries the sender's full reach; the receiver filters it against
+    /// the route plan's candidate set for the reverse direction. `faulty`
+    /// carries the sender's self-assessment of the link (§5.10).
     ReachMsg {
         node: NodeId,
         port: u16,
-        kind: AdKind,
         fas: Arc<Vec<u32>>,
         faulty: bool,
     },
@@ -330,13 +322,13 @@ struct FaState {
     next_burst: u64,
 }
 
-/// Fabric Element runtime state.
+/// Fabric Element runtime state. No tier arithmetic lives here: which
+/// destinations each port may carry comes from the engine's
+/// [`RoutePlan`], so the same state drives Clos and flat fabrics alike.
 struct FeState {
     node: NodeId,
     links: Vec<LinkId>,
     out_dirs: Vec<u32>,
-    /// Per-port: does this port face a higher tier?
-    up_facing: Vec<bool>,
     // det-lint: allow(unordered-iter, per-destination cache hit by key at forward time; never iterated)
     sprayers: HashMap<u32, (u64, Sprayer)>,
     reach: ReachTable,
@@ -532,6 +524,13 @@ pub struct FabricEngine<K: CoreKind = CalendarCore> {
     /// Outgoing cross-shard events, one batch per destination shard
     /// (empty when sequential); drained by the shard driver at barriers.
     outbox: Vec<Vec<OutItem>>,
+    /// The route plan: per-direction candidate destination sets. Seeds
+    /// the reachability tables and filters incoming advertisements, so
+    /// forwarding never leaves the plan's loop-free candidate structure.
+    plan: Arc<RoutePlan>,
+    /// Reusable scratch for eligible-set / advert-union computation on
+    /// the spray and reach paths (avoids per-call allocation).
+    scratch: Vec<u32>,
 }
 
 /// A [`FabricEngine`] on the reference binary-heap event core, used by
@@ -547,12 +546,20 @@ impl FabricEngine {
 }
 
 impl<K: CoreKind> FabricEngine<K> {
-    /// Build an engine over `topo`. Edge nodes become Fabric Adapters (in
-    /// `topo` order), fabric nodes become Fabric Elements. Reachability
-    /// tables are seeded converged; if `cfg.reach_interval` is set the
-    /// protocol runs and maintains them (and failures self-heal).
+    /// Build an engine over `topo` with the default shortest-path route
+    /// plan. Edge nodes become Fabric Adapters (in `topo` order), fabric
+    /// nodes become Fabric Elements. Reachability tables are seeded
+    /// converged; if `cfg.reach_interval` is set the protocol runs and
+    /// maintains them (and failures self-heal).
     pub fn with_core(topo: Topology, cfg: FabricConfig) -> Self {
-        Self::with_view(topo, cfg, None)
+        let plan = Arc::new(RoutePlan::shortest_path(&topo));
+        Self::with_view(topo, cfg, None, plan)
+    }
+
+    /// Build an engine over `topo` with an explicit route plan (e.g. the
+    /// greedy ring plan a Space Shuffle builder derived).
+    pub fn with_plan(topo: Topology, cfg: FabricConfig, plan: Arc<RoutePlan>) -> Self {
+        Self::with_view(topo, cfg, None, plan)
     }
 
     /// Build one shard of a partitioned run (or the sequential engine,
@@ -560,7 +567,12 @@ impl<K: CoreKind> FabricEngine<K> {
     /// only ever dispatches events for the nodes its view owns; events
     /// targeting foreign nodes route to the per-shard outbox instead of
     /// the local calendar.
-    pub(crate) fn with_view(topo: Topology, cfg: FabricConfig, view: Option<ShardView>) -> Self {
+    pub(crate) fn with_view(
+        topo: Topology,
+        cfg: FabricConfig,
+        view: Option<ShardView>,
+        plan: Arc<RoutePlan>,
+    ) -> Self {
         cfg.validate();
         let fa_nodes = topo.nodes_of_kind(NodeKind::Edge);
         let fe_nodes = topo.nodes_of_kind(NodeKind::Fabric);
@@ -605,31 +617,34 @@ impl<K: CoreKind> FabricEngine<K> {
             }
         }
 
-        let static_reach = topo.downward_edge_reach();
-        // Map NodeId → FA index for seeding table contents.
-        let to_fa_idx = |nodes: &[NodeId]| -> Vec<u32> {
-            let mut v: Vec<u32> = nodes
-                .iter()
-                .map(|n| fa_of_node[n.0 as usize])
-                .filter(|&i| i != u32::MAX)
-                .collect();
-            v.sort_unstable();
-            v
-        };
-        let all_fas: Vec<u32> = (0..fa_nodes.len() as u32).collect();
+        // The plan is the single source of routing truth: every port of
+        // every device is seeded with its direction's candidate set, so
+        // static tables start converged on any topology shape.
+        assert_eq!(
+            plan.dir_dsts.len(),
+            topo.num_links() * 2,
+            "route plan does not match this topology's link count"
+        );
+        assert_eq!(
+            plan.num_endpoints,
+            fa_nodes.len(),
+            "route plan does not match this topology's endpoint count"
+        );
 
         let mut fas = Vec::with_capacity(fa_nodes.len());
         for &n in &fa_nodes {
-            let uplinks = topo.up_links(n);
+            // On Clos shapes all FA fabric ports are uplinks; on flat
+            // fabrics the FA's single-level attachment links play the
+            // same role.
+            let uplinks = topo.node(n).links.clone();
             assert!(!uplinks.is_empty(), "FA {n:?} has no uplinks");
             let out_dirs: Vec<u32> = uplinks
                 .iter()
                 .map(|&l| l.0 * 2 + topo.link(l).end_of(n) as u32)
                 .collect();
             let mut reach = ReachTable::new(uplinks.len());
-            // Seeded converged: every uplink reaches every FA (full Clos).
-            for p in 0..uplinks.len() {
-                reach.seed(p, all_fas.clone());
+            for (p, &d) in out_dirs.iter().enumerate() {
+                reach.seed(p, plan.dir_dsts[d as usize].expand());
             }
             let ports = (0..cfg.host_ports)
                 .map(|_| PortState {
@@ -670,27 +685,14 @@ impl<K: CoreKind> FabricEngine<K> {
                 .iter()
                 .map(|&l| l.0 * 2 + topo.link(l).end_of(n) as u32)
                 .collect();
-            let level = topo.node(n).level;
-            let up_facing: Vec<bool> = links
-                .iter()
-                .map(|&l| topo.node(topo.peer(n, l)).level > level)
-                .collect();
             let mut reach = ReachTable::new(links.len());
-            for (p, &l) in links.iter().enumerate() {
-                let peer = topo.peer(n, l);
-                if up_facing[p] {
-                    // Seed converged down-ads: everything is reachable up.
-                    reach.seed(p, all_fas.clone());
-                } else {
-                    // Down-facing: the peer's downward reach.
-                    reach.seed(p, to_fa_idx(&static_reach[peer.0 as usize]));
-                }
+            for (p, &d) in out_dirs.iter().enumerate() {
+                reach.seed(p, plan.dir_dsts[d as usize].expand());
             }
             fes.push(FeState {
                 node: n,
                 links,
                 out_dirs,
-                up_facing,
                 sprayers: HashMap::new(),
                 reach,
             });
@@ -759,6 +761,8 @@ impl<K: CoreKind> FabricEngine<K> {
             shard_of_fa,
             dir_dst_shard,
             outbox,
+            plan,
+            scratch: Vec::new(),
         };
         if dynamic_reach {
             let interval = engine.cfg.reach_interval.unwrap();
@@ -902,6 +906,33 @@ impl<K: CoreKind> FabricEngine<K> {
     /// The configuration in force.
     pub fn config(&self) -> &FabricConfig {
         &self.cfg
+    }
+
+    /// Test-only view of every device's eligibility: FAs then FEs, one
+    /// inner `Vec` per destination FA holding the *out-direction indices*
+    /// (`link.0 * 2 + from_end`) currently eligible for that destination.
+    /// Lets cross-module tests assert "no spray set contains a failed
+    /// direction" and "tables reconverge after restore" on any topology
+    /// without reaching into private state.
+    #[cfg(test)]
+    pub(crate) fn eligible_dir_snapshot(&self) -> Vec<Vec<Vec<u32>>> {
+        let nd = self.fas.len() as u32;
+        let snap = |reach: &ReachTable, out_dirs: &[u32]| -> Vec<Vec<u32>> {
+            (0..nd)
+                .map(|d| {
+                    reach
+                        .eligible(d)
+                        .iter()
+                        .map(|&p| out_dirs[p as usize])
+                        .collect()
+                })
+                .collect()
+        };
+        self.fas
+            .iter()
+            .map(|st| snap(&st.reach, &st.out_dirs))
+            .chain(self.fes.iter().map(|st| snap(&st.reach, &st.out_dirs)))
+            .collect()
     }
 
     /// The topology this engine runs over.
@@ -1275,10 +1306,9 @@ impl<K: CoreKind> FabricEngine<K> {
             Ev::ReachMsg {
                 node,
                 port,
-                kind,
                 fas,
                 faulty,
-            } => self.on_reach_msg(now, node, port, kind, &fas, faulty),
+            } => self.on_reach_msg(now, node, port, &fas, faulty),
             Ev::BurstOpen { burst } => self.open_burst(*burst),
             Ev::BurstTimeout { burst } => self.on_burst_timeout(now, burst),
             Ev::FlowTick { flow } => self.on_flow_tick(now, flow),
@@ -1508,32 +1538,36 @@ impl<K: CoreKind> FabricEngine<K> {
         let needs_build =
             !matches!(self.fes[fe].sprayers.get(&dst), Some((g, _)) if *g == generation);
         if needs_build {
-            let st = &self.fes[fe];
-            let eligible = st.reach.eligible(dst);
-            // Downward preference: if any eligible down-facing port exists,
-            // spray only over those; otherwise over eligible up-facing.
-            let down: Vec<u32> = eligible
-                .iter()
-                .copied()
-                .filter(|&p| !st.up_facing[p as usize])
-                .collect();
-            let set = if !down.is_empty() {
-                down
-            } else {
-                eligible
-                    .into_iter()
-                    .filter(|&p| st.up_facing[p as usize])
-                    .collect()
-            };
-            if set.is_empty() {
+            // The table only ever holds plan candidates (seeding and
+            // advert filtering both go through `plan.dir_dsts`), so the
+            // eligible set *is* the spray set — no tier preference
+            // needed: on Clos shapes the strictly-decreasing potential
+            // already makes the destination pod's down-link the only
+            // candidate where down-preference used to apply.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.fes[fe].reach.eligible_into(dst, &mut scratch);
+            if scratch.is_empty() {
                 // No path: the cell is lost (reassembly timeout cleans up).
+                self.scratch = scratch;
                 self.stats.cells_dropped.inc();
                 self.free_cells.push(cell);
                 return;
             }
-            let rng = DetRng::from_parts(self.seed, (1 << 40) | ((fe as u64) << 20) | dst as u64);
-            let sprayer = Sprayer::new(set, self.cfg.spray_rounds_per_shuffle, rng);
-            self.fes[fe].sprayers.insert(dst, (generation, sprayer));
+            match self.fes[fe].sprayers.entry(dst) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let v = e.get_mut();
+                    v.0 = generation;
+                    v.1.set_links_from(&scratch);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let rng =
+                        DetRng::from_parts(self.seed, (1 << 40) | ((fe as u64) << 20) | dst as u64);
+                    let sprayer =
+                        Sprayer::new(scratch.clone(), self.cfg.spray_rounds_per_shuffle, rng);
+                    v.insert((generation, sprayer));
+                }
+            }
+            self.scratch = scratch;
         }
         let port = {
             let (_, sprayer) = self.fes[fe].sprayers.get_mut(&dst).unwrap();
@@ -1808,18 +1842,31 @@ impl<K: CoreKind> FabricEngine<K> {
         );
         let mut reachable = true;
         if needs_build {
-            let eligible = self.fas[src_fa as usize].reach.eligible(dst);
-            if eligible.is_empty() {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.fas[src_fa as usize]
+                .reach
+                .eligible_into(dst, &mut scratch);
+            if scratch.is_empty() {
                 // Destination unreachable: the whole burst is lost; the
                 // reassembly timeout will count its packets as discarded.
                 reachable = false;
             } else {
-                let rng = DetRng::from_parts(self.seed, ((src_fa as u64) << 20) | dst as u64);
-                let sprayer = Sprayer::new(eligible, self.cfg.spray_rounds_per_shuffle, rng);
-                self.fas[src_fa as usize]
-                    .sprayers
-                    .insert(dst, (generation, sprayer));
+                match self.fas[src_fa as usize].sprayers.entry(dst) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let v = e.get_mut();
+                        v.0 = generation;
+                        v.1.set_links_from(&scratch);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let rng =
+                            DetRng::from_parts(self.seed, ((src_fa as u64) << 20) | dst as u64);
+                        let sprayer =
+                            Sprayer::new(scratch.clone(), self.cfg.spray_rounds_per_shuffle, rng);
+                        v.insert((generation, sprayer));
+                    }
+                }
             }
+            self.scratch = scratch;
         }
         if reachable {
             let n_cells = pb.burst.n_cells;
@@ -1955,46 +2002,37 @@ impl<K: CoreKind> FabricEngine<K> {
             if now.as_ps() > deadline_ago.as_ps() {
                 self.fas[fa as usize].reach.expire(deadline);
             }
-            // Advertise self upward (indexing per port avoids cloning the
-            // out_dirs Vec every tick).
+            // Advertise self on every fabric port (indexing per port
+            // avoids cloning the out_dirs Vec every tick).
             let ad = Arc::new(vec![fa]);
             for p in 0..self.fas[fa as usize].out_dirs.len() {
                 let dir = self.fas[fa as usize].out_dirs[p];
-                self.send_reach(now, dir, AdKind::Up, ad.clone());
+                self.send_reach(now, dir, ad.clone());
             }
         } else {
             let fe = self.fe_of_node[node.0 as usize] as usize;
             if now.as_ps() > deadline_ago.as_ps() {
                 self.fes[fe].reach.expire(deadline);
             }
-            // Downward reach: union over down-facing ports.
+            // One advertisement for every neighbor: the union of what
+            // all my ports can reach. Receivers filter it against the
+            // route plan's candidate set for their direction toward me,
+            // so tiered up-ad/down-ad asymmetry falls out structurally
+            // instead of being encoded in the message kind.
+            let mut scratch = std::mem::take(&mut self.scratch);
             let st = &self.fes[fe];
-            let down_ports = (0..st.links.len()).filter(|&p| !st.up_facing[p]);
-            let down_reach = Arc::new(st.reach.union_over(down_ports));
-            // Total reach via me: downward ∪ what my up links advertise.
-            let up_ports = (0..st.links.len()).filter(|&p| st.up_facing[p]);
-            let mut total = st.reach.union_over(up_ports);
-            total.extend_from_slice(&down_reach);
-            total.sort_unstable();
-            total.dedup();
-            let total = Arc::new(total);
+            st.reach.union_over_into(0..st.links.len(), &mut scratch);
+            let total = Arc::new(scratch.clone());
+            self.scratch = scratch;
             for p in 0..self.fes[fe].links.len() {
-                let (dir, upf) = {
-                    let st = &self.fes[fe];
-                    (st.out_dirs[p], st.up_facing[p])
-                };
-                let (kind, ad) = if upf {
-                    (AdKind::Up, down_reach.clone())
-                } else {
-                    (AdKind::Down, total.clone())
-                };
-                self.send_reach(now, dir, kind, ad);
+                let dir = self.fes[fe].out_dirs[p];
+                self.send_reach(now, dir, total.clone());
             }
         }
         self.sched(now + interval, Ev::ReachTick { node });
     }
 
-    fn send_reach(&mut self, now: SimTime, dir_idx: u32, kind: AdKind, fas: Arc<Vec<u32>>) {
+    fn send_reach(&mut self, now: SimTime, dir_idx: u32, fas: Arc<Vec<u32>>) {
         let d = &self.dirs[dir_idx as usize];
         if !d.up {
             return; // a failed link carries no reachability cells
@@ -2013,34 +2051,38 @@ impl<K: CoreKind> FabricEngine<K> {
             Ev::ReachMsg {
                 node: dst_node,
                 port: dst_port_index,
-                kind,
                 fas,
                 faulty,
             },
         );
     }
 
-    fn on_reach_msg(
-        &mut self,
-        now: SimTime,
-        node: NodeId,
-        port: u16,
-        _kind: AdKind,
-        fas: &[u32],
-        faulty: bool,
-    ) {
+    fn on_reach_msg(&mut self, now: SimTime, node: NodeId, port: u16, fas: &[u32], faulty: bool) {
         let revive = self.cfg.reach_miss_threshold;
         let fa = self.fa_of_node[node.0 as usize];
-        let table = if fa != u32::MAX {
-            &mut self.fas[fa as usize].reach
+        let (table, out_dir) = if fa != u32::MAX {
+            let st = &mut self.fas[fa as usize];
+            (&mut st.reach, st.out_dirs[port as usize])
         } else {
             let fe = self.fe_of_node[node.0 as usize] as usize;
-            &mut self.fes[fe].reach
+            let st = &mut self.fes[fe];
+            (&mut st.reach, st.out_dirs[port as usize])
         };
         if faulty {
             table.mark_faulty(port as usize, now);
         } else {
-            table.on_advert(port as usize, fas, now, revive);
+            // Filter the sender's full reach down to the destinations
+            // this direction is a plan candidate for — the structural
+            // replacement for Clos up-ad/down-ad asymmetry, and the
+            // invariant that keeps dynamic tables inside the loop-free
+            // candidate sets on every topology shape.
+            let plan = Arc::clone(&self.plan);
+            let dset = &plan.dir_dsts[out_dir as usize];
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            scratch.extend(fas.iter().copied().filter(|&d| dset.contains(d)));
+            table.on_advert(port as usize, &scratch, now, revive);
+            self.scratch = scratch;
         }
     }
 }

@@ -41,6 +41,8 @@ pub mod shard;
 mod shard_tests;
 pub mod spray;
 pub mod voq;
+#[cfg(test)]
+mod zoo_tests;
 
 pub use cell::{Burst, BurstId, Cell, Packet, PacketId};
 pub use config::FabricConfig;

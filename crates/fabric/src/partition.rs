@@ -76,8 +76,67 @@ impl Partition {
         for (i, &n) in fas.iter().enumerate() {
             shard_of_node[n.0 as usize] = (i as u64 * s / fas.len() as u64) as u32;
         }
+        Self::finish(topo, shard_of_node, num_shards, ctrl_latency)
+    }
+
+    /// Partition guided by a [`RoutePlan`]'s endpoint grouping (pods on
+    /// Clos shapes, per-switch blocks on flat fabrics): whole groups map
+    /// onto shards in group order, so topologically adjacent endpoints —
+    /// and, via adoption below, the fabric elements over them — stay
+    /// together. Falls back to the generic contiguous split of
+    /// [`Partition::new`] when the grouping can't honor `num_shards`
+    /// (more shards than groups) or doesn't cover every edge node.
+    ///
+    /// On the Clos builders the groups are the contiguous equal-size
+    /// pods, so at any shard count this reproduces `Partition::new`
+    /// exactly — which is what keeps the pinned sharded-vs-sequential
+    /// conformance results unchanged.
+    ///
+    /// [`RoutePlan`]: stardust_topo::RoutePlan
+    pub fn with_groups(
+        topo: &Topology,
+        groups: &[Vec<stardust_topo::NodeId>],
+        num_shards: u32,
+        ctrl_latency: SimDuration,
+    ) -> Self {
+        let fas = topo.nodes_of_kind(NodeKind::Edge);
+        assert!(num_shards >= 1, "at least one shard");
+        assert!(
+            (num_shards as usize) <= fas.len(),
+            "more shards ({num_shards}) than Fabric Adapters ({})",
+            fas.len()
+        );
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        if (num_shards as usize) > groups.len() || covered != fas.len() {
+            return Self::new(topo, num_shards, ctrl_latency);
+        }
+        let (s, g) = (num_shards as u64, groups.len() as u64);
+        let mut shard_of_node = vec![u32::MAX; topo.num_nodes()];
+        for (gi, group) in groups.iter().enumerate() {
+            let shard = (gi as u64 * s / g) as u32;
+            for &n in group {
+                if shard_of_node[n.0 as usize] != u32::MAX {
+                    // Duplicate membership: grouping is unusable.
+                    return Self::new(topo, num_shards, ctrl_latency);
+                }
+                shard_of_node[n.0 as usize] = shard;
+            }
+        }
+        Self::finish(topo, shard_of_node, num_shards, ctrl_latency)
+    }
+
+    /// Shared tail of the constructors: fabric elements adopt shards
+    /// level by level, then the lookahead is derived.
+    fn finish(
+        topo: &Topology,
+        mut shard_of_node: Vec<u32>,
+        num_shards: u32,
+        ctrl_latency: SimDuration,
+    ) -> Self {
         // Fabric Elements, level by level: adopt the shard owning all
-        // lower-level neighbors, else round-robin.
+        // lower-level neighbors, else round-robin. On flat fabrics the
+        // switches' only lower-level neighbors are their own endpoints,
+        // so each switch adopts its endpoint block's shard.
         let mut fes = topo.nodes_of_kind(NodeKind::Fabric);
         fes.sort_by_key(|&n| (topo.node(n).level, n.0));
         let mut spread = 0u32;
@@ -229,5 +288,58 @@ mod tests {
     fn too_many_shards_rejected() {
         let tt = three_tier(ThreeTierParams::small());
         let _ = Partition::new(&tt.topo, 17, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn plan_groups_reproduce_contiguous_split_on_clos() {
+        use stardust_topo::RoutePlan;
+        let tt = two_tier(TwoTierParams::paper_scaled(4));
+        let plan = RoutePlan::shortest_path(&tt.topo);
+        let ctrl = SimDuration::from_micros(2);
+        for shards in [1u32, 2, 4, 8] {
+            let generic = Partition::new(&tt.topo, shards, ctrl);
+            let grouped = Partition::with_groups(&tt.topo, &plan.groups, shards, ctrl);
+            assert_eq!(
+                generic.shard_of_node, grouped.shard_of_node,
+                "{shards} shards: pod grouping must equal the contiguous split"
+            );
+            assert_eq!(generic.lookahead, grouped.lookahead);
+        }
+    }
+
+    #[test]
+    fn flat_fabric_groups_keep_switch_blocks_together() {
+        use stardust_topo::{dragonfly, DragonflyParams, RoutePlan};
+        let df = dragonfly(DragonflyParams {
+            fas_per_router: 2,
+            ..DragonflyParams::zoo()
+        });
+        let plan = RoutePlan::shortest_path(&df.topo);
+        let part = Partition::with_groups(&df.topo, &plan.groups, 4, SimDuration::from_micros(2));
+        // Both FAs of a router land on the router's shard.
+        for (r, &router) in df.routers.iter().enumerate() {
+            let s0 = part.shard_of_node[df.fas[2 * r].0 as usize];
+            let s1 = part.shard_of_node[df.fas[2 * r + 1].0 as usize];
+            assert_eq!(s0, s1);
+            assert_eq!(part.shard_of_node[router.0 as usize], s0);
+        }
+        let counts = part.fa_counts(&df.topo);
+        assert_eq!(counts, vec![10; 4]);
+    }
+
+    #[test]
+    fn unusable_grouping_falls_back_to_generic() {
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        let ctrl = SimDuration::from_micros(2);
+        // More shards than groups, and a grouping that misses FAs: both
+        // must silently fall back to the generic contiguous split.
+        let partial = vec![vec![tt.fas[0]], vec![tt.fas[1]]];
+        let a = Partition::with_groups(&tt.topo, &partial, 2, ctrl);
+        let b = Partition::new(&tt.topo, 2, ctrl);
+        assert_eq!(a.shard_of_node, b.shard_of_node);
+        let four_groups: Vec<Vec<_>> = tt.fas.chunks(4).map(|c| c.to_vec()).collect();
+        let c = Partition::with_groups(&tt.topo, &four_groups, 8, ctrl);
+        let d = Partition::new(&tt.topo, 8, ctrl);
+        assert_eq!(c.shard_of_node, d.shard_of_node);
     }
 }

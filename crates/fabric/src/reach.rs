@@ -6,15 +6,17 @@
 //! The reachability messages are sent periodically. If no reachability
 //! messages are received on a link periodically, it is considered failed."
 //!
-//! Two advertisement kinds flow through a folded Clos:
+//! The advertisement protocol is direction-agnostic so it works on any
+//! topology with a [`stardust_topo::RoutePlan`], not just a folded Clos:
 //!
-//! * **Up-ads** travel from edge toward spine and carry the sender's
-//!   *downward* reach (an FA advertises itself; a tier-1 FE advertises
-//!   the union of what its down links advertised).
-//! * **Down-ads** travel from spine toward edge and carry the sender's
-//!   *total* reach via itself (downward reach plus whatever its own up
-//!   links advertise down to it). A Fabric Adapter's uplink is eligible
-//!   for destination `d` iff the down-ad received on it contains `d`.
+//! * An FA advertises itself on every port; an FE advertises the union
+//!   of everything it heard (over all its ports) on every port.
+//! * The *receiver* filters each advertisement through the route plan's
+//!   candidate destination set for the direction the advertisement
+//!   traveled, so only loop-free next hops ever enter a table. On a
+//!   folded Clos this reduces exactly to the classic up-ad/down-ad
+//!   split (up links learn the spine-side total reach, down links learn
+//!   the subtree below).
 //!
 //! This module holds the per-device table state; the engine delivers the
 //! messages and drives the periodic ticks.
@@ -141,27 +143,43 @@ impl ReachTable {
     /// Ports currently eligible for destination FA `dst` (up and
     /// advertising it).
     pub fn eligible(&self, dst: u32) -> Vec<u32> {
-        self.ports
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.up && p.fas.binary_search(&dst).is_ok())
-            .map(|(i, _)| i as u32)
-            .collect()
+        let mut out = Vec::new();
+        self.eligible_into(dst, &mut out);
+        out
+    }
+
+    /// [`Self::eligible`] into a caller-owned buffer — the hot spray path
+    /// rebuilds spray sets on every generation bump, so the engine reuses
+    /// one scratch `Vec` instead of allocating per rebuild.
+    pub fn eligible_into(&self, dst: u32, out: &mut Vec<u32>) {
+        out.clear();
+        for (i, p) in self.ports.iter().enumerate() {
+            if p.up && p.fas.binary_search(&dst).is_ok() {
+                out.push(i as u32);
+            }
+        }
     }
 
     /// Union of the advertised sets over a subset of ports (what this
     /// device advertises onward).
     pub fn union_over(&self, ports: impl Iterator<Item = usize>) -> Vec<u32> {
-        let mut acc: Vec<u32> = Vec::new();
+        let mut acc = Vec::new();
+        self.union_over_into(ports, &mut acc);
+        acc
+    }
+
+    /// [`Self::union_over`] into a caller-owned buffer (same rationale as
+    /// [`Self::eligible_into`]: called per device per reach tick).
+    pub fn union_over_into(&self, ports: impl Iterator<Item = usize>, out: &mut Vec<u32>) {
+        out.clear();
         for i in ports {
             let p = &self.ports[i];
             if p.up {
-                acc.extend_from_slice(&p.fas);
+                out.extend_from_slice(&p.fas);
             }
         }
-        acc.sort_unstable();
-        acc.dedup();
-        acc
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Is `port` currently considered up?

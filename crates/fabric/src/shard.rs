@@ -75,13 +75,34 @@ where
     /// [`Partition::new`]); every shard holds the full topology but only
     /// simulates the nodes it owns.
     pub fn with_core(topo: Topology, cfg: FabricConfig, num_shards: u32) -> Self {
-        let part = Partition::new(&topo, num_shards, cfg.ctrl_latency);
+        let plan = std::sync::Arc::new(stardust_topo::RoutePlan::shortest_path(&topo));
+        Self::with_plan(topo, cfg, plan, num_shards)
+    }
+
+    /// [`Self::with_core`] with a caller-supplied route plan (builders with
+    /// non-shortest-path potentials, e.g. Space Shuffle). Shard boundaries
+    /// follow the plan's endpoint groups where the grouping can honor
+    /// `num_shards` (see [`Partition::with_groups`]).
+    pub fn with_plan(
+        topo: Topology,
+        cfg: FabricConfig,
+        plan: std::sync::Arc<stardust_topo::RoutePlan>,
+        num_shards: u32,
+    ) -> Self {
+        let part = Partition::with_groups(&topo, &plan.groups, num_shards, cfg.ctrl_latency);
         assert!(
             part.lookahead < cfg.reassembly_timeout,
             "lookahead must stay below the reassembly timeout"
         );
         let shards: Vec<FabricEngine<K>> = (0..num_shards)
-            .map(|s| FabricEngine::<K>::with_view(topo.clone(), cfg.clone(), Some(part.view(s))))
+            .map(|s| {
+                FabricEngine::<K>::with_view(
+                    topo.clone(),
+                    cfg.clone(),
+                    Some(part.view(s)),
+                    plan.clone(),
+                )
+            })
             .collect();
         let shard_of_fa = topo
             .nodes_of_kind(stardust_topo::NodeKind::Edge)

@@ -63,8 +63,16 @@ impl Sprayer {
     /// Replace the eligible set (reachability change / link failure).
     /// Restarts the rotation — the paper's tables are rebuilt on failures.
     pub fn set_links(&mut self, links: Vec<u32>) {
+        self.set_links_from(&links);
+    }
+
+    /// [`Self::set_links`] from a borrowed slice, reusing the permutation
+    /// buffer's capacity (the engine rebuilds spray sets from a shared
+    /// scratch buffer on every reachability generation bump).
+    pub fn set_links_from(&mut self, links: &[u32]) {
         assert!(!links.is_empty(), "sprayer needs at least one link");
-        self.perm = links;
+        self.perm.clear();
+        self.perm.extend_from_slice(links);
         self.rng.shuffle(&mut self.perm);
         self.ptr = 0;
         self.rounds_until_shuffle = self.rounds_per_shuffle;

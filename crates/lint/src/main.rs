@@ -19,8 +19,8 @@ OPTIONS:
     --root <dir>   Workspace root to scan (default: .)
     --json         Emit machine-readable JSON instead of file:line text
 
-Scans the engine crates (crates/{sim,fabric,baseline,transport,workload}
-and src/) for determinism hazards. Suppress a finding with a
+Scans the engine crates (crates/{sim,topo,fabric,baseline,transport,
+workload} and src/) for determinism hazards. Suppress a finding with a
 reason-carrying directive on or above the offending line:
 
     // det-lint: allow(unordered-iter, keyed access only; never iterated)

@@ -1,6 +1,12 @@
-//! Topology builders for the paper's evaluation shapes.
+//! Topology builders: the paper's evaluation shapes plus the "topology
+//! zoo" rivals (dragonfly, Space Shuffle, random regular expander) used
+//! to test the divide-and-conquer claim on structurally different
+//! fabrics. Every `*Params` type implements
+//! [`TopologyBuilder`](crate::route::TopologyBuilder).
 
 use crate::graph::{NodeId, NodeKind, Topology};
+use crate::route::{Built, RoutePlan, TopologyBuilder};
+use stardust_sim::DetRng;
 
 /// Parameters of the §6.2 two-tier fabric.
 ///
@@ -506,6 +512,420 @@ pub fn kary(params: KaryParams) -> Kary {
     }
 }
 
+/// Parameters of a balanced dragonfly (Kim et al., ISCA '08): groups of
+/// `a` fully-meshed routers, `h` global links per router, palmtree
+/// global wiring over `g = a·h + 1` groups, `p` Fabric Adapters per
+/// router. Flat fabric: all routers are level-2 Fabric Elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DragonflyParams {
+    /// Routers per group (`a`).
+    pub routers_per_group: u32,
+    /// Global links per router (`h`); groups `g = a·h + 1`.
+    pub globals_per_router: u32,
+    /// Fabric Adapters attached per router (`p`).
+    pub fas_per_router: u32,
+    /// Fiber length of FA↔router links, meters.
+    pub host_meters: u32,
+    /// Fiber length of intra-group links, meters.
+    pub local_meters: u32,
+    /// Fiber length of global (inter-group) links, meters.
+    pub global_meters: u32,
+}
+
+impl DragonflyParams {
+    /// The CI-scale zoo configuration: a=4, h=1, p=1 → 5 groups,
+    /// 20 routers, 20 FAs, router radix 5.
+    pub fn zoo() -> Self {
+        DragonflyParams {
+            routers_per_group: 4,
+            globals_per_router: 1,
+            fas_per_router: 1,
+            host_meters: 2,
+            local_meters: 5,
+            global_meters: 100,
+        }
+    }
+
+    /// Number of groups (balanced: `g = a·h + 1`).
+    pub fn groups(&self) -> u32 {
+        self.routers_per_group * self.globals_per_router + 1
+    }
+
+    /// Structural sanity checks.
+    pub fn validate(&self) {
+        assert!(
+            self.routers_per_group >= 1,
+            "need at least one router per group"
+        );
+        assert!(
+            self.globals_per_router >= 1,
+            "need at least one global link per router"
+        );
+        assert!(self.fas_per_router >= 1, "need at least one FA per router");
+    }
+}
+
+/// The dragonfly build result.
+#[derive(Debug, Clone)]
+pub struct Dragonfly {
+    /// The built link-level topology.
+    pub topo: Topology,
+    /// The parameters the build used.
+    pub params: DragonflyParams,
+    /// Fabric Adapter node ids, in FA-index order.
+    pub fas: Vec<NodeId>,
+    /// Router node ids, group-major.
+    pub routers: Vec<NodeId>,
+}
+
+/// Build a balanced dragonfly with palmtree global wiring: group `i`'s
+/// global channel `k` (router `k / h`) connects to group
+/// `(i + k + 1) mod g`, whose matching channel is `a·h − k − 1` — a
+/// standard symmetric assignment with exactly `h` globals per router.
+pub fn dragonfly(params: DragonflyParams) -> Dragonfly {
+    params.validate();
+    let (a, h, p) = (
+        params.routers_per_group,
+        params.globals_per_router,
+        params.fas_per_router,
+    );
+    let g = params.groups();
+    let mut topo = Topology::new();
+    let fas: Vec<NodeId> = (0..g * a * p)
+        .map(|_| topo.add_node(NodeKind::Edge, 1))
+        .collect();
+    let routers: Vec<NodeId> = (0..g * a)
+        .map(|_| topo.add_node(NodeKind::Fabric, 2))
+        .collect();
+
+    // FAs: p per router, FA index router-major.
+    for (i, &fa) in fas.iter().enumerate() {
+        let r = routers[i / p as usize];
+        topo.add_link(fa, r, params.host_meters);
+    }
+    // Intra-group complete graph.
+    for grp in 0..g {
+        for i in 0..a {
+            for j in (i + 1)..a {
+                topo.add_link(
+                    routers[(grp * a + i) as usize],
+                    routers[(grp * a + j) as usize],
+                    params.local_meters,
+                );
+            }
+        }
+    }
+    // Palmtree global wiring; each unordered group pair gets exactly one
+    // link, added from the lower-numbered group's side.
+    for i in 0..g {
+        for k in 0..a * h {
+            let j = (i + k + 1) % g;
+            if i < j {
+                let k_peer = a * h - k - 1;
+                topo.add_link(
+                    routers[(i * a + k / h) as usize],
+                    routers[(j * a + k_peer / h) as usize],
+                    params.global_meters,
+                );
+            }
+        }
+    }
+    Dragonfly {
+        topo,
+        params,
+        fas,
+        routers,
+    }
+}
+
+/// Parameters of a Space Shuffle fabric (Yu et al., arXiv:1405.4697):
+/// every switch gets a coordinate in `spaces` independent ring
+/// permutations; the physical graph is the union of the ring
+/// adjacencies; greedy routing forwards to any neighbor strictly closer
+/// in the *best* space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceShuffleParams {
+    /// Number of switches (≥ 3).
+    pub switches: u32,
+    /// Number of ring spaces (≥ 1).
+    pub spaces: u32,
+    /// Fabric Adapters per switch.
+    pub fas_per_switch: u32,
+    /// Master seed for the ring permutations.
+    pub seed: u64,
+    /// Fiber length of FA↔switch links, meters.
+    pub host_meters: u32,
+    /// Fiber length of switch↔switch links, meters.
+    pub ring_meters: u32,
+}
+
+impl SpaceShuffleParams {
+    /// The CI-scale zoo configuration: 16 switches × 3 spaces × 1 FA.
+    pub fn zoo(seed: u64) -> Self {
+        SpaceShuffleParams {
+            switches: 16,
+            spaces: 3,
+            fas_per_switch: 1,
+            seed,
+            host_meters: 2,
+            ring_meters: 50,
+        }
+    }
+
+    /// Structural sanity checks.
+    pub fn validate(&self) {
+        assert!(self.switches >= 3, "need at least 3 switches for rings");
+        assert!(self.spaces >= 1, "need at least one ring space");
+        assert!(self.fas_per_switch >= 1, "need at least one FA per switch");
+    }
+}
+
+/// The Space Shuffle build result.
+#[derive(Debug, Clone)]
+pub struct SpaceShuffle {
+    /// The built link-level topology.
+    pub topo: Topology,
+    /// The parameters the build used.
+    pub params: SpaceShuffleParams,
+    /// Fabric Adapter node ids, in FA-index order.
+    pub fas: Vec<NodeId>,
+    /// Switch node ids, in switch-index order.
+    pub switches: Vec<NodeId>,
+    /// `positions[space][switch]` = ring position of the switch.
+    pub positions: Vec<Vec<u32>>,
+}
+
+impl SpaceShuffle {
+    /// The greedy-routing potential: an FA's own node is 0; a switch is
+    /// `1 + min over spaces of circular ring distance` to the
+    /// destination's switch; other FAs are unreachable (∞). Greedy is
+    /// live: in the arg-min space, the ring neighbor along the shorter
+    /// arc is strictly closer, so every candidate set is non-empty.
+    pub fn plan(&self) -> RoutePlan {
+        let n = self.params.switches as u64;
+        let p = self.params.fas_per_switch as usize;
+        let positions = &self.positions;
+        let switches = &self.switches;
+        let fas = &self.fas;
+        RoutePlan::from_potential(&self.topo, |topo, dst, phi| {
+            phi.clear();
+            phi.resize(topo.num_nodes(), u64::MAX);
+            phi[dst.0 as usize] = 0;
+            let dst_sw = fas.iter().position(|&f| f == dst).unwrap() / p;
+            for (s, &sw) in switches.iter().enumerate() {
+                let best = positions
+                    .iter()
+                    .map(|pos| {
+                        let d = pos[s].abs_diff(pos[dst_sw]) as u64;
+                        d.min(n - d)
+                    })
+                    .min()
+                    .unwrap();
+                phi[sw.0 as usize] = 1 + best;
+            }
+        })
+    }
+}
+
+/// Build a Space Shuffle fabric: seeded ring permutations, deduplicated
+/// union of ring adjacencies, `fas_per_switch` FAs per switch.
+pub fn space_shuffle(params: SpaceShuffleParams) -> SpaceShuffle {
+    params.validate();
+    let n = params.switches;
+    let mut topo = Topology::new();
+    let fas: Vec<NodeId> = (0..n * params.fas_per_switch)
+        .map(|_| topo.add_node(NodeKind::Edge, 1))
+        .collect();
+    let switches: Vec<NodeId> = (0..n).map(|_| topo.add_node(NodeKind::Fabric, 2)).collect();
+    for (i, &fa) in fas.iter().enumerate() {
+        topo.add_link(
+            fa,
+            switches[i / params.fas_per_switch as usize],
+            params.host_meters,
+        );
+    }
+
+    let base = DetRng::from_label(params.seed, "space-shuffle-rings");
+    let mut positions: Vec<Vec<u32>> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for space in 0..params.spaces {
+        let mut rng = base.split_u64(space as u64);
+        let mut perm: Vec<u32> = (0..n).collect();
+        rng.shuffle(&mut perm);
+        // Ring adjacency; skip pairs an earlier space already wired.
+        for i in 0..n as usize {
+            let (s, t) = (perm[i], perm[(i + 1) % n as usize]);
+            let pair = (s.min(t), s.max(t));
+            if seen.insert(pair) {
+                topo.add_link(
+                    switches[s as usize],
+                    switches[t as usize],
+                    params.ring_meters,
+                );
+            }
+        }
+        let mut pos = vec![0u32; n as usize];
+        for (i, &s) in perm.iter().enumerate() {
+            pos[s as usize] = i as u32;
+        }
+        positions.push(pos);
+    }
+    SpaceShuffle {
+        topo,
+        params,
+        fas,
+        switches,
+        positions,
+    }
+}
+
+/// Parameters of a random regular expander: `degree / 2` seeded
+/// Hamiltonian cycles superposed over `switches` nodes (duplicate pairs
+/// skipped, so switch degree is ≤ `degree` and usually exactly it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpanderParams {
+    /// Number of switches (≥ 3).
+    pub switches: u32,
+    /// Target switch degree (even, `2 ≤ degree < switches`).
+    pub degree: u32,
+    /// Fabric Adapters per switch.
+    pub fas_per_switch: u32,
+    /// Master seed for the cycle permutations.
+    pub seed: u64,
+    /// Fiber length of FA↔switch links, meters.
+    pub host_meters: u32,
+    /// Fiber length of switch↔switch links, meters.
+    pub mesh_meters: u32,
+}
+
+impl ExpanderParams {
+    /// The CI-scale zoo configuration: 16 switches, degree 4, 1 FA each.
+    pub fn zoo(seed: u64) -> Self {
+        ExpanderParams {
+            switches: 16,
+            degree: 4,
+            fas_per_switch: 1,
+            seed,
+            host_meters: 2,
+            mesh_meters: 50,
+        }
+    }
+
+    /// Structural sanity checks.
+    pub fn validate(&self) {
+        assert!(self.switches >= 3, "need at least 3 switches");
+        assert!(
+            self.degree >= 2 && self.degree.is_multiple_of(2),
+            "degree must be even and at least 2"
+        );
+        assert!(
+            self.degree < self.switches,
+            "degree must be below the switch count"
+        );
+        assert!(self.fas_per_switch >= 1, "need at least one FA per switch");
+    }
+}
+
+/// The expander build result.
+#[derive(Debug, Clone)]
+pub struct Expander {
+    /// The built link-level topology.
+    pub topo: Topology,
+    /// The parameters the build used.
+    pub params: ExpanderParams,
+    /// Fabric Adapter node ids, in FA-index order.
+    pub fas: Vec<NodeId>,
+    /// Switch node ids, in switch-index order.
+    pub switches: Vec<NodeId>,
+}
+
+/// Build a random regular expander from superposed seeded Hamiltonian
+/// cycles (each cycle is connected, so the union always is).
+pub fn expander(params: ExpanderParams) -> Expander {
+    params.validate();
+    let n = params.switches;
+    let mut topo = Topology::new();
+    let fas: Vec<NodeId> = (0..n * params.fas_per_switch)
+        .map(|_| topo.add_node(NodeKind::Edge, 1))
+        .collect();
+    let switches: Vec<NodeId> = (0..n).map(|_| topo.add_node(NodeKind::Fabric, 2)).collect();
+    for (i, &fa) in fas.iter().enumerate() {
+        topo.add_link(
+            fa,
+            switches[i / params.fas_per_switch as usize],
+            params.host_meters,
+        );
+    }
+    let base = DetRng::from_label(params.seed, "expander-cycles");
+    let mut seen = std::collections::BTreeSet::new();
+    for cycle in 0..params.degree / 2 {
+        let mut rng = base.split_u64(cycle as u64);
+        let mut perm: Vec<u32> = (0..n).collect();
+        rng.shuffle(&mut perm);
+        for i in 0..n as usize {
+            let (s, t) = (perm[i], perm[(i + 1) % n as usize]);
+            let pair = (s.min(t), s.max(t));
+            if seen.insert(pair) {
+                topo.add_link(
+                    switches[s as usize],
+                    switches[t as usize],
+                    params.mesh_meters,
+                );
+            }
+        }
+    }
+    Expander {
+        topo,
+        params,
+        fas,
+        switches,
+    }
+}
+
+impl TopologyBuilder for TwoTierParams {
+    fn build_fabric(&self) -> Built {
+        Built::shortest_path(two_tier(*self).topo)
+    }
+}
+
+impl TopologyBuilder for ThreeTierParams {
+    fn build_fabric(&self) -> Built {
+        Built::shortest_path(three_tier(*self).topo)
+    }
+}
+
+impl TopologyBuilder for SingleTierParams {
+    fn build_fabric(&self) -> Built {
+        Built::shortest_path(single_tier(*self).topo)
+    }
+}
+
+impl TopologyBuilder for KaryParams {
+    fn build_fabric(&self) -> Built {
+        Built::shortest_path(kary(*self).topo)
+    }
+}
+
+impl TopologyBuilder for DragonflyParams {
+    fn build_fabric(&self) -> Built {
+        Built::shortest_path(dragonfly(*self).topo)
+    }
+}
+
+impl TopologyBuilder for SpaceShuffleParams {
+    fn build_fabric(&self) -> Built {
+        let ss = space_shuffle(*self);
+        let plan = ss.plan();
+        Built::new(ss.topo, plan)
+    }
+}
+
+impl TopologyBuilder for ExpanderParams {
+    fn build_fabric(&self) -> Built {
+        Built::shortest_path(expander(*self).topo)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,6 +1084,108 @@ mod tests {
         for &a in &ft.aggs {
             assert_eq!(reach[a.0 as usize].len(), 2);
         }
+    }
+
+    #[test]
+    fn dragonfly_zoo_dimensions() {
+        let p = DragonflyParams::zoo();
+        assert_eq!(p.groups(), 5);
+        let df = dragonfly(p);
+        assert_eq!(df.fas.len(), 20);
+        assert_eq!(df.routers.len(), 20);
+        // Links: 20 FA + 5·(4·3/2)=30 local + 5·4·1/2=10 global.
+        assert_eq!(df.topo.num_links(), 20 + 30 + 10);
+        // Router radix: p + (a−1) + h = 1 + 3 + 1.
+        for &r in &df.routers {
+            assert_eq!(df.topo.node(r).links.len(), 5);
+        }
+        df.topo.validate(5);
+    }
+
+    #[test]
+    fn dragonfly_every_group_pair_linked_once() {
+        let df = dragonfly(DragonflyParams::zoo());
+        let a = df.params.routers_per_group;
+        let mut pair_links = std::collections::BTreeMap::new();
+        for l in df.topo.link_ids() {
+            let ends = df.topo.link(l).ends;
+            let grp = |n: NodeId| {
+                df.routers
+                    .iter()
+                    .position(|&r| r == n)
+                    .map(|i| i as u32 / a)
+            };
+            if let (Some(ga), Some(gb)) = (grp(ends[0]), grp(ends[1])) {
+                if ga != gb {
+                    *pair_links.entry((ga.min(gb), ga.max(gb))).or_insert(0u32) += 1;
+                }
+            }
+        }
+        assert_eq!(pair_links.len(), 10, "all 5·4/2 group pairs wired");
+        assert!(pair_links.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn space_shuffle_builds_connected_and_deterministic() {
+        let ss = space_shuffle(SpaceShuffleParams::zoo(7));
+        assert_eq!(ss.fas.len(), 16);
+        assert_eq!(ss.switches.len(), 16);
+        ss.topo.validate(16);
+        // Deterministic for a seed, different across seeds.
+        let again = space_shuffle(SpaceShuffleParams::zoo(7));
+        assert_eq!(ss.topo.num_links(), again.topo.num_links());
+        assert_eq!(ss.positions, again.positions);
+        let other = space_shuffle(SpaceShuffleParams::zoo(8));
+        assert_ne!(ss.positions, other.positions);
+        // The greedy plan never leaves a reachable destination without a
+        // candidate (checked inside from_potential in debug builds).
+        let plan = ss.plan();
+        assert_eq!(plan.num_endpoints, 16);
+        // Each switch's FA link carries exactly that FA.
+        for (i, &fa) in ss.fas.iter().enumerate() {
+            let l = ss.topo.node(fa).links[0];
+            let dir = ss.topo.dir_from(ss.topo.peer(fa, l), l);
+            let set = &plan.dir_dsts[dir.link.0 as usize * 2 + dir.from_end as usize];
+            assert_eq!(set.expand(), vec![i as u32]);
+        }
+    }
+
+    #[test]
+    fn expander_builds_regular_and_connected() {
+        let ex = expander(ExpanderParams::zoo(3));
+        assert_eq!(ex.fas.len(), 16);
+        ex.topo.validate(16);
+        for &s in &ex.switches {
+            let deg = ex.topo.node(s).links.len() - ex.params.fas_per_switch as usize;
+            assert!((2..=4).contains(&deg), "switch degree {deg} out of range");
+        }
+        // Connectivity: the shortest-path plan reaches every endpoint
+        // from every FA uplink (no empty uplink candidate set).
+        let plan = RoutePlan::shortest_path(&ex.topo);
+        for (i, &fa) in ex.fas.iter().enumerate() {
+            let l = ex.topo.node(fa).links[0];
+            let dir = ex.topo.dir_from(fa, l);
+            let set = &plan.dir_dsts[dir.link.0 as usize * 2 + dir.from_end as usize];
+            assert_eq!(set.len(), ex.fas.len() - 1);
+            assert!(!set.contains(i as u32));
+        }
+    }
+
+    #[test]
+    fn zoo_groups_follow_switch_blocks() {
+        let df = dragonfly(DragonflyParams {
+            fas_per_router: 2,
+            ..DragonflyParams::zoo()
+        });
+        let built = DragonflyParams {
+            fas_per_router: 2,
+            ..DragonflyParams::zoo()
+        }
+        .build_fabric();
+        assert_eq!(built.endpoints.len(), 40);
+        // One group per router, two FAs each.
+        assert_eq!(built.plan.groups.len(), df.routers.len());
+        assert!(built.plan.groups.iter().all(|g| g.len() == 2));
     }
 
     #[test]

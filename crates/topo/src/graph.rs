@@ -247,7 +247,9 @@ impl Topology {
     }
 
     /// Basic structural validation: port counts per node within `radix`,
-    /// links only between adjacent levels.
+    /// links only between adjacent levels — except fabric↔fabric links,
+    /// which may sit within one level (flat fabrics: dragonfly groups,
+    /// Space Shuffle rings, expanders).
     pub fn validate(&self, max_radix: usize) {
         for id in self.node_ids() {
             let n = self.node(id);
@@ -260,9 +262,11 @@ impl Topology {
         for l in &self.links {
             let la = self.node(l.ends[0]).level;
             let lb = self.node(l.ends[1]).level;
-            assert_eq!(
-                la.abs_diff(lb),
-                1,
+            let flat_fabric = la == lb
+                && self.node(l.ends[0]).kind == NodeKind::Fabric
+                && self.node(l.ends[1]).kind == NodeKind::Fabric;
+            assert!(
+                la.abs_diff(lb) == 1 || flat_fabric,
                 "link between non-adjacent levels {la} and {lb}"
             );
         }

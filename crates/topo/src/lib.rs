@@ -11,17 +11,31 @@
 //! * [`kary`] — the k-ary fat-tree (Al-Fares) with hosts, used by the
 //!   htsim-style transport comparison of §6.3 (k = 12 → 432 hosts).
 //!
+//! Beyond the paper's shapes, the "topology zoo" adds structurally
+//! different rivals under the same surface:
+//!
+//! * [`dragonfly`] — balanced dragonfly (groups of fully-meshed routers,
+//!   palmtree global wiring).
+//! * [`space_shuffle`] — Space Shuffle (arXiv:1405.4697): seeded ring
+//!   coordinate spaces with greedy next-hop sets.
+//! * [`expander`] — random regular expander from superposed seeded
+//!   Hamiltonian cycles.
+//!
 //! The [`Topology`] type is engine-agnostic: it records nodes, levels and
 //! full-duplex links with fiber lengths. Dynamic state — queues, failures,
 //! reachability tables — lives in the engines (`stardust-fabric`,
 //! `stardust-baseline`, `stardust-transport`), which consume a topology
-//! plus a rate plan.
+//! plus a [`RoutePlan`]: per-direction candidate destination sets derived
+//! from the graph (see [`route`]), not from positional tier arithmetic.
 
 pub mod builders;
 pub mod graph;
+pub mod route;
 
 pub use builders::{
-    kary, single_tier, three_tier, two_tier, KaryParams, SingleTierParams, ThreeTierParams,
+    dragonfly, expander, kary, single_tier, space_shuffle, three_tier, two_tier, DragonflyParams,
+    ExpanderParams, KaryParams, SingleTierParams, SpaceShuffleParams, ThreeTierParams,
     TwoTierParams,
 };
 pub use graph::{LinkDir, LinkId, Node, NodeId, NodeKind, Topology};
+pub use route::{Built, DstSet, RoutePlan, TopologyBuilder};

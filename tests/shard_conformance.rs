@@ -291,3 +291,111 @@ fn fail_link_conformance_calendar_core() {
 fn fail_link_conformance_heap_core() {
     fail_link_conformance_on::<HeapCore>();
 }
+
+// --- topology-zoo conformance ------------------------------------------
+
+/// The three non-Clos zoo fabrics, built with their route plans. The
+/// sharded engine partitions these by the plan's endpoint groups (per
+/// router/switch blocks), so conformance here pins the whole
+/// plan-driven path: seeding, advert filtering, group partitioning.
+fn zoo_built() -> Vec<(&'static str, stardust::topo::Built)> {
+    use stardust::topo::{DragonflyParams, ExpanderParams, SpaceShuffleParams, TopologyBuilder};
+    vec![
+        ("dragonfly", DragonflyParams::zoo().build_fabric()),
+        ("space_shuffle", SpaceShuffleParams::zoo(42).build_fabric()),
+        ("expander", ExpanderParams::zoo(42).build_fabric()),
+    ]
+}
+
+#[test]
+fn zoo_permutation_conformance_both_cores() {
+    for (name, built) in zoo_built() {
+        let scn = Scenario {
+            name: format!("conf-zoo-{name}"),
+            seed: 42,
+            kind: ScenarioKind::Permutation {
+                flow_bytes: 200_000,
+            },
+        };
+        let horizon = SimTime::from_millis(5);
+        let mut seq = FabricEngine::<CalendarCore>::with_plan(
+            built.topo.clone(),
+            cfg(11),
+            built.plan.clone(),
+        );
+        let seq_flows = scn.run(&mut seq, horizon);
+        assert_eq!(
+            seq_flows.completed(),
+            seq_flows.len(),
+            "{name}: permutation must complete"
+        );
+        assert_eq!(seq.stats().cells_dropped.get(), 0, "{name}: lossless");
+
+        let mut heap =
+            FabricEngine::<HeapCore>::with_plan(built.topo.clone(), cfg(11), built.plan.clone());
+        let heap_flows = scn.run(&mut heap, horizon);
+        assert_eq!(seq_flows, heap_flows, "{name}: heap-core FCTs diverged");
+        assert_eq!(
+            seq.stats(),
+            heap.stats(),
+            "{name}: heap-core stats diverged"
+        );
+
+        for shards in shard_counts() {
+            let mut sh = ShardedFabricEngine::<CalendarCore>::with_plan(
+                built.topo.clone(),
+                cfg(11),
+                built.plan.clone(),
+                shards,
+            );
+            sh.set_exec_mode(ExecMode::Inline);
+            let sh_flows = scn.run(&mut sh, horizon);
+            assert_eq!(seq_flows, sh_flows, "{name}: {shards}-shard FCTs diverged");
+            assert_eq!(
+                seq.stats(),
+                &sh.stats(),
+                "{name}: {shards}-shard stats diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn zoo_fail_link_conformance() {
+    // The fail-link churn of the Clos conformance run, on every zoo
+    // fabric: dynamic reachability, a hard-failed FA uplink, a noisy
+    // fabric link, healing — sequential vs sharded, bit for bit.
+    for (name, built) in zoo_built() {
+        let mut c = cfg(3);
+        c.reach_interval = Some(SimDuration::from_micros(10));
+        c.reach_miss_threshold = 3;
+        let fail = built.topo.node(built.endpoints[0]).links[0];
+        let noisy = stardust::topo::LinkId(built.topo.num_links() as u32 - 1);
+        let mut seq = FabricEngine::<CalendarCore>::with_plan(
+            built.topo.clone(),
+            c.clone(),
+            built.plan.clone(),
+        );
+        fail_link_workload!(seq, fail, noisy);
+        let seq_stats = seq.stats().clone();
+        assert!(
+            seq_stats.packets_delivered.get() > 0,
+            "{name}: nothing delivered"
+        );
+        for shards in shard_counts() {
+            let mut sh = ShardedFabricEngine::<CalendarCore>::with_plan(
+                built.topo.clone(),
+                c.clone(),
+                built.plan.clone(),
+                shards,
+            );
+            sh.set_exec_mode(ExecMode::Inline);
+            fail_link_workload!(sh, fail, noisy);
+            assert_eq!(
+                seq_stats,
+                sh.stats(),
+                "{name}: {shards}-shard fail-link run diverged"
+            );
+        }
+    }
+}
