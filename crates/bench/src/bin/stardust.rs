@@ -11,6 +11,8 @@
 //! stardust preset <name>                  # print a built-in spec
 //! stardust presets                        # list built-in spec names
 //! stardust lint [--root dir] [--json out.json] [--quiet]
+//! stardust mc [--smoke] [--json out.json] [--quiet] [--seed N]
+//!             [--depth N] [--max-states N]
 //! ```
 //!
 //! `run` on a directory executes every `*.toml` inside (sorted by file
@@ -28,7 +30,9 @@ fn usage() -> ExitCode {
         "usage:\n  stardust run <spec.toml | dir>... [--json out.json] [--quiet] \
          [--max-rss-mb N]\n  \
          stardust check <spec.toml | dir>...\n  stardust preset <name>\n  stardust presets\n  \
-         stardust lint [--root dir] [--json out.json] [--quiet]"
+         stardust lint [--root dir] [--json out.json] [--quiet]\n  \
+         stardust mc [--smoke] [--json out.json] [--quiet] [--seed N] [--depth N] \
+         [--max-states N]"
     );
     ExitCode::FAILURE
 }
@@ -54,6 +58,7 @@ fn main() -> ExitCode {
         Some("check") => run(&argv[1..], true),
         Some("preset") => preset(&argv[1..]),
         Some("lint") => lint(&argv[1..]),
+        Some("mc") => mc(&argv[1..]),
         Some("presets") => {
             for name in presets::names() {
                 println!("{name}");
@@ -174,6 +179,176 @@ fn lint(args: &[String]) -> ExitCode {
     }
 
     if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `stardust mc`: the exhaustive control-plane model checker over the
+/// deterministic fabric engine (invariants I1–I3, see `stardust-mc`).
+/// Explores the 4-FA Clos plus one zoo fabric; `--smoke` bounds the
+/// Clos search to the CI depth, the default runs it exhaustively (the
+/// ≥10⁴-state acceptance configuration). Exits non-zero on any
+/// invariant violation.
+fn mc(args: &[String]) -> ExitCode {
+    use stardust_mc::{clos4, mc_config, Mc, McConfig};
+    use stardust_topo::{DragonflyParams, TopologyBuilder};
+
+    let mut smoke = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut seed = 11u64;
+    let mut depth: Option<usize> = None;
+    let mut max_states: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let num = |j: usize| args.get(j).and_then(|s| s.parse::<u64>().ok());
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
+            "--json" => {
+                let Some(out) = args.get(i + 1) else {
+                    return usage();
+                };
+                json_out = Some(PathBuf::from(out));
+                i += 2;
+            }
+            "--seed" => {
+                let Some(n) = num(i + 1) else { return usage() };
+                seed = n;
+                i += 2;
+            }
+            "--depth" => {
+                let Some(n) = num(i + 1) else { return usage() };
+                depth = Some(n as usize);
+                i += 2;
+            }
+            "--max-states" => {
+                let Some(n) = num(i + 1) else { return usage() };
+                max_states = Some(n as usize);
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let bound = |mut c: McConfig| {
+        if let Some(d) = depth {
+            c.max_depth = d;
+        }
+        if let Some(m) = max_states {
+            c.max_states = m;
+        }
+        c
+    };
+    let clos_cfg = bound(if smoke {
+        McConfig::smoke()
+    } else {
+        McConfig::exhaustive()
+    });
+    let clos_mode = if smoke { "smoke" } else { "exhaustive" };
+    // The zoo fabric always runs the bounded smoke search: the point is
+    // that the same invariants hold beyond Clos, not state-count volume.
+    let zoo_cfg = bound(McConfig::smoke());
+
+    let runs = [
+        (
+            "clos4",
+            clos_mode,
+            Mc::new(clos4(), mc_config(seed), clos_cfg).explore(),
+        ),
+        (
+            "dragonfly_zoo",
+            "smoke",
+            Mc::new(
+                DragonflyParams::zoo().build_fabric(),
+                mc_config(seed),
+                zoo_cfg,
+            )
+            .explore(),
+        ),
+    ];
+
+    let mut pass = true;
+    for (fabric, mode, r) in &runs {
+        match &r.violation {
+            None => {
+                if !quiet {
+                    println!(
+                        "mc {fabric} [{mode}]: {} distinct states, {} transitions, \
+                         depth {}{} — invariants I1–I3 hold",
+                        r.distinct_states,
+                        r.transitions,
+                        r.max_depth_reached,
+                        if r.truncated { " (bounded)" } else { "" },
+                    );
+                }
+            }
+            Some(v) => {
+                pass = false;
+                eprintln!(
+                    "mc {fabric} [{mode}]: INVARIANT {} VIOLATED after {} states\n  {}\n  \
+                     trace: {:?}",
+                    v.invariant, r.distinct_states, v.detail, v.trace
+                );
+            }
+        }
+    }
+
+    if let Some(out) = json_out {
+        let doc = Json::Obj(vec![
+            ("tool".into(), Json::str("stardust-mc")),
+            ("seed".into(), Json::num(seed as f64)),
+            (
+                "runs".into(),
+                Json::Arr(
+                    runs.iter()
+                        .map(|(fabric, mode, r)| {
+                            Json::Obj(vec![
+                                ("fabric".into(), Json::str(*fabric)),
+                                ("mode".into(), Json::str(*mode)),
+                                (
+                                    "distinct_states".into(),
+                                    Json::num(r.distinct_states as f64),
+                                ),
+                                ("transitions".into(), Json::num(r.transitions as f64)),
+                                (
+                                    "max_depth_reached".into(),
+                                    Json::num(r.max_depth_reached as f64),
+                                ),
+                                ("truncated".into(), Json::Bool(r.truncated)),
+                                (
+                                    "violation".into(),
+                                    r.violation.as_ref().map_or(Json::Null, |v| {
+                                        Json::Obj(vec![
+                                            ("invariant".into(), Json::str(v.invariant)),
+                                            ("detail".into(), Json::str(v.detail.clone())),
+                                            ("trace".into(), Json::str(format!("{:?}", v.trace))),
+                                        ])
+                                    }),
+                                ),
+                                ("ok".into(), Json::Bool(r.ok())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("pass".into(), Json::Bool(pass)),
+        ]);
+        if let Err(e) = std::fs::write(&out, doc.render() + "\n") {
+            eprintln!("stardust: writing {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if pass {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -73,6 +73,10 @@ impl<E> EventCore<E> for RecordingQueue<E> {
     fn peek_time(&self) -> Option<SimTime> {
         self.inner.peek_time()
     }
+    fn visit_pending(&self, f: &mut dyn FnMut(SimTime, u64, &E)) {
+        // Inspection only — not a queue operation, so nothing is traced.
+        self.inner.visit_pending(f);
+    }
     fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         let ev = self.inner.pop();
         if ev.is_some() {

@@ -109,6 +109,7 @@ pub fn fig10a(p: Fig10Params, flow_bytes: u64) -> ExperimentSpec {
         failures: FailureSchedule::new(),
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
+        reach_us: None,
         checks: if p.smoke {
             Checks {
                 // Fabric and TCP-over-Stardust must finish the whole
@@ -171,6 +172,7 @@ pub fn fig10b(p: Fig10Params, n_flows: usize, gap_us: u64, hadoop: bool) -> Expe
         failures: FailureSchedule::new(),
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
+        reach_us: None,
         checks: if p.smoke {
             Checks {
                 complete: CompleteScope::Fabric,
@@ -215,6 +217,7 @@ pub fn fig10c(p: Fig10Params, backends: usize, response_bytes: u64) -> Experimen
         failures: FailureSchedule::new(),
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
+        reach_us: None,
         checks: if p.smoke {
             Checks {
                 complete: CompleteScope::All,
@@ -231,11 +234,15 @@ pub fn fig10c(p: Fig10Params, backends: usize, response_bytes: u64) -> Experimen
     }
 }
 
-/// Appendix-E-style failure churn against a finite-flow FCT workload:
-/// a Web mix on the cell fabric, sequential **and** sharded, with one
-/// FA-0 uplink failing mid-run and recovering later. The sharded run
-/// must stay bit-identical to the sequential one through the churn —
-/// that is the spec's `sharded_identical` gate.
+/// Appendix-E-style failure storm against a finite-flow FCT workload:
+/// a Web mix at high load on the cell fabric, sequential **and**
+/// sharded, with the reach protocol running live. The storm is
+/// correlated churn across three FAs' uplinks — two hard failures, one
+/// gray link degrading above the §5.10 faulty-BER threshold — all
+/// restored/cleared before 70% of the horizon. The spec gates on the
+/// churn metrics (loss window, reconvergence time after the last
+/// event) plus the sharded run staying bit-identical to the sequential
+/// one through the whole storm.
 pub fn failure_churn(factor: u32, ms: u64, seed: u64, shards: u32) -> ExperimentSpec {
     ExperimentSpec {
         name: "failure-churn-web-mix".into(),
@@ -257,24 +264,44 @@ pub fn failure_churn(factor: u32, ms: u64, seed: u64, shards: u32) -> Experiment
         },
         scenario: ScenarioKind::Mix {
             dist: FlowSizeDist::fb_web(),
-            n_flows: 40,
+            n_flows: 160,
             node_gap: SimDuration::from_micros(400),
         },
-        // Fail one of FA 0's uplinks at 10% of the horizon — mid-arrival-
-        // process, so in-flight packets feel it — and restore it at 60%,
-        // leaving time to re-converge and drain. Both events scale with
-        // the horizon so any `ms` keeps fail < restore < horizon.
+        // The storm scales with the horizon so any `ms` keeps every
+        // event inside it: one FA-0 uplink fails at 10%, an FA-1 uplink
+        // at 15% (correlated second failure), an FA-2 uplink goes gray
+        // at 20% (4% BER — above the faulty threshold, so its
+        // reachability cells carry the faulty mark); everything heals
+        // by 60%. No FA ever loses both uplinks, so the fabric stays
+        // connected throughout.
         failures: FailureSchedule::new()
             .fail_at(SimTime::from_micros(ms * 100), LinkId(0))
-            .restore_at(SimTime::from_micros(ms * 600), LinkId(0)),
+            .fail_at(SimTime::from_micros(ms * 150), LinkId(2))
+            .degrade_at(SimTime::from_micros(ms * 200), LinkId(4), 40_000)
+            .restore_at(SimTime::from_micros(ms * 500), LinkId(0))
+            .restore_at(SimTime::from_micros(ms * 550), LinkId(2))
+            .degrade_at(SimTime::from_micros(ms * 600), LinkId(4), 0),
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
+        // The reach protocol runs live (10 µs adverts) so failures are
+        // detected, excluded and revived by the protocol itself — the
+        // convergence gate below is what makes this spec a protocol
+        // test, not just a drop counter.
+        reach_us: Some(10),
         checks: Checks {
             // Packets caught in flight during reconvergence may be
             // discarded (Appendix E measures exactly that), so full
             // completion is not required — per-engine agreement is.
             some_complete: true,
             sharded_identical: true,
+            // Loss may span the whole storm (the gray link drops cells
+            // until it clears at 60%), but must not outlive it by more
+            // than the detection bound.
+            max_loss_window_us: Some((ms * 550) as f64),
+            // After the last event the tables must settle within a few
+            // advert intervals — reconvergence is protocol-speed, not
+            // horizon-speed, at any `ms`.
+            max_convergence_us: Some(500.0),
             ..Checks::default()
         },
     }
@@ -331,6 +358,7 @@ pub fn service(
         failures: FailureSchedule::new(),
         stats: StatsMode::Sketch,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
+        reach_us: None,
         checks: Checks {
             // Streaming stops admitting at the horizon, so the stream's
             // tail (and the heavy Hadoop flows) legitimately stay
@@ -381,6 +409,7 @@ pub fn zoo(name: &str, kind: TopoKind) -> ExperimentSpec {
         failures: FailureSchedule::new(),
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
+        reach_us: None,
         checks: Checks {
             complete: CompleteScope::Fabric,
             zero_drops: true,
@@ -513,8 +542,16 @@ mod tests {
         assert_eq!(c.checks.complete, CompleteScope::All);
         let churn = by_name("failure_churn").unwrap();
         assert!(churn.checks.sharded_identical);
-        assert_eq!(churn.failures.events().len(), 2);
-        assert!(churn.failures.events()[1].at < churn.horizon());
+        assert_eq!(churn.failures.events().len(), 6);
+        assert!(churn
+            .failures
+            .events()
+            .iter()
+            .all(|e| e.at < churn.horizon()));
+        churn.failures.validate().expect("storm must be coherent");
+        assert_eq!(churn.reach_us, Some(10));
+        assert!(churn.checks.max_loss_window_us.is_some());
+        assert_eq!(churn.checks.max_convergence_us, Some(500.0));
         let svc = by_name("service").unwrap();
         assert_eq!(svc.stats, StatsMode::Sketch);
         assert!(svc.checks.sharded_identical && svc.checks.zero_drops);

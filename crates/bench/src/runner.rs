@@ -44,6 +44,12 @@ pub struct RunRecord {
     pub events: Option<u64>,
     /// Link fail/restore events the engine applied.
     pub failures_applied: usize,
+    /// First→last lost cell span in µs (fabric-family; `None` = no loss).
+    pub loss_window_us: Option<f64>,
+    /// Last link event → last reach-table change, in µs (fabric-family
+    /// under the reach protocol; `None` = tables never moved after the
+    /// last event, or no event was injected).
+    pub convergence_us: Option<f64>,
     /// Wall-clock seconds of the run (engine construction excluded).
     pub wall_s: f64,
 }
@@ -102,6 +108,14 @@ impl Outcome {
                                 (
                                     "failures_applied".into(),
                                     Json::num(r.failures_applied as f64),
+                                ),
+                                (
+                                    "loss_window_us".into(),
+                                    r.loss_window_us.map_or(Json::Null, Json::Num),
+                                ),
+                                (
+                                    "convergence_us".into(),
+                                    r.convergence_us.map_or(Json::Null, Json::Num),
                                 ),
                                 ("wall_s".into(), Json::Num(r.wall_s)),
                             ])
@@ -223,12 +237,19 @@ fn drive<E: stardust_workload::FlowEngine>(
     }
 }
 
-/// The fig10 fabric config, with the spec's stats mode applied: sketch
-/// mode runs the fabric engines with bounded per-message state.
+/// The fig10 fabric config, with the spec's stats mode applied (sketch
+/// mode runs the fabric engines with bounded per-message state) and the
+/// reach protocol enabled at the spec's `reach_us` interval, if set.
 fn spec_fabric_config(spec: &ExperimentSpec, seed: u64) -> stardust_fabric::FabricConfig {
     let mut cfg = fabric_config(seed);
     cfg.bounded_flows = spec.stats == StatsMode::Sketch;
+    cfg.reach_interval = spec.reach_interval();
     cfg
+}
+
+/// `Option<SimDuration>` → µs, for the churn-metric record fields.
+fn dur_us(d: Option<SimDuration>) -> Option<f64> {
+    d.map(|d| d.as_secs_f64() * 1e6)
 }
 
 fn run_one(spec: &ExperimentSpec, scenario: &Scenario, engine: EngineSpec, seed: u64) -> RunRecord {
@@ -257,6 +278,8 @@ fn run_one(spec: &ExperimentSpec, scenario: &Scenario, engine: EngineSpec, seed:
                 packets_discarded: None,
                 events: None,
                 failures_applied: applied,
+                loss_window_us: None,
+                convergence_us: None,
                 wall_s: t0.elapsed().as_secs_f64(),
             }
         }
@@ -284,6 +307,8 @@ fn run_fabric_seq<K: CoreKind>(
         packets_discarded: Some(e.stats().packets_discarded.get()),
         events: Some(e.events_executed()),
         failures_applied: applied,
+        loss_window_us: dur_us(e.stats().loss_window()),
+        convergence_us: dur_us(e.stats().convergence_time()),
         wall_s,
     }
 }
@@ -327,6 +352,8 @@ where
         packets_discarded: Some(stats.packets_discarded.get()),
         events: Some(e.events_executed()),
         failures_applied: applied,
+        loss_window_us: dur_us(stats.loss_window()),
+        convergence_us: dur_us(stats.convergence_time()),
         wall_s,
     }
 }
@@ -400,6 +427,36 @@ fn eval_checks(spec: &ExperimentSpec, runs: &[RunRecord]) -> Vec<String> {
                     "{}: min goodput {got:?} Gbps below floor {floor} Gbps",
                     r.label
                 )),
+            }
+        }
+        if let Some(cap) = c.max_loss_window_us {
+            // A run with no loss at all passes vacuously — the gate caps
+            // how long loss persists once it starts, not whether it starts.
+            if let Some(w) = r.loss_window_us {
+                if w > cap {
+                    fails.push(format!(
+                        "{}: loss window {w:.1} µs exceeds cap {cap} µs — \
+                         exclusion propagated too slowly",
+                        r.label
+                    ));
+                }
+            }
+        }
+        if let Some(cap) = c.max_convergence_us {
+            match r.convergence_us {
+                Some(t) if t <= cap => {}
+                Some(t) => fails.push(format!(
+                    "{}: reach convergence {t:.1} µs exceeds cap {cap} µs",
+                    r.label
+                )),
+                // The schedule injected churn but the tables never moved
+                // after the last event: the protocol did not react at all.
+                None if r.failures_applied > 0 => fails.push(format!(
+                    "{}: link events applied but the reach tables never \
+                     changed after the last one — no reconvergence observed",
+                    r.label
+                )),
+                None => {}
             }
         }
         if let Some(cap) = c.last_first_ratio_max {
@@ -477,6 +534,7 @@ mod tests {
             failures: Default::default(),
             stats: StatsMode::Table,
             admit_window_us: crate::spec::DEFAULT_ADMIT_WINDOW_US,
+            reach_us: None,
             checks: Checks {
                 complete: CompleteScope::Fabric,
                 zero_drops: true,
@@ -529,6 +587,43 @@ mod tests {
         let out = run_spec(&spec);
         assert_eq!(out.runs[0].failures_applied, 0, "transport has no links");
         assert_eq!(out.runs[1].failures_applied, 2, "fabric applies both");
+    }
+
+    #[test]
+    fn churn_metrics_flow_into_records_and_gates() {
+        let mut spec = tiny_spec();
+        spec.reach_us = Some(10);
+        spec.failures = stardust_workload::FailureSchedule::new()
+            .fail_at(SimTime::from_micros(500), LinkId(0))
+            .restore_at(SimTime::from_micros(2_000), LinkId(0));
+        spec.checks = Checks {
+            max_loss_window_us: Some(5_000.0),
+            max_convergence_us: Some(1_000.0),
+            ..Checks::default()
+        };
+        let out = run_spec(&spec);
+        assert!(
+            out.runs[1].convergence_us.is_some(),
+            "the reach protocol must react to churn"
+        );
+        assert!(
+            out.runs[0].convergence_us.is_none(),
+            "transport reports no churn metrics"
+        );
+        assert!(out.check_failures.is_empty(), "{:?}", out.check_failures);
+        assert!(out.to_json().render().contains("\"convergence_us\""));
+
+        // The gate bites when reconvergence cannot happen: with static
+        // tables (reach_us unset) nothing moves after the last event.
+        spec.reach_us = None;
+        let out = run_spec(&spec);
+        assert!(
+            out.check_failures
+                .iter()
+                .any(|f| f.contains("never") && f.contains(crate::fig10::FABRIC_LABEL)),
+            "{:?}",
+            out.check_failures
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! engines = ["transport:dctcp", "transport:stardust", "fabric"]
 //! stats = "table"       # table | sketch (bounded memory, streamed)
 //! admit_window_us = 1000
+//! reach_us = 10         # run the reach protocol at this interval
+//!                       # (omit for static, pre-converged tables)
 //!
 //! [topology]
 //! two_tier_factor = 16
@@ -38,11 +40,14 @@
 //! complete = "fabric"   # none | fabric | stardust | all
 //! zero_drops = true
 //! fct_p99_ms_max = 10.0
+//! max_loss_window_us = 500.0    # storm gates: cap on first→last loss
+//! max_convergence_us = 200.0    # … and on last event → last table change
 //!
 //! [[failure]]
 //! at_us = 2000
 //! link = 0
-//! action = "fail"       # fail | restore
+//! action = "fail"       # fail | restore | degrade
+//! # degrade entries carry an extra `ppm = 40000` error-rate key
 //! ```
 
 use crate::toml::{self, Table, Value};
@@ -632,6 +637,14 @@ pub struct Checks {
     /// All fabric-family runs of one seed must produce bit-identical
     /// `FlowStats` (the sharded-conformance gate as a spec line).
     pub sharded_identical: bool,
+    /// Cap on each fabric run's loss window (first lost cell → last
+    /// lost cell), in microseconds. A run with no loss passes.
+    pub max_loss_window_us: Option<f64>,
+    /// Cap on each fabric run's convergence time (last link event →
+    /// last reach-table change), in microseconds. Requires the reach
+    /// protocol (`reach_us`); a run whose schedule applied link events
+    /// but whose tables never settled after them fails the gate.
+    pub max_convergence_us: Option<f64>,
 }
 
 impl Checks {
@@ -669,6 +682,10 @@ pub struct ExperimentSpec {
     /// Streaming admission window in microseconds (sketch mode only):
     /// flows are offered at most this far ahead of the engine clock.
     pub admit_window_us: u64,
+    /// Reach-protocol advertisement interval in microseconds for
+    /// fabric-family engines; `None` runs static, pre-converged tables.
+    /// Required for convergence-time gates to be meaningful.
+    pub reach_us: Option<u64>,
     /// Pass/fail gates.
     pub checks: Checks,
 }
@@ -685,6 +702,11 @@ impl ExperimentSpec {
     /// The streaming admission window as a [`SimDuration`].
     pub fn admit_window(&self) -> SimDuration {
         SimDuration::from_micros(self.admit_window_us)
+    }
+
+    /// The reach-protocol interval, if the spec enables the protocol.
+    pub fn reach_interval(&self) -> Option<SimDuration> {
+        self.reach_us.map(SimDuration::from_micros)
     }
 
     /// Parse a spec from TOML text.
@@ -747,6 +769,13 @@ impl ExperimentSpec {
         if admit_window_us == 0 {
             return bad("[experiment] admit_window_us must be positive");
         }
+        let reach_us = match exp.get("reach_us") {
+            Some(_) => Some(get_u64(exp, "experiment", "reach_us")?),
+            None => None,
+        };
+        if reach_us == Some(0) {
+            return bad("[experiment] reach_us must be positive (omit it for static tables)");
+        }
 
         let topology = TopoSpec::from_table(get_table(doc, "topology")?)?;
 
@@ -768,6 +797,7 @@ impl ExperimentSpec {
             failures,
             stats,
             admit_window_us,
+            reach_us,
             checks,
         };
         spec.validate()?;
@@ -775,13 +805,21 @@ impl ExperimentSpec {
     }
 
     /// Cross-field validation a flat parse cannot catch: checks that
-    /// need per-flow records are rejected in sketch mode, and the
-    /// scenario must fit the population of **every** engine it will run
-    /// on (surfacing what used to be a silent incast backend clamp).
+    /// need per-flow records are rejected in sketch mode, the failure
+    /// schedule's per-link state machine must be coherent (no
+    /// double-fail / restore-of-up typos), convergence gates need the
+    /// reach protocol enabled, and the scenario must fit the population
+    /// of **every** engine it will run on (surfacing what used to be a
+    /// silent incast backend clamp).
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.stats == StatsMode::Sketch && self.checks.min_goodput_gbps.is_some() {
             return bad("checks.min_goodput_gbps needs per-flow records, which \
                  stats = \"sketch\" does not keep");
+        }
+        self.failures.validate().map_err(SpecError)?;
+        if self.checks.max_convergence_us.is_some() && self.reach_us.is_none() {
+            return bad("checks.max_convergence_us needs the reach protocol \
+                 ([experiment] reach_us) — static tables never reconverge");
         }
         let scenario = self.scenario_for(self.seeds.first().copied().unwrap_or(0));
         for &engine in &self.engines {
@@ -829,6 +867,9 @@ impl ExperimentSpec {
                 Value::Int(self.admit_window_us as i64),
             );
         }
+        if let Some(us) = self.reach_us {
+            exp.insert("reach_us".into(), Value::Int(us as i64));
+        }
 
         let mut doc = Table::new();
         doc.insert("experiment".into(), Value::Table(exp));
@@ -857,10 +898,14 @@ impl ExperimentSpec {
                                     match ev.action {
                                         LinkAction::Fail => "fail",
                                         LinkAction::Restore => "restore",
+                                        LinkAction::Degrade { .. } => "degrade",
                                     }
                                     .into(),
                                 ),
                             );
+                            if let LinkAction::Degrade { ppm } = ev.action {
+                                t.insert("ppm".into(), Value::Int(i64::from(ppm)));
+                            }
                             Value::Table(t)
                         })
                         .collect(),
@@ -1072,7 +1117,17 @@ fn parse_failures(doc: &Table) -> Result<FailureSchedule, SpecError> {
                 schedule = match get_str(t, "failure", "action")? {
                     "fail" => schedule.fail_at(at, link),
                     "restore" => schedule.restore_at(at, link),
-                    other => return bad(format!("unknown failure action {other:?}")),
+                    "degrade" => {
+                        let ppm = get_u64(t, "failure", "ppm")?;
+                        let ppm = u32::try_from(ppm)
+                            .map_err(|_| SpecError("[[failure]] ppm must fit in u32".into()))?;
+                        schedule.degrade_at(at, link, ppm)
+                    }
+                    other => {
+                        return bad(format!(
+                            "unknown failure action {other:?} (fail | restore | degrade)"
+                        ))
+                    }
                 };
             }
         }
@@ -1098,6 +1153,8 @@ fn parse_checks(t: &Table) -> Result<Checks, SpecError> {
             "fct_median_ms_max" => c.fct_median_ms_max = Some(check_f64(key, v)?),
             "min_goodput_gbps" => c.min_goodput_gbps = Some(check_f64(key, v)?),
             "last_first_ratio_max" => c.last_first_ratio_max = Some(check_f64(key, v)?),
+            "max_loss_window_us" => c.max_loss_window_us = Some(check_f64(key, v)?),
+            "max_convergence_us" => c.max_convergence_us = Some(check_f64(key, v)?),
             other => return bad(format!("unknown check {other:?}")),
         }
     }
@@ -1141,6 +1198,12 @@ fn checks_table(c: &Checks) -> Table {
     if let Some(x) = c.last_first_ratio_max {
         t.insert("last_first_ratio_max".into(), Value::Float(x));
     }
+    if let Some(x) = c.max_loss_window_us {
+        t.insert("max_loss_window_us".into(), Value::Float(x));
+    }
+    if let Some(x) = c.max_convergence_us {
+        t.insert("max_convergence_us".into(), Value::Float(x));
+    }
     t
 }
 
@@ -1154,6 +1217,7 @@ name = "unit-spec"
 horizon_us = 50000
 seeds = [42, 7]
 engines = ["transport:dctcp", "transport:stardust", "fabric", "sharded:2", "fabric:heap"]
+reach_us = 10
 
 [topology]
 two_tier_factor = 16
@@ -1171,6 +1235,8 @@ some_complete = true
 zero_drops = true
 fct_p99_ms_max = 10.0
 sharded_identical = true
+max_loss_window_us = 5000.0
+max_convergence_us = 1000.0
 
 [[failure]]
 at_us = 2000
@@ -1178,9 +1244,21 @@ link = 0
 action = "fail"
 
 [[failure]]
+at_us = 3000
+link = 5
+action = "degrade"
+ppm = 40000
+
+[[failure]]
 at_us = 6000
 link = 0
 action = "restore"
+
+[[failure]]
+at_us = 7000
+link = 5
+action = "degrade"
+ppm = 0
 "#;
 
     #[test]
@@ -1207,11 +1285,34 @@ action = "restore"
             spec.scenario,
             ScenarioKind::Mix { n_flows: 50, .. }
         ));
-        assert_eq!(spec.failures.events().len(), 2);
+        assert_eq!(spec.failures.events().len(), 4);
+        assert_eq!(
+            spec.failures.events()[1].action,
+            LinkAction::Degrade { ppm: 40_000 }
+        );
+        assert_eq!(spec.reach_us, Some(10));
         assert_eq!(spec.checks.complete, CompleteScope::Fabric);
         assert_eq!(spec.checks.fct_p99_ms_max, Some(10.0));
         assert!(spec.checks.sharded_identical);
         assert_eq!(spec.checks.last_first_ratio_max, None);
+        assert_eq!(spec.checks.max_loss_window_us, Some(5000.0));
+        assert_eq!(spec.checks.max_convergence_us, Some(1000.0));
+    }
+
+    #[test]
+    fn incoherent_failure_schedules_are_rejected() {
+        // Restoring a link that never failed is a typo, not a no-op.
+        let text = FULL.replace("action = \"fail\"", "action = \"restore\"");
+        let e = ExperimentSpec::parse(&text).expect_err("restore-of-up must not parse");
+        assert!(e.to_string().contains("not failed"), "{e}");
+    }
+
+    #[test]
+    fn convergence_gate_without_reach_protocol_is_rejected() {
+        let text = FULL.replace("reach_us = 10\n", "");
+        let e = ExperimentSpec::parse(&text).expect_err("gate needs the protocol");
+        assert!(e.to_string().contains("max_convergence_us"), "{e}");
+        assert!(e.to_string().contains("reach_us"), "{e}");
     }
 
     #[test]

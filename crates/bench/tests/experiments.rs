@@ -125,17 +125,21 @@ fn fig10_presets_bit_identical_to_direct_engine_calls() {
 
 #[test]
 fn failure_schedule_spec_sharded_bit_identical_to_sequential() {
-    // The acceptance gate: a mid-run FailureSchedule spec on both fabric
-    // engine flavors, bit-identical output. Smoke scale (16 FAs).
+    // The acceptance gate: a mid-run storm FailureSchedule spec on both
+    // fabric engine flavors, bit-identical output. Smoke scale (16 FAs).
+    // The preset runs the reach protocol live, so the hand-driven
+    // engines below enable it at the same interval.
     let spec = presets::failure_churn(16, 12, 7, 3);
     let scn = spec.scenario_for(7);
+    let mut cfg = stardust_bench::fig10::fabric_config(7);
+    cfg.reach_interval = spec.reach_interval();
 
-    let mut seq = fabric_engine(spec.topology.two_tier_factor, 7);
+    let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
+    let mut seq = stardust_fabric::FabricEngine::new(tt.topo.clone(), cfg.clone());
     let seq_flows = scn.run_with_failures(&mut seq, &spec.failures, spec.horizon());
     assert!(seq_flows.completed() > 0, "churn run must do real work");
 
-    let tt = two_tier(TwoTierParams::paper_scaled(spec.topology.two_tier_factor));
-    let mut sh = ShardedFabricEngine::new(tt.topo, stardust_bench::fig10::fabric_config(7), 3);
+    let mut sh = ShardedFabricEngine::new(tt.topo, cfg, 3);
     sh.set_exec_mode(ExecMode::Inline);
     let sh_flows = scn.run_with_failures(&mut sh, &spec.failures, spec.horizon());
 
@@ -163,8 +167,13 @@ fn failure_schedule_spec_sharded_bit_identical_to_sequential() {
             run.label
         );
         assert_eq!(
-            run.failures_applied, 2,
-            "{}: both link events apply",
+            run.failures_applied, 6,
+            "{}: every storm event applies",
+            run.label
+        );
+        assert!(
+            run.convergence_us.is_some(),
+            "{}: the reach protocol must reconverge after the storm",
             run.label
         );
     }

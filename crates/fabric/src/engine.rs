@@ -34,6 +34,14 @@ use std::sync::Arc;
 /// injected error process above this is treated as a faulty link.
 const FAULTY_BER_THRESHOLD: f64 = 0.01;
 
+/// One port's reachability view in [`FabricEngine::reach_snapshot`]:
+/// `(up, good_streak, last_heard, advertised FAs)`.
+pub type ReachPortSnapshot = (bool, u32, SimTime, Vec<u32>);
+
+/// [`FabricEngine::eligible_dir_snapshot`]'s shape: per device (FAs
+/// then FEs), per destination FA, the eligible out-direction indices.
+pub type EligibilitySnapshot = Vec<Vec<Vec<u32>>>;
+
 /// Index of an in-flight cell in the engine's cell slab. Cells travel
 /// through the event queue and link FIFOs by reference so the hot
 /// `Ev::CellArrive` variant stays 8 bytes instead of carrying the whole
@@ -385,6 +393,24 @@ pub struct FabricStats {
     pub max_egress_bytes: u64,
     /// Peak VOQ occupancy observed on any single VOQ (bytes).
     pub max_voq_bytes: u64,
+    /// Earliest instant (ps) a cell was actually lost — dropped on a dead
+    /// direction, corrupted by an error process, or sent toward an
+    /// unreachable destination. `u64::MAX` while lossless. Ingress VOQ
+    /// drops are admission control, not fabric loss, and reassembly
+    /// discards are delayed echoes of an already-stamped cell loss; both
+    /// are excluded so `[first_loss_ps, last_loss_ps]` brackets exactly
+    /// the churn-induced loss window.
+    pub first_loss_ps: u64,
+    /// Latest instant (ps) a cell was lost (0 while lossless).
+    pub last_loss_ps: u64,
+    /// Latest instant (ps) a link's administrative state changed
+    /// (`fail_link` / `restore_link` / `set_link_error_rate`).
+    pub last_link_event_ps: u64,
+    /// Latest instant (ps) any reachability table changed — advert
+    /// content, expiry, faulty marking or revival.
+    /// `last_reach_change_ps − last_link_event_ps` is the control plane's
+    /// convergence time after the last churn event.
+    pub last_reach_change_ps: u64,
     /// Finite message flows: per-flow FCT table + histogram (the fabric
     /// side of the Fig 10 a–c experiments). Shared surface with
     /// `TransportSim::flow_stats()`.
@@ -415,6 +441,10 @@ impl FabricStats {
             delivered_per_port: vec![vec![0; ports]; num_fa],
             max_egress_bytes: 0,
             max_voq_bytes: 0,
+            first_loss_ps: u64::MAX,
+            last_loss_ps: 0,
+            last_link_event_ps: 0,
+            last_reach_change_ps: 0,
             flows: if bounded_flows {
                 FlowStats::new_sketched()
             } else {
@@ -466,7 +496,42 @@ impl FabricStats {
         }
         self.max_egress_bytes = self.max_egress_bytes.max(other.max_egress_bytes);
         self.max_voq_bytes = self.max_voq_bytes.max(other.max_voq_bytes);
+        // Every loss/churn/table event is stamped by exactly one shard at
+        // the same simulated instant the sequential run stamps it, so
+        // min/max folds reproduce the sequential timestamps bit for bit.
+        self.first_loss_ps = self.first_loss_ps.min(other.first_loss_ps);
+        self.last_loss_ps = self.last_loss_ps.max(other.last_loss_ps);
+        self.last_link_event_ps = self.last_link_event_ps.max(other.last_link_event_ps);
+        self.last_reach_change_ps = self.last_reach_change_ps.max(other.last_reach_change_ps);
         self.flows.absorb_finishes(&other.flows);
+    }
+
+    /// Duration of the loss window, if any loss was recorded.
+    pub fn loss_window(&self) -> Option<SimDuration> {
+        (self.first_loss_ps != u64::MAX)
+            .then(|| SimDuration::from_ps(self.last_loss_ps - self.first_loss_ps))
+    }
+
+    /// Reachability convergence time after the last churn event: how long
+    /// the tables kept changing past the final link event. `None` when no
+    /// link event was injected or the tables never changed afterwards.
+    pub fn convergence_time(&self) -> Option<SimDuration> {
+        (self.last_link_event_ps > 0 && self.last_reach_change_ps > self.last_link_event_ps)
+            .then(|| SimDuration::from_ps(self.last_reach_change_ps - self.last_link_event_ps))
+    }
+
+    fn note_loss(&mut self, now: SimTime) {
+        let ps = now.as_ps();
+        self.first_loss_ps = self.first_loss_ps.min(ps);
+        self.last_loss_ps = self.last_loss_ps.max(ps);
+    }
+
+    fn note_link_event(&mut self, now: SimTime) {
+        self.last_link_event_ps = self.last_link_event_ps.max(now.as_ps());
+    }
+
+    fn note_reach_change(&mut self, now: SimTime) {
+        self.last_reach_change_ps = self.last_reach_change_ps.max(now.as_ps());
     }
 }
 
@@ -908,14 +973,13 @@ impl<K: CoreKind> FabricEngine<K> {
         &self.cfg
     }
 
-    /// Test-only view of every device's eligibility: FAs then FEs, one
+    /// Verification view of every device's eligibility: FAs then FEs, one
     /// inner `Vec` per destination FA holding the *out-direction indices*
     /// (`link.0 * 2 + from_end`) currently eligible for that destination.
-    /// Lets cross-module tests assert "no spray set contains a failed
-    /// direction" and "tables reconverge after restore" on any topology
-    /// without reaching into private state.
-    #[cfg(test)]
-    pub(crate) fn eligible_dir_snapshot(&self) -> Vec<Vec<Vec<u32>>> {
+    /// Lets tests and the `stardust-mc` model checker assert "no spray
+    /// set contains a failed direction" and "tables reconverge after
+    /// restore" on any topology without reaching into private state.
+    pub fn eligible_dir_snapshot(&self) -> EligibilitySnapshot {
         let nd = self.fas.len() as u32;
         let snap = |reach: &ReachTable, out_dirs: &[u32]| -> Vec<Vec<u32>> {
             (0..nd)
@@ -938,6 +1002,63 @@ impl<K: CoreKind> FabricEngine<K> {
     /// The topology this engine runs over.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Administrative state of a link: true iff both directions are up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.dirs[(link.0 * 2) as usize].up && self.dirs[(link.0 * 2 + 1) as usize].up
+    }
+
+    /// Reachability-table snapshot for canonical state hashing: per
+    /// device (FAs then FEs), per port, one [`ReachPortSnapshot`]. The
+    /// `stardust-mc` checker folds this — with times made relative to
+    /// `now` — into its visited-state hash.
+    pub fn reach_snapshot(&self) -> Vec<Vec<ReachPortSnapshot>> {
+        let snap = |reach: &ReachTable| -> Vec<ReachPortSnapshot> {
+            reach
+                .ports()
+                .iter()
+                .map(|p| (p.up, p.good_streak, p.last_heard, p.fas.clone()))
+                .collect()
+        };
+        self.fas
+            .iter()
+            .map(|st| snap(&st.reach))
+            .chain(self.fes.iter().map(|st| snap(&st.reach)))
+            .collect()
+    }
+
+    /// In-flight reachability control messages as `(deliver_at, node,
+    /// port, faulty, advertised FAs)`, sorted into a canonical order —
+    /// the verification layer's view of the protocol's message channel.
+    pub fn pending_reach_msgs(&self) -> Vec<(SimTime, u32, u16, bool, Vec<u32>)> {
+        let mut out = Vec::new();
+        self.events.visit_pending(&mut |at, _key, ev| {
+            if let Ev::ReachMsg {
+                node,
+                port,
+                fas,
+                faulty,
+            } = ev
+            {
+                out.push((at, node.0, *port, *faulty, fas.as_ref().clone()));
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Upper bound on a single reachability-message transit: the maximum
+    /// per-direction propagation delay (advertisements are scheduled
+    /// exactly one propagation ahead of their send instant). Invariant I3
+    /// of the model checker bounds every pending message's delivery time
+    /// by `now + max_prop_delay()`.
+    pub fn max_prop_delay(&self) -> SimDuration {
+        self.dirs
+            .iter()
+            .map(|d| d.prop)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Whether the reachability protocol is running (vs static tables).
@@ -1179,22 +1300,40 @@ impl<K: CoreKind> FabricEngine<K> {
 
     /// Fail a link (both directions): queued and in-flight cells are
     /// lost; with the reachability protocol running the fabric heals.
+    /// Failing an already-failed link is a deterministic no-op.
     pub fn fail_link(&mut self, link: LinkId) {
+        let now = self.events.now();
+        let mut changed = false;
         for from_end in 0..2u32 {
             let idx = (link.0 * 2 + from_end) as usize;
             let d = &mut self.dirs[idx];
+            changed |= d.up;
             d.up = false;
-            self.stats.cells_dropped.add(d.queue.len() as u64);
-            self.free_cells.extend(d.queue.drain(..));
+            if !d.queue.is_empty() {
+                self.stats.cells_dropped.add(d.queue.len() as u64);
+                self.stats.note_loss(now);
+                self.free_cells.extend(d.queue.drain(..));
+            }
             // The in-service cell is dropped at its TxDone.
+        }
+        if changed {
+            self.stats.note_link_event(now);
         }
     }
 
     /// Restore a previously failed link. With the protocol running the
     /// link is re-admitted after `reach_miss_threshold` good messages.
+    /// Restoring a link that is already up is a deterministic no-op.
     pub fn restore_link(&mut self, link: LinkId) {
+        let now = self.events.now();
+        let mut changed = false;
         for from_end in 0..2u32 {
-            self.dirs[(link.0 * 2 + from_end) as usize].up = true;
+            let d = &mut self.dirs[(link.0 * 2 + from_end) as usize];
+            changed |= !d.up;
+            d.up = true;
+        }
+        if changed {
+            self.stats.note_link_event(now);
         }
     }
 
@@ -1205,8 +1344,15 @@ impl<K: CoreKind> FabricEngine<K> {
     /// mechanism would.
     pub fn set_link_error_rate(&mut self, link: LinkId, rate: f64) {
         assert!((0.0..=1.0).contains(&rate));
+        let now = self.events.now();
+        let mut changed = false;
         for from_end in 0..2u32 {
-            self.dirs[(link.0 * 2 + from_end) as usize].error_rate = rate;
+            let d = &mut self.dirs[(link.0 * 2 + from_end) as usize];
+            changed |= d.error_rate != rate;
+            d.error_rate = rate;
+        }
+        if changed {
+            self.stats.note_link_event(now);
         }
     }
 
@@ -1433,6 +1579,7 @@ impl<K: CoreKind> FabricEngine<K> {
         let d = &mut self.dirs[dir_idx as usize];
         if !d.up {
             self.stats.cells_dropped.inc();
+            self.stats.note_loss(now);
             self.free_cells.push(cell);
             return;
         }
@@ -1471,11 +1618,13 @@ impl<K: CoreKind> FabricEngine<K> {
         let corrupted = err > 0.0 && self.err_rngs[dir_idx as usize].chance(err);
         if !up {
             self.stats.cells_dropped.inc();
+            self.stats.note_loss(now);
             self.free_cells.push(cell);
         } else if corrupted {
             // A CRC-failed cell is discarded at the receiver (§5.10); the
             // reassembly timeout cleans up the burst.
             self.stats.cells_corrupted.inc();
+            self.stats.note_loss(now);
             self.free_cells.push(cell);
         } else {
             let at = now + prop;
@@ -1514,6 +1663,7 @@ impl<K: CoreKind> FabricEngine<K> {
         let d = &self.dirs[dir_idx as usize];
         if !d.up {
             self.stats.cells_dropped.inc();
+            self.stats.note_loss(now);
             self.free_cells.push(cell);
             return;
         }
@@ -1550,6 +1700,7 @@ impl<K: CoreKind> FabricEngine<K> {
                 // No path: the cell is lost (reassembly timeout cleans up).
                 self.scratch = scratch;
                 self.stats.cells_dropped.inc();
+                self.stats.note_loss(now);
                 self.free_cells.push(cell);
                 return;
             }
@@ -1849,7 +2000,9 @@ impl<K: CoreKind> FabricEngine<K> {
             if scratch.is_empty() {
                 // Destination unreachable: the whole burst is lost; the
                 // reassembly timeout will count its packets as discarded.
+                // The loss happens *now* (the timeout is its delayed echo).
                 reachable = false;
+                self.stats.note_loss(now);
             } else {
                 match self.fas[src_fa as usize].sprayers.entry(dst) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -1999,8 +2152,8 @@ impl<K: CoreKind> FabricEngine<K> {
         let fa = self.fa_of_node[node.0 as usize];
         if fa != u32::MAX {
             // Expire stale uplinks (only meaningful once traffic ran a while).
-            if now.as_ps() > deadline_ago.as_ps() {
-                self.fas[fa as usize].reach.expire(deadline);
+            if now.as_ps() > deadline_ago.as_ps() && self.fas[fa as usize].reach.expire(deadline) {
+                self.stats.note_reach_change(now);
             }
             // Advertise self on every fabric port (indexing per port
             // avoids cloning the out_dirs Vec every tick).
@@ -2011,8 +2164,8 @@ impl<K: CoreKind> FabricEngine<K> {
             }
         } else {
             let fe = self.fe_of_node[node.0 as usize] as usize;
-            if now.as_ps() > deadline_ago.as_ps() {
-                self.fes[fe].reach.expire(deadline);
+            if now.as_ps() > deadline_ago.as_ps() && self.fes[fe].reach.expire(deadline) {
+                self.stats.note_reach_change(now);
             }
             // One advertisement for every neighbor: the union of what
             // all my ports can reach. Receivers filter it against the
@@ -2068,8 +2221,8 @@ impl<K: CoreKind> FabricEngine<K> {
             let st = &mut self.fes[fe];
             (&mut st.reach, st.out_dirs[port as usize])
         };
-        if faulty {
-            table.mark_faulty(port as usize, now);
+        let changed = if faulty {
+            table.mark_faulty(port as usize, now)
         } else {
             // Filter the sender's full reach down to the destinations
             // this direction is a plan candidate for — the structural
@@ -2081,8 +2234,12 @@ impl<K: CoreKind> FabricEngine<K> {
             let mut scratch = std::mem::take(&mut self.scratch);
             scratch.clear();
             scratch.extend(fas.iter().copied().filter(|&d| dset.contains(d)));
-            table.on_advert(port as usize, &scratch, now, revive);
+            let changed = table.on_advert(port as usize, &scratch, now, revive);
             self.scratch = scratch;
+            changed
+        };
+        if changed {
+            self.stats.note_reach_change(now);
         }
     }
 }
@@ -2888,6 +3045,74 @@ mod tests {
         let (_, sprayer) = &e.fas[0].sprayers[&8];
         assert_eq!(sprayer.width(), e.fas[0].uplinks.len() - 1);
         assert!(!sprayer.links().contains(&0), "dead port 0 still eligible");
+    }
+
+    #[test]
+    fn link_admin_ops_are_idempotent_noops() {
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        let mut e = small_engine(cfg);
+        e.run_until(SimTime::from_micros(50));
+        let link = e.fas[0].uplinks[0];
+        assert!(e.link_up(link));
+        // Restoring a never-failed link is a no-op: nothing is stamped.
+        e.restore_link(link);
+        assert_eq!(e.stats().last_link_event_ps, 0);
+        e.fail_link(link);
+        assert!(!e.link_up(link));
+        let stamp = e.stats().last_link_event_ps;
+        assert_eq!(stamp, e.now().as_ps());
+        let dropped = e.stats().cells_dropped.get();
+        // Failing an already-failed link changes nothing further, even
+        // after time passes.
+        e.run_for(SimDuration::from_micros(10));
+        e.fail_link(link);
+        assert_eq!(e.stats().last_link_event_ps, stamp);
+        assert_eq!(e.stats().cells_dropped.get(), dropped);
+        e.restore_link(link);
+        assert!(e.link_up(link));
+        assert!(e.stats().last_link_event_ps > stamp);
+    }
+
+    #[test]
+    fn churn_metrics_bracket_loss_and_convergence() {
+        let mut cfg = cfg_small();
+        cfg.reach_interval = Some(SimDuration::from_micros(10));
+        cfg.reach_miss_threshold = 3;
+        let mut e = small_engine(cfg);
+        e.run_until(SimTime::from_micros(200));
+        assert!(
+            e.stats().loss_window().is_none(),
+            "a pristine run records no loss window"
+        );
+        let link = e.fas[0].uplinks[0];
+        e.fail_link(link);
+        let t0 = e.now();
+        for i in 0..50u64 {
+            e.inject(t0 + SimDuration::from_nanos(i * 500), 0, 8, 0, 0, 2000);
+        }
+        e.run_until(SimTime::from_millis(2));
+        e.restore_link(link);
+        e.run_until(SimTime::from_millis(4));
+        let s = e.stats();
+        let w = s
+            .loss_window()
+            .expect("spraying at a not-yet-excluded dead link loses cells");
+        assert!(s.first_loss_ps >= t0.as_ps(), "no loss before the failure");
+        // Losses stop once the protocol excludes the dead direction:
+        // 3 missed 10µs intervals plus margin.
+        assert!(
+            w <= SimDuration::from_micros(100),
+            "loss window {w} outlived the exclusion bound"
+        );
+        // Re-admission after restore needs the good streak (3 adverts at
+        // 10µs), so the last table change trails the restore by a couple
+        // of intervals — never more than a handful.
+        let conv = s.convergence_time().expect("tables change after restore");
+        assert!(
+            conv >= SimDuration::from_micros(10) && conv <= SimDuration::from_micros(100),
+            "convergence time {conv} outside the revive-streak bound"
+        );
     }
 
     #[test]

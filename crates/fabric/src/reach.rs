@@ -187,6 +187,12 @@ impl ReachTable {
         self.ports[port].up
     }
 
+    /// Read-only view of the per-port records (state extraction for the
+    /// model checker's canonical hash).
+    pub fn ports(&self) -> &[PortReach] {
+        &self.ports
+    }
+
     /// Number of ports tracked.
     pub fn len(&self) -> usize {
         self.ports.len()

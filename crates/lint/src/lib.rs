@@ -87,13 +87,14 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
 /// The source roots the determinism rules apply to, relative to the
 /// workspace root. Engine crates only: the bench/CLI layer is *supposed*
 /// to read clocks, environment variables, and filesystems.
-pub const ENGINE_ROOTS: [&str; 7] = [
+pub const ENGINE_ROOTS: [&str; 8] = [
     "crates/sim/src",
     "crates/topo/src",
     "crates/fabric/src",
     "crates/baseline/src",
     "crates/transport/src",
     "crates/workload/src",
+    "crates/mc/src",
     "src",
 ];
 

@@ -137,6 +137,14 @@ pub trait EventCore<E> {
     /// `to` is still pending — that would rewind causality.
     fn advance_clock(&mut self, to: SimTime);
 
+    /// Visit every pending event `(at, key, payload)` without disturbing
+    /// the calendar. The visit order is implementation-internal — **not**
+    /// time order — but deterministic for a given schedule/pop history;
+    /// callers needing a canonical view (e.g. a state hash) must collect
+    /// and sort. This is a read-only inspection hook for verification
+    /// layers; engines never dispatch through it.
+    fn visit_pending(&self, f: &mut dyn FnMut(SimTime, u64, &E));
+
     /// Drop every pending event (the clock is retained).
     fn clear(&mut self);
 }
@@ -493,6 +501,22 @@ impl<E> EventQueue<E> {
         self.now = to;
     }
 
+    /// See [`EventCore::visit_pending`]: `cur`, then the wheel buckets,
+    /// then the overflow heap — each in its internal storage order.
+    pub fn visit_pending(&self, f: &mut dyn FnMut(SimTime, u64, &E)) {
+        for e in &self.cur {
+            f(e.at, e.key, &e.payload);
+        }
+        for b in &self.buckets {
+            for e in b {
+                f(e.at, e.key, &e.payload);
+            }
+        }
+        for e in &self.overflow {
+            f(e.at, e.key, &e.payload);
+        }
+    }
+
     /// Drop every pending event (the clock is retained).
     pub fn clear(&mut self) {
         self.cur.clear();
@@ -540,6 +564,9 @@ impl<E> EventCore<E> for EventQueue<E> {
     }
     fn advance_clock(&mut self, to: SimTime) {
         EventQueue::advance_clock(self, to);
+    }
+    fn visit_pending(&self, f: &mut dyn FnMut(SimTime, u64, &E)) {
+        EventQueue::visit_pending(self, f);
     }
     fn clear(&mut self) {
         EventQueue::clear(self);
@@ -677,6 +704,13 @@ impl<E> HeapEventQueue<E> {
         self.now = to;
     }
 
+    /// See [`EventCore::visit_pending`]: the heap's internal array order.
+    pub fn visit_pending(&self, f: &mut dyn FnMut(SimTime, u64, &E)) {
+        for e in &self.heap {
+            f(e.at, e.key, &e.payload);
+        }
+    }
+
     /// Drop every pending event (the clock is retained).
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -716,6 +750,9 @@ impl<E> EventCore<E> for HeapEventQueue<E> {
     }
     fn advance_clock(&mut self, to: SimTime) {
         HeapEventQueue::advance_clock(self, to);
+    }
+    fn visit_pending(&self, f: &mut dyn FnMut(SimTime, u64, &E)) {
+        HeapEventQueue::visit_pending(self, f);
     }
     fn clear(&mut self) {
         HeapEventQueue::clear(self);
@@ -972,6 +1009,39 @@ mod tests {
         q.schedule_keyed(t, 9, 90);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
         assert_eq!(order, vec![30, 50, 90]);
+    }
+
+    #[test]
+    fn visit_pending_sees_every_level_on_both_cores() {
+        // One event merged into `cur` (scheduled at now mid-drain), one in
+        // the wheel, one in the overflow — a sorted collection must see
+        // all three, on both calendars, without disturbing pop order.
+        fn drive<Q: EventCore<u64>>(mut q: Q) {
+            let t = SimTime::from_nanos(10);
+            q.schedule(t, 1);
+            q.schedule(t, 2);
+            assert_eq!(q.pop().unwrap().payload, 1);
+            q.schedule(t, 3); // at == now: merges into the drain buffer
+            q.schedule(SimTime::from_micros(5), 4); // wheel
+            q.schedule(SimTime::from_millis(3), 5); // overflow
+            let mut seen: Vec<(SimTime, u64)> = Vec::new();
+            q.visit_pending(&mut |at, _key, p| seen.push((at, *p)));
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                vec![
+                    (t, 2),
+                    (t, 3),
+                    (SimTime::from_micros(5), 4),
+                    (SimTime::from_millis(3), 5),
+                ]
+            );
+            // Inspection is read-only: the queue still pops everything.
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, vec![2, 3, 4, 5]);
+        }
+        drive(EventQueue::<u64>::new());
+        drive(HeapEventQueue::<u64>::new());
     }
 
     #[test]

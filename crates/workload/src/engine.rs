@@ -29,7 +29,7 @@
 
 use crate::scenario::FlowSpec;
 use stardust_fabric::{FabricEngine, ShardedFabricEngine};
-use stardust_sim::{CoreKind, FlowStats, SimTime};
+use stardust_sim::{CoreKind, DetRng, FlowStats, SimDuration, SimTime};
 use stardust_topo::LinkId;
 use stardust_transport::{FlowId, Protocol, TransportSim};
 
@@ -127,6 +127,14 @@ pub trait FlowEngine {
         let _ = link;
         false
     }
+
+    /// Set `link`'s bit-error rate to `ppm` parts-per-million (0 clears
+    /// it — a gray link, §5.10), if the engine models link errors.
+    /// Returns whether the event was applied.
+    fn set_link_error_ppm(&mut self, link: LinkId, ppm: u32) -> bool {
+        let _ = (link, ppm);
+        false
+    }
 }
 
 impl<K: CoreKind> FlowEngine for FabricEngine<K> {
@@ -157,6 +165,11 @@ impl<K: CoreKind> FlowEngine for FabricEngine<K> {
 
     fn restore_link(&mut self, link: LinkId) -> bool {
         FabricEngine::restore_link(self, link);
+        true
+    }
+
+    fn set_link_error_ppm(&mut self, link: LinkId, ppm: u32) -> bool {
+        FabricEngine::set_link_error_rate(self, link, f64::from(ppm) / 1e6);
         true
     }
 }
@@ -190,6 +203,11 @@ where
 
     fn restore_link(&mut self, link: LinkId) -> bool {
         ShardedFabricEngine::restore_link(self, link);
+        true
+    }
+
+    fn set_link_error_ppm(&mut self, link: LinkId, ppm: u32) -> bool {
+        ShardedFabricEngine::set_link_error_rate(self, link, f64::from(ppm) / 1e6);
         true
     }
 }
@@ -263,6 +281,15 @@ pub enum LinkAction {
     Fail,
     /// Bring the link back up.
     Restore,
+    /// Make the link gray: set its bit-error rate to `ppm`
+    /// parts-per-million (0 clears it). Integer ppm keeps the event
+    /// `Eq`/hashable; the engines convert to a rate. A rate past the
+    /// §5.10 faulty threshold (1%, i.e. 10 000 ppm) makes the
+    /// reachability protocol exclude the link on its own.
+    Degrade {
+        /// Bit-error rate in parts-per-million.
+        ppm: u32,
+    },
 }
 
 /// One timed link-state change of a [`FailureSchedule`].
@@ -325,6 +352,108 @@ impl FailureSchedule {
         self
     }
 
+    /// Builder form: set `link`'s error rate to `ppm` parts-per-million
+    /// at `at` (0 clears it).
+    pub fn degrade_at(mut self, at: SimTime, link: LinkId, ppm: u32) -> Self {
+        self.push(LinkEvent {
+            at,
+            link,
+            action: LinkAction::Degrade { ppm },
+        });
+        self
+    }
+
+    /// Correlated pod loss: every link in `links` fails at `at` and is
+    /// restored at `restore_at` — the "whole pod goes dark at one
+    /// instant" Appendix-E case a single-link schedule cannot express.
+    pub fn pod_loss(mut self, at: SimTime, restore_at: SimTime, links: &[LinkId]) -> Self {
+        assert!(restore_at > at, "pod must be restored after it fails");
+        for &link in links {
+            self.push(LinkEvent {
+                at,
+                link,
+                action: LinkAction::Fail,
+            });
+            self.push(LinkEvent {
+                at: restore_at,
+                link,
+                action: LinkAction::Restore,
+            });
+        }
+        self
+    }
+
+    /// Seeded link flapping: `flaps` fail/restore pairs spread over
+    /// `[start, start + span)`. Each flap is confined to its own time
+    /// slot — down in the slot's first half, back up in its second — so
+    /// the schedule passes [`FailureSchedule::validate`] by construction
+    /// even when the same link is drawn twice. Which link flaps and
+    /// where inside the slot it flaps is drawn from the labelled
+    /// [`DetRng`] stream: the same `(seed, label, links, …)` always
+    /// yields the same storm, on every shard count.
+    pub fn flap_storm(
+        mut self,
+        seed: u64,
+        label: &str,
+        links: &[LinkId],
+        start: SimTime,
+        span: SimDuration,
+        flaps: usize,
+    ) -> Self {
+        assert!(!links.is_empty(), "a flap storm needs candidate links");
+        let slot_ps = span.as_ps() / flaps.max(1) as u64;
+        assert!(slot_ps >= 2, "span too short for {flaps} flaps");
+        let mut rng = DetRng::from_label(seed, label).split_u64(links.len() as u64);
+        for i in 0..flaps as u64 {
+            let link = links[rng.index(links.len())];
+            let slot = start.as_ps() + i * slot_ps;
+            let down = slot + rng.below(slot_ps / 2);
+            let up = slot + slot_ps / 2 + rng.below(slot_ps / 2);
+            self.push(LinkEvent {
+                at: SimTime(down),
+                link,
+                action: LinkAction::Fail,
+            });
+            self.push(LinkEvent {
+                at: SimTime(up),
+                link,
+                action: LinkAction::Restore,
+            });
+        }
+        self
+    }
+
+    /// Seeded gray links: every link in `links` degrades at `at` to an
+    /// error rate drawn from `[1, max_ppm]` ppm on the labelled
+    /// [`DetRng`] stream, and is cleared (ppm = 0) at `clear_at`.
+    pub fn gray_storm(
+        mut self,
+        seed: u64,
+        label: &str,
+        links: &[LinkId],
+        at: SimTime,
+        clear_at: SimTime,
+        max_ppm: u32,
+    ) -> Self {
+        assert!(clear_at > at, "gray links must clear after they degrade");
+        assert!(max_ppm >= 1, "max_ppm must be at least 1");
+        let mut rng = DetRng::from_label(seed, label).split_u64(links.len() as u64);
+        for &link in links {
+            let ppm = 1 + rng.below(u64::from(max_ppm)) as u32;
+            self.push(LinkEvent {
+                at,
+                link,
+                action: LinkAction::Degrade { ppm },
+            });
+            self.push(LinkEvent {
+                at: clear_at,
+                link,
+                action: LinkAction::Degrade { ppm: 0 },
+            });
+        }
+        self
+    }
+
     /// The events, sorted by time.
     pub fn events(&self) -> &[LinkEvent] {
         &self.events
@@ -333,6 +462,43 @@ impl FailureSchedule {
     /// Whether the schedule has no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Check the schedule's per-link state machine: failing a link that
+    /// is already failed, or restoring one that is not failed, is a spec
+    /// error. The engines would treat either as a deterministic no-op,
+    /// but a schedule that relies on that is almost always a typo — so
+    /// the experiment pipeline rejects it up front. Degrades carry no
+    /// up/down state and are always legal. Same-instant events are
+    /// checked in their (insertion-order) apply order.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut down: Vec<LinkId> = Vec::new();
+        for ev in &self.events {
+            match ev.action {
+                LinkAction::Fail => {
+                    if down.contains(&ev.link) {
+                        return Err(format!(
+                            "failure schedule: link {} fails at {:?} while already failed",
+                            ev.link.0, ev.at
+                        ));
+                    }
+                    down.push(ev.link);
+                }
+                LinkAction::Restore => match down.iter().position(|&l| l == ev.link) {
+                    Some(i) => {
+                        down.swap_remove(i);
+                    }
+                    None => {
+                        return Err(format!(
+                            "failure schedule: link {} restored at {:?} while not failed",
+                            ev.link.0, ev.at
+                        ));
+                    }
+                },
+                LinkAction::Degrade { .. } => {}
+            }
+        }
+        Ok(())
     }
 
     /// Drive `engine` from its current time to `horizon`, applying every
@@ -349,6 +515,7 @@ impl FailureSchedule {
             let ok = match ev.action {
                 LinkAction::Fail => engine.fail_link(ev.link),
                 LinkAction::Restore => engine.restore_link(ev.link),
+                LinkAction::Degrade { ppm } => engine.set_link_error_ppm(ev.link, ppm),
             };
             applied += usize::from(ok);
         }
@@ -419,6 +586,10 @@ mod tests {
             self.log.push(format!("restore {}", link.0));
             true
         }
+        fn set_link_error_ppm(&mut self, link: LinkId, ppm: u32) -> bool {
+            self.log.push(format!("degrade {} {}", link.0, ppm));
+            true
+        }
     }
 
     #[test]
@@ -438,6 +609,139 @@ mod tests {
             p.log,
             vec!["run 100", "fail 0", "run 300", "restore 0", "run 1000"]
         );
+    }
+
+    #[test]
+    fn degrade_events_drive_the_error_process() {
+        let s = FailureSchedule::new()
+            .degrade_at(SimTime::from_nanos(50), LinkId(2), 40_000)
+            .degrade_at(SimTime::from_nanos(200), LinkId(2), 0);
+        let mut p = Probe {
+            log: Vec::new(),
+            now: SimTime::ZERO,
+        };
+        assert_eq!(s.drive(&mut p, SimTime::from_nanos(500)), 2);
+        assert_eq!(
+            p.log,
+            vec![
+                "run 50",
+                "degrade 2 40000",
+                "run 200",
+                "degrade 2 0",
+                "run 500"
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_and_flags_stateful_typos() {
+        let ok = FailureSchedule::new()
+            .fail_at(SimTime::from_micros(1), LinkId(0))
+            .degrade_at(SimTime::from_micros(2), LinkId(1), 100)
+            .restore_at(SimTime::from_micros(3), LinkId(0))
+            .fail_at(SimTime::from_micros(4), LinkId(0));
+        assert!(ok.validate().is_ok());
+
+        // Failing an already-failed link is a spec error…
+        let double_fail = FailureSchedule::new()
+            .fail_at(SimTime::from_micros(1), LinkId(5))
+            .fail_at(SimTime::from_micros(2), LinkId(5));
+        let err = double_fail.validate().unwrap_err();
+        assert!(err.contains("already failed"), "got: {err}");
+
+        // …as is restoring a link that was never failed.
+        let stray_restore = FailureSchedule::new().restore_at(SimTime::from_micros(1), LinkId(3));
+        let err = stray_restore.validate().unwrap_err();
+        assert!(err.contains("not failed"), "got: {err}");
+
+        // Same-instant fail-then-restore is legal (insertion order);
+        // restore-then-fail of a link that is up is not.
+        let t = SimTime::from_micros(9);
+        assert!(FailureSchedule::new()
+            .fail_at(t, LinkId(1))
+            .restore_at(t, LinkId(1))
+            .validate()
+            .is_ok());
+        assert!(FailureSchedule::new()
+            .restore_at(t, LinkId(1))
+            .fail_at(t, LinkId(1))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn pod_loss_is_correlated_and_valid() {
+        let pod = [LinkId(0), LinkId(1), LinkId(2)];
+        let s = FailureSchedule::new().pod_loss(
+            SimTime::from_micros(10),
+            SimTime::from_micros(50),
+            &pod,
+        );
+        s.validate().expect("generated storm must be well-formed");
+        assert_eq!(s.events().len(), 6);
+        // All three links go down at the same instant…
+        let fails: Vec<_> = s
+            .events()
+            .iter()
+            .filter(|e| e.action == LinkAction::Fail)
+            .collect();
+        assert_eq!(fails.len(), 3);
+        assert!(fails.iter().all(|e| e.at == SimTime::from_micros(10)));
+        // …and come back at the same instant.
+        let restores: Vec<_> = s
+            .events()
+            .iter()
+            .filter(|e| e.action == LinkAction::Restore)
+            .collect();
+        assert!(restores.iter().all(|e| e.at == SimTime::from_micros(50)));
+    }
+
+    #[test]
+    fn flap_storm_is_seeded_deterministic_and_valid() {
+        let links: Vec<LinkId> = (0..8).map(LinkId).collect();
+        let mk = |seed| {
+            FailureSchedule::new().flap_storm(
+                seed,
+                "test-flaps",
+                &links,
+                SimTime::from_micros(100),
+                SimDuration::from_micros(800),
+                10,
+            )
+        };
+        let a = mk(42);
+        a.validate().expect("generated storm must be well-formed");
+        assert_eq!(a.events().len(), 20);
+        assert_eq!(a, mk(42), "same seed must reproduce the storm");
+        assert_ne!(a, mk(43), "different seeds must differ");
+        // Every event lands inside the storm window.
+        assert!(a
+            .events()
+            .iter()
+            .all(|e| e.at >= SimTime::from_micros(100) && e.at < SimTime::from_micros(900)));
+    }
+
+    #[test]
+    fn gray_storm_degrades_and_clears_every_link() {
+        let links = [LinkId(4), LinkId(7)];
+        let s = FailureSchedule::new().gray_storm(
+            11,
+            "test-gray",
+            &links,
+            SimTime::from_micros(5),
+            SimTime::from_micros(80),
+            50_000,
+        );
+        s.validate().expect("degrades are always legal");
+        assert_eq!(s.events().len(), 4);
+        for &link in &links {
+            let evs: Vec<_> = s.events().iter().filter(|e| e.link == link).collect();
+            assert_eq!(evs.len(), 2);
+            assert!(
+                matches!(evs[0].action, LinkAction::Degrade { ppm } if (1..=50_000).contains(&ppm))
+            );
+            assert_eq!(evs[1].action, LinkAction::Degrade { ppm: 0 });
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod patterns;
 pub mod scenario;
 pub mod sizes;
 
-pub use engine::{FailureSchedule, FlowEngine, LinkAction, LinkEvent, TransportFlowEngine};
+pub use engine::{
+    FailureSchedule, FlowEngine, FlowSource, LinkAction, LinkEvent, TransportFlowEngine,
+};
 pub use flows::FlowSizeDist;
 pub use patterns::{all_to_all_pairs, incast_sources, permutation};
 pub use scenario::{FlowSpec, Scenario, ScenarioKind};

@@ -406,6 +406,9 @@ impl Scenario {
             let ok = match ev.action {
                 crate::engine::LinkAction::Fail => engine.fail_link(ev.link),
                 crate::engine::LinkAction::Restore => engine.restore_link(ev.link),
+                crate::engine::LinkAction::Degrade { ppm } => {
+                    engine.set_link_error_ppm(ev.link, ppm)
+                }
             };
             applied += usize::from(ok);
         }
