@@ -29,7 +29,7 @@
 
 use stardust_bench::json::Json;
 use stardust_bench::{commas, header, Args};
-use stardust_fabric::{FabricConfig, FabricEngine, ShardedFabricEngine};
+use stardust_fabric::{ExecMode, FabricConfig, FabricEngine, ShardedFabricEngine};
 use stardust_sim::units::gbps;
 use stardust_sim::{DetRng, SimDuration, SimTime};
 use stardust_topo::builders::{two_tier, TwoTierParams};
@@ -130,16 +130,22 @@ fn events_per_sec(s: &Sample) -> f64 {
     s.events as f64 / s.wall_s
 }
 
-/// As [`run_size_full`], on the sharded engine with `shards` OS threads.
+/// As [`run_size_full`], on the sharded engine. `threads` caps the
+/// driving OS threads (`None` = one per shard); `Some(1)` runs the
+/// whole window loop on the calling thread.
 fn run_size_sharded(
     num_fa: u32,
     sim_us: u64,
     seed: u64,
     shards: u32,
+    threads: Option<u32>,
 ) -> (Sample, stardust_fabric::FabricStats) {
     let tt = two_tier(params_for(num_fa));
     let links = tt.topo.num_links();
     let mut e = ShardedFabricEngine::new(tt.topo, bench_cfg(seed), shards);
+    if let Some(t) = threads {
+        e.set_threads(t);
+    }
     let stop = attach_workload!(e, num_fa, sim_us, seed);
     let t = Instant::now();
     e.run_until(stop);
@@ -161,8 +167,10 @@ fn host_cores() -> usize {
 
 /// Write the measured samples as a `BENCH_fig2.json`-style document:
 /// events/s per scale point plus enough context to compare runs.
-fn write_json(path: &str, mode: &str, sim_us: u64, samples: &[Sample]) {
-    let doc = Json::Obj(vec![
+/// `extra` appends further top-level sections (the smoke path adds the
+/// sharded ev/s-per-core sweep and the window-widening measurement).
+fn write_json(path: &str, mode: &str, sim_us: u64, samples: &[Sample], extra: Vec<(String, Json)>) {
+    let mut fields = vec![
         ("bench".into(), Json::str("fig2_fabric_scale")),
         ("mode".into(), Json::str(mode)),
         ("sim_us".into(), Json::num(sim_us as f64)),
@@ -185,7 +193,9 @@ fn write_json(path: &str, mode: &str, sim_us: u64, samples: &[Sample]) {
                     .collect(),
             ),
         ),
-    ]);
+    ];
+    fields.extend(extra);
+    let doc = Json::Obj(fields);
     match std::fs::write(path, doc.render() + "\n") {
         Ok(()) => println!("wrote {path} ({} scale points)", samples.len()),
         Err(e) => {
@@ -193,6 +203,111 @@ fn write_json(path: &str, mode: &str, sim_us: u64, samples: &[Sample]) {
             std::process::exit(1);
         }
     }
+}
+
+/// The smoke artifact's shards × threads sweep at the smallest size:
+/// events/sec, events/sec **per driving core**, and speedup against the
+/// sequential baseline, with a conformance bit per point. On hosts with
+/// fewer cores than shards the thread axis collapses to 1 (the
+/// multiplexed path) so the curve never measures oversubscription noise.
+fn sharded_sweep_json(
+    sim_us: u64,
+    seed: u64,
+    seq: &Sample,
+    seq_stats: &stardust_fabric::FabricStats,
+) -> Json {
+    let num_fa = seq.num_fa;
+    let cores = host_cores() as u32;
+    let seq_eps = events_per_sec(seq);
+    let mut points = Vec::new();
+    for shards in [2u32, 4] {
+        let mut tvals = vec![1u32];
+        if shards.min(cores) > 1 {
+            tvals.push(shards.min(cores));
+        }
+        for threads in tvals {
+            let (s, stats) = run_size_sharded(num_fa, sim_us, seed, shards, Some(threads));
+            let eps = events_per_sec(&s);
+            points.push(Json::Obj(vec![
+                ("shards".into(), Json::num(shards as f64)),
+                ("threads".into(), Json::num(threads as f64)),
+                ("events".into(), Json::num(s.events as f64)),
+                ("wall_s".into(), Json::Num(s.wall_s)),
+                ("events_per_sec".into(), Json::Num(eps)),
+                (
+                    "events_per_sec_per_core".into(),
+                    Json::Num(eps / threads as f64),
+                ),
+                ("speedup_vs_seq".into(), Json::Num(eps / seq_eps)),
+                ("conformant".into(), Json::Bool(&stats == seq_stats)),
+            ]));
+            assert_eq!(
+                &stats, seq_stats,
+                "{shards}-shard/{threads}-thread run diverged from sequential"
+            );
+        }
+    }
+    Json::Obj(vec![
+        ("num_fa".into(), Json::num(num_fa as f64)),
+        ("seq_events_per_sec".into(), Json::Num(seq_eps)),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+/// Measure how much the per-pair lookahead matrix widens windows on a
+/// zoo topology: run the same workload on the zoo dragonfly at 4 shards
+/// with matrix windows and with the scalar (min-bound) baseline, and
+/// report the synchronization-round counts. The stats must agree
+/// bit-for-bit — the matrix only changes *when* shards synchronize,
+/// never what they compute.
+fn window_widening_json(seed: u64) -> Json {
+    use stardust_topo::{DragonflyParams, TopologyBuilder};
+    let built = DragonflyParams::zoo().build_fabric();
+    let run = |scalar: bool| {
+        let mut e: ShardedFabricEngine = ShardedFabricEngine::with_plan(
+            built.topo.clone(),
+            bench_cfg(seed),
+            built.plan.clone(),
+            4,
+        );
+        e.set_exec_mode(ExecMode::Inline);
+        e.set_scalar_windows(scalar);
+        for src in 0..20u32 {
+            e.add_message(
+                src,
+                (src + 7) % 20,
+                0,
+                0,
+                20_000,
+                SimTime::from_nanos(src as u64 * 131),
+            );
+        }
+        e.run_until(SimTime::from_millis(1));
+        (e.windows_executed(), e.stats())
+    };
+    let (matrix_w, matrix_stats) = run(false);
+    let (scalar_w, scalar_stats) = run(true);
+    assert_eq!(
+        matrix_stats, scalar_stats,
+        "window policy changed results — determinism bug"
+    );
+    println!(
+        "window widening (dragonfly zoo, 4 shards, 1 ms): \
+         {scalar_w} scalar rounds vs {matrix_w} matrix rounds \
+         ({:.2}x fewer barriers)",
+        scalar_w as f64 / matrix_w as f64
+    );
+    Json::Obj(vec![
+        ("topology".into(), Json::str("dragonfly_zoo")),
+        ("shards".into(), Json::num(4.0)),
+        ("sim_ms".into(), Json::num(1.0)),
+        ("matrix_windows".into(), Json::num(matrix_w as f64)),
+        ("scalar_windows".into(), Json::num(scalar_w as f64)),
+        (
+            "barrier_reduction".into(),
+            Json::Num(scalar_w as f64 / matrix_w as f64),
+        ),
+    ])
 }
 
 /// `--shards N --smoke`: the CI speedup gate at 1024 FAs. Below the
@@ -206,11 +321,11 @@ fn shard_smoke(shards: u32, sim_us: u64, seed: u64) {
         .unwrap_or(2.0);
     let num_fa = 1024;
     let (seq, seq_stats) = run_size_full(num_fa, sim_us, seed);
-    let (mut sh, sh_stats) = run_size_sharded(num_fa, sim_us, seed, shards);
+    let (mut sh, sh_stats) = run_size_sharded(num_fa, sim_us, seed, shards, None);
     let enough_cores = (host_cores() as u32) >= shards;
     if enough_cores && events_per_sec(&sh) / events_per_sec(&seq) < floor {
         // One retry, keeping the faster measurement.
-        let (retry, _) = run_size_sharded(num_fa, sim_us, seed, shards);
+        let (retry, _) = run_size_sharded(num_fa, sim_us, seed, shards, None);
         if events_per_sec(&retry) > events_per_sec(&sh) {
             sh = retry;
         }
@@ -278,7 +393,7 @@ fn main() {
         );
         for &n in sizes {
             let seq = run_size(n, sim_us, seed);
-            let (sh, _) = run_size_sharded(n, sim_us, seed, shards);
+            let (sh, _) = run_size_sharded(n, sim_us, seed, shards, None);
             println!(
                 "{:>8} {:>14} {:>14} {:>14} {:>8.2}x",
                 n,
@@ -297,7 +412,7 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(200_000.0);
         let sim_us = args.get_u64("us", 200);
-        let s = run_size(64, sim_us, seed);
+        let (s, seq_stats) = run_size_full(64, sim_us, seed);
         let eps = events_per_sec(&s);
         println!(
             "smoke: 64 FAs, {} events in {:.3}s = {} events/sec (floor {})",
@@ -307,13 +422,24 @@ fn main() {
             commas(floor as u64)
         );
         if let Some(path) = args.get_str("json") {
+            // The sharded ev/s-per-core curve and the barrier-count
+            // comparison ride on the smoke artifact: both are cheap at
+            // this size and give CI a per-commit trajectory for the
+            // parallel runtime, not just the sequential core.
+            let extras = vec![
+                (
+                    "sharded_points".into(),
+                    sharded_sweep_json(sim_us, seed, &s, &seq_stats),
+                ),
+                ("window_widening".into(), window_widening_json(seed)),
+            ];
             // Two larger sizes give the artifact a real scale trajectory;
             // the hard floor still gates only the 64-FA point above.
             let mut samples = vec![s];
             for n in [128, 256] {
                 samples.push(run_size(n, sim_us, seed));
             }
-            write_json(path, "smoke", sim_us, &samples);
+            write_json(path, "smoke", sim_us, &samples, extras);
             for s in &samples[1..] {
                 println!(
                     "       {} FAs: {} events/sec (unfenced trajectory point)",
@@ -363,7 +489,7 @@ fn main() {
         samples.push(s);
     }
     if let Some(path) = args.get_str("json") {
-        write_json(path, "sweep", sim_us, &samples);
+        write_json(path, "sweep", sim_us, &samples, Vec::new());
     }
     if let Some(base) = first_eps {
         println!(

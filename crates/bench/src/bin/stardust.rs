@@ -28,7 +28,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  stardust run <spec.toml | dir>... [--json out.json] [--quiet] \
-         [--max-rss-mb N]\n  \
+         [--max-rss-mb N] [--threads N]\n  \
          stardust check <spec.toml | dir>...\n  stardust preset <name>\n  stardust presets\n  \
          stardust lint [--root dir] [--json out.json] [--quiet]\n  \
          stardust mc [--smoke] [--json out.json] [--quiet] [--seed N] [--depth N] \
@@ -392,6 +392,7 @@ fn run(args: &[String], check_only: bool) -> ExitCode {
     let mut json_out: Option<PathBuf> = None;
     let mut quiet = false;
     let mut max_rss_mb: Option<u64> = None;
+    let mut threads: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -407,6 +408,17 @@ fn run(args: &[String], check_only: bool) -> ExitCode {
                     return usage();
                 };
                 max_rss_mb = Some(cap);
+                i += 2;
+            }
+            "--threads" => {
+                let Some(t) = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t > 0)
+                else {
+                    return usage();
+                };
+                threads = Some(t);
                 i += 2;
             }
             "--quiet" => {
@@ -431,7 +443,7 @@ fn run(args: &[String], check_only: bool) -> ExitCode {
     let mut outcomes = Vec::new();
     let mut failed = false;
     for file in &files {
-        let spec = match load(file) {
+        let mut spec = match load(file) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("stardust: {e}");
@@ -439,6 +451,19 @@ fn run(args: &[String], check_only: bool) -> ExitCode {
                 continue;
             }
         };
+        if let Some(t) = threads {
+            // CLI override beats the spec's `threads` field. Results are
+            // identical at any thread count (pinned by the conformance
+            // suite); oversubscribing the host only costs wall time.
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u32;
+            if t > cores && !quiet {
+                eprintln!(
+                    "stardust: --threads {t} exceeds available parallelism ({cores}); \
+                     results are unaffected but wall time may suffer"
+                );
+            }
+            spec.threads = Some(t);
+        }
         if check_only {
             println!(
                 "{}: ok ({} engines × {} seeds, {} link events)",

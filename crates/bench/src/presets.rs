@@ -110,6 +110,7 @@ pub fn fig10a(p: Fig10Params, flow_bytes: u64) -> ExperimentSpec {
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
         reach_us: None,
+        threads: None,
         checks: if p.smoke {
             Checks {
                 // Fabric and TCP-over-Stardust must finish the whole
@@ -173,6 +174,7 @@ pub fn fig10b(p: Fig10Params, n_flows: usize, gap_us: u64, hadoop: bool) -> Expe
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
         reach_us: None,
+        threads: None,
         checks: if p.smoke {
             Checks {
                 complete: CompleteScope::Fabric,
@@ -218,6 +220,7 @@ pub fn fig10c(p: Fig10Params, backends: usize, response_bytes: u64) -> Experimen
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
         reach_us: None,
+        threads: None,
         checks: if p.smoke {
             Checks {
                 complete: CompleteScope::All,
@@ -288,6 +291,7 @@ pub fn failure_churn(factor: u32, ms: u64, seed: u64, shards: u32) -> Experiment
         // convergence gate below is what makes this spec a protocol
         // test, not just a drop counter.
         reach_us: Some(10),
+        threads: None,
         checks: Checks {
             // Packets caught in flight during reconvergence may be
             // discarded (Appendix E measures exactly that), so full
@@ -359,6 +363,7 @@ pub fn service(
         stats: StatsMode::Sketch,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
         reach_us: None,
+        threads: None,
         checks: Checks {
             // Streaming stops admitting at the horizon, so the stream's
             // tail (and the heavy Hadoop flows) legitimately stay
@@ -410,6 +415,7 @@ pub fn zoo(name: &str, kind: TopoKind) -> ExperimentSpec {
         stats: StatsMode::Table,
         admit_window_us: DEFAULT_ADMIT_WINDOW_US,
         reach_us: None,
+        threads: None,
         checks: Checks {
             complete: CompleteScope::Fabric,
             zero_drops: true,

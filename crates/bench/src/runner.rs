@@ -332,12 +332,18 @@ where
         built.plan,
         shards,
     );
-    // On hosts with fewer cores than shards, OS threads only add barrier
-    // context switches; the inline mode is bit-identical (pinned by the
+    // Thread policy (results are identical at any setting): an explicit
+    // spec/CLI `threads` wins — `1` runs inline on the calling thread,
+    // more multiplexes the shards round-robin. Otherwise, on hosts with
+    // fewer cores than shards, OS threads only add barrier context
+    // switches; the inline mode is bit-identical (pinned by the
     // conformance suite) and fast.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u32;
-    if cores < shards {
-        e.set_exec_mode(ExecMode::Inline);
+    match spec.threads {
+        Some(1) => e.set_exec_mode(ExecMode::Inline),
+        Some(t) => e.set_threads(t),
+        None if cores < shards => e.set_exec_mode(ExecMode::Inline),
+        None => {}
     }
     let t0 = Instant::now();
     let (flows, applied) = drive(scenario, spec, &mut e);
@@ -535,6 +541,7 @@ mod tests {
             stats: StatsMode::Table,
             admit_window_us: crate::spec::DEFAULT_ADMIT_WINDOW_US,
             reach_us: None,
+            threads: None,
             checks: Checks {
                 complete: CompleteScope::Fabric,
                 zero_drops: true,

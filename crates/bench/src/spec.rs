@@ -686,6 +686,12 @@ pub struct ExperimentSpec {
     /// fabric-family engines; `None` runs static, pre-converged tables.
     /// Required for convergence-time gates to be meaningful.
     pub reach_us: Option<u64>,
+    /// OS threads driving each sharded engine (clamped to the shard
+    /// count; results are identical at any setting). `None` keeps the
+    /// runner's default: one thread per shard when the host has the
+    /// cores, inline otherwise. Overridable from the CLI with
+    /// `stardust run --threads N`.
+    pub threads: Option<u32>,
     /// Pass/fail gates.
     pub checks: Checks,
 }
@@ -776,6 +782,13 @@ impl ExperimentSpec {
         if reach_us == Some(0) {
             return bad("[experiment] reach_us must be positive (omit it for static tables)");
         }
+        let threads = match exp.get("threads") {
+            Some(_) => Some(get_u64(exp, "experiment", "threads")? as u32),
+            None => None,
+        };
+        if threads == Some(0) {
+            return bad("[experiment] threads must be positive (omit it for one per shard)");
+        }
 
         let topology = TopoSpec::from_table(get_table(doc, "topology")?)?;
 
@@ -798,6 +811,7 @@ impl ExperimentSpec {
             stats,
             admit_window_us,
             reach_us,
+            threads,
             checks,
         };
         spec.validate()?;
@@ -869,6 +883,9 @@ impl ExperimentSpec {
         }
         if let Some(us) = self.reach_us {
             exp.insert("reach_us".into(), Value::Int(us as i64));
+        }
+        if let Some(t) = self.threads {
+            exp.insert("threads".into(), Value::Int(t as i64));
         }
 
         let mut doc = Table::new();
@@ -1406,6 +1423,24 @@ ppm = 0
         let table_spec = ExperimentSpec::parse(FULL).unwrap();
         assert!(!table_spec.to_text().contains("stats"));
         assert!(!table_spec.to_text().contains("admit_window_us"));
+    }
+
+    #[test]
+    fn threads_field_round_trips_and_rejects_zero() {
+        let text = FULL.replace("seeds = [42, 7]", "seeds = [42, 7]\nthreads = 2");
+        let spec = ExperimentSpec::parse(&text).expect("threads spec parses");
+        assert_eq!(spec.threads, Some(2));
+        let again = ExperimentSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(spec, again);
+
+        // Default stays omitted from the rendered form.
+        let default_spec = ExperimentSpec::parse(FULL).unwrap();
+        assert_eq!(default_spec.threads, None);
+        assert!(!default_spec.to_text().contains("threads"));
+
+        let zero = FULL.replace("seeds = [42, 7]", "seeds = [42, 7]\nthreads = 0");
+        let e = ExperimentSpec::parse(&zero).expect_err("zero threads rejected");
+        assert!(e.to_string().contains("threads"), "{e}");
     }
 
     #[test]

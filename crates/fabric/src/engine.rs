@@ -908,17 +908,19 @@ impl<K: CoreKind> FabricEngine<K> {
         (s != self.my_shard()).then_some(s)
     }
 
-    /// Drain this shard's outgoing cross-shard events (one batch per
-    /// destination shard). Called by the shard driver at every barrier.
-    pub(crate) fn take_outbox(&mut self) -> Vec<Vec<OutItem>> {
-        let fresh = (0..self.outbox.len()).map(|_| Vec::new()).collect();
-        std::mem::replace(&mut self.outbox, fresh)
+    /// This shard's outgoing cross-shard batches (one per destination
+    /// shard). The shard driver publishes them into the mailbox rings at
+    /// every barrier, draining each batch in place — the `Vec`s keep
+    /// their capacity, so steady-state windows allocate nothing here.
+    pub(crate) fn outbox_mut(&mut self) -> &mut [Vec<OutItem>] {
+        &mut self.outbox
     }
 
     /// Deliver mailbox items from a peer shard into the local calendar,
     /// preserving the sender's order (same-key ties keep sender FIFO).
-    pub(crate) fn deliver(&mut self, items: Vec<OutItem>) {
-        for it in items {
+    /// Drains `items` in place so the buffer's capacity is reused.
+    pub(crate) fn deliver(&mut self, items: &mut Vec<OutItem>) {
+        for it in items.drain(..) {
             match it.payload {
                 OutPayload::Ev(ev) => {
                     debug_assert!(self.remote_target(&ev).is_none(), "misrouted event");
@@ -2037,17 +2039,26 @@ impl<K: CoreKind> FabricEngine<K> {
 
         // Hand the reassembly record to the destination FA's owner. On
         // the same shard (always, when sequential) it is installed
-        // directly; otherwise it travels as a `BurstOpen` one lookahead
-        // ahead — provably before the burst's first cell, whose
-        // cross-shard path carries at least that much propagation plus a
-        // serialization. Nothing reads the record in between, so the two
-        // installs are observably identical.
+        // directly; otherwise it travels as a `BurstOpen` delayed by the
+        // pair's closed lookahead bound — provably before the burst's
+        // first cell, whose cross-shard path accumulates at least that
+        // much propagation (every hop carries at least its pair's direct
+        // bound, and the closure covers the chain) plus a serialization.
+        // Nothing reads the record in between, so the two installs are
+        // observably identical. The scalar lookahead would also be
+        // sound, but under the matrix clock the destination's window can
+        // extend past `now + scalar`, and a record sent only one scalar
+        // ahead would land inside an already-executed window.
         if self.owns_fa(dst) {
             self.open_burst(pb.burst);
         } else {
-            let lookahead = self.view.as_ref().expect("sharded").lookahead;
+            let view = self.view.as_ref().expect("sharded");
+            let bound = view
+                .matrix
+                .bound(view.shard as usize, self.shard_of_fa[dst as usize] as usize)
+                .expect("control traffic bounds every shard pair");
             self.sched(
-                now + lookahead,
+                now + bound,
                 Ev::BurstOpen {
                     burst: Box::new(pb.burst),
                 },

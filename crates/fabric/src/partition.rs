@@ -26,7 +26,7 @@
 //! round-robin for balance.
 
 use stardust_sim::link::fiber_delay;
-use stardust_sim::SimDuration;
+use stardust_sim::{LookaheadMatrix, SimDuration};
 use stardust_topo::{NodeKind, Topology};
 use std::sync::Arc;
 
@@ -38,14 +38,20 @@ pub struct Partition {
     pub num_shards: u32,
     /// NodeId → owning shard.
     pub shard_of_node: Arc<Vec<u32>>,
-    /// The conservative-synchronization window: no cross-shard event
-    /// carries less latency than this.
+    /// The scalar conservative-synchronization window: no cross-shard
+    /// event carries less latency than this (the smallest entry of
+    /// [`Partition::matrix`]).
     pub lookahead: SimDuration,
+    /// Per-ordered-shard-pair bounds (min-plus closure over control
+    /// latency on every pair plus the actual cross-shard fibers): the
+    /// matrix clock windows each shard by the min over its *actual*
+    /// constrainers, so non-adjacent shards stop throttling each other.
+    pub matrix: Arc<LookaheadMatrix>,
 }
 
 /// One shard's view of a [`Partition`] — what a per-shard engine needs to
 /// route events: its own id, the global node assignment, and the
-/// lookahead used for cross-shard burst-record handoff.
+/// lookahead matrix used for cross-shard burst-record handoff.
 #[derive(Debug, Clone)]
 pub struct ShardView {
     /// This shard's id.
@@ -54,8 +60,10 @@ pub struct ShardView {
     pub num_shards: u32,
     /// NodeId → owning shard (shared with the partition).
     pub shard_of_node: Arc<Vec<u32>>,
-    /// The partition's lookahead.
+    /// The partition's scalar lookahead (smallest matrix entry).
     pub lookahead: SimDuration,
+    /// The partition's per-pair bounds (shared with the partition).
+    pub matrix: Arc<LookaheadMatrix>,
 }
 
 impl Partition {
@@ -176,15 +184,46 @@ impl Partition {
             }
         }
 
-        // Lookahead: ctrl latency vs the shortest cross-shard fiber.
-        let mut lookahead = ctrl_latency;
+        // Per-pair direct bounds. Credit-loop control messages flow
+        // between any two FAs at the configured transit latency, so
+        // every ordered pair is seeded at `ctrl_latency`; cells and
+        // reachability messages cross shards only along actual fibers,
+        // at the fiber's propagation delay (both directions — links are
+        // bidirectional). The min-plus closure then accounts for
+        // multi-hop interaction chains through intermediate shards.
+        let s = num_shards as usize;
+        let mut direct: Vec<Option<SimDuration>> = vec![None; s * s];
+        for a in 0..s {
+            for b in 0..s {
+                if a != b {
+                    direct[a * s + b] = Some(ctrl_latency);
+                }
+            }
+        }
         for l in topo.link_ids() {
             let link = topo.link(l);
             let (a, b) = (link.end(0), link.end(1));
-            if shard_of_node[a.0 as usize] != shard_of_node[b.0 as usize] {
-                lookahead = lookahead.min(fiber_delay(link.meters as u64));
+            let sa = shard_of_node[a.0 as usize] as usize;
+            let sb = shard_of_node[b.0 as usize] as usize;
+            if sa != sb {
+                let d = fiber_delay(link.meters as u64);
+                assert!(
+                    d > SimDuration::ZERO,
+                    "zero-latency cross-shard link defeats conservative sync"
+                );
+                for (x, y) in [(sa, sb), (sb, sa)] {
+                    let e = &mut direct[x * s + y];
+                    *e = Some(e.map_or(d, |cur| cur.min(d)));
+                }
             }
         }
+        let matrix = LookaheadMatrix::from_direct(s, &direct);
+        // The scalar lookahead keeps its historical meaning — the
+        // smallest latency *any* cross-shard interaction carries — which
+        // is exactly the matrix's smallest bound (the closure cannot go
+        // below its smallest direct entry). Single shard: nothing ever
+        // crosses, so the ctrl latency stands in.
+        let lookahead = matrix.min_bound().unwrap_or(ctrl_latency);
         assert!(
             lookahead > SimDuration::ZERO,
             "zero-latency cross-shard link defeats conservative sync"
@@ -193,6 +232,7 @@ impl Partition {
             num_shards,
             shard_of_node: Arc::new(shard_of_node),
             lookahead,
+            matrix: Arc::new(matrix),
         }
     }
 
@@ -204,6 +244,7 @@ impl Partition {
             num_shards: self.num_shards,
             shard_of_node: self.shard_of_node.clone(),
             lookahead: self.lookahead,
+            matrix: self.matrix.clone(),
         }
     }
 
@@ -325,6 +366,49 @@ mod tests {
         }
         let counts = part.fa_counts(&df.topo);
         assert_eq!(counts, vec![10; 4]);
+    }
+
+    #[test]
+    fn clos_pod_alignment_yields_a_uniform_matrix() {
+        // Pod-aligned two-tier Clos: the only cross-shard fibers are the
+        // agg↔spine links, the spine spreads round-robin over all
+        // shards, and the spine reaches every pod — so every shard pair
+        // sees the same 500 ns direct fiber and the matrix collapses to
+        // the scalar. This is the baseline the zoo fabrics improve on.
+        let mut p = TwoTierParams::paper_scaled(4);
+        p.near_meters = 10;
+        p.far_meters = 100;
+        let tt = two_tier(p);
+        let part = Partition::new(&tt.topo, 4, SimDuration::from_micros(2));
+        assert_eq!(part.matrix.min_bound(), Some(part.lookahead));
+        assert_eq!(part.matrix.max_cross_bound(), part.lookahead);
+    }
+
+    #[test]
+    fn zoo_topology_produces_a_non_uniform_matrix() {
+        use stardust_topo::{dragonfly, DragonflyParams, RoutePlan};
+        // 4 shards over the 5-group zoo dragonfly: groups straddle shard
+        // boundaries, so adjacent shards are bounded by the 25 ns local
+        // fibers while non-adjacent ones only interact through global
+        // links and multi-shard chains — strictly wider bounds.
+        let df = dragonfly(DragonflyParams::zoo());
+        let plan = RoutePlan::shortest_path(&df.topo);
+        let part = Partition::with_groups(&df.topo, &plan.groups, 4, SimDuration::from_micros(2));
+        let m = &part.matrix;
+        assert_eq!(m.min_bound(), Some(part.lookahead));
+        assert!(
+            m.max_cross_bound() > part.lookahead,
+            "zoo matrix collapsed to the scalar lookahead {:?}",
+            part.lookahead
+        );
+        // Every pair is bounded (control messages connect all pairs).
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(m.bound(a, b).is_some());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,46 +1,59 @@
 //! The deterministic sharded fabric engine.
 //!
 //! [`ShardedFabricEngine`] runs one [`FabricEngine`] per shard of a
-//! [`Partition`], each on its own OS thread, and synchronizes them
-//! conservatively: execution proceeds in windows of the partition's
-//! **lookahead** (the smallest latency any cross-shard event can carry),
-//! with cross-shard events exchanged through [`Mailboxes`] at a barrier
-//! between windows. Because
+//! [`Partition`] across a configurable number of OS threads, and
+//! synchronizes them conservatively: execution proceeds in windows
+//! bounded by the partition's **lookahead matrix** (per ordered shard
+//! pair, the smallest latency any chain of cross-shard interactions can
+//! carry — see [`Partition::matrix`]), with cross-shard events exchanged
+//! through lock-free [`Mailboxes`] rings at a barrier between windows.
+//! Because
 //!
-//! 1. every cross-shard event generated inside a window is timestamped at
-//!    or after the *next* window (the lookahead bound),
+//! 1. every cross-shard event generated inside a window is timestamped
+//!    beyond the receiver's window (the per-pair lookahead bound),
 //! 2. mailboxes drain in sender-shard order with per-sender FIFO, and
 //! 3. every engine event is scheduled under a canonical **content key**
 //!    (see `engine::key_of`), so simultaneous events dispatch in the same
 //!    order no matter which calendar they entered first,
 //!
 //! the simulation is a pure function of `(topology, config, workload,
-//! seed)` — independent of the shard count, of OS thread scheduling, and
-//! bit-identical to the sequential [`FabricEngine`]: the conformance
-//! suite asserts equal [`FabricStats`] (histograms, counters and per-flow
-//! FCT tables) for 1, 2, 4 and 8 shards against the sequential engine.
+//! seed)` — independent of the shard count, of the thread count, of OS
+//! thread scheduling, and bit-identical to the sequential
+//! [`FabricEngine`]: the conformance suite asserts equal [`FabricStats`]
+//! (histograms, counters and per-flow FCT tables) for 1, 2, 4 and 8
+//! shards against the sequential engine.
 //!
 //! The lookahead is physical: the fabric's FA↔FE wire latency (and the
 //! control-plane transit time) gives the classic null-message bound of
 //! parallel discrete-event simulation for free — Stardust's own
-//! divide-and-conquer argument, applied to its simulator.
+//! divide-and-conquer argument, applied to its simulator. The matrix
+//! sharpens it: on fabrics where non-adjacent shards only interact
+//! through intermediaries (dragonfly, Space Shuffle, expanders), each
+//! shard's window is bounded by its *actual* constrainers, not the
+//! global minimum, so tight local fibers stop throttling distant pairs.
+//!
+//! See DESIGN.md § "Parallel runtime" for the SPSC mailbox protocol and
+//! the full determinism argument.
 
 use crate::config::FabricConfig;
 use crate::engine::{FabricEngine, FabricStats, OutItem};
 use crate::partition::Partition;
-use stardust_sim::shard::window_end;
-use stardust_sim::{CalendarCore, CoreKind, Mailboxes, ShardClock, SimDuration, SimTime};
+use stardust_sim::{
+    CalendarCore, CoreKind, LookaheadMatrix, Mailboxes, ShardClock, SimDuration, SimTime,
+};
 use stardust_topo::{LinkId, Topology};
 
 /// How the shards execute (results are identical either way — the
 /// property suite runs both and compares).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
-    /// One OS thread per shard, barrier-synchronized (the default).
+    /// Barrier-synchronized OS threads — one per shard by default,
+    /// fewer with [`ShardedFabricEngine::set_threads`] (the default).
     Threads,
     /// All shards driven round-robin on the calling thread. Useful on
     /// starved machines and for differential tests against the threaded
-    /// path; same window/exchange sequence, same results.
+    /// path; same window/exchange sequence, same results. Equivalent to
+    /// `set_threads(1)`.
     Inline,
 }
 
@@ -56,6 +69,15 @@ pub struct ShardedFabricEngine<K: CoreKind = CalendarCore> {
     /// FA index → owning shard (routing table for workload calls).
     shard_of_fa: Vec<u32>,
     mode: ExecMode,
+    /// OS threads to drive the shards with (≤ shard count); `None` means
+    /// one per shard. Thread `t` drives shards `{i : i mod T == t}`
+    /// round-robin inside every window.
+    threads: Option<u32>,
+    /// Collapse the lookahead matrix to its smallest bound (the scalar
+    /// baseline) — a measurement knob, results are identical.
+    scalar_windows: bool,
+    /// Synchronization rounds executed across all `run_until` calls.
+    windows: u64,
     now: SimTime,
 }
 
@@ -94,6 +116,13 @@ where
             part.lookahead < cfg.reassembly_timeout,
             "lookahead must stay below the reassembly timeout"
         );
+        // Cross-shard burst-record handoffs are delayed by their pair's
+        // closed bound; a bound at or past the reassembly timeout would
+        // deliver the record after its own cleanup deadline.
+        assert!(
+            part.matrix.max_cross_bound() < cfg.reassembly_timeout,
+            "pair lookahead bound must stay below the reassembly timeout"
+        );
         let shards: Vec<FabricEngine<K>> = (0..num_shards)
             .map(|s| {
                 FabricEngine::<K>::with_view(
@@ -114,6 +143,9 @@ where
             part,
             shard_of_fa,
             mode: ExecMode::Threads,
+            threads: None,
+            scalar_windows: false,
+            windows: 0,
             now: SimTime::ZERO,
         }
     }
@@ -121,6 +153,43 @@ where
     /// Switch between threaded and inline execution (identical results).
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.mode = mode;
+    }
+
+    /// Cap the number of OS threads driving the shards (identical
+    /// results at any setting — window bounds are pure functions of the
+    /// reported event times, and a single thread driving all shards is
+    /// exactly [`ExecMode::Inline`]). Values above the shard count
+    /// clamp; `set_threads(1)` runs on the calling thread with no
+    /// spawns.
+    pub fn set_threads(&mut self, threads: u32) {
+        assert!(threads >= 1, "at least one thread");
+        self.threads = Some(threads.min(self.part.num_shards));
+    }
+
+    /// The number of OS threads `run_until` will use under
+    /// [`ExecMode::Threads`].
+    pub fn num_threads(&self) -> u32 {
+        match self.mode {
+            ExecMode::Inline => 1,
+            ExecMode::Threads => self.threads.unwrap_or(self.part.num_shards),
+        }
+    }
+
+    /// Window by the scalar lookahead (the matrix's smallest bound)
+    /// instead of the per-pair matrix — the pre-matrix baseline, kept as
+    /// a measurement knob so benchmarks can report how much the matrix
+    /// cuts barrier frequency. Results are bit-identical either way;
+    /// only [`ShardedFabricEngine::windows_executed`] moves.
+    pub fn set_scalar_windows(&mut self, scalar: bool) {
+        self.scalar_windows = scalar;
+    }
+
+    /// Synchronization rounds (windows, = barrier pairs) executed so far
+    /// across all `run_until` calls — the conservative-sync overhead
+    /// metric the lookahead matrix exists to shrink. Zero for
+    /// single-shard engines (no barriers at all).
+    pub fn windows_executed(&self) -> u64 {
+        self.windows
     }
 
     /// Number of shards.
@@ -297,46 +366,46 @@ where
             };
             return;
         }
-        let clock = ShardClock::new(self.shards.len(), self.part.lookahead);
+        let threads = self.num_threads() as usize;
+        let matrix = if self.scalar_windows {
+            LookaheadMatrix::uniform(self.shards.len(), self.part.lookahead)
+        } else {
+            (*self.part.matrix).clone()
+        };
+        let clock = ShardClock::with_matrix(matrix, threads);
         let mail: Mailboxes<OutItem> = Mailboxes::new(self.shards.len());
-        match self.mode {
-            ExecMode::Threads => {
-                std::thread::scope(|scope| {
-                    for (i, eng) in self.shards.iter_mut().enumerate() {
+        // Distribute the shards round-robin over the driving threads.
+        // One thread is the degenerate case: every shard in one group,
+        // driven on the calling thread through the *same* loop — which
+        // is why inline and threaded execution agree by construction.
+        let mut groups: Vec<Vec<(usize, &mut FabricEngine<K>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, eng) in self.shards.iter_mut().enumerate() {
+            groups[i % threads].push((i, eng));
+        }
+        let rounds = if threads == 1 {
+            group_loop(&mut groups[0], &clock, &mail, horizon)
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .iter_mut()
+                    .map(|group| {
                         let clock = &clock;
                         let mail = &mail;
-                        scope.spawn(move || shard_loop(i, eng, clock, mail, horizon));
-                    }
-                });
-            }
-            ExecMode::Inline => {
-                // The same window/exchange sequence, driven round-robin
-                // by one thread (no barriers needed: the loop *is* the
-                // barrier), with the window bound from the one shared
-                // `window_end` formula the ShardClock also uses —
-                // determinism does not depend on which mode ran.
-                loop {
-                    let next = self.shards.iter().filter_map(|s| s.next_event_time()).min();
-                    let Some(wend) = window_end(next, horizon, self.part.lookahead) else {
-                        break;
-                    };
-                    for (i, eng) in self.shards.iter_mut().enumerate() {
-                        eng.run_until(wend);
-                        mail.publish(i, eng.take_outbox());
-                    }
-                    for (i, eng) in self.shards.iter_mut().enumerate() {
-                        for batch in mail.take_to(i) {
-                            eng.deliver(batch);
-                        }
-                    }
-                }
-                if horizon < SimTime::MAX {
-                    for eng in &mut self.shards {
-                        eng.run_until(horizon);
-                    }
-                }
-            }
-        }
+                        scope.spawn(move || group_loop(group, clock, mail, horizon))
+                    })
+                    .collect();
+                // Every thread runs the same number of rounds (the stop
+                // condition is a barrier-agreed global), so any handle's
+                // count is *the* count.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread panicked"))
+                    .max()
+                    .unwrap_or(0)
+            })
+        };
+        self.windows += rounds;
         debug_assert!(mail.is_empty(), "mailboxes must drain by the final barrier");
         self.now = if horizon < SimTime::MAX {
             horizon
@@ -357,28 +426,61 @@ where
     }
 }
 
-/// One shard thread's window loop: agree on a window, execute it, publish
-/// outgoing cross-shard events, barrier, deliver incoming ones, repeat.
-fn shard_loop<K: CoreKind>(
-    i: usize,
-    eng: &mut FabricEngine<K>,
+/// One driving thread's window loop over the shards it owns: report
+/// every owned shard's next event, barrier, check the agreed stop
+/// condition, execute each owned shard to *its own* matrix window and
+/// publish its outgoing cross-shard batches (drained in place — the
+/// out-buffers keep their capacity across windows), barrier, drain each
+/// owned shard's inboxes into recycled buffers and deliver, repeat.
+///
+/// Window bounds are pure functions of the reported event times, so the
+/// wall-clock interleaving of the threads never shows in the results;
+/// and every delivered event is strictly beyond its receiver's executed
+/// window (the conservative guarantee), so windows only ever move
+/// forward.
+fn group_loop<K: CoreKind>(
+    group: &mut [(usize, &mut FabricEngine<K>)],
     clock: &ShardClock,
     mail: &Mailboxes<OutItem>,
     horizon: SimTime,
-) {
-    let mut round = 0u64;
-    while let Some(wend) = clock.next_window(round, eng.next_event_time(), horizon) {
-        eng.run_until(wend);
-        mail.publish(i, eng.take_outbox());
-        clock.finish_window();
-        for batch in mail.take_to(i) {
-            eng.deliver(batch);
+) -> u64 {
+    let mut rounds = 0u64;
+    let shards = mail.shards();
+    // Recycled inbox buffers, one set (per source shard) per owned
+    // shard: `deliver` drains them, so steady-state windows reuse their
+    // capacity instead of allocating.
+    let mut inboxes: Vec<Vec<Vec<OutItem>>> = group
+        .iter()
+        .map(|_| (0..shards).map(|_| Vec::new()).collect())
+        .collect();
+    loop {
+        for (i, eng) in group.iter() {
+            clock.report(*i, eng.next_event_time());
         }
-        round += 1;
+        clock.sync();
+        if clock.done(horizon) {
+            break;
+        }
+        rounds += 1;
+        for (i, eng) in group.iter_mut() {
+            let wend = clock.window_for(*i, horizon).expect("not done");
+            eng.run_until(wend);
+            mail.publish_from(*i, eng.outbox_mut());
+        }
+        clock.finish_window();
+        for ((i, eng), inbox) in group.iter_mut().zip(&mut inboxes) {
+            mail.take_to_into(*i, inbox);
+            for batch in inbox.iter_mut() {
+                eng.deliver(batch);
+            }
+        }
     }
     // Commit the horizon so back-to-back `run_for` calls cover exactly
     // their span (mirrors the sequential `run_until` contract).
     if horizon < SimTime::MAX {
-        eng.run_until(horizon);
+        for (_, eng) in group.iter_mut() {
+            eng.run_until(horizon);
+        }
     }
+    rounds
 }

@@ -80,6 +80,72 @@ fn inline_and_threaded_execution_agree() {
 }
 
 #[test]
+fn thread_count_never_changes_results() {
+    // 4 shards multiplexed over 1, 2 and 3 driving threads: window
+    // bounds are pure functions of the reported event times, so the
+    // thread count must be invisible in the stats, the event count and
+    // the committed clock.
+    let full = drive_sharded(4, ExecMode::Threads);
+    for threads in [1u32, 2, 3] {
+        let tt = two_tier(TwoTierParams::paper_scaled(16));
+        let mut e = ShardedFabricEngine::new(tt.topo, cfg(), 4);
+        e.set_threads(threads);
+        assert_eq!(e.num_threads(), threads);
+        let n = e.num_fas() as u32;
+        for src in 0..n {
+            e.inject(SimTime::ZERO, src, (src + 5) % n, 0, 0, 4000);
+            e.add_message(
+                src,
+                (src + 3) % n,
+                1,
+                1,
+                30_000,
+                SimTime::from_nanos(src as u64 * 97),
+            );
+        }
+        e.run_until(SimTime::from_millis(3));
+        assert_eq!(full.stats(), e.stats(), "{threads} threads diverged");
+        assert_eq!(full.events_executed(), e.events_executed());
+        assert_eq!(full.now(), e.now());
+    }
+}
+
+#[test]
+fn non_uniform_matrix_runs_bit_identical_on_dragonfly() {
+    // The zoo dragonfly at 4 shards has a genuinely non-uniform
+    // lookahead matrix (straddled groups: 25 ns near pairs, wider far
+    // pairs) — this pins the matrix-windowed threaded path against the
+    // sequential engine on exactly the topology class the matrix was
+    // built for.
+    use stardust_topo::{DragonflyParams, TopologyBuilder};
+    let built = DragonflyParams::zoo().build_fabric();
+    let c = cfg();
+    let drive = |e: &mut dyn FnMut(SimTime, u32, u32)| {
+        for src in 0..20u32 {
+            e(SimTime::from_nanos(src as u64 * 131), src, (src + 7) % 20);
+        }
+    };
+    let mut seq: FabricEngine =
+        FabricEngine::with_plan(built.topo.clone(), c.clone(), built.plan.clone());
+    drive(&mut |at, s, d| {
+        seq.add_message(s, d, 0, 0, 20_000, at);
+    });
+    seq.run_until(SimTime::from_millis(2));
+    let mut sh: ShardedFabricEngine =
+        ShardedFabricEngine::with_plan(built.topo.clone(), c.clone(), built.plan.clone(), 4);
+    let m = &sh.partition().matrix;
+    assert!(
+        m.max_cross_bound() > m.min_bound().unwrap(),
+        "test premise: matrix must be non-uniform"
+    );
+    drive(&mut |at, s, d| {
+        sh.add_message(s, d, 0, 0, 20_000, at);
+    });
+    sh.run_until(SimTime::from_millis(2));
+    assert_eq!(seq.stats(), &sh.stats(), "matrix-windowed run diverged");
+}
+
+#[test]
 fn sharded_run_for_advances_by_full_duration() {
     let tt = two_tier(TwoTierParams::paper_scaled(16));
     let mut e = ShardedFabricEngine::new(tt.topo, cfg(), 2);

@@ -38,7 +38,7 @@ pub use event::{
 };
 pub use link::{LinkClock, LinkProfile};
 pub use rng::DetRng;
-pub use shard::{window_end, Mailboxes, ShardClock};
+pub use shard::{window_end, LookaheadMatrix, Mailboxes, ShardClock};
 pub use stats::{
     quantile_of_sorted, Counter, FlowRecord, FlowStats, Histogram, OnlineStats, QuantileSketch,
 };

@@ -739,6 +739,223 @@ fn mailbox_barrier_never_early_and_interleaving_free() {
     });
 }
 
+/// Windows under a per-pair lookahead matrix are never narrower than
+/// the scalar windows its smallest bound admits: for random direct
+/// matrices (with random unbounded pairs) and random next-event
+/// vectors, every shard's matrix window is ≥ the scalar `window_end`,
+/// the two agree exactly on a uniform matrix, and the stop condition is
+/// identical for every shard.
+#[test]
+fn matrix_windows_dominate_scalar_windows() {
+    use stardust::sim::LookaheadMatrix;
+    for_each_case("matrix_windows_dominate_scalar", |rng| {
+        let shards = 2 + rng.index(6); // 2..=7
+                                       // Random positive direct bounds; ~1/3 of off-diagonal pairs
+                                       // unbounded, diagonal never direct (round trips come from the
+                                       // closure). Keep at least one bounded pair so min_bound exists.
+        let mut direct: Vec<Option<SimDuration>> = vec![None; shards * shards];
+        for a in 0..shards {
+            for b in 0..shards {
+                if a != b && rng.index(3) != 0 {
+                    direct[a * shards + b] = Some(SimDuration(1 + rng.below(1_000_000)));
+                }
+            }
+        }
+        let (a, b) = (rng.index(shards), 1 + rng.index(shards - 1));
+        direct[a * shards + (a + b) % shards] = Some(SimDuration(1 + rng.below(1_000_000)));
+        let m = LookaheadMatrix::from_direct(shards, &direct);
+        let scalar = m.min_bound().expect("at least one bounded pair");
+        let uniform = LookaheadMatrix::uniform(shards, scalar);
+
+        let horizon = SimTime(1_000_000 + rng.below(5_000_000));
+        let nexts: Vec<u64> = (0..shards)
+            .map(|_| {
+                if rng.index(4) == 0 {
+                    u64::MAX // idle shard
+                } else {
+                    rng.below(8_000_000)
+                }
+            })
+            .collect();
+        let global = nexts.iter().copied().min().unwrap();
+        let scalar_w = stardust::sim::window_end(
+            (global != u64::MAX).then_some(SimTime(global)),
+            horizon,
+            scalar,
+        );
+        for dst in 0..shards {
+            let w = m.window_for(&nexts, dst, horizon);
+            // Stop condition agrees with the scalar formula and is the
+            // same for every shard.
+            assert_eq!(w.is_some(), scalar_w.is_some(), "stop condition diverged");
+            if let (Some(w), Some(sw)) = (w, scalar_w) {
+                assert!(
+                    w >= sw,
+                    "shard {dst}: matrix window {w:?} narrower than scalar {sw:?}"
+                );
+            }
+            // The uniform matrix IS the scalar formula.
+            assert_eq!(uniform.window_for(&nexts, dst, horizon), scalar_w);
+        }
+    });
+}
+
+/// The relay-network property (see above) on the **matrix** clock
+/// protocol with fewer threads than shards: per-pair latencies at least
+/// the pair's closed bound, per-shard windows, threads multiplexing
+/// shards round-robin. Nothing may be delivered at or before its
+/// receiver's executed window, and the per-shard traces must be
+/// identical between a multi-threaded run and the single-threaded run
+/// of the same protocol.
+#[test]
+fn matrix_clock_relay_is_safe_and_thread_invariant() {
+    use stardust::sim::LookaheadMatrix;
+    for_each_case("matrix_clock_relay", |rng| {
+        let shards = 2 + rng.index(5); // 2..=6
+        let threads = 1 + rng.index(shards); // 1..=shards
+        let seeds: Vec<u64> = (0..shards).map(|_| rng.next_u64()).collect();
+        // Fully bounded random direct matrix (every ordered pair).
+        let mut direct: Vec<Option<SimDuration>> = vec![None; shards * shards];
+        for a in 0..shards {
+            for b in 0..shards {
+                if a != b {
+                    direct[a * shards + b] = Some(SimDuration(10_000 + rng.below(500_000)));
+                }
+            }
+        }
+        let matrix = LookaheadMatrix::from_direct(shards, &direct);
+
+        type Item = (u64, u32, u8);
+        type Trace = Vec<(u64, u32)>;
+        let initial = |s: usize| -> Vec<Item> {
+            let mut r = DetRng::from_parts(seeds[s], 1);
+            (0..3 + r.index(5))
+                .map(|i| {
+                    (
+                        r.below(2_000_000),
+                        (s as u32) << 16 | i as u32,
+                        1 + r.below(3) as u8,
+                    )
+                })
+                .collect()
+        };
+        let m = &matrix;
+        let relay = |s: usize, it: &Item| -> (usize, Item) {
+            let mut r = DetRng::from_parts(seeds[s] ^ it.1 as u64, it.0);
+            let dst = r.index(m.shards());
+            // Send latency: at least the pair's closed bound (what the
+            // engine guarantees for every real emission), plus jitter.
+            let base = if dst == s {
+                m.bound(s, s).map_or(50_000, |d| d.as_ps())
+            } else {
+                m.bound(s, dst).expect("fully bounded").as_ps()
+            };
+            let at = it.0 + base + r.below(2 * base);
+            (dst, (at, it.1, it.2 - 1))
+        };
+
+        let run = |nthreads: usize,
+                   relay: &(dyn Fn(usize, &Item) -> (usize, Item) + Sync)|
+         -> (Vec<Trace>, bool) {
+            use std::collections::BinaryHeap;
+            let clock = ShardClock::with_matrix(matrix.clone(), nthreads);
+            let mail: Mailboxes<Item> = Mailboxes::new(shards);
+            let horizon = SimTime::from_millis(100);
+            struct Shard {
+                pending: BinaryHeap<std::cmp::Reverse<Item>>,
+                trace: Trace,
+                early: bool,
+            }
+            let states: Vec<std::sync::Mutex<Shard>> = (0..shards)
+                .map(|s| {
+                    std::sync::Mutex::new(Shard {
+                        pending: initial(s).into_iter().map(std::cmp::Reverse).collect(),
+                        trace: Vec::new(),
+                        early: false,
+                    })
+                })
+                .collect();
+            std::thread::scope(|scope| {
+                for t in 0..nthreads {
+                    let (clock, mail, states) = (&clock, &mail, &states);
+                    scope.spawn(move || {
+                        let owned: Vec<usize> = (0..shards).filter(|s| s % nthreads == t).collect();
+                        // The executed window of each owned shard, saved
+                        // from the execute phase: after `finish_window` a
+                        // faster thread may already be re-reporting next
+                        // round's times, so the clock must not be read
+                        // again (same discipline as the engine's window
+                        // loop).
+                        let mut wends: Vec<u64> = vec![0; owned.len()];
+                        loop {
+                            for &s in &owned {
+                                let st = states[s].lock().unwrap();
+                                clock.report(s, st.pending.peek().map(|r| SimTime(r.0 .0)));
+                            }
+                            clock.sync();
+                            if clock.done(SimTime::from_millis(100)) {
+                                break;
+                            }
+                            for (k, &s) in owned.iter().enumerate() {
+                                let mut st = states[s].lock().unwrap();
+                                let wend = clock.window_for(s, horizon).expect("not done");
+                                wends[k] = wend.as_ps();
+                                let mut out: Vec<Vec<Item>> =
+                                    (0..shards).map(|_| Vec::new()).collect();
+                                while st.pending.peek().is_some_and(|r| r.0 .0 <= wend.as_ps()) {
+                                    let it = st.pending.pop().unwrap().0;
+                                    st.trace.push((it.0, it.1));
+                                    if it.2 > 0 {
+                                        let (dst, next) = relay(s, &it);
+                                        out[dst].push(next);
+                                    }
+                                }
+                                mail.publish_from(s, &mut out);
+                            }
+                            clock.finish_window();
+                            for (k, &s) in owned.iter().enumerate() {
+                                let mut st = states[s].lock().unwrap();
+                                let mut inbox: Vec<Vec<Item>> =
+                                    (0..shards).map(|_| Vec::new()).collect();
+                                mail.take_to_into(s, &mut inbox);
+                                for b in inbox {
+                                    for it in b {
+                                        // Conservative bound, per shard:
+                                        // nothing lands inside the
+                                        // receiver's executed window.
+                                        if it.0 <= wends[k] {
+                                            st.early = true;
+                                        }
+                                        st.pending.push(std::cmp::Reverse(it));
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let early = states.iter().any(|st| st.lock().unwrap().early);
+            (
+                states
+                    .into_iter()
+                    .map(|st| st.into_inner().unwrap().trace)
+                    .collect(),
+                early,
+            )
+        };
+
+        let (multi_traces, multi_early) = run(threads.max(2).min(shards), &relay);
+        let (single_traces, single_early) = run(1, &relay);
+        assert!(!multi_early, "item delivered within its receiver's window");
+        assert!(!single_early, "item delivered within its receiver's window");
+        assert_eq!(
+            multi_traces, single_traces,
+            "matrix-clock traces depended on thread multiplexing \
+             ({shards} shards, {threads} threads)"
+        );
+    });
+}
+
 /// The paper's o(fs^-2N) tail approximation is monotone in both
 /// arguments.
 #[test]
